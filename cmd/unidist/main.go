@@ -1,0 +1,114 @@
+// Command unidist runs a distributed simulation across real processes
+// (or machines): one coordinator plus N simulation hosts connected over
+// TCP, each building the same deterministic scenario and executing only
+// its own nodes' events (see internal/dist).
+//
+// Start the coordinator, then one process per host:
+//
+//	unidist -role coord -hosts 2 -listen :9123
+//	unidist -role host -id 0 -hosts 2 -addr 127.0.0.1:9123
+//	unidist -role host -id 1 -hosts 2 -addr 127.0.0.1:9123
+//
+// All processes must use the same -seed, -k, -stop and -hosts values; the
+// scenario is reconstructed deterministically in every process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"unison"
+	"unison/internal/dist"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/pdes"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+	"unison/internal/traffic"
+)
+
+func main() {
+	var (
+		role   = flag.String("role", "", "coord | host")
+		id     = flag.Int("id", 0, "host id (host role)")
+		hosts  = flag.Int("hosts", 2, "number of simulation hosts")
+		listen = flag.String("listen", ":9123", "coordinator listen address")
+		addr   = flag.String("addr", "127.0.0.1:9123", "coordinator address (host role)")
+		k      = flag.Int("k", 4, "fat-tree arity")
+		stopD  = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
+		load   = flag.Float64("load", 0.4, "offered load")
+		seed   = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	stop := sim.Time(stopD.Nanoseconds())
+
+	switch *role {
+	case "coord":
+		runCoord(*listen, *hosts, *k, stop, *load, *seed)
+	case "host":
+		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// buildScenario reconstructs the deterministic scenario each process runs.
+func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model, *netdev.Network, *flowmon.Monitor, *topology.FatTree, int) {
+	ft := topology.BuildFatTree(topology.FatTreeK(k, 10*unison.Gbps, 3*sim.Microsecond))
+	flows := traffic.Generate(traffic.Config{
+		Seed: seed, Hosts: ft.Hosts(), Sizes: traffic.GRPCCDF(), Load: load,
+		BisectionBps: ft.BisectionBandwidth(), Start: 0, End: stop / 2,
+	})
+	mon := flowmon.NewMonitor(len(flows))
+	network := netdev.New(ft.Graph, routing.NewECMP(ft.Graph, routing.Hops, seed), netdev.DefaultConfig(seed))
+	stack := tcp.NewStack(network, tcp.DefaultConfig(), mon)
+	s := sim.NewSetup()
+	stack.Attach(s, flows)
+	s.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: ft.N(), Links: ft.LinkInfos, Init: s.Events(), StopAt: stop}
+	return m, network, mon, ft, len(flows)
+}
+
+func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64) {
+	_, _, _, _, flows := buildScenario(k, stop, load, seed)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("coordinator listening on %s for %d hosts (%d flows, stop %v)\n",
+		ln.Addr(), hosts, flows, stop)
+	mon, rounds, err := dist.RunCoordinator(ln, dist.CoordConfig{
+		Hosts: hosts, StopAt: stop, Flows: flows,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulation complete: %d rounds\n", rounds)
+	fmt.Printf("flows completed  %d/%d\n", mon.Completed(), mon.Flows())
+	fmt.Printf("mean FCT         %.3f ms\n", mon.MeanFCTms())
+	fmt.Printf("mean RTT         %.3f ms\n", mon.MeanRTTms())
+	fmt.Printf("result hash      %016x\n", mon.Fingerprint())
+}
+
+func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64) {
+	m, network, mon, ft, _ := buildScenario(k, stop, load, seed)
+	hostOf := pdes.FatTreeManual(ft, hosts)
+	st, err := dist.RunHost(dist.HostConfig{
+		ID: id, Addr: addr, HostOf: hostOf, StopAt: stop,
+	}, m, network, mon)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("host %d: %d events in %d rounds, wall %.2fs\n",
+		id, st.Events, st.Rounds, float64(st.WallNS)/1e9)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "unidist: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// Command unisim runs one network simulation from command-line flags and
+// prints flow statistics — the quick way to exercise any kernel on any of
+// the built-in topologies.
+//
+// Usage examples:
+//
+//	unisim -topo fattree -k 4 -kernel unison -threads 8 -stop 2ms
+//	unisim -topo torus -rows 8 -cols 8 -kernel sequential -load 0.3
+//	unisim -topo dumbbell -n 8 -kernel barrier
+//	unisim -topo fattree -k 4 -kernel vunison -threads 24   (virtual testbed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unison"
+	"unison/internal/pdes"
+	"unison/internal/sim"
+	"unison/internal/topology"
+	"unison/internal/trace"
+	"unison/internal/vtime"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "fattree", "topology: fattree | torus | bcube | spineleaf | dumbbell | geant | chinanet")
+		k       = flag.Int("k", 4, "fat-tree arity")
+		rows    = flag.Int("rows", 6, "torus rows")
+		cols    = flag.Int("cols", 6, "torus cols")
+		n       = flag.Int("n", 4, "bcube ports / dumbbell pairs / spine-leaf hosts per leaf")
+		bwGbps  = flag.Float64("bw", 10, "link bandwidth in Gbit/s")
+		delay   = flag.Duration("delay", 3_000, "link delay (ns when unitless)")
+		kernel  = flag.String("kernel", "unison", "kernel: sequential | unison | hybrid | barrier | nullmsg | vseq | vbarrier | vnullmsg | vunison")
+		threads = flag.Int("threads", 4, "worker threads (unison/hybrid/virtual cores)")
+		stop    = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
+		load    = flag.Float64("load", 0.3, "offered load as a fraction of bisection bandwidth")
+		incast  = flag.Float64("incast", 0, "incast traffic ratio [0,1]")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		web     = flag.Bool("websearch", false, "use the web-search flow size CDF (default: gRPC)")
+		traceF  = flag.String("trace", "", "write a packet trace (UTR1 binary) to this file")
+	)
+	flag.Parse()
+
+	g, hosts, manual := buildTopology(*topo, *k, *rows, *cols, *n,
+		int64(*bwGbps*1e9), sim.Time(delay.Nanoseconds()))
+
+	sizes := unison.GRPCCDF()
+	if *web {
+		sizes = unison.WebSearchCDF()
+	}
+	stopAt := sim.Time(stop.Nanoseconds())
+	flows := unison.GenerateTraffic(unison.TrafficConfig{
+		Seed:         *seed,
+		Hosts:        hosts,
+		Sizes:        sizes,
+		Load:         *load,
+		BisectionBps: g.BisectionBandwidth(),
+		Start:        0,
+		End:          stopAt * 3 / 4,
+		IncastRatio:  *incast,
+	})
+	sc := unison.NewScenario(g, unison.NewECMP(g, unison.Hops, *seed), unison.ScenarioConfig{
+		Seed:   *seed,
+		NetCfg: unison.DefaultNetConfig(*seed),
+		TCPCfg: unison.DefaultTCP(),
+		StopAt: stopAt,
+		Flows:  flows,
+	})
+	if *traceF != "" {
+		sc.Net.Tracer = trace.NewCollector(g.N(), 0)
+	}
+
+	st, err := runKernel(*kernel, *threads, manual, sc.Model())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kernel      %s\n", st.Kernel)
+	fmt.Printf("nodes       %d (%d hosts), %d LPs\n", g.N(), len(hosts), st.LPs)
+	fmt.Printf("flows       %d generated, %d completed\n", len(flows), sc.Mon.Completed())
+	fmt.Printf("events      %d in %d rounds\n", st.Events, st.Rounds)
+	fmt.Printf("sim time    %v reached\n", st.EndTime)
+	fmt.Printf("wall time   %.3fs", float64(st.WallNS)/1e9)
+	if st.VirtualT > 0 {
+		fmt.Printf(" (virtual testbed time %.3fs)", float64(st.VirtualT)/1e9)
+	}
+	fmt.Println()
+	fmt.Printf("P/S/M       %.1f%% / %.1f%% / %.1f%%\n",
+		ratio(st.TotalP(), st), ratio(st.TotalS(), st), ratio(st.TotalM(), st))
+	if sc.Mon.Completed() > 0 {
+		fmt.Printf("mean FCT    %.3f ms\n", sc.Mon.MeanFCTms())
+		fmt.Printf("mean RTT    %.3f ms\n", sc.Mon.MeanRTTms())
+		fmt.Printf("goodput     %.1f Mbps per flow\n", sc.Mon.MeanGoodputMbps())
+	}
+	fmt.Printf("retransmits %d, drops %d\n", sc.Mon.TotalRetransmits(), sc.Net.Drops())
+	fmt.Printf("result hash %016x\n", sc.Mon.Fingerprint())
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := sc.Net.Tracer.WriteTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace       %d records -> %s\n", sc.Net.Tracer.Count(), *traceF)
+	}
+}
+
+func ratio(v int64, st *sim.RunStats) float64 {
+	tot := st.TotalP() + st.TotalS() + st.TotalM()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(tot)
+}
+
+func buildTopology(name string, k, rows, cols, n int, bw int64, delay sim.Time) (*topology.Graph, []sim.NodeID, []int32) {
+	switch strings.ToLower(name) {
+	case "fattree":
+		ft := topology.BuildFatTree(topology.FatTreeK(k, bw, delay))
+		return ft.Graph, ft.Hosts(), pdes.FatTreeManual(ft, k)
+	case "torus":
+		tr := topology.BuildTorus2D(rows, cols, bw, delay)
+		return tr.Graph, tr.Hosts(), pdes.TorusManual(tr, 4)
+	case "bcube":
+		b := topology.BuildBCube(n, 1, bw, delay)
+		return b.Graph, b.Hosts(), pdes.BCubeManual(b, len(b.BCube0))
+	case "spineleaf":
+		s := topology.BuildSpineLeaf(2, 4, n, bw, delay)
+		return s.Graph, s.Hosts(), pdes.SpineLeafManual(s, 4)
+	case "dumbbell":
+		d := topology.BuildDumbbell(n, bw, bw, delay, 5*delay)
+		return d.Graph, d.Hosts(), pdes.DumbbellManual(d)
+	case "geant":
+		w := topology.Geant()
+		return w.Graph, w.Hosts(), nil
+	case "chinanet":
+		w := topology.ChinaNet()
+		return w.Graph, w.Hosts(), nil
+	default:
+		fmt.Fprintf(os.Stderr, "unisim: unknown topology %q\n", name)
+		os.Exit(2)
+		return nil, nil, nil
+	}
+}
+
+func runKernel(name string, threads int, manual []int32, m *sim.Model) (*sim.RunStats, error) {
+	switch strings.ToLower(name) {
+	case "sequential", "seq":
+		return unison.NewSequential().Run(m)
+	case "unison":
+		return unison.NewUnison(unison.UnisonConfig{Threads: threads}).Run(m)
+	case "hybrid":
+		if manual == nil {
+			return nil, fmt.Errorf("hybrid kernel needs a host partition; topology %q has none", name)
+		}
+		return unison.NewHybrid(unison.HybridConfig{HostOf: manual, ThreadsPerHost: threads}).Run(m)
+	case "barrier":
+		if manual == nil {
+			return nil, fmt.Errorf("the barrier kernel needs a manual partition; this topology has no recipe (use unison)")
+		}
+		return unison.NewBarrier(manual).Run(m)
+	case "nullmsg":
+		if manual == nil {
+			return nil, fmt.Errorf("the null message kernel needs a manual partition; this topology has no recipe (use unison)")
+		}
+		return unison.NewNullMessage(manual).Run(m)
+	case "vseq":
+		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Sequential})
+	case "vbarrier":
+		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Barrier, LPOf: manual})
+	case "vnullmsg":
+		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.NullMessage, LPOf: manual})
+	case "vunison":
+		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Unison, Cores: threads})
+	default:
+		return nil, fmt.Errorf("unknown kernel %q", name)
+	}
+}

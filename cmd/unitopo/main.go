@@ -1,0 +1,121 @@
+// Command unitopo inspects topologies and the partitions Unison's
+// Algorithm 1 produces on them: LP counts, sizes, the lookahead, and how
+// a manual static partition compares.
+//
+// Usage:
+//
+//	unitopo -topo fattree -k 8
+//	unitopo -topo torus -rows 12 -cols 12 -sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"unison/internal/core"
+	"unison/internal/pdes"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "fattree", "topology: fattree | torus | bcube | spineleaf | dumbbell | geant | chinanet")
+		k      = flag.Int("k", 4, "fat-tree arity")
+		rows   = flag.Int("rows", 6, "torus rows")
+		cols   = flag.Int("cols", 6, "torus cols")
+		n      = flag.Int("n", 4, "bcube ports / dumbbell pairs / spine-leaf hosts per leaf")
+		bwGbps = flag.Float64("bw", 10, "link bandwidth in Gbit/s")
+		delay  = flag.Duration("delay", 3_000, "link delay (ns when unitless)")
+		sizes  = flag.Bool("sizes", false, "print the LP size distribution")
+	)
+	flag.Parse()
+
+	g, manual := build(*topo, *k, *rows, *cols, *n, int64(*bwGbps*1e9), sim.Time(delay.Nanoseconds()))
+	hosts, switches := 0, 0
+	for _, node := range g.Nodes {
+		if node.Kind == topology.Host {
+			hosts++
+		} else {
+			switches++
+		}
+	}
+	fmt.Printf("topology     %s: %d nodes (%d hosts, %d switches), %d links\n",
+		*topo, g.N(), hosts, switches, len(g.Links))
+	fmt.Printf("bisection    %.1f Gbps\n", float64(g.BisectionBandwidth())/1e9)
+
+	p := core.FineGrained(g.N(), g.LinkInfos())
+	fmt.Printf("\nUnison fine-grained partition (Algorithm 1):\n")
+	fmt.Printf("  LPs        %d\n", p.Count)
+	fmt.Printf("  bound      %v (median link delay)\n", p.Bound)
+	fmt.Printf("  lookahead  %v\n", p.Lookahead)
+	cut := 0
+	for _, l := range g.LinkInfos() {
+		if l.Up && p.LPOf[l.A] != p.LPOf[l.B] {
+			cut++
+		}
+	}
+	fmt.Printf("  cut links  %d of %d\n", cut, len(g.Links))
+	if *sizes {
+		printSizes(p.Sizes())
+	}
+
+	if manual != nil {
+		mp := core.Manual(manual, g.LinkInfos())
+		fmt.Printf("\nstatic manual partition (baseline recipe):\n")
+		fmt.Printf("  LPs        %d\n", mp.Count)
+		fmt.Printf("  lookahead  %v\n", mp.Lookahead)
+		if *sizes {
+			printSizes(mp.Sizes())
+		}
+	}
+}
+
+func printSizes(sz []int) {
+	sort.Ints(sz)
+	hist := map[int]int{}
+	for _, s := range sz {
+		hist[s]++
+	}
+	var keys []int
+	for s := range hist {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	fmt.Printf("  sizes      ")
+	for _, s := range keys {
+		fmt.Printf("%d nodes ×%d  ", s, hist[s])
+	}
+	fmt.Println()
+}
+
+func build(name string, k, rows, cols, n int, bw int64, delay sim.Time) (*topology.Graph, []int32) {
+	switch strings.ToLower(name) {
+	case "fattree":
+		ft := topology.BuildFatTree(topology.FatTreeK(k, bw, delay))
+		return ft.Graph, pdes.FatTreeManual(ft, k)
+	case "torus":
+		tr := topology.BuildTorus2D(rows, cols, bw, delay)
+		return tr.Graph, pdes.TorusManual(tr, 4)
+	case "bcube":
+		b := topology.BuildBCube(n, 1, bw, delay)
+		return b.Graph, pdes.BCubeManual(b, len(b.BCube0))
+	case "spineleaf":
+		s := topology.BuildSpineLeaf(2, 4, n, bw, delay)
+		return s.Graph, pdes.SpineLeafManual(s, 4)
+	case "dumbbell":
+		d := topology.BuildDumbbell(n, bw, bw, delay, 5*delay)
+		return d.Graph, pdes.DumbbellManual(d)
+	case "geant":
+		return topology.Geant().Graph, nil
+	case "chinanet":
+		return topology.ChinaNet().Graph, nil
+	default:
+		fmt.Fprintf(os.Stderr, "unitopo: unknown topology %q\n", name)
+		os.Exit(2)
+		return nil, nil
+	}
+}

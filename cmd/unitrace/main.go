@@ -1,0 +1,102 @@
+// Command unitrace inspects packet traces written by unisim -trace:
+// it prints per-kind and per-flow summaries, or the full ascii dump.
+//
+//	unisim -topo fattree -k 4 -trace /tmp/run.utr
+//	unitrace /tmp/run.utr
+//	unitrace -dump /tmp/run.utr | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"unison/internal/packet"
+	"unison/internal/trace"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print every record (ascii tracing)")
+	top := flag.Int("top", 5, "number of flows in the per-flow summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: unitrace [-dump] [-top N] <file.utr>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		if err := trace.Dump(os.Stdout, recs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(recs) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	fmt.Printf("%d records over %v .. %v\n", len(recs), recs[0].Time, recs[len(recs)-1].Time)
+	kinds := map[trace.Kind]int{}
+	type flowAgg struct {
+		delivers int
+		bytes    int64
+		drops    int
+	}
+	flows := map[packet.FlowID]*flowAgg{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+		fa := flows[r.Flow]
+		if fa == nil {
+			fa = &flowAgg{}
+			flows[r.Flow] = fa
+		}
+		switch r.Kind {
+		case trace.Deliver:
+			fa.delivers++
+			fa.bytes += int64(r.Size)
+		case trace.Drop:
+			fa.drops++
+		}
+	}
+	fmt.Println("\nby kind:")
+	for k := trace.Kind(0); k <= trace.Deliver; k++ {
+		if kinds[k] > 0 {
+			fmt.Printf("  %-5s %d\n", k, kinds[k])
+		}
+	}
+	type fr struct {
+		id packet.FlowID
+		a  *flowAgg
+	}
+	var ranked []fr
+	for id, a := range flows {
+		ranked = append(ranked, fr{id, a})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].a.bytes != ranked[j].a.bytes {
+			return ranked[i].a.bytes > ranked[j].a.bytes
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	fmt.Printf("\ntop %d flows by delivered bytes:\n", *top)
+	for i, r := range ranked {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  flow %-6d %8d B delivered in %d packets, %d drops\n",
+			r.id, r.a.bytes, r.a.delivers, r.a.drops)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "unitrace: %v\n", err)
+	os.Exit(1)
+}

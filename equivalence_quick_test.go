@@ -1,0 +1,115 @@
+package unison_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unison"
+	"unison/internal/app"
+	"unison/internal/core"
+	"unison/internal/des"
+	"unison/internal/netdev"
+	"unison/internal/rng"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+)
+
+// randomScenario builds a random connected topology with random link
+// parameters and random TCP flows — all derived from one seed, so every
+// kernel can reconstruct the identical instance.
+func randomScenario(seed uint64) *app.Scenario {
+	r := rng.New(seed, 0xfade)
+	nHosts := 4 + r.Intn(8)
+	nSwitches := 2 + r.Intn(6)
+	g := topology.New()
+	var switches, hosts []sim.NodeID
+	for i := 0; i < nSwitches; i++ {
+		switches = append(switches, g.AddNode(topology.Switch, "s"))
+	}
+	randDelay := func() sim.Time { return sim.Time(r.Int63n(20_000) + 500) }
+	randBW := func() int64 { return int64(r.Int63n(9)+1) * 1_000_000_000 }
+	// Switch ring for connectivity plus random chords.
+	for i := 0; i < nSwitches; i++ {
+		g.AddLink(switches[i], switches[(i+1)%nSwitches], randBW(), randDelay())
+	}
+	for e := 0; e < r.Intn(6); e++ {
+		a, b := r.Intn(nSwitches), r.Intn(nSwitches)
+		if a != b && g.LinkBetween(switches[a], switches[b]) == topology.NoLink {
+			g.AddLink(switches[a], switches[b], randBW(), randDelay())
+		}
+	}
+	for i := 0; i < nHosts; i++ {
+		h := g.AddNode(topology.Host, "h")
+		hosts = append(hosts, h)
+		g.AddLink(h, switches[r.Intn(nSwitches)], randBW(), randDelay())
+	}
+	stop := sim.Time(3 * sim.Millisecond)
+	var flows []tcp.FlowSpec
+	nFlows := 3 + r.Intn(20)
+	for i := 0; i < nFlows; i++ {
+		src := hosts[r.Intn(nHosts)]
+		dst := hosts[r.Intn(nHosts)]
+		if dst == src {
+			dst = hosts[(int(src)+1)%nHosts]
+			if dst == src {
+				continue
+			}
+		}
+		flows = append(flows, tcp.FlowSpec{
+			ID:    unison.FlowID(len(flows)),
+			Src:   src,
+			Dst:   dst,
+			Bytes: r.Int63n(200_000) + 1_000,
+			Start: sim.Time(r.Int63n(int64(stop / 2))),
+		})
+	}
+	if len(flows) == 0 {
+		flows = append(flows, tcp.FlowSpec{ID: 0, Src: hosts[0], Dst: hosts[1], Bytes: 10_000})
+	}
+	queue := netdev.DropTailConfig(8 + r.Intn(100))
+	if r.Intn(2) == 0 {
+		queue = netdev.REDConfig(20 + r.Intn(100))
+	}
+	return app.New(g, routing.NewECMP(g, routing.Hops, seed), app.Config{
+		Seed:   seed,
+		NetCfg: netdev.Config{Queue: queue, ChecksumWork: false, Seed: seed},
+		TCPCfg: tcp.DefaultConfig(),
+		StopAt: stop,
+		Flows:  flows,
+	})
+}
+
+// TestEquivalenceQuick fuzzes the bit-identical cross-kernel property on
+// random topologies, workloads and queue disciplines.
+func TestEquivalenceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		ref := randomScenario(seed)
+		refStats, err := des.New().Run(ref.Model())
+		if err != nil {
+			t.Logf("seed %d: sequential: %v", seed, err)
+			return false
+		}
+		for _, threads := range []int{2, 5} {
+			sc := randomScenario(seed)
+			st, err := core.New(core.Config{Threads: threads}).Run(sc.Model())
+			if err != nil {
+				t.Logf("seed %d threads %d: %v", seed, threads, err)
+				return false
+			}
+			if sc.Mon.Fingerprint() != ref.Mon.Fingerprint() {
+				t.Logf("seed %d threads %d: fingerprints diverge", seed, threads)
+				return false
+			}
+			if st.Events != refStats.Events {
+				t.Logf("seed %d threads %d: events %d vs %d", seed, threads, st.Events, refStats.Events)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package unison_test
+
+import (
+	"fmt"
+
+	"unison"
+)
+
+// Example demonstrates the user-transparency property: one model, two
+// kernels, identical results.
+func Example() {
+	const seed = 2026
+	build := func() *unison.Scenario {
+		ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+		flows := unison.GenerateTraffic(unison.TrafficConfig{
+			Seed:         seed,
+			Hosts:        ft.Hosts(),
+			Sizes:        unison.GRPCCDF(),
+			Load:         0.2,
+			BisectionBps: ft.BisectionBandwidth(),
+			Start:        0,
+			End:          500 * unison.Microsecond,
+		})
+		return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+			Seed:   seed,
+			NetCfg: unison.DefaultNetConfig(seed),
+			TCPCfg: unison.DefaultTCP(),
+			StopAt: unison.Time(unison.Millisecond),
+			Flows:  flows,
+		})
+	}
+
+	seq := build()
+	if _, err := unison.NewSequential().Run(seq.Model()); err != nil {
+		panic(err)
+	}
+	par := build()
+	if _, err := unison.NewUnison(unison.UnisonConfig{Threads: 4}).Run(par.Model()); err != nil {
+		panic(err)
+	}
+	fmt.Println("results identical:", seq.Mon.Fingerprint() == par.Mon.Fingerprint())
+	// Output: results identical: true
+}
+
+// ExampleFineGrainedPartition shows Algorithm 1 on a k=4 fat-tree: with
+// uniform link delays the median bound cuts every link, so every node
+// becomes its own logical process.
+func ExampleFineGrainedPartition() {
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	p := unison.FineGrainedPartition(ft.Graph)
+	fmt.Printf("nodes=%d LPs=%d lookahead=%v\n", ft.N(), p.Count, p.Lookahead)
+	// Output: nodes=36 LPs=36 lookahead=3µs
+}
+
+// ExampleVirtualRun measures a 16-core speedup on any machine through the
+// virtual testbed.
+func ExampleVirtualRun() {
+	const seed = 7
+	build := func() *unison.Scenario {
+		ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+		flows := unison.GenerateTraffic(unison.TrafficConfig{
+			Seed: seed, Hosts: ft.Hosts(), Sizes: unison.GRPCCDF(), Load: 0.3,
+			BisectionBps: ft.BisectionBandwidth(), Start: 0, End: unison.Time(unison.Millisecond),
+		})
+		return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+			Seed: seed, NetCfg: unison.DefaultNetConfig(seed), TCPCfg: unison.DefaultTCP(),
+			StopAt: 2 * unison.Millisecond, Flows: flows,
+		})
+	}
+	seq, err := unison.VirtualRun(build().Model(), unison.VirtualConfig{Algo: unison.VSequential})
+	if err != nil {
+		panic(err)
+	}
+	par, err := unison.VirtualRun(build().Model(), unison.VirtualConfig{Algo: unison.VUnison, Cores: 16})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("faster in virtual time:", par.VirtualT < seq.VirtualT)
+	// Output: faster in virtual time: true
+}

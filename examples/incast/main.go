@@ -1,0 +1,80 @@
+// Incast: the workload that breaks static-partition PDES. Every sender
+// fires at one victim host; the victim's logical process becomes the
+// bottleneck, and baseline kernels spend most of their time waiting at
+// barriers while Unison's scheduler keeps all cores busy.
+//
+// The example sweeps the incast ratio, runs the virtual testbed for each
+// kernel (so the 8-core comparison works on any machine), and prints the
+// paper's P/S decomposition alongside application-level incast symptoms.
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unison"
+	"unison/internal/pdes"
+	"unison/internal/vtime"
+)
+
+const seed = 7
+
+func buildScenario(incast float64) (*unison.Scenario, []int32) {
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	stop := 2 * unison.Millisecond
+	flows := unison.GenerateTraffic(unison.TrafficConfig{
+		Seed:         seed,
+		Hosts:        ft.Hosts(),
+		Sizes:        unison.GRPCCDF(),
+		Load:         0.4,
+		BisectionBps: ft.BisectionBandwidth(),
+		Start:        0,
+		End:          stop / 2,
+		IncastRatio:  incast,
+	})
+	sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		Seed:   seed,
+		NetCfg: unison.DefaultNetConfig(seed),
+		TCPCfg: unison.DefaultTCP(),
+		StopAt: stop,
+		Flows:  flows,
+	})
+	return sc, pdes.FatTreeManual(ft, 4)
+}
+
+func main() {
+	fmt.Println("incast ratio sweep on a k=4 fat-tree (virtual testbed, 8 cores)")
+	fmt.Printf("%-8s %-12s %-12s %-10s %-10s %-12s %-10s\n",
+		"incast", "T_barrier", "T_unison", "S_B/T", "S_U/T", "meanFCT(ms)", "drops")
+
+	for _, ratio := range []float64{0, 0.5, 1} {
+		// Barrier baseline with the Figure-3 manual partition.
+		scB, manual := buildScenario(ratio)
+		bar, err := unison.VirtualRun(scB.Model(), unison.VirtualConfig{
+			Algo: vtime.Barrier, LPOf: manual,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Unison: automatic partition, 8 virtual cores.
+		scU, _ := buildScenario(ratio)
+		uni, err := unison.VirtualRun(scU.Model(), unison.VirtualConfig{
+			Algo: vtime.Unison, Cores: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %-12s %-12s %-10.3f %-10.3f %-12.3f %-10d\n",
+			ratio,
+			fmt.Sprintf("%.1fms", float64(bar.VirtualT)/1e6),
+			fmt.Sprintf("%.1fms", float64(uni.VirtualT)/1e6),
+			bar.SRatio(), uni.SRatio(),
+			scU.Mon.MeanFCTms(), scU.Net.Drops())
+	}
+
+	fmt.Println("\nas incast grows: the victim's queue drops packets, FCTs stretch,")
+	fmt.Println("the barrier baseline stalls on its slowest rank (S_B/T -> ~0.7),")
+	fmt.Println("and Unison's load-adaptive scheduling keeps S_U/T far lower.")
+}

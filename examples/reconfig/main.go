@@ -1,0 +1,82 @@
+// Reconfigurable DCN: a fat-tree whose core is rewired on a fixed
+// interval, in the style of optical-circuit-switched data centers
+// (TDTCP, §6.1/Fig 10d). Every rewiring is a global event handled by
+// Unison's public LP: the kernel recomputes the lookahead and carries on
+// — no reconfiguration of the simulator itself is ever needed.
+//
+//	go run ./examples/reconfig
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unison"
+)
+
+const seed = 23
+
+func run(interval unison.Time) (events uint64, wallMS float64, completed, flows int) {
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	stop := 3 * unison.Millisecond
+
+	fl := unison.GenerateTraffic(unison.TrafficConfig{
+		Seed:         seed,
+		Hosts:        ft.Hosts(),
+		Sizes:        unison.GRPCCDF(),
+		Load:         0.3,
+		BisectionBps: ft.BisectionBandwidth(),
+		Start:        0,
+		End:          stop * 3 / 4,
+	})
+	router := unison.NewECMP(ft.Graph, unison.Hops, seed)
+	sc := unison.NewScenario(ft.Graph, router, unison.ScenarioConfig{
+		Seed:   seed,
+		NetCfg: unison.DefaultNetConfig(seed),
+		TCPCfg: unison.DefaultTCP(),
+		StopAt: stop,
+		Flows:  fl,
+	})
+
+	if interval > 0 {
+		// Alternate half of the agg-core uplinks down and up — the
+		// "replace the core with an optical switch and back" swap.
+		var coreLinks []unison.LinkID
+		for _, cl := range ft.CoreLinks {
+			coreLinks = append(coreLinks, cl...)
+		}
+		down := false
+		for at := interval; at < stop; at += interval {
+			down = !down
+			d := down
+			sc.ScheduleTopoChange(at, func() {
+				for i, l := range coreLinks {
+					if i%2 == 0 {
+						ft.Graph.SetLinkUp(l, !d)
+					}
+				}
+			})
+		}
+	}
+
+	st, err := unison.NewUnison(unison.UnisonConfig{Threads: 4}).Run(sc.Model())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Events, float64(st.WallNS) / 1e6, sc.Mon.Completed(), len(fl)
+}
+
+func main() {
+	fmt.Println("reconfigurable DCN under Unison (k=4 fat-tree, 4 threads)")
+	fmt.Printf("%-14s %-10s %-10s %-12s\n", "interval", "events", "wall(ms)", "flows-done")
+	for _, iv := range []unison.Time{0, 1 * unison.Millisecond, 500 * unison.Microsecond, 200 * unison.Microsecond} {
+		events, wall, done, total := run(iv)
+		label := "static"
+		if iv > 0 {
+			label = iv.String()
+		}
+		fmt.Printf("%-14s %-10d %-10.1f %d/%d\n", label, events, wall, done, total)
+	}
+	fmt.Println("\nhigher rewiring frequency adds events (route churn, retransmits)")
+	fmt.Println("but the kernel's overhead for dynamic topologies stays negligible.")
+}

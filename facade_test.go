@@ -1,0 +1,139 @@
+package unison_test
+
+import (
+	"testing"
+
+	"unison"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the way a
+// downstream user would: build a topology, generate traffic, attach a
+// UDP background stream, and run under several kernels.
+func TestFacadeEndToEnd(t *testing.T) {
+	const seed = 99
+	build := func() *unison.Scenario {
+		ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+		stop := unison.Time(2 * unison.Millisecond)
+		flows := unison.GenerateTraffic(unison.TrafficConfig{
+			Seed:         seed,
+			Hosts:        ft.Hosts(),
+			Sizes:        unison.GRPCCDF(),
+			Load:         0.3,
+			BisectionBps: ft.BisectionBandwidth(),
+			Start:        0,
+			End:          stop / 2,
+		})
+		sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+			Seed:           seed,
+			NetCfg:         unison.DefaultNetConfig(seed),
+			TCPCfg:         unison.DefaultTCP(),
+			StopAt:         stop,
+			Flows:          flows,
+			ExtraFlowSlots: 1,
+		})
+		// A UDP CBR background stream through the public facade.
+		sc.Stack.AttachOnOff(sc.Setup, unison.OnOffSpec{
+			Flow: unison.FlowID(len(flows)), Src: ft.Hosts()[0], Dst: ft.Hosts()[8],
+			RateBps: 50 * unison.Mbps, PktBytes: 1000,
+			OnTime: unison.Time(unison.Second), Start: 0, Stop: stop / 2,
+		})
+		return sc
+	}
+
+	seqSc := build()
+	seqStats, err := unison.NewSequential().Run(seqSc.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqSc.Mon.Fingerprint()
+	if seqSc.Mon.Completed() == 0 {
+		t.Fatal("no flows completed")
+	}
+
+	kernels := []unison.Kernel{
+		unison.NewUnison(unison.UnisonConfig{Threads: 4}),
+	}
+	for _, k := range kernels {
+		sc := build()
+		st, err := k.Run(sc.Model())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if sc.Mon.Fingerprint() != want {
+			t.Errorf("%s: results diverge from sequential", k.Name())
+		}
+		if st.Events != seqStats.Events {
+			t.Errorf("%s: events %d != %d", k.Name(), st.Events, seqStats.Events)
+		}
+	}
+
+	// Virtual testbed through the facade.
+	vsc := build()
+	vst, err := unison.VirtualRun(vsc.Model(), unison.VirtualConfig{Algo: unison.VUnison, Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vsc.Mon.Fingerprint() != want {
+		t.Error("virtual testbed diverges from sequential")
+	}
+	if vst.VirtualT <= 0 {
+		t.Error("no virtual time accounted")
+	}
+}
+
+// TestFacadePartitionInspection exercises the partition helpers.
+func TestFacadePartitionInspection(t *testing.T) {
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	p := unison.FineGrainedPartition(ft.Graph)
+	if p.Count != ft.N() {
+		t.Fatalf("LPs=%d, want one per node under uniform delays", p.Count)
+	}
+	if p.Lookahead != 3*unison.Microsecond {
+		t.Fatalf("lookahead=%v", p.Lookahead)
+	}
+}
+
+// TestFacadeHalfDuplex exercises the stateful-link API end to end.
+func TestFacadeHalfDuplex(t *testing.T) {
+	g := &unison.Graph{}
+	a := g.AddNode(unison.Host, "a")
+	b := g.AddNode(unison.Host, "b")
+	g.AddHalfDuplexLink(a, b, unison.Gbps, unison.Microsecond)
+	p := unison.FineGrainedPartition(g)
+	if p.Count != 1 {
+		t.Fatalf("stateful-only topology should collapse to 1 LP, got %d", p.Count)
+	}
+}
+
+// TestFacadeHybridKernel runs the hybrid kernel through the facade.
+func TestFacadeHybridKernel(t *testing.T) {
+	const seed = 17
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	stop := unison.Time(unison.Millisecond)
+	flows := unison.GenerateTraffic(unison.TrafficConfig{
+		Seed: seed, Hosts: ft.Hosts(), Sizes: unison.GRPCCDF(), Load: 0.3,
+		BisectionBps: ft.BisectionBandwidth(), Start: 0, End: stop / 2,
+	})
+	mk := func() *unison.Scenario {
+		f := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+		return unison.NewScenario(f.Graph, unison.NewECMP(f.Graph, unison.Hops, seed), unison.ScenarioConfig{
+			Seed: seed, NetCfg: unison.DefaultNetConfig(seed), TCPCfg: unison.DefaultTCP(),
+			StopAt: stop, Flows: flows,
+		})
+	}
+	ref := mk()
+	if _, err := unison.NewSequential().Run(ref.Model()); err != nil {
+		t.Fatal(err)
+	}
+	hostOf := make([]int32, ft.N())
+	for i := range hostOf {
+		hostOf[i] = int32(i % 2)
+	}
+	sc := mk()
+	if _, err := unison.NewHybrid(unison.HybridConfig{HostOf: hostOf, ThreadsPerHost: 2}).Run(sc.Model()); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mon.Fingerprint() != ref.Mon.Fingerprint() {
+		t.Fatal("hybrid kernel diverges from sequential through the facade")
+	}
+}

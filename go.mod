@@ -1,0 +1,3 @@
+module unison
+
+go 1.22

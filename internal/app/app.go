@@ -1,0 +1,125 @@
+// Package app assembles complete simulation scenarios: topology + routing
+// + data plane + transport + workload + model. It is the layer example
+// programs and the experiment harness build on.
+//
+// The central user-transparency property: a Scenario is constructed once,
+// with zero partitioning or parallelism configuration, and the resulting
+// sim.Model runs unmodified under any kernel.
+package app
+
+import (
+	"fmt"
+
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+)
+
+// Scenario binds the pieces of one simulation.
+type Scenario struct {
+	G      *topology.Graph
+	Router routing.Router
+	Net    *netdev.Network
+	Stack  *tcp.Stack
+	Mon    *flowmon.Monitor
+	Setup  *sim.Setup
+	Flows  []tcp.FlowSpec
+	StopAt sim.Time
+
+	finalized bool
+}
+
+// Config selects scenario-level options.
+type Config struct {
+	Seed   uint64
+	NetCfg netdev.Config
+	TCPCfg tcp.Config
+	StopAt sim.Time
+	Flows  []tcp.FlowSpec
+	// ExtraFlowSlots reserves additional monitor records beyond Flows
+	// (for flows injected by custom setup events).
+	ExtraFlowSlots int
+}
+
+// New assembles a scenario over g with the given router.
+func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("app: %v", err))
+	}
+	if cfg.StopAt <= 0 {
+		panic("app: StopAt must be positive")
+	}
+	maxID := -1
+	for _, f := range cfg.Flows {
+		if int(f.ID) > maxID {
+			maxID = int(f.ID)
+		}
+	}
+	mon := flowmon.NewMonitor(maxID + 1 + cfg.ExtraFlowSlots)
+	net := netdev.New(g, router, cfg.NetCfg)
+	stack := tcp.NewStack(net, cfg.TCPCfg, mon)
+	s := &Scenario{
+		G:      g,
+		Router: router,
+		Net:    net,
+		Stack:  stack,
+		Mon:    mon,
+		Setup:  sim.NewSetup(),
+		Flows:  cfg.Flows,
+		StopAt: cfg.StopAt,
+	}
+	stack.Attach(s.Setup, cfg.Flows)
+	return s
+}
+
+// Model finalizes the scenario (adding the global stop event) and returns
+// the kernel-agnostic model. Call at most once.
+func (s *Scenario) Model() *sim.Model {
+	if !s.finalized {
+		s.finalized = true
+		stop := s.StopAt
+		s.Setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	}
+	m := &sim.Model{
+		Nodes:  s.G.N(),
+		Links:  s.G.LinkInfos,
+		Init:   s.Setup.Events(),
+		StopAt: s.StopAt,
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("app: %v", err))
+	}
+	return m
+}
+
+// ScheduleTopoChange registers a global event at t that applies mutate to
+// the topology and refreshes routing — the reconfigurable-DCN primitive.
+// Kernels observe the topology version change and recompute lookahead.
+func (s *Scenario) ScheduleTopoChange(t sim.Time, mutate func()) {
+	s.Setup.Global(t, func(ctx *sim.Ctx) {
+		mutate()
+		s.Router.Recompute()
+	})
+}
+
+// EnableProgress schedules a self-rescheduling global progress event every
+// interval — the paper's third global-event use case ("printing the
+// simulation progress", §4.2). fn runs on the public LP with all workers
+// quiescent.
+func (s *Scenario) EnableProgress(interval sim.Time, fn func(now sim.Time)) {
+	if interval <= 0 {
+		panic("app: progress interval must be positive")
+	}
+	stop := s.StopAt
+	var tick sim.Proc
+	tick = func(ctx *sim.Ctx) {
+		fn(ctx.Now())
+		if next := ctx.Now() + interval; next < stop {
+			ctx.ScheduleGlobal(next, tick)
+		}
+	}
+	s.Setup.Global(interval, tick)
+}

@@ -1,0 +1,131 @@
+package app
+
+import (
+	"testing"
+
+	"unison/internal/core"
+	"unison/internal/des"
+	"unison/internal/netdev"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+)
+
+func buildCfg(flows []tcp.FlowSpec, stop sim.Time) Config {
+	return Config{
+		Seed:   1,
+		NetCfg: netdev.DefaultConfig(1),
+		TCPCfg: tcp.DefaultConfig(),
+		StopAt: stop,
+		Flows:  flows,
+	}
+}
+
+func TestScenarioRunsEndToEnd(t *testing.T) {
+	d := topology.BuildDumbbell(2, 1e9, 1e9, 2000, 10_000)
+	flows := []tcp.FlowSpec{
+		{ID: 0, Src: d.Senders[0], Dst: d.Receivers[0], Bytes: 50_000},
+		{ID: 1, Src: d.Senders[1], Dst: d.Receivers[1], Bytes: 50_000, Start: 1000},
+	}
+	sc := New(d.Graph, routing.NewECMP(d.Graph, routing.Hops, 1), buildCfg(flows, 50*sim.Millisecond))
+	st, err := des.New().Run(sc.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mon.Completed() != 2 {
+		t.Fatalf("completed=%d", sc.Mon.Completed())
+	}
+	if st.EndTime != 50*sim.Millisecond {
+		t.Fatalf("end=%v (stop event should define it)", st.EndTime)
+	}
+}
+
+func TestModelIncludesStopEvent(t *testing.T) {
+	d := topology.BuildDumbbell(1, 1e9, 1e9, 2000, 10_000)
+	sc := New(d.Graph, routing.NewECMP(d.Graph, routing.Hops, 1), buildCfg(nil, sim.Millisecond))
+	m := sc.Model()
+	found := false
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode && ev.Time == sim.Millisecond {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no stop global event in Init")
+	}
+}
+
+func TestScheduleTopoChangeRecomputesRoutes(t *testing.T) {
+	d := topology.BuildDumbbell(1, 1e9, 1e9, 2000, 10_000)
+	router := routing.NewECMP(d.Graph, routing.Hops, 1)
+	flows := []tcp.FlowSpec{{ID: 0, Src: d.Senders[0], Dst: d.Receivers[0], Bytes: 50_000}}
+	sc := New(d.Graph, router, buildCfg(flows, 100*sim.Millisecond))
+	fired := false
+	sc.ScheduleTopoChange(5*sim.Millisecond, func() {
+		fired = true
+		// A no-op mutation; the hook must still run and recompute.
+	})
+	if _, err := des.New().Run(sc.Model()); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("topology-change hook did not fire")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	d := topology.BuildDumbbell(1, 1e9, 1e9, 2000, 10_000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero StopAt accepted")
+		}
+	}()
+	New(d.Graph, routing.NewECMP(d.Graph, routing.Hops, 1), Config{})
+}
+
+func TestExtraFlowSlots(t *testing.T) {
+	d := topology.BuildDumbbell(1, 1e9, 1e9, 2000, 10_000)
+	cfg := buildCfg(nil, sim.Millisecond)
+	cfg.ExtraFlowSlots = 3
+	sc := New(d.Graph, routing.NewECMP(d.Graph, routing.Hops, 1), cfg)
+	if sc.Mon.Flows() != 3 {
+		t.Fatalf("monitor flows=%d", sc.Mon.Flows())
+	}
+}
+
+func TestEnableProgress(t *testing.T) {
+	d := topology.BuildDumbbell(1, 1e9, 1e9, 2000, 10_000)
+	sc := New(d.Graph, routing.NewECMP(d.Graph, routing.Hops, 1), buildCfg(nil, 10*sim.Millisecond))
+	var ticks []sim.Time
+	sc.EnableProgress(3*sim.Millisecond, func(now sim.Time) { ticks = append(ticks, now) })
+	if _, err := des.New().Run(sc.Model()); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks=%v, want 3/6/9ms", ticks)
+	}
+	for i, want := range []sim.Time{3 * sim.Millisecond, 6 * sim.Millisecond, 9 * sim.Millisecond} {
+		if ticks[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want)
+		}
+	}
+}
+
+func TestEnableProgressUnderUnison(t *testing.T) {
+	// Progress events run on the public LP with workers quiescent.
+	d := topology.BuildDumbbell(2, 1e9, 1e9, 2000, 10_000)
+	flows := []tcp.FlowSpec{{ID: 0, Src: d.Senders[0], Dst: d.Receivers[0], Bytes: 100_000}}
+	sc := New(d.Graph, routing.NewECMP(d.Graph, routing.Hops, 1), buildCfg(flows, 10*sim.Millisecond))
+	ticks := 0
+	sc.EnableProgress(2*sim.Millisecond, func(sim.Time) { ticks++ })
+	if _, err := core.New(core.Config{Threads: 4}).Run(sc.Model()); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 4 {
+		t.Fatalf("ticks=%d, want 4", ticks)
+	}
+	if !sc.Mon.Sender(0).Done {
+		t.Fatal("flow did not complete alongside progress events")
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unison/internal/eventq"
+	"unison/internal/metrics"
+	"unison/internal/sim"
+	"unison/internal/syncx"
+)
+
+// HybridConfig parameterizes the scalable hybrid kernel of §5.2: the
+// topology is first divided statically across simulation hosts (the
+// outer, barrier-style partition), and each host runs Unison's
+// fine-grained partition and load-adaptive scheduling over its own nodes.
+// Hosts synchronize each round through an all-reduce of their minimum
+// next-event times. In this reproduction the hosts live in one process
+// and the all-reduce is over shared memory; the synchronization algorithm
+// is unchanged (DESIGN.md §1).
+type HybridConfig struct {
+	// HostOf assigns every node to a simulation host (0..Hosts-1).
+	HostOf []int32
+	// ThreadsPerHost is each host's Unison worker count.
+	ThreadsPerHost int
+	// Metric and Period configure each host's scheduler.
+	Metric Metric
+	Period int
+	// MaxRounds aborts runaway simulations when positive.
+	MaxRounds uint64
+}
+
+// HybridKernel is the multi-host Unison kernel.
+type HybridKernel struct {
+	cfg HybridConfig
+}
+
+// NewHybrid returns a hybrid kernel with cfg.
+func NewHybrid(cfg HybridConfig) *HybridKernel {
+	if cfg.ThreadsPerHost <= 0 {
+		cfg.ThreadsPerHost = 1
+	}
+	return &HybridKernel{cfg: cfg}
+}
+
+// Name implements sim.Kernel.
+func (k *HybridKernel) Name() string {
+	return fmt.Sprintf("hybrid(t=%d/host)", k.cfg.ThreadsPerHost)
+}
+
+// HybridPartition computes the two-level partition: Algorithm 1 applied
+// within each host's subgraph (links crossing hosts are always cut).
+// It returns the node→LP map, the LP→host map, and the global lookahead.
+func HybridPartition(nodes int, hostOf []int32, links []sim.LinkInfo) (lpOf []int32, hostOfLP []int32, lookahead sim.Time, err error) {
+	if len(hostOf) != nodes {
+		return nil, nil, 0, errors.New("core: HostOf must cover every node")
+	}
+	bound := medianDelay(links)
+	adj := buildAdj(nodes, links, func(l *sim.LinkInfo) bool {
+		return l.Up && hostOf[l.A] == hostOf[l.B] && (l.Delay < bound || !l.Stateless)
+	})
+	lpOf = make([]int32, nodes)
+	for i := range lpOf {
+		lpOf[i] = -1
+	}
+	var count int32
+	queue := make([]int32, 0, nodes)
+	for v := 0; v < nodes; v++ {
+		if lpOf[v] >= 0 {
+			continue
+		}
+		id := count
+		count++
+		hostOfLP = append(hostOfLP, hostOf[v])
+		queue = append(queue[:0], int32(v))
+		lpOf[v] = id
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if lpOf[w] < 0 {
+					lpOf[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return lpOf, hostOfLP, CutLookahead(lpOf, links), nil
+}
+
+// Run implements sim.Kernel.
+func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	start := time.Now()
+	links := m.Links()
+	lpOf, hostOfLP, lookahead, err := HybridPartition(m.Nodes, k.cfg.HostOf, links)
+	if err != nil {
+		return nil, err
+	}
+	hosts := 0
+	for _, h := range k.cfg.HostOf {
+		if int(h)+1 > hosts {
+			hosts = int(h) + 1
+		}
+	}
+	part := &Partition{LPOf: lpOf, Count: len(hostOfLP), Lookahead: lookahead}
+	tph := k.cfg.ThreadsPerHost
+	workers := hosts * tph
+
+	r := &hrt{
+		k:            k,
+		m:            m,
+		part:         part,
+		hostOfLP:     hostOfLP,
+		hosts:        hosts,
+		tph:          tph,
+		lps:          make([]lpState, part.Count),
+		pub:          eventq.New(16),
+		seqs:         sim.NewSeqTable(m.Nodes),
+		lookahead:    lookahead,
+		perWorkerMin: make([]sim.Time, workers),
+		workers:      make([]workerState, workers),
+		cursor1:      make([]atomic.Int64, hosts),
+		cursor3:      make([]atomic.Int64, hosts),
+		hostLPs:      make([][]int32, hosts),
+	}
+	for i := range r.lps {
+		r.lps[i].fel = eventq.New(64)
+		r.lps[i].mail = make([][]sim.Event, workers)
+		r.hostLPs[hostOfLP[i]] = append(r.hostLPs[hostOfLP[i]], int32(i))
+	}
+	r.order = make([][]int32, hosts)
+	for h := 0; h < hosts; h++ {
+		r.order[h] = append([]int32(nil), r.hostLPs[h]...)
+	}
+	r.period = uint64(k.cfg.Period)
+	if r.period == 0 {
+		r.period = 1
+		if part.Count > 1 {
+			r.period = uint64(bits.Len(uint(part.Count - 1)))
+		}
+	}
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			r.pub.Push(ev)
+		} else {
+			r.lps[lpOf[ev.Node]].fel.Push(ev)
+		}
+	}
+	allMin := sim.MaxTime
+	for i := range r.lps {
+		if t := r.lps[i].fel.NextTime(); t < allMin {
+			allMin = t
+		}
+	}
+	r.lbts = eq2(allMin, r.pub.NextTime(), r.lookahead)
+	if r.lbts == sim.MaxTime && r.pub.Empty() {
+		return r.stats(start), nil
+	}
+
+	bar := syncx.NewBarrier(workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.workerLoop(w, bar)
+		}(w)
+	}
+	r.workerLoop(0, bar)
+	wg.Wait()
+	return r.stats(start), r.err
+}
+
+// hrt is the hybrid runtime: Unison's rt with host-scoped scheduling.
+type hrt struct {
+	k        *HybridKernel
+	m        *sim.Model
+	part     *Partition
+	hostOfLP []int32
+	hosts    int
+	tph      int
+
+	lps  []lpState
+	pub  *eventq.Queue
+	seqs sim.SeqTable
+
+	lbts      sim.Time
+	lookahead sim.Time
+
+	hostLPs [][]int32
+	order   [][]int32
+	cursor1 []atomic.Int64
+	cursor3 []atomic.Int64
+
+	perWorkerMin []sim.Time
+	stopped      bool
+	done         bool
+	err          error
+	round        uint64
+	period       uint64
+
+	workers []workerState
+}
+
+type hybridSink struct {
+	rt    *hrt
+	w     int
+	curLP int32
+}
+
+func (s *hybridSink) Put(ev sim.Event) {
+	tgt := s.rt.part.LPOf[ev.Node]
+	if s.curLP < 0 || tgt == s.curLP {
+		s.rt.lps[tgt].fel.Push(ev)
+		return
+	}
+	if ev.Time < s.rt.lbts {
+		panic(fmt.Sprintf("core: hybrid causality violation: cross-LP event at %v inside window ending %v", ev.Time, s.rt.lbts))
+	}
+	mb := &s.rt.lps[tgt].mail[s.w]
+	*mb = append(*mb, ev)
+}
+
+func (s *hybridSink) PutGlobal(ev sim.Event) {
+	if s.curLP >= 0 {
+		panic("core: global events may only be scheduled at setup or from other global events")
+	}
+	s.rt.pub.Push(ev)
+}
+
+func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
+	host := w / r.tph
+	sink := &hybridSink{rt: r, w: w}
+	ctx := sim.NewCtx(sink, w)
+	ws := &r.workers[w]
+	var sw metrics.Stopwatch
+	sw.Start()
+
+	for {
+		// Phase 1: pull LPs of this worker's host only.
+		order := r.order[host]
+		nLP := int64(len(order))
+		for {
+			i := r.cursor1[host].Add(1) - 1
+			if i >= nLP {
+				break
+			}
+			lpIdx := order[i]
+			lp := &r.lps[lpIdx]
+			sink.curLP = lpIdx
+			t0 := time.Now()
+			for {
+				ev, ok := lp.fel.PopBefore(r.lbts)
+				if !ok {
+					break
+				}
+				ctx.Begin(&ev, r.seqs.Of(ev.Node))
+				ev.Fn(ctx)
+				ws.events++
+				ws.lastT = ev.Time
+			}
+			lp.lastP = time.Since(t0).Nanoseconds()
+		}
+		ws.p += sw.Lap()
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Phase 2: the global main thread (worker 0 of host 0) handles
+		// public-LP events with every host quiescent.
+		if w == 0 {
+			sink.curLP = -1
+			executed := false
+			for !r.pub.Empty() && r.pub.Peek().Time == r.lbts {
+				ev := r.pub.Pop()
+				ctx.Begin(&ev, r.seqs.Of(sim.GlobalNode))
+				ev.Fn(ctx)
+				ws.events++
+				ws.lastT = ev.Time
+				executed = true
+			}
+			if executed {
+				r.lookahead = CutLookahead(r.part.LPOf, r.m.Links())
+				if ctx.Stopped() {
+					r.stopped = true
+				}
+			}
+			for h := 0; h < r.hosts; h++ {
+				r.cursor3[h].Store(0)
+			}
+			ws.p += sw.Lap()
+		}
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Phase 3: drain mailboxes of this host's LPs (intra- and
+		// inter-host events arrive the same way: shared memory).
+		locMin := sim.MaxTime
+		hostList := r.hostLPs[host]
+		n3 := int64(len(hostList))
+		for {
+			i := r.cursor3[host].Add(1) - 1
+			if i >= n3 {
+				break
+			}
+			lp := &r.lps[hostList[i]]
+			var pending int64
+			for t := range lp.mail {
+				for _, ev := range lp.mail[t] {
+					lp.fel.Push(ev)
+				}
+				pending += int64(len(lp.mail[t]))
+				lp.mail[t] = lp.mail[t][:0]
+			}
+			lp.pending = pending
+			if t := lp.fel.NextTime(); t < locMin {
+				locMin = t
+			}
+		}
+		r.perWorkerMin[w] = locMin
+		ws.m += sw.Lap()
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Phase 4: the all-reduce — worker 0 folds every host's minimum
+		// and broadcasts the next window.
+		if w == 0 {
+			r.phase4()
+			ws.m += sw.Lap()
+		}
+		bar.Wait()
+		ws.s += sw.Lap()
+		if r.done {
+			return
+		}
+	}
+}
+
+func (r *hrt) phase4() {
+	allMin := sim.MaxTime
+	for _, t := range r.perWorkerMin {
+		if t < allMin {
+			allMin = t
+		}
+	}
+	pubNext := r.pub.NextTime()
+	r.round++
+	switch {
+	case r.stopped:
+		r.done = true
+	case allMin == sim.MaxTime && pubNext == sim.MaxTime:
+		r.done = true
+	case r.k.cfg.MaxRounds > 0 && r.round >= r.k.cfg.MaxRounds:
+		r.done = true
+		r.err = errors.New("core: MaxRounds exceeded")
+	default:
+		r.lbts = eq2(allMin, pubNext, r.lookahead)
+		if r.k.cfg.Metric != MetricNone && r.round%r.period == 0 {
+			for i := range r.lps {
+				lp := &r.lps[i]
+				if r.k.cfg.Metric == MetricPrevTime {
+					lp.est = lp.lastP
+				} else {
+					lp.est = lp.pending
+				}
+			}
+			for h := 0; h < r.hosts; h++ {
+				ord := r.order[h]
+				sort.SliceStable(ord, func(a, b int) bool {
+					return r.lps[ord[a]].est > r.lps[ord[b]].est
+				})
+			}
+		}
+		for h := 0; h < r.hosts; h++ {
+			r.cursor1[h].Store(0)
+		}
+	}
+}
+
+func (r *hrt) stats(start time.Time) *sim.RunStats {
+	st := &sim.RunStats{
+		Kernel:  r.k.Name(),
+		WallNS:  time.Since(start).Nanoseconds(),
+		Rounds:  r.round,
+		LPs:     r.part.Count,
+		Workers: make([]sim.WorkerStats, len(r.workers)),
+	}
+	for i := range r.workers {
+		w := &r.workers[i]
+		st.Events += w.events
+		if w.lastT > st.EndTime {
+			st.EndTime = w.lastT
+		}
+		st.Workers[i] = sim.WorkerStats{P: w.p, S: w.s, M: w.m, Events: w.events}
+	}
+	return st
+}

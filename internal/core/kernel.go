@@ -1,0 +1,460 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unison/internal/eventq"
+	"unison/internal/metrics"
+	"unison/internal/sim"
+	"unison/internal/syncx"
+)
+
+// Metric selects the load-adaptive scheduling estimate P̂ᵢ,ᵣ (§4.3).
+type Metric uint8
+
+const (
+	// MetricPrevTime estimates an LP's next-round cost by its measured
+	// processing time in the previous round — Unison's default
+	// ("ByExecutionTime" in the artifact).
+	MetricPrevTime Metric = iota
+	// MetricPendingEvents estimates by the number of events the LP
+	// received for the next round.
+	MetricPendingEvents
+	// MetricNone disables scheduling (LPs keep their original order).
+	MetricNone
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricPrevTime:
+		return "prev-time"
+	case MetricPendingEvents:
+		return "pending-events"
+	default:
+		return "none"
+	}
+}
+
+// Config tunes the Unison kernel.
+type Config struct {
+	// Threads is the worker count (defaults to GOMAXPROCS).
+	Threads int
+	// Metric selects the scheduling estimate.
+	Metric Metric
+	// Period is the scheduling period in rounds; 0 selects the paper's
+	// ⌈log₂ n⌉ rule.
+	Period int
+	// ManualLP bypasses Algorithm 1 with an explicit node→LP assignment
+	// (used by the partition-granularity micro-benchmarks, Fig 12).
+	ManualLP []int32
+	// CacheWays enables the cache-locality model when positive.
+	CacheWays int
+	// RecordRounds captures a per-round trace (Figures 5b/9b/13).
+	RecordRounds bool
+	// MaxRounds aborts runaway simulations when positive.
+	MaxRounds uint64
+}
+
+// Kernel is the Unison simulation kernel.
+type Kernel struct {
+	cfg Config
+}
+
+// New returns a Unison kernel with cfg.
+func New(cfg Config) *Kernel {
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	return &Kernel{cfg: cfg}
+}
+
+// Name implements sim.Kernel.
+func (k *Kernel) Name() string { return fmt.Sprintf("unison(t=%d)", k.cfg.Threads) }
+
+// lpState is one logical process.
+type lpState struct {
+	fel *eventq.Queue
+	// mail[w] is the SPSC mailbox written by worker w during the
+	// processing phase and drained by whichever worker handles this LP in
+	// the receiving phase; phase barriers provide the happens-before.
+	mail [][]sim.Event
+	// est is the scheduling estimate; lastP the measured processing time
+	// of the previous round; pending the events received last round.
+	est     int64
+	lastP   int64
+	pending int64
+}
+
+// rt is the shared runtime of one Run call.
+type rt struct {
+	k    *Kernel
+	m    *sim.Model
+	part *Partition
+	lps  []lpState
+	pub  *eventq.Queue
+	seqs sim.SeqTable
+
+	lbts      sim.Time
+	lookahead sim.Time
+
+	order   []int32
+	cursor1 atomic.Int64
+	cursor3 atomic.Int64
+
+	perWorkerMin []sim.Time
+	roundP       []int64
+
+	stopped bool
+	done    bool
+	err     error
+
+	round  uint64
+	period uint64
+
+	cache *metrics.CacheModel
+	trace []sim.RoundSample
+
+	workers []workerState
+}
+
+type workerState struct {
+	events  uint64
+	lastT   sim.Time
+	p, s, m int64
+	_       [8]int64 // avoid false sharing between workers' hot counters
+}
+
+// workerSink routes events created by one worker.
+type workerSink struct {
+	rt    *rt
+	w     int
+	curLP int32 // -1 while executing global events (direct insertion)
+}
+
+func (s *workerSink) Put(ev sim.Event) {
+	tgt := s.rt.part.LPOf[ev.Node]
+	if s.curLP < 0 || tgt == s.curLP {
+		s.rt.lps[tgt].fel.Push(ev)
+		return
+	}
+	if ev.Time < s.rt.lbts {
+		panic(fmt.Sprintf("core: causality violation: cross-LP event at %v inside window ending %v (lookahead too small)", ev.Time, s.rt.lbts))
+	}
+	mb := &s.rt.lps[tgt].mail[s.w]
+	*mb = append(*mb, ev)
+}
+
+func (s *workerSink) PutGlobal(ev sim.Event) {
+	if s.curLP >= 0 {
+		panic("core: global events may only be scheduled at setup or from other global events (§4.2)")
+	}
+	s.rt.pub.Push(ev)
+}
+
+// Run implements sim.Kernel.
+func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	start := time.Now()
+	links := m.Links()
+	var part *Partition
+	if k.cfg.ManualLP != nil {
+		part = Manual(k.cfg.ManualLP, links)
+	} else {
+		part = FineGrained(m.Nodes, links)
+	}
+	n := part.Count
+	r := &rt{
+		k:            k,
+		m:            m,
+		part:         part,
+		lps:          make([]lpState, n),
+		pub:          eventq.New(16),
+		seqs:         sim.NewSeqTable(m.Nodes),
+		lookahead:    part.Lookahead,
+		order:        make([]int32, n),
+		perWorkerMin: make([]sim.Time, k.cfg.Threads),
+		roundP:       make([]int64, k.cfg.Threads),
+		workers:      make([]workerState, k.cfg.Threads),
+	}
+	for i := range r.lps {
+		r.lps[i].fel = eventq.New(64)
+		r.lps[i].mail = make([][]sim.Event, k.cfg.Threads)
+		r.order[i] = int32(i)
+	}
+	if k.cfg.CacheWays > 0 {
+		r.cache = metrics.NewCacheModel(k.cfg.Threads, k.cfg.CacheWays)
+	}
+	r.period = uint64(k.cfg.Period)
+	if r.period == 0 {
+		r.period = uint64(1)
+		if n > 1 {
+			r.period = uint64(bits.Len(uint(n - 1))) // ⌈log₂ n⌉
+		}
+	}
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			r.pub.Push(ev)
+		} else {
+			r.lps[part.LPOf[ev.Node]].fel.Push(ev)
+		}
+	}
+
+	// Initial window (the phase-4 computation for round 0).
+	r.lbts = r.computeLBTS()
+	if r.lbts == sim.MaxTime && r.pub.Empty() {
+		// Nothing to do at all.
+		return r.stats(start), nil
+	}
+	r.cursor1.Store(0)
+
+	bar := syncx.NewBarrier(k.cfg.Threads)
+	var wg sync.WaitGroup
+	for w := 1; w < k.cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.workerLoop(w, bar)
+		}(w)
+	}
+	r.workerLoop(0, bar)
+	wg.Wait()
+
+	st := r.stats(start)
+	return st, r.err
+}
+
+// computeLBTS evaluates Equation 2 from the current FEL states. Only
+// called with all workers quiescent.
+func (r *rt) computeLBTS() sim.Time {
+	allMin := sim.MaxTime
+	for i := range r.lps {
+		if t := r.lps[i].fel.NextTime(); t < allMin {
+			allMin = t
+		}
+	}
+	return eq2(allMin, r.pub.NextTime(), r.lookahead)
+}
+
+// Eq2 is the paper's Equation 2 — LBTS = min(N_pub, min_i N_i +
+// lookahead) — with saturation at sim.MaxTime. Exported for the baseline
+// kernels, which share the window computation (their Equation 1 is the
+// special case with no public LP).
+func Eq2(allMin, pubNext, lookahead sim.Time) sim.Time { return eq2(allMin, pubNext, lookahead) }
+
+// eq2 is LBTS = min(N_pub, min_i N_i + lookahead) with saturation.
+func eq2(allMin, pubNext, lookahead sim.Time) sim.Time {
+	window := sim.MaxTime
+	if allMin != sim.MaxTime && lookahead != sim.MaxTime {
+		window = allMin + lookahead
+		if window < allMin { // overflow
+			window = sim.MaxTime
+		}
+	}
+	if pubNext < window {
+		return pubNext
+	}
+	return window
+}
+
+// workerLoop is the four-phase round loop of one worker (§5.1, Fig 7).
+func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
+	sink := &workerSink{rt: r, w: w}
+	ctx := sim.NewCtx(sink, w)
+	ws := &r.workers[w]
+	var sw metrics.Stopwatch
+	sw.Start()
+
+	for {
+		// Phase 1: process events within the window, pulling LPs in
+		// longest-estimated-job-first order via the shared cursor.
+		nLP := int64(len(r.lps))
+		for {
+			i := r.cursor1.Add(1) - 1
+			if i >= nLP {
+				break
+			}
+			lpIdx := r.order[i]
+			lp := &r.lps[lpIdx]
+			sink.curLP = lpIdx
+			t0 := time.Now()
+			for {
+				ev, ok := lp.fel.PopBefore(r.lbts)
+				if !ok {
+					break
+				}
+				if r.cache != nil {
+					r.cache.Touch(w, ev.Node)
+				}
+				ctx.Begin(&ev, r.seqs.Of(ev.Node))
+				ev.Fn(ctx)
+				ws.events++
+				ws.lastT = ev.Time
+			}
+			lp.lastP = time.Since(t0).Nanoseconds()
+		}
+		p1 := sw.Lap()
+		ws.p += p1
+		r.roundP[w] = p1
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Phase 2: worker 0 handles global events at exactly the window
+		// boundary and prepares the receive phase.
+		if w == 0 {
+			r.phase2(ctx, sink)
+			ws.p += sw.Lap()
+		}
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Phase 3: drain mailboxes into FELs and compute the local
+		// minimum next-event time.
+		locMin := sim.MaxTime
+		for {
+			i := r.cursor3.Add(1) - 1
+			if i >= nLP {
+				break
+			}
+			lp := &r.lps[i]
+			var pending int64
+			for t := range lp.mail {
+				for _, ev := range lp.mail[t] {
+					lp.fel.Push(ev)
+				}
+				pending += int64(len(lp.mail[t]))
+				lp.mail[t] = lp.mail[t][:0]
+			}
+			lp.pending = pending
+			if t := lp.fel.NextTime(); t < locMin {
+				locMin = t
+			}
+		}
+		r.perWorkerMin[w] = locMin
+		ws.m += sw.Lap()
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Phase 4: worker 0 updates the window, reschedules LPs and
+		// decides termination.
+		if w == 0 {
+			r.phase4()
+			ws.m += sw.Lap()
+		}
+		bar.Wait()
+		ws.s += sw.Lap()
+		if r.done {
+			return
+		}
+	}
+}
+
+// phase2 runs on worker 0 with all other workers parked at the barrier.
+func (r *rt) phase2(ctx *sim.Ctx, sink *workerSink) {
+	sink.curLP = -1
+	executedGlobal := false
+	for !r.pub.Empty() && r.pub.Peek().Time == r.lbts {
+		ev := r.pub.Pop()
+		ctx.Begin(&ev, r.seqs.Of(sim.GlobalNode))
+		ev.Fn(ctx)
+		r.workers[0].events++
+		r.workers[0].lastT = ev.Time
+		executedGlobal = true
+	}
+	if executedGlobal {
+		// A global event may have mutated the topology: recompute the
+		// lookahead from the live link set (§4.2).
+		r.lookahead = CutLookahead(r.part.LPOf, r.m.Links())
+		if ctx.Stopped() {
+			r.stopped = true
+		}
+	}
+	r.cursor3.Store(0)
+}
+
+// phase4 runs on worker 0 with all other workers parked at the barrier.
+func (r *rt) phase4() {
+	allMin := sim.MaxTime
+	for _, t := range r.perWorkerMin {
+		if t < allMin {
+			allMin = t
+		}
+	}
+	pubNext := r.pub.NextTime()
+
+	if r.k.cfg.RecordRounds {
+		samp := sim.RoundSample{LBTS: r.lbts, PerWorker: append([]int64(nil), r.roundP...)}
+		for _, p := range r.roundP {
+			if p > samp.Makespan {
+				samp.Makespan = p
+			}
+		}
+		samp.Phase1 = samp.Makespan
+		r.trace = append(r.trace, samp)
+	}
+
+	r.round++
+	switch {
+	case r.stopped:
+		r.done = true
+	case allMin == sim.MaxTime && pubNext == sim.MaxTime:
+		r.done = true
+	case r.k.cfg.MaxRounds > 0 && r.round >= r.k.cfg.MaxRounds:
+		r.done = true
+		r.err = errors.New("core: MaxRounds exceeded")
+	default:
+		r.lbts = eq2(allMin, pubNext, r.lookahead)
+		r.reschedule()
+		r.cursor1.Store(0)
+	}
+}
+
+// reschedule re-sorts the LP order by the scheduling estimate every
+// period rounds (§4.3).
+func (r *rt) reschedule() {
+	if r.k.cfg.Metric == MetricNone || r.round%r.period != 0 {
+		return
+	}
+	for i := range r.lps {
+		lp := &r.lps[i]
+		if r.k.cfg.Metric == MetricPrevTime {
+			lp.est = lp.lastP
+		} else {
+			lp.est = lp.pending
+		}
+	}
+	sort.SliceStable(r.order, func(a, b int) bool {
+		return r.lps[r.order[a]].est > r.lps[r.order[b]].est
+	})
+}
+
+func (r *rt) stats(start time.Time) *sim.RunStats {
+	st := &sim.RunStats{
+		Kernel:     r.k.Name(),
+		WallNS:     time.Since(start).Nanoseconds(),
+		Rounds:     r.round,
+		LPs:        r.part.Count,
+		Workers:    make([]sim.WorkerStats, len(r.workers)),
+		RoundTrace: r.trace,
+	}
+	for i := range r.workers {
+		w := &r.workers[i]
+		st.Events += w.events
+		if w.lastT > st.EndTime {
+			st.EndTime = w.lastT
+		}
+		st.Workers[i] = sim.WorkerStats{P: w.p, S: w.s, M: w.m, Events: w.events}
+	}
+	if r.cache != nil {
+		st.CacheRefs, st.CacheMisses = r.cache.Counters()
+	}
+	return st
+}

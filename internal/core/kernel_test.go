@@ -1,0 +1,242 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// lineTopo builds a chain of n nodes with the given uniform link delay.
+func lineTopo(n int, delay sim.Time) *topology.Graph {
+	g := topology.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(topology.Host, "h")
+	}
+	for i := 0; i < n-1; i++ {
+		g.AddLink(sim.NodeID(i), sim.NodeID(i+1), 1e9, delay)
+	}
+	return g
+}
+
+// relayModel passes a token down the chain `laps` times.
+func relayModel(g *topology.Graph, delay sim.Time, laps int) (*sim.Model, *uint64) {
+	count := new(uint64)
+	n := g.N()
+	s := sim.NewSetup()
+	var relay func(ctx *sim.Ctx)
+	dir := 1
+	relay = func(ctx *sim.Ctx) {
+		*count++
+		cur := int(ctx.Node())
+		if cur == n-1 {
+			dir = -1
+		} else if cur == 0 {
+			dir = 1
+		}
+		if int(*count) < laps {
+			ctx.Schedule(delay, sim.NodeID(cur+dir), relay)
+		}
+	}
+	s.At(0, 0, relay)
+	return &sim.Model{Nodes: n, Links: g.LinkInfos, Init: s.Events()}, count
+}
+
+func TestKernelRelaySingleAndMultiThread(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		g := lineTopo(8, 500)
+		m, count := relayModel(g, 500, 100)
+		st, err := New(Config{Threads: threads}).Run(m)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if *count != 100 {
+			t.Fatalf("threads=%d: count=%d", threads, *count)
+		}
+		if st.Events != 100 {
+			t.Fatalf("threads=%d: events=%d", threads, st.Events)
+		}
+		if st.LPs != 8 {
+			t.Fatalf("threads=%d: LPs=%d (uniform delays cut everything)", threads, st.LPs)
+		}
+	}
+}
+
+func TestKernelStopEvent(t *testing.T) {
+	g := lineTopo(4, 500)
+	m, count := relayModel(g, 500, 1_000_000)
+	s := sim.NewSetup()
+	s.Global(10_000, func(ctx *sim.Ctx) { ctx.Stop() })
+	extra := s.Events()
+	extra[0].Seq = uint64(len(m.Init))
+	m.Init = append(m.Init, extra...)
+	m.StopAt = 10_000
+	st, err := New(Config{Threads: 2}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relay fires every 500ns: 21 events in [0,10000] (inclusive bound is
+	// the stop boundary; the relay event AT 10000 runs next round, which
+	// never comes) plus the stop event. Events strictly before 10000: 20.
+	if *count != 20 {
+		t.Fatalf("count=%d", *count)
+	}
+	if st.EndTime != 10_000 {
+		t.Fatalf("end=%v", st.EndTime)
+	}
+}
+
+func TestKernelGlobalFromNodeEventPanics(t *testing.T) {
+	g := lineTopo(2, 500)
+	s := sim.NewSetup()
+	s.At(0, 0, func(ctx *sim.Ctx) {
+		ctx.ScheduleGlobal(1000, func(*sim.Ctx) {})
+	})
+	m := &sim.Model{Nodes: 2, Links: g.LinkInfos, Init: s.Events()}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("global event from node event did not panic")
+		}
+		if !strings.Contains(strings.ToLower(sprint(r)), "global") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_, _ = New(Config{Threads: 1}).Run(m)
+}
+
+func sprint(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+func TestKernelGlobalFromGlobalAllowed(t *testing.T) {
+	g := lineTopo(2, 500)
+	hits := 0
+	s := sim.NewSetup()
+	s.Global(100, func(ctx *sim.Ctx) {
+		hits++
+		if hits < 3 {
+			ctx.ScheduleGlobal(ctx.Now()+100, func(c *sim.Ctx) {
+				hits++
+				c.Stop()
+			})
+		}
+	})
+	m := &sim.Model{Nodes: 2, Links: g.LinkInfos, Init: s.Events()}
+	if _, err := New(Config{Threads: 2}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits=%d", hits)
+	}
+}
+
+func TestKernelManualLP(t *testing.T) {
+	g := lineTopo(6, 500)
+	m, _ := relayModel(g, 500, 50)
+	lpOf := []int32{0, 0, 0, 1, 1, 1}
+	st, err := New(Config{Threads: 2, ManualLP: lpOf}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LPs != 2 {
+		t.Fatalf("LPs=%d", st.LPs)
+	}
+}
+
+func TestKernelMaxRounds(t *testing.T) {
+	g := lineTopo(4, 500)
+	m, _ := relayModel(g, 500, 1_000_000)
+	_, err := New(Config{Threads: 1, MaxRounds: 5}).Run(m)
+	if err == nil {
+		t.Fatal("MaxRounds did not trip")
+	}
+}
+
+func TestKernelRecordRounds(t *testing.T) {
+	g := lineTopo(4, 500)
+	m, _ := relayModel(g, 500, 200)
+	st, err := New(Config{Threads: 2, RecordRounds: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.RoundTrace) == 0 {
+		t.Fatal("no round trace")
+	}
+	for _, r := range st.RoundTrace {
+		if len(r.PerWorker) != 2 {
+			t.Fatal("trace worker arity wrong")
+		}
+	}
+}
+
+func TestKernelCacheCounters(t *testing.T) {
+	g := lineTopo(4, 500)
+	m, _ := relayModel(g, 500, 200)
+	st, err := New(Config{Threads: 1, CacheWays: 2}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheRefs == 0 {
+		t.Fatal("cache model recorded nothing")
+	}
+}
+
+func TestKernelEmptyModel(t *testing.T) {
+	g := lineTopo(2, 500)
+	m := &sim.Model{Nodes: 2, Links: g.LinkInfos}
+	st, err := New(Config{Threads: 4}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 0 {
+		t.Fatal("phantom events")
+	}
+}
+
+func TestKernelSchedulingMetricsAllTerminate(t *testing.T) {
+	for _, metric := range []Metric{MetricPrevTime, MetricPendingEvents, MetricNone} {
+		g := lineTopo(8, 500)
+		m, count := relayModel(g, 500, 300)
+		if _, err := New(Config{Threads: 3, Metric: metric, Period: 2}).Run(m); err != nil {
+			t.Fatalf("%v: %v", metric, err)
+		}
+		if *count != 300 {
+			t.Fatalf("%v: count=%d", metric, *count)
+		}
+	}
+}
+
+func TestHybridRelay(t *testing.T) {
+	g := lineTopo(8, 500)
+	m, count := relayModel(g, 500, 120)
+	hostOf := make([]int32, 8)
+	for i := range hostOf {
+		hostOf[i] = int32(i / 4)
+	}
+	st, err := NewHybrid(HybridConfig{HostOf: hostOf, ThreadsPerHost: 2}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *count != 120 || st.Events != 120 {
+		t.Fatalf("count=%d events=%d", *count, st.Events)
+	}
+	if len(st.Workers) != 4 {
+		t.Fatalf("workers=%d", len(st.Workers))
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricPrevTime.String() != "prev-time" ||
+		MetricPendingEvents.String() != "pending-events" ||
+		MetricNone.String() != "none" {
+		t.Fatal("Metric strings wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+
+	"unison/internal/flowmon"
+	"unison/internal/sim"
+)
+
+// CoordConfig parameterizes the coordinator.
+type CoordConfig struct {
+	// Hosts is the number of simulation hosts that will connect.
+	Hosts int
+	// StopAt bounds the simulation (mandatory, as for the null-message
+	// kernel: there is no distributed termination detection).
+	StopAt sim.Time
+	// Flows is the model's registered flow count (for the final gather).
+	Flows int
+	// MaxRounds aborts runaway runs when positive.
+	MaxRounds uint64
+}
+
+// RunCoordinator accepts cfg.Hosts connections on ln, drives the round
+// protocol (min all-reduce → window broadcast → event routing) until the
+// simulation completes, and returns the merged global flow monitor.
+func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64, error) {
+	if cfg.Hosts <= 0 {
+		return nil, 0, fmt.Errorf("dist: coordinator needs Hosts > 0")
+	}
+	if cfg.StopAt <= 0 {
+		return nil, 0, fmt.Errorf("dist: coordinator needs StopAt")
+	}
+	conns := make([]*conn, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, 0, fmt.Errorf("dist: accept: %w", err)
+		}
+		cc := newConn(c)
+		hello, err := cc.recv(kHello)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dist: hello: %w", err)
+		}
+		if hello.Host < 0 || int(hello.Host) >= cfg.Hosts || conns[hello.Host] != nil {
+			return nil, 0, fmt.Errorf("dist: bad or duplicate host id %d", hello.Host)
+		}
+		conns[hello.Host] = cc
+	}
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.close()
+			}
+		}
+	}()
+
+	var rounds uint64
+	for {
+		// All-reduce: gather local minima.
+		globalMin := sim.MaxTime
+		for h, c := range conns {
+			e, err := c.recv(kMin)
+			if err != nil {
+				return nil, rounds, fmt.Errorf("dist: min from host %d: %w", h, err)
+			}
+			if e.Min < globalMin {
+				globalMin = e.Min
+			}
+		}
+		done := globalMin >= cfg.StopAt || globalMin == sim.MaxTime
+		if cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
+			done = true
+		}
+		kind := kWindow
+		if done {
+			kind = kDone
+		}
+		for _, c := range conns {
+			if err := c.send(&envelope{Kind: kind, Min: globalMin}); err != nil {
+				return nil, rounds, fmt.Errorf("dist: window broadcast: %w", err)
+			}
+		}
+		if done {
+			break
+		}
+		rounds++
+		// Route this round's cross-host events.
+		outbox := make([][]RemoteEvent, cfg.Hosts)
+		for h, c := range conns {
+			e, err := c.recv(kFlush)
+			if err != nil {
+				return nil, rounds, fmt.Errorf("dist: flush from host %d: %w", h, err)
+			}
+			for _, rev := range e.Events {
+				if rev.Host < 0 || int(rev.Host) >= cfg.Hosts {
+					return nil, rounds, fmt.Errorf("dist: event addressed to host %d", rev.Host)
+				}
+				outbox[rev.Host] = append(outbox[rev.Host], rev)
+			}
+		}
+		for h, c := range conns {
+			if err := c.send(&envelope{Kind: kEvents, Events: outbox[h]}); err != nil {
+				return nil, rounds, fmt.Errorf("dist: events to host %d: %w", h, err)
+			}
+		}
+	}
+
+	// Final gather: merge per-host monitors into the global view.
+	mon := flowmon.NewMonitor(cfg.Flows)
+	for h, c := range conns {
+		e, err := c.recv(kGather)
+		if err != nil {
+			return nil, rounds, fmt.Errorf("dist: gather from host %d: %w", h, err)
+		}
+		part := flowmon.NewMonitor(cfg.Flows)
+		part.Import(e.Senders, e.Recvs)
+		mon.MergeFrom(part)
+	}
+	return mon, rounds, nil
+}

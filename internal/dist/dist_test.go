@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"unison/internal/des"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/pdes"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+	"unison/internal/traffic"
+)
+
+// buildPieces constructs the deterministic fat-tree scenario every host
+// (and the reference run) builds independently from the same seed.
+func buildPieces(seed uint64, stop sim.Time) (*sim.Model, *netdev.Network, *flowmon.Monitor, *topology.FatTree, int) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1_000_000_000, 3*sim.Microsecond))
+	flows := traffic.Generate(traffic.Config{
+		Seed: seed, Hosts: ft.Hosts(), Sizes: traffic.GRPCCDF(), Load: 0.4,
+		BisectionBps: ft.BisectionBandwidth(), Start: 0, End: stop / 2,
+	})
+	mon := flowmon.NewMonitor(len(flows))
+	network := netdev.New(ft.Graph, routing.NewECMP(ft.Graph, routing.Hops, seed), netdev.DefaultConfig(seed))
+	stack := tcp.NewStack(network, tcp.DefaultConfig(), mon)
+	s := sim.NewSetup()
+	stack.Attach(s, flows)
+	s.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: ft.N(), Links: ft.LinkInfos, Init: s.Events(), StopAt: stop}
+	return m, network, mon, ft, len(flows)
+}
+
+// runDistributed launches a coordinator and `hosts` simulation hosts over
+// loopback TCP and returns the merged monitor.
+func runDistributed(t *testing.T, seed uint64, stop sim.Time, hosts int) (*flowmon.Monitor, uint64, uint64) {
+	t.Helper()
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1_000_000_000, 3*sim.Microsecond))
+	hostOf := pdes.FatTreeManual(ft, hosts)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	_, _, _, _, flows := buildPieces(seed, stop)
+
+	type coordOut struct {
+		mon    *flowmon.Monitor
+		rounds uint64
+		err    error
+	}
+	coordCh := make(chan coordOut, 1)
+	go func() {
+		mon, rounds, err := RunCoordinator(ln, CoordConfig{
+			Hosts: hosts, StopAt: stop, Flows: flows, MaxRounds: 10_000_000,
+		})
+		coordCh <- coordOut{mon, rounds, err}
+	}()
+
+	var wg sync.WaitGroup
+	var totalEvents uint64
+	var mu sync.Mutex
+	errs := make(chan error, hosts)
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int32) {
+			defer wg.Done()
+			m, network, mon, _, _ := buildPieces(seed, stop)
+			st, err := RunHost(HostConfig{
+				ID: h, Addr: ln.Addr().String(), HostOf: hostOf, StopAt: stop,
+			}, m, network, mon)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			totalEvents += st.Events
+			mu.Unlock()
+		}(int32(h))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	out := <-coordCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	return out.mon, out.rounds, totalEvents
+}
+
+// TestDistributedMatchesSequential is the capstone equivalence check:
+// hosts connected by REAL TCP sockets produce bit-identical results to
+// the in-process sequential kernel.
+func TestDistributedMatchesSequential(t *testing.T) {
+	const seed = 77
+	stop := sim.Time(2 * sim.Millisecond)
+
+	mRef, _, monRef, _, _ := buildPieces(seed, stop)
+	refStats, err := des.New().Run(mRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monRef.Completed() == 0 {
+		t.Fatal("reference run completed no flows")
+	}
+
+	for _, hosts := range []int{2, 4} {
+		mon, rounds, events := runDistributed(t, seed, stop, hosts)
+		if mon.Fingerprint() != monRef.Fingerprint() {
+			t.Errorf("hosts=%d: distributed results diverge from sequential", hosts)
+		}
+		if mon.Completed() != monRef.Completed() {
+			t.Errorf("hosts=%d: completed %d vs %d", hosts, mon.Completed(), monRef.Completed())
+		}
+		if rounds == 0 {
+			t.Errorf("hosts=%d: no rounds", hosts)
+		}
+		// The distributed run executes every event the reference did minus
+		// the stop global event.
+		if events != refStats.Events-1 {
+			t.Errorf("hosts=%d: events %d, want %d", hosts, events, refStats.Events-1)
+		}
+	}
+}
+
+func TestHostRejectsCrossHostScheduling(t *testing.T) {
+	// A model that schedules a raw event onto a remote node must panic
+	// with a clear message rather than corrupt the simulation.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-host raw scheduling did not panic")
+		}
+	}()
+	sink := &hostSink{hostOf: []int32{0, 1}, id: 0}
+	sink.Put(sim.Event{Node: 1})
+}
+
+func TestHostConfigValidation(t *testing.T) {
+	m, network, mon, _, _ := buildPieces(1, sim.Millisecond)
+	if _, err := RunHost(HostConfig{ID: 0, Addr: "127.0.0.1:1", HostOf: nil, StopAt: sim.Millisecond}, m, network, mon); err == nil {
+		t.Error("short HostOf accepted")
+	}
+	hostOf := make([]int32, m.Nodes)
+	if _, err := RunHost(HostConfig{ID: 0, Addr: "127.0.0.1:1", HostOf: hostOf, StopAt: 0}, m, network, mon); err == nil {
+		t.Error("zero StopAt accepted")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, _, err := RunCoordinator(ln, CoordConfig{Hosts: 0, StopAt: 1}); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, _, err := RunCoordinator(ln, CoordConfig{Hosts: 1, StopAt: 0}); err == nil {
+		t.Error("zero StopAt accepted")
+	}
+}

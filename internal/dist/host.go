@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"unison/internal/core"
+	"unison/internal/eventq"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// HostConfig parameterizes one simulation host.
+type HostConfig struct {
+	// ID is this host's index in [0, Hosts).
+	ID int32
+	// Addr is the coordinator's address.
+	Addr string
+	// HostOf assigns every node to a simulation host. Links crossing
+	// hosts define the outer lookahead; like all cut links they must be
+	// stateless.
+	HostOf []int32
+	// StopAt bounds the simulation (must match the coordinator's).
+	StopAt sim.Time
+}
+
+// RunHost connects to the coordinator and executes the host's share of
+// the model: every host constructs the full model deterministically (the
+// ghost-node approach of MPI-based PDES), but only events of its own
+// nodes run here. Cross-host packet arrivals travel through net's Remote
+// hook to the wire, stamped with their deterministic identities.
+//
+// Restrictions (the same the paper's MPI baselines have): only the stop
+// event among global events, and models may only communicate across hosts
+// through the data plane (netdev), not by scheduling raw events onto
+// remote nodes.
+func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon.Monitor) (*sim.RunStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	if len(cfg.HostOf) != m.Nodes {
+		return nil, fmt.Errorf("dist: HostOf covers %d of %d nodes", len(cfg.HostOf), m.Nodes)
+	}
+	if cfg.StopAt <= 0 {
+		return nil, fmt.Errorf("dist: StopAt required")
+	}
+	start := time.Now()
+	links := m.Links()
+	lookahead := core.CutLookahead(cfg.HostOf, links)
+
+	nc, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing coordinator: %w", err)
+	}
+	c := newConn(nc)
+	defer c.close()
+	if err := c.send(&envelope{Kind: kHello, Host: cfg.ID}); err != nil {
+		return nil, fmt.Errorf("dist: hello: %w", err)
+	}
+
+	fel := eventq.New(256)
+	seqs := sim.NewSeqTable(m.Nodes)
+	var outbound []RemoteEvent
+
+	// The sink rejects cross-host scheduling outside the data plane.
+	sink := &hostSink{fel: fel, hostOf: cfg.HostOf, id: cfg.ID}
+	ctx := sim.NewCtx(sink, int(cfg.ID))
+
+	// The data plane hands cross-host arrivals to the wire buffer with
+	// identities allocated by the sending node's counter.
+	network.Remote = func(c *sim.Ctx, at sim.NodeID, p packet.Packet, arrival sim.Time) bool {
+		target := cfg.HostOf[at]
+		if target == cfg.ID {
+			return false
+		}
+		ev := c.Stamp(arrival, at)
+		outbound = append(outbound, RemoteEvent{
+			Time: ev.Time, Src: ev.Src, Seq: ev.Seq, Node: at, Host: target, Pkt: p,
+		})
+		return true
+	}
+
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			if ev.Time == m.StopAt {
+				continue // the stop event is replaced by the window protocol
+			}
+			return nil, fmt.Errorf("dist: global events other than stop are unsupported (use the in-process kernels)")
+		}
+		if cfg.HostOf[ev.Node] == cfg.ID {
+			fel.Push(ev)
+		}
+	}
+
+	st := &sim.RunStats{Kernel: fmt.Sprintf("dist-host(%d)", cfg.ID), Workers: make([]sim.WorkerStats, 1)}
+	for {
+		if err := c.send(&envelope{Kind: kMin, Host: cfg.ID, Min: fel.NextTime()}); err != nil {
+			return nil, fmt.Errorf("dist: sending min: %w", err)
+		}
+		var e envelope
+		if err := c.dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("dist: window: %w", err)
+		}
+		switch e.Kind {
+		case kDone:
+			recs, rcvs := mon.Export()
+			if err := c.send(&envelope{Kind: kGather, Host: cfg.ID, Senders: recs, Recvs: rcvs}); err != nil {
+				return nil, fmt.Errorf("dist: gather: %w", err)
+			}
+			st.WallNS = time.Since(start).Nanoseconds()
+			st.Workers[0].P = st.WallNS
+			st.Workers[0].Events = st.Events
+			return st, nil
+		case kWindow:
+			// LBTS per Equation 1, bounded by the stop time.
+			lbts := core.Eq2(e.Min, sim.MaxTime, lookahead)
+			if cfg.StopAt < lbts {
+				lbts = cfg.StopAt
+			}
+			for {
+				ev, ok := fel.PopBefore(lbts)
+				if !ok {
+					break
+				}
+				ctx.Begin(&ev, seqs.Of(ev.Node))
+				ev.Fn(ctx)
+				st.Events++
+				if ev.Time > st.EndTime {
+					st.EndTime = ev.Time
+				}
+			}
+			st.Rounds++
+			// Flush outbound remote events and receive this round's inbox.
+			if err := c.send(&envelope{Kind: kFlush, Host: cfg.ID, Events: outbound}); err != nil {
+				return nil, fmt.Errorf("dist: flush: %w", err)
+			}
+			outbound = outbound[:0]
+			in, err := c.recv(kEvents)
+			if err != nil {
+				return nil, fmt.Errorf("dist: inbox: %w", err)
+			}
+			for _, rev := range in.Events {
+				rev := rev
+				fel.Push(sim.Event{
+					Time: rev.Time, Src: rev.Src, Seq: rev.Seq, Node: rev.Node,
+					Fn: func(c *sim.Ctx) { network.Deliver(c, rev.Node, rev.Pkt) },
+				})
+			}
+		default:
+			return nil, fmt.Errorf("dist: unexpected message kind %d", e.Kind)
+		}
+	}
+}
+
+// hostSink pushes local events and rejects cross-host ones: model code
+// must only reach other hosts through the data plane.
+type hostSink struct {
+	fel    *eventq.Queue
+	hostOf []int32
+	id     int32
+}
+
+func (s *hostSink) Put(ev sim.Event) {
+	if s.hostOf[ev.Node] != s.id {
+		panic(fmt.Sprintf("dist: model scheduled an event directly onto remote node %d — cross-host interaction must go through the data plane", ev.Node))
+	}
+	s.fel.Push(ev)
+}
+
+func (s *hostSink) PutGlobal(sim.Event) {
+	panic("dist: global events are unsupported in distributed runs")
+}

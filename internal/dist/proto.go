@@ -1,0 +1,82 @@
+// Package dist is the distributed simulation layer: the §5.2 hybrid
+// kernel's outer synchronization implemented over real TCP sockets
+// (standing in for the paper's MPI, DESIGN.md §1). A coordinator and H
+// simulation hosts — separate processes or separate goroutines — each
+// build the same deterministic model, execute only the events of their
+// own nodes, ship cross-host packet arrivals over the wire with their
+// deterministic identities (Time, Src, Seq), and advance through globally
+// agreed LBTS windows computed by an all-reduce at the coordinator.
+//
+// Because remote events carry the same identity a local event would have,
+// a distributed run produces bit-identical results to the sequential
+// kernel — the property dist_test.go pins over loopback TCP.
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"unison/internal/flowmon"
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// Wire message kinds.
+const (
+	kHello  byte = iota + 1
+	kMin         // host → coord: local minimum next-event time
+	kWindow      // coord → host: global minimum (hosts derive the LBTS)
+	kFlush       // host → coord: this round's outbound remote events
+	kEvents      // coord → host: the remote events addressed to this host
+	kDone        // coord → host: simulation over, send your gather
+	kGather      // host → coord: final per-host flow statistics
+)
+
+// RemoteEvent is a serialized cross-host packet arrival. Identity fields
+// (Time, Src, Seq) reproduce the deterministic event order on the
+// receiving host.
+type RemoteEvent struct {
+	Time sim.Time
+	Src  sim.NodeID
+	Seq  uint64
+	Node sim.NodeID
+	Host int32 // target simulation host
+	Pkt  packet.Packet
+}
+
+// envelope is the single wire message type (gob-encoded).
+type envelope struct {
+	Kind    byte
+	Host    int32
+	Min     sim.Time
+	Events  []RemoteEvent
+	Senders []flowmon.SenderRec
+	Recvs   []flowmon.RecvRec
+}
+
+// conn wraps a TCP connection with gob codecs.
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *conn) send(e *envelope) error { return c.enc.Encode(e) }
+
+func (c *conn) recv(wantKind byte) (*envelope, error) {
+	var e envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	if e.Kind != wantKind {
+		return nil, fmt.Errorf("dist: expected message kind %d, got %d", wantKind, e.Kind)
+	}
+	return &e, nil
+}
+
+func (c *conn) close() { _ = c.c.Close() }

@@ -1,0 +1,86 @@
+// Package dqn is the DeepQueueNet substitute (DESIGN.md §1): a
+// per-packet-inference network estimator. DeepQueueNet replaces every
+// device with a trained DNN and pushes each packet through GPU inference,
+// so (a) its runtime is strictly proportional to the number of
+// packet-hops simulated, independent of traffic dynamics, and (b) it
+// keeps no transport state, so it cannot model congestion control
+// (its documented limitation, §2.2).
+//
+// This package reproduces those two properties with a calibrated
+// fixed-cost inference pipeline and a stateless queueing approximation,
+// which is all Fig 8a's comparison depends on.
+package dqn
+
+import (
+	"math"
+
+	"unison/internal/sim"
+)
+
+// Config calibrates the inference pipeline.
+type Config struct {
+	// InferNSPerPacketHop is the GPU time to infer one packet's behaviour
+	// at one device.
+	InferNSPerPacketHop int64
+	// BatchFactor is the effective speedup of batched inference.
+	BatchFactor float64
+	// GPUs is the number of parallel accelerators.
+	GPUs int
+}
+
+// DefaultConfig calibrates the pipeline against the throughput ratios
+// reported by the DeepQueueNet paper (≈1M packet-hops/s per GPU after
+// batching).
+func DefaultConfig() Config {
+	return Config{InferNSPerPacketHop: 12_000, BatchFactor: 12, GPUs: 2}
+}
+
+// Runtime returns the virtual wall time to push the given packet-hop
+// count through the pipeline.
+func (c Config) Runtime(packetHops int64) int64 {
+	if c.GPUs <= 0 || c.BatchFactor <= 0 {
+		panic("dqn: invalid config")
+	}
+	per := float64(c.InferNSPerPacketHop) / (c.BatchFactor * float64(c.GPUs))
+	return int64(float64(packetHops) * per)
+}
+
+// Estimator is the stateless per-device latency predictor: it mimics a
+// trained model that maps (instantaneous utilization) to per-hop delay
+// using an M/M/1-shaped curve. It has no transport state — exactly the
+// fidelity DeepQueueNet offers.
+type Estimator struct {
+	cfg Config
+	// ServiceNS is the mean per-packet service time of a device.
+	ServiceNS float64
+}
+
+// NewEstimator returns an estimator for devices of the given bandwidth
+// and packet size.
+func NewEstimator(cfg Config, bandwidthBps int64, pktBytes int) *Estimator {
+	return &Estimator{
+		cfg:       cfg,
+		ServiceNS: float64(pktBytes*8) * 1e9 / float64(bandwidthBps),
+	}
+}
+
+// HopDelay predicts one hop's delay at the given utilization in [0,1).
+func (e *Estimator) HopDelay(utilization float64) sim.Time {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 0.98 {
+		utilization = 0.98
+	}
+	// M/M/1 sojourn: S / (1 - rho).
+	return sim.Time(e.ServiceNS / (1 - utilization))
+}
+
+// PredictFCT predicts a flow completion time for a flow of `bytes` over
+// `hops` devices at the given utilization: transfer plus per-hop sojourn.
+// No slow start, no loss recovery — stateless by design.
+func (e *Estimator) PredictFCT(bytes int64, hops int, utilization float64, bandwidthBps int64) sim.Time {
+	transfer := float64(bytes*8) * 1e9 / (float64(bandwidthBps) * (1 - math.Min(utilization, 0.98)))
+	path := float64(hops) * float64(e.HopDelay(utilization))
+	return sim.Time(transfer + path)
+}

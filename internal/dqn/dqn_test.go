@@ -1,0 +1,76 @@
+package dqn
+
+import (
+	"testing"
+
+	"unison/internal/sim"
+)
+
+func TestRuntimeProportionalToPackets(t *testing.T) {
+	cfg := DefaultConfig()
+	r1 := cfg.Runtime(1_000_000)
+	r2 := cfg.Runtime(2_000_000)
+	if r2 != 2*r1 {
+		t.Fatalf("runtime not proportional: %d vs %d", r1, r2)
+	}
+	if r1 <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+}
+
+func TestRuntimeScalesWithGPUs(t *testing.T) {
+	one := Config{InferNSPerPacketHop: 10_000, BatchFactor: 10, GPUs: 1}
+	two := one
+	two.GPUs = 2
+	if two.Runtime(1_000_000)*2 != one.Runtime(1_000_000) {
+		t.Fatal("doubling GPUs did not halve runtime")
+	}
+}
+
+func TestRuntimeInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero GPUs accepted")
+		}
+	}()
+	Config{InferNSPerPacketHop: 1, BatchFactor: 1}.Runtime(1)
+}
+
+func TestHopDelayMonotoneInUtilization(t *testing.T) {
+	e := NewEstimator(DefaultConfig(), 1_000_000_000, 1500)
+	prev := sim.Time(0)
+	for u := 0.0; u < 1.0; u += 0.1 {
+		d := e.HopDelay(u)
+		if d < prev {
+			t.Fatalf("hop delay not monotone at u=%.1f", u)
+		}
+		prev = d
+	}
+	// At zero load the sojourn is the service time: 12 µs for 1500B@1G.
+	if got := e.HopDelay(0); got != 12*sim.Microsecond {
+		t.Fatalf("idle hop delay %v", got)
+	}
+}
+
+func TestHopDelayClampsOverload(t *testing.T) {
+	e := NewEstimator(DefaultConfig(), 1_000_000_000, 1500)
+	if e.HopDelay(1.5) != e.HopDelay(0.98) {
+		t.Fatal("overload not clamped")
+	}
+	if e.HopDelay(-1) != e.HopDelay(0) {
+		t.Fatal("negative utilization not clamped")
+	}
+}
+
+func TestPredictFCTStateless(t *testing.T) {
+	e := NewEstimator(DefaultConfig(), 1_000_000_000, 1500)
+	small := e.PredictFCT(10_000, 4, 0.3, 1_000_000_000)
+	big := e.PredictFCT(1_000_000, 4, 0.3, 1_000_000_000)
+	if big <= small {
+		t.Fatal("FCT not increasing in size")
+	}
+	busy := e.PredictFCT(10_000, 4, 0.9, 1_000_000_000)
+	if busy <= small {
+		t.Fatal("FCT not increasing in utilization")
+	}
+}

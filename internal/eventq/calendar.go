@@ -1,0 +1,172 @@
+package eventq
+
+import "unison/internal/sim"
+
+// Calendar is a calendar queue (Brown 1988) — the future event list
+// ns-3 itself defaults to. It hashes events into day-buckets by
+// timestamp and walks the calendar year by year; amortized O(1) for the
+// uniform event-time distributions network simulations produce, at the
+// cost of resize sweeps when occupancy drifts.
+//
+// Within a bucket, events are kept sorted by the deterministic total
+// order (Time, Src, Seq), so the Calendar and the heap Queue dequeue in
+// the identical order — the property test in calendar_test.go pins this.
+// The repository benchmark (BenchmarkFELHeapVsCalendar) compares the two
+// under kernel-like access patterns.
+type Calendar struct {
+	buckets   [][]sim.Event
+	width     sim.Time // day width
+	n         int
+	lastT     sim.Time // dequeue cursor time
+	lastB     int      // dequeue cursor bucket
+	shrinkAt  int
+	growAt    int
+	minBucket int
+}
+
+// NewCalendar returns an empty calendar queue with the given initial day
+// width (e.g. a typical event spacing; it self-tunes afterwards).
+func NewCalendar(width sim.Time) *Calendar {
+	if width <= 0 {
+		width = 1000
+	}
+	c := &Calendar{}
+	c.resize(8, width)
+	return c
+}
+
+// Len returns the number of pending events.
+func (c *Calendar) Len() int { return c.n }
+
+// Empty reports whether no events are pending.
+func (c *Calendar) Empty() bool { return c.n == 0 }
+
+func (c *Calendar) bucketOf(t sim.Time) int {
+	return int(uint64(t) / uint64(c.width) % uint64(len(c.buckets)))
+}
+
+// Push inserts ev.
+func (c *Calendar) Push(ev sim.Event) {
+	b := c.bucketOf(ev.Time)
+	bucket := c.buckets[b]
+	// Insertion sort from the back: kernel workloads push
+	// mostly-ascending timestamps, so this is usually O(1).
+	i := len(bucket)
+	bucket = append(bucket, ev)
+	for i > 0 && ev.Before(&bucket[i-1]) {
+		bucket[i] = bucket[i-1]
+		i--
+	}
+	bucket[i] = ev
+	c.buckets[b] = bucket
+	c.n++
+	if ev.Time < c.lastT {
+		// An event behind the cursor: rewind.
+		c.lastT = ev.Time
+		c.lastB = c.bucketOf(ev.Time)
+	}
+	if c.n > c.growAt {
+		c.resize(len(c.buckets)*2, c.tuneWidth())
+	}
+}
+
+// Pop removes and returns the earliest event; it panics on empty.
+func (c *Calendar) Pop() sim.Event {
+	if c.n == 0 {
+		panic("eventq: Pop on empty calendar")
+	}
+	for {
+		// Walk the current year from the cursor.
+		yearEnd := c.lastT - c.lastT%c.width + c.width*sim.Time(len(c.buckets))
+		for b, t := c.lastB, c.lastT; t < yearEnd; b, t = (b+1)%len(c.buckets), t+c.width {
+			bucket := c.buckets[b]
+			if len(bucket) > 0 && bucket[0].Time < t-t%c.width+c.width {
+				ev := bucket[0]
+				copy(bucket, bucket[1:])
+				c.buckets[b] = bucket[:len(bucket)-1]
+				c.n--
+				c.lastT = ev.Time
+				c.lastB = b
+				if c.n < c.shrinkAt && len(c.buckets) > 8 {
+					c.resize(len(c.buckets)/2, c.tuneWidth())
+				}
+				return ev
+			}
+		}
+		// Nothing due this year: jump the cursor to the globally minimum
+		// event (direct search, standard calendar fallback).
+		min := c.minEvent()
+		c.lastT = min
+		c.lastB = c.bucketOf(min)
+	}
+}
+
+// NextTime returns the earliest pending timestamp, or sim.MaxTime.
+func (c *Calendar) NextTime() sim.Time {
+	if c.n == 0 {
+		return sim.MaxTime
+	}
+	return c.minEvent()
+}
+
+func (c *Calendar) minEvent() sim.Time {
+	min := sim.MaxTime
+	for _, bucket := range c.buckets {
+		if len(bucket) > 0 && bucket[0].Time < min {
+			min = bucket[0].Time
+		}
+	}
+	return min
+}
+
+// PopBefore removes the earliest event if it is strictly before bound.
+func (c *Calendar) PopBefore(bound sim.Time) (sim.Event, bool) {
+	if c.n == 0 || c.NextTime() >= bound {
+		return sim.Event{}, false
+	}
+	return c.Pop(), true
+}
+
+// tuneWidth picks a day width from the current spread of pending events.
+func (c *Calendar) tuneWidth() sim.Time {
+	if c.n < 2 {
+		return c.width
+	}
+	min, max := sim.MaxTime, sim.Time(0)
+	for _, bucket := range c.buckets {
+		for i := range bucket {
+			if bucket[i].Time < min {
+				min = bucket[i].Time
+			}
+			if bucket[i].Time > max {
+				max = bucket[i].Time
+			}
+		}
+	}
+	w := (max - min) / sim.Time(c.n)
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+func (c *Calendar) resize(nb int, width sim.Time) {
+	old := c.buckets
+	c.buckets = make([][]sim.Event, nb)
+	c.width = width
+	c.growAt = 2 * nb
+	c.shrinkAt = nb / 2
+	c.n = 0
+	c.lastT = sim.MaxTime
+	for _, bucket := range old {
+		for _, ev := range bucket {
+			c.Push(ev)
+		}
+	}
+	if c.n > 0 {
+		c.lastT = c.minEvent()
+	} else {
+		c.lastT = 0
+	}
+	c.lastB = c.bucketOf(c.lastT)
+}

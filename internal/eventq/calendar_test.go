@@ -1,0 +1,157 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unison/internal/sim"
+)
+
+func TestCalendarBasicOrder(t *testing.T) {
+	c := NewCalendar(10)
+	c.Push(ev(30, 1, 0))
+	c.Push(ev(10, 2, 5))
+	c.Push(ev(20, 0, 1))
+	c.Push(ev(10, 1, 3))
+	want := []sim.Time{10, 10, 20, 30}
+	for i, w := range want {
+		got := c.Pop()
+		if got.Time != w {
+			t.Fatalf("pop %d at %v, want %v", i, got.Time, w)
+		}
+	}
+	if !c.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestCalendarEmpty(t *testing.T) {
+	c := NewCalendar(10)
+	if c.NextTime() != sim.MaxTime {
+		t.Fatal("NextTime on empty")
+	}
+	if _, ok := c.PopBefore(sim.MaxTime); ok {
+		t.Fatal("PopBefore on empty returned an event")
+	}
+}
+
+func TestCalendarPopBeforeStrict(t *testing.T) {
+	c := NewCalendar(10)
+	c.Push(ev(50, 0, 0))
+	if _, ok := c.PopBefore(50); ok {
+		t.Fatal("PopBefore popped an event at exactly the bound")
+	}
+	if _, ok := c.PopBefore(51); !ok {
+		t.Fatal("PopBefore missed an in-window event")
+	}
+}
+
+// TestCalendarMatchesHeapQuick: the calendar must dequeue in exactly the
+// heap's (Time, Src, Seq) order under any insertion pattern, including
+// interleaved pushes/pops and resize churn.
+func TestCalendarMatchesHeapQuick(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		if len(opsRaw) > 600 {
+			opsRaw = opsRaw[:600]
+		}
+		r := rand.New(rand.NewSource(seed))
+		h := New(0)
+		c := NewCalendar(sim.Time(r.Intn(50) + 1))
+		var seq uint64
+		base := sim.Time(0)
+		for _, op := range opsRaw {
+			if op%3 != 0 || h.Empty() {
+				// Push at or after the last dequeue (kernel discipline).
+				e := ev(base+sim.Time(op%500), sim.NodeID(op%7), seq)
+				seq++
+				h.Push(e)
+				c.Push(e)
+			} else {
+				a := h.Pop()
+				b := c.Pop()
+				if a.Time != b.Time || a.Src != b.Src || a.Seq != b.Seq {
+					return false
+				}
+				base = a.Time
+			}
+			if h.NextTime() != c.NextTime() {
+				return false
+			}
+		}
+		for !h.Empty() {
+			a := h.Pop()
+			b := c.Pop()
+			if a.Time != b.Time || a.Src != b.Src || a.Seq != b.Seq {
+				return false
+			}
+		}
+		return c.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarResizeChurn(t *testing.T) {
+	c := NewCalendar(1)
+	// Push far more than the initial bucket count to force growth, then
+	// drain to force shrinks.
+	for i := 0; i < 5000; i++ {
+		c.Push(ev(sim.Time(i*7%1000), 0, uint64(i)))
+	}
+	if c.Len() != 5000 {
+		t.Fatalf("len=%d", c.Len())
+	}
+	prev := sim.Time(-1)
+	for !c.Empty() {
+		e := c.Pop()
+		if e.Time < prev {
+			t.Fatalf("order violated: %v after %v", e.Time, prev)
+		}
+		prev = e.Time
+	}
+}
+
+func TestCalendarSparseJump(t *testing.T) {
+	// Events separated by many empty years: the cursor must jump.
+	c := NewCalendar(10)
+	c.Push(ev(5, 0, 0))
+	c.Push(ev(1_000_000, 0, 1))
+	c.Push(ev(2_000_000_000, 0, 2))
+	for i, want := range []sim.Time{5, 1_000_000, 2_000_000_000} {
+		if got := c.Pop(); got.Time != want {
+			t.Fatalf("pop %d = %v", i, got.Time)
+		}
+	}
+}
+
+func BenchmarkFELHeapVsCalendar(b *testing.B) {
+	mkLoad := func(push func(sim.Event), pop func() sim.Event) func(n int) {
+		return func(n int) {
+			r := rand.New(rand.NewSource(9))
+			var seq uint64
+			base := sim.Time(0)
+			for i := 0; i < n; i++ {
+				if i%3 != 2 {
+					push(ev(base+sim.Time(r.Intn(2000)), 0, seq))
+					seq++
+				} else {
+					base = pop().Time
+				}
+			}
+		}
+	}
+	b.Run("heap", func(b *testing.B) {
+		q := New(1024)
+		run := mkLoad(q.Push, q.Pop)
+		b.ResetTimer()
+		run(b.N)
+	})
+	b.Run("calendar", func(b *testing.B) {
+		c := NewCalendar(100)
+		run := mkLoad(c.Push, c.Pop)
+		b.ResetTimer()
+		run(b.N)
+	})
+}

@@ -1,0 +1,135 @@
+// Package eventq implements the future event list (FEL): a priority queue
+// of discrete events ordered by the deterministic total order
+// (Time, Src, Seq) defined in internal/sim.
+//
+// The implementation is a 4-ary implicit heap over a value slice. A 4-ary
+// heap halves tree height versus a binary heap and keeps siblings on one
+// cache line, which matters because FEL operations dominate kernel
+// overhead in fine-grained-partition runs (many small per-LP queues).
+package eventq
+
+import "unison/internal/sim"
+
+// FEL is the future-event-list contract shared by the binary-heap Queue
+// and the Calendar queue; kernels depend only on this interface so the
+// data structure is an ablation knob (BenchmarkFELHeapVsCalendar).
+type FEL interface {
+	Len() int
+	Empty() bool
+	NextTime() sim.Time
+	Push(ev sim.Event)
+	Pop() sim.Event
+	PopBefore(bound sim.Time) (sim.Event, bool)
+}
+
+// Queue is a future event list. The zero value is an empty, usable queue.
+type Queue struct {
+	h []sim.Event
+}
+
+// New returns an empty queue with capacity hint n.
+func New(n int) *Queue {
+	return &Queue{h: make([]sim.Event, 0, n)}
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Empty reports whether the queue has no pending events.
+func (q *Queue) Empty() bool { return len(q.h) == 0 }
+
+// Clear removes all events without releasing storage.
+func (q *Queue) Clear() { q.h = q.h[:0] }
+
+// NextTime returns the timestamp of the earliest event, or sim.MaxTime if
+// the queue is empty. Kernels use this for LBTS computation.
+func (q *Queue) NextTime() sim.Time {
+	if len(q.h) == 0 {
+		return sim.MaxTime
+	}
+	return q.h[0].Time
+}
+
+// Peek returns a pointer to the earliest event without removing it.
+// The pointer is invalidated by any mutation of the queue.
+func (q *Queue) Peek() *sim.Event {
+	return &q.h[0]
+}
+
+// Push inserts ev.
+func (q *Queue) Push(ev sim.Event) {
+	q.h = append(q.h, ev)
+	q.up(len(q.h) - 1)
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue.
+func (q *Queue) Pop() sim.Event {
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = sim.Event{} // release Fn closure for GC
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// PopBefore removes and returns the earliest event if its timestamp is
+// strictly less than bound; ok reports whether an event was returned.
+// This is the hot-path operation of every conservative PDES kernel:
+// "execute all events within the LBTS window".
+func (q *Queue) PopBefore(bound sim.Time) (ev sim.Event, ok bool) {
+	if len(q.h) == 0 || q.h[0].Time >= bound {
+		return sim.Event{}, false
+	}
+	return q.Pop(), true
+}
+
+func (q *Queue) less(i, j int) bool { return q.h[i].Before(&q.h[j]) }
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(i, p) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, min) {
+				min = c
+			}
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}
+
+// Drain appends all events to dst in arbitrary order and clears the queue.
+func (q *Queue) Drain(dst []sim.Event) []sim.Event {
+	dst = append(dst, q.h...)
+	for i := range q.h {
+		q.h[i] = sim.Event{}
+	}
+	q.h = q.h[:0]
+	return dst
+}

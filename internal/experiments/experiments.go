@@ -1,0 +1,147 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each experiment
+// is a named function producing a Table; the uniexp command and the
+// repository benchmarks are thin wrappers over this registry.
+//
+// Scale: simulated durations and topology sizes are scaled down from the
+// paper's multi-day runs so each experiment completes in seconds to
+// minutes; EXPERIMENTS.md records the operating points and the measured
+// versus published results. Quick mode shrinks them further for CI.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Quick shrinks topology sizes and simulated durations for CI.
+	Quick bool
+	// Seed drives every random stream.
+	Seed uint64
+}
+
+// Func produces one table.
+type Func func(cfg Config) (*Table, error)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note rendered under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// registry maps experiment names to their functions.
+var registry = map[string]Func{}
+
+func register(name string, fn Func) {
+	if _, dup := registry[name]; dup {
+		panic("experiments: duplicate experiment " + name)
+	}
+	registry[name] = fn
+}
+
+// Names returns all registered experiment names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the experiment function for name.
+func Lookup(name string) (Func, bool) {
+	fn, ok := registry[name]
+	return fn, ok
+}
+
+// Run executes the named experiment.
+func Run(name string, cfg Config) (*Table, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return fn(cfg)
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"unison/internal/app"
+	"unison/internal/netdev"
+	"unison/internal/pdes"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/stats"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+	"unison/internal/traffic"
+	"unison/internal/vtime"
+)
+
+// scenarioSpec describes a reproducible scenario; build() constructs a
+// fresh instance so every kernel runs an identical, independent copy.
+type scenarioSpec struct {
+	seed    uint64
+	stop    sim.Time
+	incast  float64
+	load    float64
+	sizes   *stats.CDF
+	pattern traffic.Pattern
+	tcpCfg  tcp.Config
+	queue   netdev.QueueConfig
+	metric  routing.Metric
+
+	// flows overrides generated traffic with an explicit flow list.
+	flows []tcp.FlowSpec
+	// ripPeriod, when positive, replaces static ECMP with RIP dynamic
+	// routing advertising at this period (the WAN scenarios).
+	ripPeriod sim.Time
+	// mutate, when set, is called with the built scenario to install
+	// topology-change global events (the reconfigurable-DCN scenario).
+	mutate func(sc *app.Scenario)
+
+	topo func() (*topology.Graph, []sim.NodeID)
+}
+
+func (s *scenarioSpec) defaults() {
+	if s.sizes == nil {
+		s.sizes = traffic.GRPCCDF()
+	}
+	if s.tcpCfg.MSS == 0 {
+		s.tcpCfg = tcp.DefaultConfig()
+	}
+	if s.queue.MaxPkts == 0 {
+		s.queue = netdev.DropTailConfig(100)
+	}
+	if s.load == 0 {
+		s.load = 0.3
+	}
+}
+
+// build constructs a fresh scenario instance.
+func (s *scenarioSpec) build() *app.Scenario {
+	s.defaults()
+	g, hosts := s.topo()
+	flows := s.flows
+	if flows == nil {
+		flows = traffic.Generate(traffic.Config{
+			Seed:         s.seed,
+			Hosts:        hosts,
+			Sizes:        s.sizes,
+			Load:         s.load,
+			BisectionBps: g.BisectionBandwidth(),
+			Start:        0,
+			End:          s.stop * 3 / 4,
+			Pattern:      s.pattern,
+			IncastRatio:  s.incast,
+		})
+	}
+	var router routing.Router
+	var rip *routing.RIP
+	if s.ripPeriod > 0 {
+		rip = routing.NewRIP(g, s.ripPeriod)
+		router = rip
+	} else {
+		router = routing.NewECMP(g, s.metric, s.seed)
+	}
+	sc := app.New(g, router, app.Config{
+		Seed:   s.seed,
+		NetCfg: netdev.Config{Queue: s.queue, ChecksumWork: true, Seed: s.seed},
+		TCPCfg: s.tcpCfg,
+		StopAt: s.stop,
+		Flows:  flows,
+	})
+	if rip != nil {
+		rip.Attach(sc.Setup, s.stop)
+	}
+	if s.mutate != nil {
+		s.mutate(sc)
+	}
+	return sc
+}
+
+// fatTreeSpec builds a clustered fat-tree scenario spec.
+func fatTreeSpec(seed uint64, k int, bw int64, delay, stop sim.Time, incast float64) *scenarioSpec {
+	return &scenarioSpec{
+		seed:   seed,
+		stop:   stop,
+		incast: incast,
+		topo: func() (*topology.Graph, []sim.NodeID) {
+			ft := topology.BuildFatTree(topology.FatTreeK(k, bw, delay))
+			return ft.Graph, ft.Hosts()
+		},
+	}
+}
+
+// vrun builds a fresh scenario from spec and executes it on the virtual
+// testbed.
+func vrun(spec *scenarioSpec, cfg vtime.Config) (*sim.RunStats, *app.Scenario, error) {
+	sc := spec.build()
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 50_000_000
+	}
+	st, err := vtime.Run(sc.Model(), cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", cfg.Algo, err)
+	}
+	return st, sc, nil
+}
+
+// secondsV renders virtual nanoseconds as seconds.
+func secondsV(st *sim.RunStats) float64 { return float64(st.VirtualT) / 1e9 }
+
+// manualFatTree returns the static rank assignment of a k-ary fat-tree
+// built by fatTreeSpec (cluster-contiguous, Figure 3 style).
+func manualFatTree(k, ranks int, bw int64, delay sim.Time) []int32 {
+	ft := topology.BuildFatTree(topology.FatTreeK(k, bw, delay))
+	return pdes.FatTreeManual(ft, ranks)
+}

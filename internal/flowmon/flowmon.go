@@ -1,0 +1,215 @@
+// Package flowmon is the flow monitor: global, per-flow statistics (FCT,
+// RTT, throughput, retransmissions) collected while the simulation runs.
+//
+// The default monitor uses the single-owner discipline described in
+// DESIGN.md: flow IDs are dense and pre-registered, sender-side records
+// are only written from the sender's node and receiver-side records from
+// the receiver's node, so collection is lock-free by construction under
+// every kernel. This is the capability the paper says existing PDES lacks
+// ("each LP cannot see the ongoing traffic of other LPs", §3.1) — shared
+// memory plus ownership makes global statistics free.
+package flowmon
+
+import (
+	"fmt"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/stats"
+)
+
+// SenderRec is the sender-side record of one flow.
+type SenderRec struct {
+	Src, Dst   sim.NodeID
+	Bytes      int64
+	StartT     sim.Time
+	FirstTxT   sim.Time
+	DoneT      sim.Time
+	Done       bool
+	Retransmit uint64
+	RTT        stats.Summary // nanoseconds
+}
+
+// Start marks the flow opened.
+func (r *SenderRec) Start(t sim.Time, src, dst sim.NodeID, bytes int64) {
+	r.StartT = t
+	r.Src, r.Dst = src, dst
+	r.Bytes = bytes
+}
+
+// FCT returns the flow completion time, or -1 if unfinished.
+func (r *SenderRec) FCT() sim.Time {
+	if !r.Done {
+		return -1
+	}
+	return r.DoneT - r.StartT
+}
+
+// RecvRec is the receiver-side record of one flow.
+type RecvRec struct {
+	BytesRcvd int64
+	FirstRxT  sim.Time
+	LastRxT   sim.Time
+	Done      bool
+	DoneT     sim.Time
+}
+
+// Goodput returns received application bytes/s over the receive interval.
+func (r *RecvRec) Goodput() float64 {
+	d := r.LastRxT - r.FirstRxT
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.BytesRcvd) / d.Seconds()
+}
+
+// Monitor holds the records of all flows of one simulation run.
+type Monitor struct {
+	senders []SenderRec
+	recvs   []RecvRec
+}
+
+// NewMonitor pre-registers n flows with IDs 0..n-1.
+func NewMonitor(n int) *Monitor {
+	return &Monitor{senders: make([]SenderRec, n), recvs: make([]RecvRec, n)}
+}
+
+// Flows returns the number of registered flows.
+func (m *Monitor) Flows() int { return len(m.senders) }
+
+// Sender returns the sender-side record of flow id.
+func (m *Monitor) Sender(id packet.FlowID) *SenderRec {
+	if int(id) >= len(m.senders) {
+		panic(fmt.Sprintf("flowmon: flow %d not registered (have %d)", id, len(m.senders)))
+	}
+	return &m.senders[id]
+}
+
+// Recv returns the receiver-side record of flow id.
+func (m *Monitor) Recv(id packet.FlowID) *RecvRec { return &m.recvs[id] }
+
+// Completed returns the number of flows whose sender finished.
+func (m *Monitor) Completed() int {
+	n := 0
+	for i := range m.senders {
+		if m.senders[i].Done {
+			n++
+		}
+	}
+	return n
+}
+
+// FCTs returns all completed flow completion times in milliseconds.
+func (m *Monitor) FCTs() []float64 {
+	var out []float64
+	for i := range m.senders {
+		if m.senders[i].Done {
+			out = append(out, m.senders[i].FCT().Seconds()*1e3)
+		}
+	}
+	return out
+}
+
+// MeanFCTms returns the mean FCT in milliseconds over completed flows.
+func (m *Monitor) MeanFCTms() float64 { return stats.Mean(m.FCTs()) }
+
+// MeanRTTms returns the mean of per-flow mean RTTs, in milliseconds.
+func (m *Monitor) MeanRTTms() float64 {
+	var agg stats.Summary
+	for i := range m.senders {
+		r := &m.senders[i]
+		if r.RTT.N > 0 {
+			agg.Add(r.RTT.Mean() / 1e6)
+		}
+	}
+	return agg.Mean()
+}
+
+// MeanGoodputMbps returns the mean per-flow goodput in Mbit/s over flows
+// that received data.
+func (m *Monitor) MeanGoodputMbps() float64 {
+	var agg stats.Summary
+	for i := range m.recvs {
+		if g := m.recvs[i].Goodput(); g > 0 {
+			agg.Add(g * 8 / 1e6)
+		}
+	}
+	return agg.Mean()
+}
+
+// Goodputs returns per-flow goodputs in Mbit/s (zero entries skipped).
+func (m *Monitor) Goodputs() []float64 {
+	var out []float64
+	for i := range m.recvs {
+		if g := m.recvs[i].Goodput(); g > 0 {
+			out = append(out, g*8/1e6)
+		}
+	}
+	return out
+}
+
+// TotalRetransmits sums retransmissions across flows.
+func (m *Monitor) TotalRetransmits() uint64 {
+	var t uint64
+	for i := range m.senders {
+		t += m.senders[i].Retransmit
+	}
+	return t
+}
+
+// Fingerprint folds the monitor's observable results into one 64-bit
+// value; determinism tests compare fingerprints across kernels, thread
+// counts and repeated runs (Fig 11).
+func (m *Monitor) Fingerprint() uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for i := range m.senders {
+		s := &m.senders[i]
+		mix(uint64(s.DoneT))
+		mix(uint64(s.Retransmit))
+		mix(uint64(s.RTT.N))
+		mix(uint64(int64(s.RTT.Sum)))
+	}
+	for i := range m.recvs {
+		r := &m.recvs[i]
+		mix(uint64(r.BytesRcvd))
+		mix(uint64(r.LastRxT))
+	}
+	return h
+}
+
+// MergeFrom folds another monitor's records into m. In a distributed run
+// each simulation host only populates the records of flows whose endpoint
+// it owns; the coordinator gathers the per-host monitors and merges them
+// into the global view (a record is taken from `other` when it carries
+// any content). Monitors must have the same flow count.
+func (m *Monitor) MergeFrom(other *Monitor) {
+	if len(other.senders) != len(m.senders) {
+		panic(fmt.Sprintf("flowmon: merging %d flows into %d", len(other.senders), len(m.senders)))
+	}
+	for i := range other.senders {
+		s := &other.senders[i]
+		if s.StartT != 0 || s.Done || s.RTT.N > 0 || s.Bytes != 0 {
+			m.senders[i] = *s
+		}
+	}
+	for i := range other.recvs {
+		r := &other.recvs[i]
+		if r.BytesRcvd != 0 || r.Done || r.FirstRxT != 0 {
+			m.recvs[i] = *r
+		}
+	}
+}
+
+// Export returns the monitor's raw records for serialization (gob) by the
+// distributed kernel.
+func (m *Monitor) Export() ([]SenderRec, []RecvRec) { return m.senders, m.recvs }
+
+// Import replaces the monitor's records (the inverse of Export).
+func (m *Monitor) Import(senders []SenderRec, recvs []RecvRec) {
+	m.senders = senders
+	m.recvs = recvs
+}

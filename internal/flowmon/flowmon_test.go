@@ -1,0 +1,200 @@
+package flowmon
+
+import (
+	"sync"
+	"testing"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+func TestSenderRecLifecycle(t *testing.T) {
+	m := NewMonitor(2)
+	r := m.Sender(0)
+	r.Start(100, 1, 2, 5000)
+	if r.FCT() != -1 {
+		t.Fatal("unfinished flow has an FCT")
+	}
+	r.Done = true
+	r.DoneT = 1100
+	if r.FCT() != 1000 {
+		t.Fatalf("FCT=%v", r.FCT())
+	}
+	if m.Completed() != 1 {
+		t.Fatalf("Completed=%d", m.Completed())
+	}
+}
+
+func TestRecvGoodput(t *testing.T) {
+	r := RecvRec{BytesRcvd: 1_000_000, FirstRxT: 0, LastRxT: sim.Second}
+	if got := r.Goodput(); got != 1e6 {
+		t.Fatalf("goodput=%v B/s, want 1e6", got)
+	}
+	empty := RecvRec{}
+	if empty.Goodput() != 0 {
+		t.Fatal("empty goodput not 0")
+	}
+}
+
+func TestUnknownFlowPanics(t *testing.T) {
+	m := NewMonitor(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range flow id did not panic")
+		}
+	}()
+	m.Sender(5)
+}
+
+func TestAggregates(t *testing.T) {
+	m := NewMonitor(3)
+	for i, fct := range []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond} {
+		r := m.Sender(packet.FlowID(i))
+		r.Start(0, 0, 1, 100)
+		r.Done = true
+		r.DoneT = fct
+		r.RTT.Add(float64(2 * sim.Millisecond))
+	}
+	// Third flow unfinished: excluded from FCT aggregates.
+	if got := m.MeanFCTms(); got != 15 {
+		t.Fatalf("MeanFCTms=%v", got)
+	}
+	if got := m.MeanRTTms(); got != 2 {
+		t.Fatalf("MeanRTTms=%v", got)
+	}
+	if len(m.FCTs()) != 2 {
+		t.Fatal("FCTs length wrong")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	mk := func(doneT sim.Time, bytes int64) uint64 {
+		m := NewMonitor(2)
+		s := m.Sender(0)
+		s.Done = true
+		s.DoneT = doneT
+		m.Recv(1).BytesRcvd = bytes
+		return m.Fingerprint()
+	}
+	base := mk(100, 5000)
+	if mk(100, 5000) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if mk(101, 5000) == base {
+		t.Fatal("fingerprint insensitive to DoneT")
+	}
+	if mk(100, 5001) == base {
+		t.Fatal("fingerprint insensitive to receiver bytes")
+	}
+}
+
+func TestRetransmitTotal(t *testing.T) {
+	m := NewMonitor(2)
+	m.Sender(0).Retransmit = 3
+	m.Sender(1).Retransmit = 4
+	if m.TotalRetransmits() != 7 {
+		t.Fatal("TotalRetransmits wrong")
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	a := NewMonitor(3)
+	b := NewMonitor(3)
+	// Host A owns flow 0's sender and flow 1's receiver.
+	a.Sender(0).Start(10, 1, 2, 100)
+	a.Sender(0).Done = true
+	a.Sender(0).DoneT = 50
+	a.Recv(1).BytesRcvd = 77
+	// Host B owns flow 1's sender and flow 0's receiver.
+	b.Sender(1).Start(20, 3, 4, 200)
+	b.Recv(0).BytesRcvd = 100
+	b.Recv(0).Done = true
+
+	merged := NewMonitor(3)
+	merged.MergeFrom(a)
+	merged.MergeFrom(b)
+	if !merged.Sender(0).Done || merged.Sender(0).DoneT != 50 {
+		t.Fatal("flow 0 sender lost")
+	}
+	if merged.Sender(1).StartT != 20 {
+		t.Fatal("flow 1 sender lost")
+	}
+	if merged.Recv(0).BytesRcvd != 100 || merged.Recv(1).BytesRcvd != 77 {
+		t.Fatal("receiver records lost")
+	}
+	if merged.Sender(2).StartT != 0 {
+		t.Fatal("phantom flow 2")
+	}
+}
+
+func TestMergeFromSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	NewMonitor(2).MergeFrom(NewMonitor(3))
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := NewMonitor(2)
+	m.Sender(0).Start(5, 1, 2, 99)
+	m.Recv(1).BytesRcvd = 42
+	s, r := m.Export()
+	n := NewMonitor(2)
+	n.Import(s, r)
+	if n.Fingerprint() != m.Fingerprint() {
+		t.Fatal("export/import changed the fingerprint")
+	}
+}
+
+func TestSharedMonitor(t *testing.T) {
+	m := NewSharedMonitor()
+	m.RecordStart(5, 10, 1, 2, 1000)
+	m.RecordRTT(5, 2*sim.Millisecond)
+	m.RecordBytes(5, 30, 500)
+	m.RecordBytes(5, 60, 500)
+	m.RecordDone(5, 100)
+	if m.Completed() != 1 {
+		t.Fatalf("completed=%d", m.Completed())
+	}
+	snap := m.Snapshot(6)
+	if snap.Sender(5).FCT() != 90 {
+		t.Fatalf("FCT=%v", snap.Sender(5).FCT())
+	}
+	if snap.Recv(5).BytesRcvd != 1000 || snap.Recv(5).FirstRxT != 30 || snap.Recv(5).LastRxT != 60 {
+		t.Fatalf("recv record wrong: %+v", snap.Recv(5))
+	}
+	if snap.Sender(5).RTT.N != 1 {
+		t.Fatal("RTT sample lost")
+	}
+	// Records for unknown flows are ignored gracefully.
+	m.RecordDone(99, 1)
+	m.RecordRTT(99, 1)
+	// Snapshot drops out-of-range flows.
+	small := m.Snapshot(2)
+	if small.Flows() != 2 {
+		t.Fatal("snapshot size wrong")
+	}
+}
+
+func TestSharedMonitorConcurrent(t *testing.T) {
+	m := NewSharedMonitor()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := packet.FlowID(w*200 + i)
+				m.RecordStart(id, 1, 0, 1, 10)
+				m.RecordBytes(id, 2, 10)
+				m.RecordDone(id, 3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Completed() != 1600 {
+		t.Fatalf("completed=%d", m.Completed())
+	}
+}

@@ -1,0 +1,105 @@
+package flowmon
+
+import (
+	"sync"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// SharedMonitor is the paper's FlowMonitor design (§5.1): statistics maps
+// shared across nodes, made thread-safe with a lock (standing in for the
+// paper's atomic-map surgery on ns-3). It exists for comparison with the
+// single-owner Monitor — the repository benchmark
+// BenchmarkFlowMonSharedVsOwned measures the synchronization overhead the
+// ownership discipline avoids — and for models whose flow population is
+// not known up front (flows register on first use).
+type SharedMonitor struct {
+	mu      sync.Mutex
+	senders map[packet.FlowID]*SenderRec
+	recvs   map[packet.FlowID]*RecvRec
+}
+
+// NewSharedMonitor returns an empty shared-map monitor.
+func NewSharedMonitor() *SharedMonitor {
+	return &SharedMonitor{
+		senders: make(map[packet.FlowID]*SenderRec),
+		recvs:   make(map[packet.FlowID]*RecvRec),
+	}
+}
+
+// RecordStart registers a flow's sender side (thread-safe).
+func (m *SharedMonitor) RecordStart(id packet.FlowID, t sim.Time, src, dst sim.NodeID, bytes int64) {
+	m.mu.Lock()
+	rec, ok := m.senders[id]
+	if !ok {
+		rec = &SenderRec{}
+		m.senders[id] = rec
+	}
+	rec.Start(t, src, dst, bytes)
+	m.mu.Unlock()
+}
+
+// RecordDone marks a flow complete (thread-safe).
+func (m *SharedMonitor) RecordDone(id packet.FlowID, t sim.Time) {
+	m.mu.Lock()
+	if rec, ok := m.senders[id]; ok {
+		rec.Done = true
+		rec.DoneT = t
+	}
+	m.mu.Unlock()
+}
+
+// RecordRTT adds one RTT sample (thread-safe).
+func (m *SharedMonitor) RecordRTT(id packet.FlowID, rtt sim.Time) {
+	m.mu.Lock()
+	if rec, ok := m.senders[id]; ok {
+		rec.RTT.Add(float64(rtt))
+	}
+	m.mu.Unlock()
+}
+
+// RecordBytes accumulates receiver-side bytes (thread-safe).
+func (m *SharedMonitor) RecordBytes(id packet.FlowID, t sim.Time, bytes int64) {
+	m.mu.Lock()
+	rec, ok := m.recvs[id]
+	if !ok {
+		rec = &RecvRec{FirstRxT: t}
+		m.recvs[id] = rec
+	}
+	rec.BytesRcvd += bytes
+	rec.LastRxT = t
+	m.mu.Unlock()
+}
+
+// Completed returns the number of completed flows (thread-safe).
+func (m *SharedMonitor) Completed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, rec := range m.senders {
+		if rec.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot converts the shared maps into a dense Monitor for analysis.
+// Flow IDs beyond the requested size are dropped.
+func (m *SharedMonitor) Snapshot(flows int) *Monitor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMonitor(flows)
+	for id, rec := range m.senders {
+		if int(id) < flows {
+			out.senders[id] = *rec
+		}
+	}
+	for id, rec := range m.recvs {
+		if int(id) < flows {
+			out.recvs[id] = *rec
+		}
+	}
+	return out
+}

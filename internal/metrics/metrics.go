@@ -1,0 +1,94 @@
+// Package metrics provides the profiling instruments the paper's analysis
+// relies on: the T = P + S + M time decomposition per worker, per-round
+// traces, and the cache-locality model that substitutes for hardware
+// cache-miss counters (DESIGN.md §1).
+package metrics
+
+import (
+	"time"
+
+	"unison/internal/sim"
+)
+
+// CacheModel approximates per-executor data-cache behaviour: each worker
+// has an LRU set of recently-touched nodes (a node's device/transport
+// state is its working set). An event whose node is absent from the LRU
+// is a modeled miss. Fine-grained partition groups consecutive events of
+// few nodes per LP, which this model rewards exactly as a real cache does
+// (Fig 12).
+type CacheModel struct {
+	ways int
+	sets [][]sim.NodeID
+	refs []uint64
+	miss []uint64
+}
+
+// NewCacheModel creates a model for the given worker count with an
+// associativity of `ways` node working-sets per worker.
+func NewCacheModel(workers, ways int) *CacheModel {
+	if ways <= 0 {
+		ways = 8
+	}
+	c := &CacheModel{
+		ways: ways,
+		sets: make([][]sim.NodeID, workers),
+		refs: make([]uint64, workers),
+		miss: make([]uint64, workers),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]sim.NodeID, 0, ways)
+	}
+	return c
+}
+
+// Touch records worker w executing an event on node n; it returns whether
+// the access was a modeled miss. Global events (negative nodes) are not
+// counted.
+func (c *CacheModel) Touch(w int, n sim.NodeID) bool {
+	if n < 0 {
+		return false
+	}
+	c.refs[w]++
+	set := c.sets[w]
+	for i, v := range set {
+		if v == n {
+			// Move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = n
+			return false
+		}
+	}
+	c.miss[w]++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = n
+	c.sets[w] = set
+	return true
+}
+
+// Counters returns total references and misses across workers.
+func (c *CacheModel) Counters() (refs, misses uint64) {
+	for i := range c.refs {
+		refs += c.refs[i]
+		misses += c.miss[i]
+	}
+	return refs, misses
+}
+
+// Stopwatch measures wall-clock segments for the P/S/M decomposition.
+type Stopwatch struct {
+	last time.Time
+}
+
+// Start begins timing.
+func (s *Stopwatch) Start() { s.last = time.Now() }
+
+// Lap returns nanoseconds since the previous Start/Lap and restarts.
+func (s *Stopwatch) Lap() int64 {
+	now := time.Now()
+	d := now.Sub(s.last).Nanoseconds()
+	s.last = now
+	return d
+}

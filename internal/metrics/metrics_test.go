@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"testing"
+
+	"unison/internal/sim"
+)
+
+func TestCacheModelHitsAndMisses(t *testing.T) {
+	c := NewCacheModel(1, 2)
+	if !c.Touch(0, 1) {
+		t.Fatal("cold access not a miss")
+	}
+	if c.Touch(0, 1) {
+		t.Fatal("repeat access missed")
+	}
+	c.Touch(0, 2) // miss, set = {2,1}
+	if c.Touch(0, 1) {
+		t.Fatal("LRU resident evicted too early")
+	}
+	c.Touch(0, 3) // evicts 2 (1 was just used)
+	if !c.Touch(0, 2) {
+		t.Fatal("evicted node hit")
+	}
+	refs, misses := c.Counters()
+	if refs != 6 || misses != 4 {
+		t.Fatalf("refs=%d misses=%d, want 6/4", refs, misses)
+	}
+}
+
+func TestCacheModelPerWorkerIsolation(t *testing.T) {
+	c := NewCacheModel(2, 4)
+	c.Touch(0, 7)
+	if !c.Touch(1, 7) {
+		t.Fatal("worker 1 hit on worker 0's access")
+	}
+}
+
+func TestCacheModelIgnoresGlobal(t *testing.T) {
+	c := NewCacheModel(1, 4)
+	if c.Touch(0, sim.GlobalNode) {
+		t.Fatal("global event counted as miss")
+	}
+	refs, _ := c.Counters()
+	if refs != 0 {
+		t.Fatal("global event counted as ref")
+	}
+}
+
+func TestCacheModelSequentialScanMissesForever(t *testing.T) {
+	c := NewCacheModel(1, 8)
+	// Touch 32 nodes round-robin: working set exceeds ways → all misses.
+	for round := 0; round < 4; round++ {
+		for n := sim.NodeID(0); n < 32; n++ {
+			c.Touch(0, n)
+		}
+	}
+	refs, misses := c.Counters()
+	if refs != 128 || misses != 128 {
+		t.Fatalf("refs=%d misses=%d, want all misses on a thrashing scan", refs, misses)
+	}
+}
+
+func TestCacheModelLocalityWins(t *testing.T) {
+	c := NewCacheModel(1, 8)
+	// Same 32 nodes, but grouped: 4 consecutive touches each.
+	for n := sim.NodeID(0); n < 32; n++ {
+		for i := 0; i < 4; i++ {
+			c.Touch(0, n)
+		}
+	}
+	_, misses := c.Counters()
+	if misses != 32 {
+		t.Fatalf("misses=%d, want 32 (one per node)", misses)
+	}
+}
+
+func TestCacheModelDefaultWays(t *testing.T) {
+	c := NewCacheModel(1, 0)
+	if c.ways != 8 {
+		t.Fatalf("default ways=%d", c.ways)
+	}
+}
+
+func TestStopwatchMonotone(t *testing.T) {
+	var sw Stopwatch
+	sw.Start()
+	a := sw.Lap()
+	b := sw.Lap()
+	if a < 0 || b < 0 {
+		t.Fatalf("negative laps: %d %d", a, b)
+	}
+}

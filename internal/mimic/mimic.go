@@ -1,0 +1,110 @@
+// Package mimic is the MimicNet substitute (DESIGN.md §1). MimicNet
+// trains a model of ONE fat-tree cluster under balanced traffic and
+// composes copies of it to predict larger fat-trees. Its documented
+// failure mode (§6.2, Table 2) is traffic that does not scale
+// proportionally — an incast onto one cluster — because the trained
+// cluster never saw that regime.
+//
+// This package reproduces the methodology with statistics instead of a
+// DNN: it "trains" by running a small fat-tree with full fidelity (our
+// own DES), fits per-flow-size completion-time and RTT/throughput
+// statistics, and "predicts" a target workload by applying those fitted
+// statistics per flow. Like the original, the prediction is oblivious to
+// hot spots in the target workload, so its error grows exactly where
+// MimicNet's does.
+package mimic
+
+import (
+	"errors"
+	"math"
+
+	"unison/internal/flowmon"
+	"unison/internal/tcp"
+)
+
+// Model holds the fitted per-cluster statistics.
+type Model struct {
+	// FCT model: log(fct_ms) ≈ a + b·log(bytes).
+	A, B float64
+	// Mean RTT (ms) and per-flow goodput (Mbps) under training traffic.
+	RTTms   float64
+	ThrMbps float64
+	// Flows used for training.
+	TrainedFlows int
+}
+
+// Train fits the model from a finished training run's monitor (the
+// full-fidelity small-scale simulation MimicNet also depends on, §2.2).
+func Train(mon *flowmon.Monitor, flows []tcp.FlowSpec) (*Model, error) {
+	var xs, ys []float64
+	for _, f := range flows {
+		rec := mon.Sender(f.ID)
+		if !rec.Done || f.Bytes <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(f.Bytes)))
+		ys = append(ys, math.Log(rec.FCT().Seconds()*1e3))
+	}
+	if len(xs) < 8 {
+		return nil, errors.New("mimic: too few completed training flows")
+	}
+	a, b := leastSquares(xs, ys)
+	return &Model{
+		A:            a,
+		B:            b,
+		RTTms:        mon.MeanRTTms(),
+		ThrMbps:      mon.MeanGoodputMbps(),
+		TrainedFlows: len(xs),
+	}, nil
+}
+
+// PredictFCTms predicts the completion time of one flow by size alone —
+// the composition step: every cluster is assumed to behave like the
+// trained one.
+func (m *Model) PredictFCTms(bytes int64) float64 {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	return math.Exp(m.A + m.B*math.Log(float64(bytes)))
+}
+
+// Prediction is the model's estimate for a target workload.
+type Prediction struct {
+	FCTms, RTTms, ThrMbps float64
+	Flows                 int
+}
+
+// Predict applies the trained statistics to a target workload. The
+// workload's destination skew is invisible to the model by construction.
+func (m *Model) Predict(flows []tcp.FlowSpec) Prediction {
+	var sum float64
+	n := 0
+	for _, f := range flows {
+		sum += m.PredictFCTms(f.Bytes)
+		n++
+	}
+	p := Prediction{RTTms: m.RTTms, ThrMbps: m.ThrMbps, Flows: n}
+	if n > 0 {
+		p.FCTms = sum / float64(n)
+	}
+	return p
+}
+
+// leastSquares fits y = a + b·x.
+func leastSquares(xs, ys []float64) (a, b float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}

@@ -1,0 +1,100 @@
+package mimic
+
+import (
+	"math"
+	"testing"
+
+	"unison/internal/flowmon"
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+)
+
+// syntheticTraining builds a monitor whose FCTs follow fct = c * size^b
+// exactly, so the regression can be verified analytically.
+func syntheticTraining(n int, c, b float64) (*flowmon.Monitor, []tcp.FlowSpec) {
+	mon := flowmon.NewMonitor(n)
+	var flows []tcp.FlowSpec
+	for i := 0; i < n; i++ {
+		size := int64(1000 * (i + 1))
+		fctMS := c * math.Pow(float64(size), b)
+		rec := mon.Sender(packet.FlowID(i))
+		rec.Start(0, 0, 1, size)
+		rec.Done = true
+		rec.DoneT = sim.Time(fctMS * 1e6)
+		rec.RTT.Add(2e6)
+		flows = append(flows, tcp.FlowSpec{ID: packet.FlowID(i), Src: 0, Dst: 1, Bytes: size})
+	}
+	return mon, flows
+}
+
+func TestTrainRecoversPowerLaw(t *testing.T) {
+	mon, flows := syntheticTraining(50, 0.001, 0.9)
+	m, err := Train(mon, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.B-0.9) > 0.01 {
+		t.Fatalf("exponent B=%v, want 0.9", m.B)
+	}
+	// Prediction at a trained size must be near-exact.
+	want := 0.001 * math.Pow(25_000, 0.9)
+	if got := m.PredictFCTms(25_000); math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("PredictFCTms(25000)=%v want %v", got, want)
+	}
+}
+
+func TestTrainRequiresEnoughFlows(t *testing.T) {
+	mon, flows := syntheticTraining(4, 0.001, 1)
+	if _, err := Train(mon, flows); err == nil {
+		t.Fatal("4 flows accepted for training")
+	}
+}
+
+func TestTrainSkipsUnfinishedFlows(t *testing.T) {
+	mon, flows := syntheticTraining(20, 0.001, 1)
+	// Mark half unfinished.
+	for i := 0; i < 10; i++ {
+		mon.Sender(packet.FlowID(i)).Done = false
+	}
+	m, err := Train(mon, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainedFlows != 10 {
+		t.Fatalf("trained on %d flows, want 10", m.TrainedFlows)
+	}
+}
+
+func TestPredictAggregates(t *testing.T) {
+	mon, flows := syntheticTraining(30, 0.002, 1)
+	m, err := Train(mon, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(flows)
+	if p.Flows != 30 {
+		t.Fatalf("predicted flows=%d", p.Flows)
+	}
+	if p.RTTms != m.RTTms || p.ThrMbps != m.ThrMbps {
+		t.Fatal("aggregate stats not propagated")
+	}
+	// The model is oblivious to destinations: an incast rewrite of the
+	// same flows must produce the identical prediction — the documented
+	// failure mode.
+	skewed := append([]tcp.FlowSpec(nil), flows...)
+	for i := range skewed {
+		skewed[i].Dst = 99
+	}
+	p2 := m.Predict(skewed)
+	if p2 != p {
+		t.Fatal("prediction depends on destinations; the substitute is too clever")
+	}
+}
+
+func TestLeastSquaresDegenerate(t *testing.T) {
+	a, b := leastSquares([]float64{2, 2, 2}, []float64{5, 5, 5})
+	if b != 0 || a != 5 {
+		t.Fatalf("degenerate fit a=%v b=%v", a, b)
+	}
+}

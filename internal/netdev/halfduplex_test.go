@@ -1,0 +1,178 @@
+package netdev
+
+import (
+	"testing"
+
+	"unison/internal/core"
+	"unison/internal/des"
+	"unison/internal/packet"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// hdPair builds two hosts joined by a half-duplex channel.
+func hdPair(bw int64, delay sim.Time) (*topology.Graph, sim.NodeID, sim.NodeID) {
+	g := topology.New()
+	a := g.AddNode(topology.Host, "a")
+	b := g.AddNode(topology.Host, "b")
+	g.AddHalfDuplexLink(a, b, bw, delay)
+	return g, a, b
+}
+
+func TestHalfDuplexSerializesOpposingTraffic(t *testing.T) {
+	// Both hosts transmit simultaneously: on a half-duplex channel the
+	// second transmission must wait for the first to finish.
+	g, a, b := hdPair(1_000_000_000, sim.Microsecond)
+	net := New(g, routing.NewECMP(g, routing.Hops, 1), DefaultConfig(1))
+	var arrivals []sim.Time
+	handler := func(ctx *sim.Ctx, p packet.Packet) { arrivals = append(arrivals, ctx.Now()) }
+	net.SetHandler(a, handler)
+	net.SetHandler(b, handler)
+	setup := sim.NewSetup()
+	// 960B payload → 1000B on wire → 8 µs tx at 1G.
+	setup.At(0, a, func(ctx *sim.Ctx) {
+		net.Inject(ctx, packet.Packet{Src: a, Dst: b, Payload: 960})
+	})
+	setup.At(0, b, func(ctx *sim.Ctx) {
+		net.Inject(ctx, packet.Packet{Src: b, Dst: a, Payload: 960})
+	})
+	stop := sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: 2, Links: g.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals=%d", len(arrivals))
+	}
+	// First arrives at 8+1 µs; second had to wait the channel: 16+1 µs.
+	if arrivals[0] != 9*sim.Microsecond {
+		t.Fatalf("first arrival %v, want 9µs", arrivals[0])
+	}
+	if arrivals[1] != 17*sim.Microsecond {
+		t.Fatalf("second arrival %v, want 17µs (serialized)", arrivals[1])
+	}
+}
+
+func TestFullDuplexDoesNotSerialize(t *testing.T) {
+	// Control: the same scenario on a full-duplex link overlaps.
+	g := topology.New()
+	a := g.AddNode(topology.Host, "a")
+	b := g.AddNode(topology.Host, "b")
+	g.AddLink(a, b, 1_000_000_000, sim.Microsecond)
+	net := New(g, routing.NewECMP(g, routing.Hops, 1), DefaultConfig(1))
+	var arrivals []sim.Time
+	handler := func(ctx *sim.Ctx, p packet.Packet) { arrivals = append(arrivals, ctx.Now()) }
+	net.SetHandler(a, handler)
+	net.SetHandler(b, handler)
+	setup := sim.NewSetup()
+	setup.At(0, a, func(ctx *sim.Ctx) {
+		net.Inject(ctx, packet.Packet{Src: a, Dst: b, Payload: 960})
+	})
+	setup.At(0, b, func(ctx *sim.Ctx) {
+		net.Inject(ctx, packet.Packet{Src: b, Dst: a, Payload: 960})
+	})
+	stop := sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: 2, Links: g.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0] != 9*sim.Microsecond || arrivals[1] != 9*sim.Microsecond {
+		t.Fatalf("arrivals=%v, want simultaneous 9µs", arrivals)
+	}
+}
+
+func TestHalfDuplexBackToBackSameSender(t *testing.T) {
+	// One sender, two packets: the channel release must re-kick the
+	// sender's own queue.
+	g, a, b := hdPair(1_000_000_000, sim.Microsecond)
+	net := New(g, routing.NewECMP(g, routing.Hops, 1), DefaultConfig(1))
+	delivered := 0
+	net.SetHandler(b, func(ctx *sim.Ctx, p packet.Packet) { delivered++ })
+	setup := sim.NewSetup()
+	setup.At(0, a, func(ctx *sim.Ctx) {
+		net.Inject(ctx, packet.Packet{Src: a, Dst: b, Payload: 960})
+		net.Inject(ctx, packet.Packet{Src: a, Dst: b, Payload: 960})
+	})
+	stop := sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: 2, Links: g.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered=%d", delivered)
+	}
+}
+
+func TestPartitionKeepsHalfDuplexTogether(t *testing.T) {
+	// A chain with a half-duplex hop in the middle: the partition must
+	// keep its endpoints in one LP even though the delay is huge.
+	g := topology.New()
+	n0 := g.AddNode(topology.Host, "n0")
+	n1 := g.AddNode(topology.Switch, "n1")
+	n2 := g.AddNode(topology.Switch, "n2")
+	n3 := g.AddNode(topology.Host, "n3")
+	g.AddLink(n0, n1, 1e9, 100)
+	g.AddHalfDuplexLink(n1, n2, 1e9, 10_000)
+	g.AddLink(n2, n3, 1e9, 100)
+	p := core.FineGrained(g.N(), g.LinkInfos())
+	if p.LPOf[n1] != p.LPOf[n2] {
+		t.Fatal("half-duplex link cut between LPs")
+	}
+}
+
+func TestWirelessOnlyModelDegeneratesToOneLP(t *testing.T) {
+	// The paper's §7 applicability limit: a model whose links are all
+	// stateful collapses into a single LP (sequential execution).
+	g := topology.New()
+	var prev sim.NodeID = g.AddNode(topology.Host, "h0")
+	for i := 1; i < 6; i++ {
+		n := g.AddNode(topology.Host, "h")
+		g.AddHalfDuplexLink(prev, n, 1e9, sim.Microsecond)
+		prev = n
+	}
+	p := core.FineGrained(g.N(), g.LinkInfos())
+	if p.Count != 1 {
+		t.Fatalf("LPs=%d, want 1 for an all-stateful topology", p.Count)
+	}
+}
+
+func TestHalfDuplexUnderUnisonKernel(t *testing.T) {
+	// End-to-end under the parallel kernel: deterministic, equal to DES.
+	build := func() (*sim.Model, *int) {
+		g, a, b := hdPair(1_000_000_000, sim.Microsecond)
+		net := New(g, routing.NewECMP(g, routing.Hops, 1), DefaultConfig(1))
+		delivered := new(int)
+		handler := func(ctx *sim.Ctx, p packet.Packet) { *delivered++ }
+		net.SetHandler(a, handler)
+		net.SetHandler(b, handler)
+		setup := sim.NewSetup()
+		setup.At(0, a, func(ctx *sim.Ctx) {
+			for i := 0; i < 10; i++ {
+				net.Inject(ctx, packet.Packet{Src: a, Dst: b, Payload: 960})
+			}
+		})
+		setup.At(0, b, func(ctx *sim.Ctx) {
+			for i := 0; i < 10; i++ {
+				net.Inject(ctx, packet.Packet{Src: b, Dst: a, Payload: 960})
+			}
+		})
+		stop := sim.Millisecond
+		setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+		return &sim.Model{Nodes: 2, Links: g.LinkInfos, Init: setup.Events(), StopAt: stop}, delivered
+	}
+	mSeq, dSeq := build()
+	if _, err := des.New().Run(mSeq); err != nil {
+		t.Fatal(err)
+	}
+	mUni, dUni := build()
+	if _, err := core.New(core.Config{Threads: 4}).Run(mUni); err != nil {
+		t.Fatal(err)
+	}
+	if *dSeq != 20 || *dUni != 20 {
+		t.Fatalf("delivered seq=%d uni=%d, want 20", *dSeq, *dUni)
+	}
+}

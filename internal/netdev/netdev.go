@@ -1,0 +1,316 @@
+// Package netdev implements the data plane of the simulated network:
+// network devices (one per link endpoint) with output queues, link
+// transmission and propagation, switch forwarding, and delivery to host
+// transports. Together with internal/tcp it is the ns-3-model analog the
+// paper's kernel runs underneath.
+//
+// Ownership discipline (the lock-free property): every Device belongs to
+// exactly one node and is only touched from events executing on that node,
+// so no device state needs synchronization under any kernel. Packets are
+// value types; crossing a link copies the packet into a new event.
+package netdev
+
+import (
+	"fmt"
+
+	"unison/internal/packet"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/stats"
+	"unison/internal/topology"
+	"unison/internal/trace"
+)
+
+// Handler consumes packets delivered to a host (the transport layer's
+// entry point). It runs on the host's node.
+type Handler func(ctx *sim.Ctx, p packet.Packet)
+
+// Config tunes the data plane.
+type Config struct {
+	// Queue is the default queue configuration applied to every device.
+	Queue QueueConfig
+	// ChecksumWork enables the per-byte checksum work model, giving each
+	// forwarding event a realistic processing cost (see internal/packet).
+	ChecksumWork bool
+	// Seed feeds the per-queue RED random streams.
+	Seed uint64
+}
+
+// DefaultConfig returns a DropTail data plane with checksum work enabled.
+func DefaultConfig(seed uint64) Config {
+	return Config{Queue: DropTailConfig(100), ChecksumWork: true, Seed: seed}
+}
+
+// Network is the data plane over one topology graph.
+type Network struct {
+	G      *topology.Graph
+	Router routing.Router
+	Cfg    Config
+
+	// Tracer, when set before the run, records packet events (enqueue,
+	// dequeue, drop, mark, deliver) — the pcap/ascii tracing analog.
+	// Collection is lock-free (per-node buffers).
+	Tracer *trace.Collector
+
+	// Remote, when set, is consulted before scheduling a link arrival: if
+	// it returns true the delivery was taken over by an external transport
+	// (the distributed kernel ships the packet to the owning simulation
+	// host over the wire, internal/dist).
+	Remote func(ctx *sim.Ctx, at sim.NodeID, p packet.Packet, arrival sim.Time) bool
+
+	// devs[l][side] is the device of link l at endpoint A (side 0) or B
+	// (side 1).
+	devs [][2]*Device
+
+	// handlers[n] receives packets addressed to host n.
+	handlers []Handler
+
+	// Dropped counts per-node drops (owned by the dropping node).
+	nodeDrops []uint64
+
+	// halfBusy[l] is the shared channel state of half-duplex link l. It
+	// is only touched from events of the link's endpoints, which the
+	// partition guarantees live in one LP (stateful links are never cut),
+	// so no synchronization is needed.
+	halfBusy []bool
+}
+
+// New builds devices for every link of g.
+func New(g *topology.Graph, router routing.Router, cfg Config) *Network {
+	n := &Network{
+		G:         g,
+		Router:    router,
+		Cfg:       cfg,
+		devs:      make([][2]*Device, len(g.Links)),
+		handlers:  make([]Handler, g.N()),
+		nodeDrops: make([]uint64, g.N()),
+		halfBusy:  make([]bool, len(g.Links)),
+	}
+	for i := range g.Links {
+		l := &g.Links[i]
+		n.devs[i][0] = newDevice(n, l.A, l.ID, cfg)
+		n.devs[i][1] = newDevice(n, l.B, l.ID, cfg)
+	}
+	return n
+}
+
+// SetHandler registers the transport entry point of host h.
+func (n *Network) SetHandler(h sim.NodeID, fn Handler) {
+	if n.G.Nodes[h].Kind != topology.Host {
+		panic(fmt.Sprintf("netdev: handler on non-host node %d", h))
+	}
+	n.handlers[h] = fn
+}
+
+// Device returns the device of node at on link l.
+func (n *Network) Device(at sim.NodeID, l topology.LinkID) *Device {
+	d := &n.devs[l]
+	if d[0].node == at {
+		return d[0]
+	}
+	if d[1].node == at {
+		return d[1]
+	}
+	panic(fmt.Sprintf("netdev: node %d not on link %d", at, l))
+}
+
+// Devices calls fn for every device (post-run statistics collection).
+func (n *Network) Devices(fn func(*Device)) {
+	for i := range n.devs {
+		fn(n.devs[i][0])
+		fn(n.devs[i][1])
+	}
+}
+
+// Drops returns the total packets dropped network-wide.
+func (n *Network) Drops() uint64 {
+	var t uint64
+	for _, d := range n.nodeDrops {
+		t += d
+	}
+	n.Devices(func(d *Device) { t += d.Drops })
+	return t
+}
+
+// Inject sends packet p from its source host into the network. It must run
+// on an event executing at p.Src (transports guarantee this).
+func (n *Network) Inject(ctx *sim.Ctx, p packet.Packet) {
+	if ctx.Node() != p.Src {
+		panic(fmt.Sprintf("netdev: inject of packet from %d on node %d", p.Src, ctx.Node()))
+	}
+	n.forward(ctx, ctx.Node(), p)
+}
+
+// Deliver injects a packet arrival at node `at` from an external
+// transport; it must run on an event executing at that node (the
+// distributed kernel guarantees this).
+func (n *Network) Deliver(ctx *sim.Ctx, at sim.NodeID, p packet.Packet) {
+	n.receive(ctx, at, p)
+}
+
+// receive handles a packet arriving at node `at` after link propagation.
+func (n *Network) receive(ctx *sim.Ctx, at sim.NodeID, p packet.Packet) {
+	if n.Cfg.ChecksumWork {
+		_ = packet.Checksum(&p)
+	}
+	if p.Dst == at {
+		n.traceEvent(ctx, trace.Deliver, at, &p)
+		if h := n.handlers[at]; h != nil {
+			h(ctx, p)
+		}
+		return
+	}
+	n.forward(ctx, at, p)
+}
+
+// traceEvent emits a trace record when tracing is enabled.
+func (n *Network) traceEvent(ctx *sim.Ctx, kind trace.Kind, at sim.NodeID, p *packet.Packet) {
+	if n.Tracer == nil {
+		return
+	}
+	n.Tracer.Add(trace.Record{
+		Time: ctx.Now(), Node: at, Kind: kind, Flow: p.Flow, Seq: p.Seq, Size: p.Size(),
+	})
+}
+
+// forward routes p out of node `at`.
+func (n *Network) forward(ctx *sim.Ctx, at sim.NodeID, p packet.Packet) {
+	if p.Hops >= packet.MaxHops {
+		n.nodeDrops[at]++
+		n.traceEvent(ctx, trace.Drop, at, &p)
+		return
+	}
+	l, ok := n.Router.NextLink(at, &p)
+	if !ok {
+		n.nodeDrops[at]++
+		n.traceEvent(ctx, trace.Drop, at, &p)
+		return
+	}
+	p.Hops++
+	n.Device(at, l).Send(ctx, p)
+}
+
+// Device is one endpoint of a link: an output queue plus the transmitter.
+type Device struct {
+	net  *Network
+	node sim.NodeID
+	link topology.LinkID
+
+	queue Queue
+	busy  bool
+
+	// Statistics, owned by the device's node.
+	TxPackets, TxBytes uint64
+	Drops              uint64
+	QueueDelay         stats.Summary
+	MarkCount          uint64 // ECN CE marks applied
+}
+
+func newDevice(n *Network, node sim.NodeID, link topology.LinkID, cfg Config) *Device {
+	return &Device{
+		net:   n,
+		node:  node,
+		link:  link,
+		queue: newQueue(cfg.Queue, cfg.Seed, node, link),
+	}
+}
+
+// Node returns the owning node.
+func (d *Device) Node() sim.NodeID { return d.node }
+
+// Link returns the attached link.
+func (d *Device) Link() topology.LinkID { return d.link }
+
+// QueuedPackets returns the current queue occupancy in packets.
+func (d *Device) QueuedPackets() int { return d.queue.Len() }
+
+// Send enqueues p for transmission, starting the transmitter if idle.
+func (d *Device) Send(ctx *sim.Ctx, p packet.Packet) {
+	verdict := d.queue.Enqueue(ctx, p)
+	switch verdict {
+	case verdictDrop:
+		d.Drops++
+		d.net.traceEvent(ctx, trace.Drop, d.node, &p)
+		return
+	case verdictMark:
+		d.MarkCount++
+		d.net.traceEvent(ctx, trace.Mark, d.node, &p)
+	default:
+		d.net.traceEvent(ctx, trace.Enqueue, d.node, &p)
+	}
+	if !d.busy {
+		d.startTx(ctx)
+	}
+}
+
+func (d *Device) startTx(ctx *sim.Ctx) {
+	lk := &d.net.G.Links[d.link]
+	if !lk.Stateless && d.net.halfBusy[d.link] {
+		// Half-duplex channel seized by the peer: stay quiet; the channel
+		// release will kick this device.
+		d.busy = false
+		return
+	}
+	item, ok := d.queue.Dequeue(ctx.Now())
+	if !ok {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	d.QueueDelay.Add(float64(ctx.Now() - item.enq))
+	if !lk.Up {
+		// Link went down while queued: drop and drain the rest next event.
+		d.Drops++
+		ctx.Schedule(0, d.node, func(c *sim.Ctx) { d.startTx(c) })
+		return
+	}
+	if !lk.Stateless {
+		d.net.halfBusy[d.link] = true
+	}
+	txTime := TxTime(int64(item.p.Size()), lk.Bandwidth)
+	d.TxPackets++
+	d.TxBytes += uint64(item.p.Size())
+	d.net.traceEvent(ctx, trace.Dequeue, d.node, &item.p)
+	p := item.p
+	ctx.Schedule(txTime, d.node, func(c *sim.Ctx) { d.txDone(c, p) })
+}
+
+func (d *Device) txDone(ctx *sim.Ctx, p packet.Packet) {
+	lk := &d.net.G.Links[d.link]
+	if lk.Up {
+		peer := d.net.G.Peer(d.link, d.node)
+		net := d.net
+		if net.Remote == nil || !net.Remote(ctx, peer, p, ctx.Now()+lk.Delay) {
+			ctx.Schedule(lk.Delay, peer, func(c *sim.Ctx) { net.receive(c, peer, p) })
+		}
+	} else {
+		d.Drops++
+	}
+	if !lk.Stateless {
+		// Release the shared channel and offer it to the peer device; the
+		// partition keeps both endpoints in one LP, so the zero-delay kick
+		// executes in the same round with deterministic ordering.
+		d.net.halfBusy[d.link] = false
+		d.busy = false
+		peer := d.net.G.Peer(d.link, d.node)
+		peerDev := d.net.Device(peer, d.link)
+		ctx.Schedule(0, peer, func(c *sim.Ctx) {
+			if !peerDev.busy {
+				peerDev.startTx(c)
+			}
+		})
+		self := d
+		ctx.Schedule(0, d.node, func(c *sim.Ctx) {
+			if !self.busy {
+				self.startTx(c)
+			}
+		})
+		return
+	}
+	d.startTx(ctx)
+}
+
+// TxTime returns the serialization delay of size bytes at bw bits/s.
+func TxTime(size, bw int64) sim.Time {
+	return sim.Time(size * 8 * int64(sim.Second) / bw)
+}

@@ -1,0 +1,369 @@
+package netdev
+
+import (
+	"fmt"
+
+	"unison/internal/packet"
+	"unison/internal/rng"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// QueueKind selects the queue discipline of a device.
+type QueueKind uint8
+
+const (
+	// DropTail drops arrivals once the packet limit is reached.
+	DropTail QueueKind = iota
+	// RED is Random Early Detection with optional ECN marking — the AQM
+	// used by the paper's accuracy experiments (Table 2) and, with ECN and
+	// a hard marking threshold, by DCTCP.
+	RED
+	// PfifoFast is a two-band strict-priority queue in the spirit of
+	// Linux/ns-3's pfifo_fast: control packets (pure ACKs, handshake
+	// segments) bypass queued data, which shortens ACK paths — and thus
+	// RTT estimates — on congested reverse paths.
+	PfifoFast
+	// CoDel is the Controlled-Delay AQM (Nichols & Jacobson 2012): drop
+	// from the head when packets have sojourned above Target for at least
+	// Interval, with the drop rate increasing by inverse square root.
+	CoDel
+)
+
+// QueueConfig parameterizes a device queue.
+type QueueConfig struct {
+	Kind    QueueKind
+	MaxPkts int
+	// RED parameters (packets), per Floyd & Jacobson.
+	MinTh, MaxTh float64
+	MaxP         float64
+	Wq           float64
+	// ECN marks instead of dropping when the packet is ECN-capable.
+	ECN bool
+	// HardMark marks every ECT packet once the instantaneous queue exceeds
+	// MinTh — the DCTCP step-marking configuration.
+	HardMark bool
+	// CoDel parameters: the acceptable standing sojourn time and the
+	// window over which it must persist before dropping starts.
+	CoDelTarget   sim.Time
+	CoDelInterval sim.Time
+}
+
+// DropTailConfig returns a DropTail queue with the given packet capacity.
+func DropTailConfig(maxPkts int) QueueConfig {
+	return QueueConfig{Kind: DropTail, MaxPkts: maxPkts}
+}
+
+// REDConfig returns a classic RED configuration sized for capacity maxPkts.
+func REDConfig(maxPkts int) QueueConfig {
+	return QueueConfig{
+		Kind:    RED,
+		MaxPkts: maxPkts,
+		MinTh:   float64(maxPkts) * 0.15,
+		MaxTh:   float64(maxPkts) * 0.45,
+		MaxP:    0.1,
+		Wq:      0.002,
+		ECN:     false,
+	}
+}
+
+// DCTCPConfig returns the DCTCP step-marking queue: mark ECT packets above
+// threshold K packets, never early-drop.
+func DCTCPConfig(maxPkts int, k float64) QueueConfig {
+	return QueueConfig{Kind: RED, MaxPkts: maxPkts, MinTh: k, MaxTh: k, MaxP: 1, Wq: 1, ECN: true, HardMark: true}
+}
+
+// PfifoFastConfig returns a two-band strict-priority queue with the given
+// total packet capacity.
+func PfifoFastConfig(maxPkts int) QueueConfig {
+	return QueueConfig{Kind: PfifoFast, MaxPkts: maxPkts}
+}
+
+// CoDelConfig returns a CoDel queue with the canonical 5 ms target and
+// 100 ms interval.
+func CoDelConfig(maxPkts int) QueueConfig {
+	return QueueConfig{
+		Kind:          CoDel,
+		MaxPkts:       maxPkts,
+		CoDelTarget:   5 * sim.Millisecond,
+		CoDelInterval: 100 * sim.Millisecond,
+	}
+}
+
+type verdict uint8
+
+const (
+	verdictEnqueue verdict = iota
+	verdictDrop
+	verdictMark
+)
+
+type queueItem struct {
+	p   packet.Packet
+	enq sim.Time
+}
+
+// Queue is the device queue interface.
+type Queue interface {
+	// Enqueue decides the packet's fate and, unless dropped, stores it.
+	Enqueue(ctx *sim.Ctx, p packet.Packet) verdict
+	// Dequeue removes the next packet to transmit at simulated time now
+	// (delay-based disciplines such as CoDel measure sojourn against it).
+	Dequeue(now sim.Time) (queueItem, bool)
+	Len() int
+}
+
+func newQueue(cfg QueueConfig, seed uint64, node sim.NodeID, link topology.LinkID) Queue {
+	switch cfg.Kind {
+	case DropTail:
+		return &dropTail{max: cfg.MaxPkts}
+	case PfifoFast:
+		return &pfifoFast{max: cfg.MaxPkts}
+	case CoDel:
+		return &codelQueue{cfg: cfg}
+	case RED:
+		return &redQueue{
+			cfg: cfg,
+			r:   rng.New(seed, rng.PurposeRED, uint64(uint32(node)), uint64(uint32(link))),
+		}
+	default:
+		panic(fmt.Sprintf("netdev: unknown queue kind %d", cfg.Kind))
+	}
+}
+
+// fifo is a ring-buffer packet FIFO shared by the disciplines.
+type fifo struct {
+	items []queueItem
+	head  int
+	n     int
+}
+
+func (f *fifo) len() int { return f.n }
+
+func (f *fifo) push(it queueItem) {
+	if f.n == len(f.items) {
+		grown := make([]queueItem, max(8, 2*len(f.items)))
+		for i := 0; i < f.n; i++ {
+			grown[i] = f.items[(f.head+i)%len(f.items)]
+		}
+		f.items = grown
+		f.head = 0
+	}
+	f.items[(f.head+f.n)%len(f.items)] = it
+	f.n++
+}
+
+func (f *fifo) pop() (queueItem, bool) {
+	if f.n == 0 {
+		return queueItem{}, false
+	}
+	it := f.items[f.head]
+	f.items[f.head] = queueItem{}
+	f.head = (f.head + 1) % len(f.items)
+	f.n--
+	return it, true
+}
+
+type dropTail struct {
+	fifo
+	max int
+}
+
+func (q *dropTail) Enqueue(ctx *sim.Ctx, p packet.Packet) verdict {
+	if q.len() >= q.max {
+		return verdictDrop
+	}
+	q.push(queueItem{p: p, enq: ctx.Now()})
+	return verdictEnqueue
+}
+
+func (q *dropTail) Dequeue(sim.Time) (queueItem, bool) { return q.pop() }
+func (q *dropTail) Len() int                           { return q.len() }
+
+// redQueue implements RED (Floyd & Jacobson 1993) with the gentle drop
+// curve, plus DCTCP-style hard marking.
+type redQueue struct {
+	fifo
+	cfg   QueueConfig
+	r     *rng.Rand
+	avg   float64
+	count int // packets since last drop/mark
+}
+
+func (q *redQueue) Enqueue(ctx *sim.Ctx, p packet.Packet) verdict {
+	if q.len() >= q.cfg.MaxPkts {
+		q.count = 0
+		return verdictDrop
+	}
+	v := verdictEnqueue
+	if q.cfg.HardMark {
+		if float64(q.len()) >= q.cfg.MinTh && p.ECT {
+			p.CE = true
+			v = verdictMark
+		}
+	} else {
+		q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*float64(q.len())
+		switch {
+		case q.avg < q.cfg.MinTh:
+			q.count = 0
+		case q.avg >= q.cfg.MaxTh:
+			q.count = 0
+			if q.cfg.ECN && p.ECT {
+				p.CE = true
+				v = verdictMark
+			} else {
+				return verdictDrop
+			}
+		default:
+			pb := q.cfg.MaxP * (q.avg - q.cfg.MinTh) / (q.cfg.MaxTh - q.cfg.MinTh)
+			pa := pb / (1 - float64(q.count)*pb)
+			if pa < 0 || pa > 1 {
+				pa = 1
+			}
+			q.count++
+			if q.r.Float64() < pa {
+				q.count = 0
+				if q.cfg.ECN && p.ECT {
+					p.CE = true
+					v = verdictMark
+				} else {
+					return verdictDrop
+				}
+			}
+		}
+	}
+	q.push(queueItem{p: p, enq: ctx.Now()})
+	return v
+}
+
+func (q *redQueue) Dequeue(sim.Time) (queueItem, bool) { return q.pop() }
+func (q *redQueue) Len() int                           { return q.len() }
+
+// pfifoFast is the two-band strict-priority discipline: band 0 holds
+// control packets (pure ACKs and handshake segments), band 1 data; band 0
+// always drains first.
+type pfifoFast struct {
+	bands [2]fifo
+	max   int
+}
+
+func (q *pfifoFast) band(p *packet.Packet) int {
+	if p.IsAck() || (p.Flags&packet.FlagSYN != 0 && p.Payload == 0) {
+		return 0
+	}
+	return 1
+}
+
+func (q *pfifoFast) Enqueue(ctx *sim.Ctx, p packet.Packet) verdict {
+	if q.Len() >= q.max {
+		return verdictDrop
+	}
+	q.bands[q.band(&p)].push(queueItem{p: p, enq: ctx.Now()})
+	return verdictEnqueue
+}
+
+func (q *pfifoFast) Dequeue(sim.Time) (queueItem, bool) {
+	if it, ok := q.bands[0].pop(); ok {
+		return it, true
+	}
+	return q.bands[1].pop()
+}
+
+func (q *pfifoFast) Len() int { return q.bands[0].len() + q.bands[1].len() }
+
+// codelQueue implements CoDel: sojourn time above CoDelTarget sustained
+// for CoDelInterval triggers head drops whose rate grows with the square
+// root of the drop count, until the queue drains below target.
+type codelQueue struct {
+	fifo
+	cfg QueueConfig
+
+	firstAbove sim.Time // when sojourn first exceeded target (0 = not yet)
+	dropNext   sim.Time // next scheduled drop while in dropping state
+	dropping   bool
+	count      int // drops in the current dropping state
+	lastCount  int // count when the previous dropping state ended
+	// Drops counts CoDel's head drops (tail drops on overflow excluded).
+	Drops uint64
+}
+
+func (q *codelQueue) Enqueue(ctx *sim.Ctx, p packet.Packet) verdict {
+	if q.len() >= q.cfg.MaxPkts {
+		return verdictDrop
+	}
+	q.push(queueItem{p: p, enq: ctx.Now()})
+	return verdictEnqueue
+}
+
+// controlLaw spaces drops as Interval / sqrt(count).
+func (q *codelQueue) controlLaw(t sim.Time) sim.Time {
+	return t + sim.Time(float64(q.cfg.CoDelInterval)/sqrtF(float64(q.count)))
+}
+
+func sqrtF(v float64) float64 {
+	// Newton's method is plenty here and avoids importing math on the
+	// data-plane hot path.
+	if v <= 0 {
+		return 1
+	}
+	x := v
+	for i := 0; i < 16; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// Dequeue applies the CoDel head-drop discipline: sojourn is measured
+// against the true dequeue time. Dropped heads are counted and the next
+// item is offered.
+func (q *codelQueue) Dequeue(now sim.Time) (queueItem, bool) {
+	for {
+		it, ok := q.pop()
+		if !ok {
+			q.dropping = false
+			q.firstAbove = 0
+			return queueItem{}, false
+		}
+		sojourn := now - it.enq
+		switch {
+		case sojourn < q.cfg.CoDelTarget || q.n == 0:
+			// Below target (or queue nearly empty): leave dropping state.
+			if q.dropping {
+				q.lastCount = q.count
+			}
+			q.dropping = false
+			q.firstAbove = 0
+			return it, true
+		case !q.dropping:
+			if q.firstAbove == 0 {
+				q.firstAbove = now + q.cfg.CoDelInterval
+				return it, true
+			}
+			if now < q.firstAbove {
+				return it, true
+			}
+			// Sojourn has been above target for a full interval: start
+			// dropping with this packet. If the previous dropping state
+			// ended recently, resume near its drop rate (the spec's
+			// control-law memory) instead of ramping from scratch.
+			q.dropping = true
+			if now-q.dropNext < 16*q.cfg.CoDelInterval && q.lastCount > 2 {
+				q.count = q.lastCount - 2
+			} else {
+				q.count = 1
+			}
+			q.Drops++
+			q.dropNext = q.controlLaw(now)
+			continue
+		case now >= q.dropNext:
+			q.count++
+			q.Drops++
+			q.dropNext = q.controlLaw(q.dropNext)
+			continue
+		default:
+			return it, true
+		}
+	}
+}
+
+func (q *codelQueue) Len() int { return q.len() }

@@ -1,0 +1,337 @@
+package netdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// fakeCtx builds a context positioned at time t for queue unit tests.
+func fakeCtx(t sim.Time) *sim.Ctx {
+	ctx := sim.NewCtx(nopSink{}, 0)
+	ev := sim.Event{Time: t}
+	var seq uint64
+	ctx.Begin(&ev, &seq)
+	return ctx
+}
+
+type nopSink struct{}
+
+func (nopSink) Put(sim.Event)       {}
+func (nopSink) PutGlobal(sim.Event) {}
+
+func TestFIFOOrder(t *testing.T) {
+	var f fifo
+	for i := 0; i < 100; i++ {
+		f.push(queueItem{p: packet.Packet{Seq: uint32(i)}})
+	}
+	for i := 0; i < 100; i++ {
+		it, ok := f.pop()
+		if !ok || it.p.Seq != uint32(i) {
+			t.Fatalf("pop %d: ok=%v seq=%d", i, ok, it.p.Seq)
+		}
+	}
+	if _, ok := f.pop(); ok {
+		t.Fatal("pop on empty fifo succeeded")
+	}
+}
+
+func TestFIFOInterleavedQuick(t *testing.T) {
+	f := func(ops []bool) bool {
+		var q fifo
+		next, expect := uint32(0), uint32(0)
+		for _, push := range ops {
+			if push || q.len() == 0 {
+				q.push(queueItem{p: packet.Packet{Seq: next}})
+				next++
+			} else {
+				it, ok := q.pop()
+				if !ok || it.p.Seq != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropTailCapacity(t *testing.T) {
+	q := newQueue(DropTailConfig(3), 1, 0, 0)
+	ctx := fakeCtx(0)
+	for i := 0; i < 3; i++ {
+		if v := q.Enqueue(ctx, packet.Packet{}); v != verdictEnqueue {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if v := q.Enqueue(ctx, packet.Packet{}); v != verdictDrop {
+		t.Fatal("overflow not dropped")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len=%d", q.Len())
+	}
+}
+
+func TestREDBelowMinThNeverDrops(t *testing.T) {
+	cfg := REDConfig(100) // MinTh = 15
+	q := newQueue(cfg, 1, 0, 0)
+	ctx := fakeCtx(0)
+	for i := 0; i < 10; i++ {
+		if v := q.Enqueue(ctx, packet.Packet{}); v != verdictEnqueue {
+			t.Fatalf("drop below MinTh at %d", i)
+		}
+	}
+}
+
+func TestREDDropsUnderSustainedLoad(t *testing.T) {
+	cfg := REDConfig(100)
+	q := newQueue(cfg, 1, 0, 0)
+	ctx := fakeCtx(0)
+	drops := 0
+	// Keep the queue full so the EWMA climbs past MaxTh.
+	for i := 0; i < 5000; i++ {
+		if v := q.Enqueue(ctx, packet.Packet{}); v == verdictDrop {
+			drops++
+		}
+		if q.Len() > 60 {
+			q.Dequeue(0)
+		}
+	}
+	if drops == 0 {
+		t.Fatal("RED never dropped under sustained overload")
+	}
+}
+
+func TestREDECNMarksInsteadOfDropping(t *testing.T) {
+	cfg := REDConfig(100)
+	cfg.ECN = true
+	q := newQueue(cfg, 1, 0, 0)
+	ctx := fakeCtx(0)
+	marks, drops := 0, 0
+	for i := 0; i < 5000; i++ {
+		switch q.Enqueue(ctx, packet.Packet{ECT: true}) {
+		case verdictMark:
+			marks++
+		case verdictDrop:
+			drops++
+		}
+		if q.Len() > 60 {
+			q.Dequeue(0)
+		}
+	}
+	if marks == 0 {
+		t.Fatal("ECN never marked")
+	}
+	// Only hard overflow may drop ECT packets.
+	if drops != 0 {
+		t.Fatalf("RED dropped %d ECT packets below capacity", drops)
+	}
+}
+
+func TestREDNonECTDroppedEvenWithECN(t *testing.T) {
+	cfg := REDConfig(100)
+	cfg.ECN = true
+	q := newQueue(cfg, 1, 0, 0)
+	ctx := fakeCtx(0)
+	drops := 0
+	for i := 0; i < 5000; i++ {
+		if q.Enqueue(ctx, packet.Packet{ECT: false}) == verdictDrop {
+			drops++
+		}
+		if q.Len() > 60 {
+			q.Dequeue(0)
+		}
+	}
+	if drops == 0 {
+		t.Fatal("non-ECT packets never dropped in ECN mode")
+	}
+}
+
+func TestDCTCPHardMarking(t *testing.T) {
+	q := newQueue(DCTCPConfig(100, 10), 1, 0, 0)
+	ctx := fakeCtx(0)
+	// Below K: no marks.
+	for i := 0; i < 10; i++ {
+		if v := q.Enqueue(ctx, packet.Packet{ECT: true}); v != verdictEnqueue {
+			t.Fatalf("marked below K at %d", i)
+		}
+	}
+	// At/after K: every ECT packet marked.
+	for i := 0; i < 5; i++ {
+		if v := q.Enqueue(ctx, packet.Packet{ECT: true}); v != verdictMark {
+			t.Fatalf("not marked above K at %d", i)
+		}
+	}
+	// The CE bit must be set on the stored packet.
+	for i := 0; i < 10; i++ {
+		q.Dequeue(0)
+	}
+	it, ok := q.Dequeue(0)
+	if !ok || !it.p.CE {
+		t.Fatal("marked packet does not carry CE")
+	}
+}
+
+func TestDCTCPMarkingSkipsNonECT(t *testing.T) {
+	q := newQueue(DCTCPConfig(100, 2), 1, 0, 0)
+	ctx := fakeCtx(0)
+	for i := 0; i < 10; i++ {
+		if v := q.Enqueue(ctx, packet.Packet{ECT: false}); v == verdictMark {
+			t.Fatal("non-ECT packet marked")
+		}
+	}
+}
+
+func TestREDDeterministicPerSeed(t *testing.T) {
+	runOnce := func() []verdict {
+		q := newQueue(REDConfig(50), 42, 3, 7)
+		ctx := fakeCtx(0)
+		var out []verdict
+		for i := 0; i < 2000; i++ {
+			out = append(out, q.Enqueue(ctx, packet.Packet{}))
+			if q.Len() > 30 {
+				q.Dequeue(0)
+			}
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestPfifoFastPrioritizesControl(t *testing.T) {
+	q := newQueue(PfifoFastConfig(10), 1, 0, 0)
+	ctx := fakeCtx(0)
+	// Three data packets, then a pure ACK and a SYN.
+	for i := 0; i < 3; i++ {
+		q.Enqueue(ctx, packet.Packet{Payload: 1000, Seq: uint32(i)})
+	}
+	q.Enqueue(ctx, packet.Packet{Flags: packet.FlagACK})
+	q.Enqueue(ctx, packet.Packet{Flags: packet.FlagSYN})
+	// Control drains first, then data in order.
+	it, _ := q.Dequeue(0)
+	if it.p.Flags&packet.FlagACK == 0 {
+		t.Fatal("ACK did not overtake data")
+	}
+	it, _ = q.Dequeue(0)
+	if it.p.Flags&packet.FlagSYN == 0 {
+		t.Fatal("SYN did not overtake data")
+	}
+	for i := 0; i < 3; i++ {
+		it, ok := q.Dequeue(0)
+		if !ok || it.p.Seq != uint32(i) {
+			t.Fatalf("data packet %d out of order", i)
+		}
+	}
+}
+
+func TestPfifoFastCapacityShared(t *testing.T) {
+	q := newQueue(PfifoFastConfig(2), 1, 0, 0)
+	ctx := fakeCtx(0)
+	q.Enqueue(ctx, packet.Packet{Payload: 1000})
+	q.Enqueue(ctx, packet.Packet{Payload: 1000})
+	if v := q.Enqueue(ctx, packet.Packet{Flags: packet.FlagACK}); v != verdictDrop {
+		t.Fatal("over-capacity ACK not dropped")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len=%d", q.Len())
+	}
+}
+
+func TestPfifoFastDataWithAckFlagIsData(t *testing.T) {
+	q := newQueue(PfifoFastConfig(10), 1, 0, 0)
+	ctx := fakeCtx(0)
+	q.Enqueue(ctx, packet.Packet{Flags: packet.FlagACK, Payload: 100}) // piggybacked
+	q.Enqueue(ctx, packet.Packet{Flags: packet.FlagACK})               // pure
+	it, _ := q.Dequeue(0)
+	if it.p.Payload != 0 {
+		t.Fatal("piggybacked data treated as control")
+	}
+}
+
+func TestCoDelPassesLightTraffic(t *testing.T) {
+	q := newQueue(CoDelConfig(100), 1, 0, 0)
+	// Light load: enqueue/dequeue immediately — sojourn 0, no drops.
+	for i := 0; i < 100; i++ {
+		ctx := fakeCtx(sim.Time(i) * sim.Millisecond)
+		q.Enqueue(ctx, packet.Packet{Seq: uint32(i)})
+		it, ok := q.Dequeue(ctx.Now())
+		if !ok || it.p.Seq != uint32(i) {
+			t.Fatalf("packet %d lost or reordered", i)
+		}
+	}
+	if d := q.(*codelQueue).Drops; d != 0 {
+		t.Fatalf("CoDel dropped %d packets under light load", d)
+	}
+}
+
+func TestCoDelDropsPersistentStandingQueue(t *testing.T) {
+	q := newQueue(CoDelConfig(1000), 1, 0, 0)
+	// Build a standing queue: arrivals 1 ms apart, drains lagging far
+	// behind, so sojourn stays way above the 5 ms target for seconds.
+	drops := 0
+	delivered := 0
+	enq := 0
+	for step := 0; step < 4000; step++ {
+		ctx := fakeCtx(sim.Time(step) * sim.Millisecond)
+		// Two arrivals per drain keeps the queue growing.
+		q.Enqueue(ctx, packet.Packet{Seq: uint32(enq)})
+		enq++
+		q.Enqueue(ctx, packet.Packet{Seq: uint32(enq)})
+		enq++
+		if _, ok := q.Dequeue(ctx.Now()); ok {
+			delivered++
+		}
+	}
+	drops = int(q.(*codelQueue).Drops)
+	if drops == 0 {
+		t.Fatal("CoDel never dropped despite a persistent standing queue")
+	}
+	if delivered == 0 {
+		t.Fatal("CoDel starved the queue entirely")
+	}
+}
+
+func TestCoDelRecovers(t *testing.T) {
+	q := newQueue(CoDelConfig(1000), 1, 0, 0)
+	// Phase 1: sustained overload to enter the dropping state.
+	enq := 0
+	for step := 0; step < 1000; step++ {
+		ctx := fakeCtx(sim.Time(step) * sim.Millisecond)
+		q.Enqueue(ctx, packet.Packet{Seq: uint32(enq)})
+		enq++
+		q.Enqueue(ctx, packet.Packet{Seq: uint32(enq)})
+		enq++
+		q.Dequeue(ctx.Now())
+	}
+	if q.(*codelQueue).Drops == 0 {
+		t.Fatal("no drops during overload phase")
+	}
+	// Phase 2: drain completely, then light traffic must pass untouched.
+	for {
+		if _, ok := q.Dequeue(sim.Time(2000) * sim.Millisecond); !ok {
+			break
+		}
+	}
+	before := q.(*codelQueue).Drops
+	base := sim.Time(10_000) * sim.Millisecond
+	for i := 0; i < 50; i++ {
+		ctx := fakeCtx(base + sim.Time(i)*sim.Millisecond)
+		q.Enqueue(ctx, packet.Packet{})
+		if _, ok := q.Dequeue(ctx.Now()); !ok {
+			t.Fatal("light packet lost after recovery")
+		}
+	}
+	if q.(*codelQueue).Drops != before {
+		t.Fatal("CoDel kept dropping after the standing queue cleared")
+	}
+}

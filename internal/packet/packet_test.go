@@ -1,0 +1,64 @@
+package packet
+
+import "testing"
+
+func TestSize(t *testing.T) {
+	p := Packet{Payload: 1000}
+	if p.Size() != 1000+HeaderBytes {
+		t.Fatalf("Size=%d", p.Size())
+	}
+}
+
+func TestIsAck(t *testing.T) {
+	ack := Packet{Flags: FlagACK}
+	if !ack.IsAck() {
+		t.Fatal("pure ACK not detected")
+	}
+	data := Packet{Flags: FlagACK, Payload: 100}
+	if data.IsAck() {
+		t.Fatal("piggybacked data counted as pure ACK")
+	}
+	if (&Packet{Payload: 0}).IsAck() {
+		t.Fatal("packet without ACK flag counted as ACK")
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	p := Packet{Payload: 1448, Seq: 1234, Ack: 99}
+	a := Checksum(&p)
+	b := Checksum(&p)
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	q := p
+	q.Seq = 1235
+	if Checksum(&q) == a {
+		t.Fatal("checksum ignores header fields")
+	}
+}
+
+func TestChecksumSizes(t *testing.T) {
+	// Must not panic for any size, including > work buffer.
+	for _, payload := range []int32{0, 1, 2, 100, 1448, 9000} {
+		p := Packet{Payload: payload}
+		Checksum(&p)
+	}
+}
+
+func TestFlagConstantsDistinct(t *testing.T) {
+	flags := []uint8{FlagSYN, FlagACK, FlagFIN, FlagECE, FlagCWR}
+	seen := uint8(0)
+	for _, f := range flags {
+		if f == 0 || seen&f != 0 {
+			t.Fatalf("flag %b overlaps", f)
+		}
+		seen |= f
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	p := Packet{Payload: 1448, Seq: 7}
+	for i := 0; i < b.N; i++ {
+		Checksum(&p)
+	}
+}

@@ -1,0 +1,299 @@
+// Package pdes implements the two classic conservative PDES algorithms
+// the paper profiles and compares against (§2.3): the barrier
+// synchronization algorithm (ns-3's default PDES) and the Chandy–Misra–
+// Bryant null message algorithm. Both require a static manual partition
+// of the topology into ranks — exactly the complex configuration step
+// Unison eliminates — and this package also ships the per-topology manual
+// partition recipes that step entails (partition.go).
+package pdes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unison/internal/core"
+	"unison/internal/eventq"
+	"unison/internal/metrics"
+	"unison/internal/sim"
+	"unison/internal/syncx"
+)
+
+// BarrierKernel is the barrier synchronization algorithm: every rank is a
+// logical process bound to its own worker; rounds are separated by global
+// barriers; the window is LBTS = min{N_i} + lookahead (Equation 1).
+//
+// The rank assignment is static: there is no load balancing, which is the
+// root cause of the synchronization time the paper measures in §3.2.
+type BarrierKernel struct {
+	// LPOf is the mandatory manual node→rank assignment.
+	LPOf []int32
+	// RecordRounds captures per-round P samples (Figures 5b/13a).
+	RecordRounds bool
+	// CacheWays enables the cache-locality model when positive.
+	CacheWays int
+	// MaxRounds aborts runaway simulations when positive.
+	MaxRounds uint64
+}
+
+// Name implements sim.Kernel.
+func (k *BarrierKernel) Name() string { return "barrier" }
+
+type brt struct {
+	k         *BarrierKernel
+	m         *sim.Model
+	part      *core.Partition
+	fels      []*eventq.Queue
+	mail      [][][]sim.Event // mail[dst][src]
+	pub       *eventq.Queue
+	seqs      sim.SeqTable
+	lbts      sim.Time
+	lookahead sim.Time
+	rankMin   []sim.Time
+	roundP    []int64
+	stopped   bool
+	done      bool
+	err       error
+	round     uint64
+	cache     *metrics.CacheModel
+	trace     []sim.RoundSample
+	workers   []rankState
+}
+
+type rankState struct {
+	events  uint64
+	lastT   sim.Time
+	p, s, m int64
+	_       [8]int64
+}
+
+type rankSink struct {
+	rt   *brt
+	rank int32
+	// global is set while rank 0 executes global events between rounds.
+	global bool
+}
+
+func (s *rankSink) Put(ev sim.Event) {
+	tgt := s.rt.part.LPOf[ev.Node]
+	if s.global || tgt == s.rank {
+		s.rt.fels[tgt].Push(ev)
+		return
+	}
+	if ev.Time < s.rt.lbts {
+		panic(fmt.Sprintf("pdes: causality violation: cross-rank event at %v inside window ending %v", ev.Time, s.rt.lbts))
+	}
+	mb := &s.rt.mail[tgt][s.rank]
+	*mb = append(*mb, ev)
+}
+
+func (s *rankSink) PutGlobal(ev sim.Event) {
+	if !s.global {
+		panic("pdes: global events may only be scheduled at setup or from other global events")
+	}
+	s.rt.pub.Push(ev)
+}
+
+// Run implements sim.Kernel.
+func (k *BarrierKernel) Run(m *sim.Model) (*sim.RunStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("pdes: %w", err)
+	}
+	if len(k.LPOf) != m.Nodes {
+		return nil, errors.New("pdes: BarrierKernel requires a manual partition covering every node")
+	}
+	start := time.Now()
+	links := m.Links()
+	part := core.Manual(k.LPOf, links)
+	n := part.Count
+	r := &brt{
+		k:         k,
+		m:         m,
+		part:      part,
+		fels:      make([]*eventq.Queue, n),
+		mail:      make([][][]sim.Event, n),
+		pub:       eventq.New(16),
+		seqs:      sim.NewSeqTable(m.Nodes),
+		lookahead: part.Lookahead,
+		rankMin:   make([]sim.Time, n),
+		roundP:    make([]int64, n),
+		workers:   make([]rankState, n),
+	}
+	for i := 0; i < n; i++ {
+		r.fels[i] = eventq.New(64)
+		r.mail[i] = make([][]sim.Event, n)
+	}
+	if k.CacheWays > 0 {
+		r.cache = metrics.NewCacheModel(n, k.CacheWays)
+	}
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			r.pub.Push(ev)
+		} else {
+			r.fels[part.LPOf[ev.Node]].Push(ev)
+		}
+	}
+	allMin := sim.MaxTime
+	for _, f := range r.fels {
+		if t := f.NextTime(); t < allMin {
+			allMin = t
+		}
+	}
+	r.lbts = core.Eq2(allMin, r.pub.NextTime(), r.lookahead)
+	if r.lbts == sim.MaxTime && r.pub.Empty() {
+		return r.stats(start), nil
+	}
+
+	bar := syncx.NewBarrier(n)
+	var wg sync.WaitGroup
+	for rank := 1; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int32) {
+			defer wg.Done()
+			r.rankLoop(rank, bar)
+		}(int32(rank))
+	}
+	r.rankLoop(0, bar)
+	wg.Wait()
+	return r.stats(start), r.err
+}
+
+func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
+	sink := &rankSink{rt: r, rank: rank}
+	ctx := sim.NewCtx(sink, int(rank))
+	ws := &r.workers[rank]
+	fel := r.fels[rank]
+	var sw metrics.Stopwatch
+	sw.Start()
+
+	for {
+		// Process all events within the window.
+		for {
+			ev, ok := fel.PopBefore(r.lbts)
+			if !ok {
+				break
+			}
+			if r.cache != nil {
+				r.cache.Touch(int(rank), ev.Node)
+			}
+			ctx.Begin(&ev, r.seqs.Of(ev.Node))
+			ev.Fn(ctx)
+			ws.events++
+			ws.lastT = ev.Time
+		}
+		p := sw.Lap()
+		ws.p += p
+		r.roundP[rank] = p
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Rank 0 handles globals (the LBTS "collective communication"
+		// moment) while everyone else waits — the cost the paper folds
+		// into S (§3.2 footnote).
+		if rank == 0 {
+			r.globals(ctx, sink)
+			ws.p += sw.Lap()
+		}
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		// Receive cross-rank events.
+		var received int
+		for src := range r.mail[rank] {
+			for _, ev := range r.mail[rank][src] {
+				fel.Push(ev)
+			}
+			received += len(r.mail[rank][src])
+			r.mail[rank][src] = r.mail[rank][src][:0]
+		}
+		r.rankMin[rank] = fel.NextTime()
+		ws.m += sw.Lap()
+		bar.Wait()
+		ws.s += sw.Lap()
+
+		if rank == 0 {
+			r.advance()
+			ws.m += sw.Lap()
+		}
+		bar.Wait()
+		ws.s += sw.Lap()
+		if r.done {
+			return
+		}
+	}
+}
+
+func (r *brt) globals(ctx *sim.Ctx, sink *rankSink) {
+	sink.global = true
+	executed := false
+	for !r.pub.Empty() && r.pub.Peek().Time == r.lbts {
+		ev := r.pub.Pop()
+		ctx.Begin(&ev, r.seqs.Of(sim.GlobalNode))
+		ev.Fn(ctx)
+		r.workers[0].events++
+		r.workers[0].lastT = ev.Time
+		executed = true
+	}
+	sink.global = false
+	if executed {
+		r.lookahead = core.CutLookahead(r.part.LPOf, r.m.Links())
+		if ctx.Stopped() {
+			r.stopped = true
+		}
+	}
+}
+
+func (r *brt) advance() {
+	allMin := sim.MaxTime
+	for _, t := range r.rankMin {
+		if t < allMin {
+			allMin = t
+		}
+	}
+	pubNext := r.pub.NextTime()
+	if r.k.RecordRounds {
+		samp := sim.RoundSample{LBTS: r.lbts, PerWorker: append([]int64(nil), r.roundP...)}
+		for _, p := range r.roundP {
+			if p > samp.Makespan {
+				samp.Makespan = p
+			}
+		}
+		r.trace = append(r.trace, samp)
+	}
+	r.round++
+	switch {
+	case r.stopped:
+		r.done = true
+	case allMin == sim.MaxTime && pubNext == sim.MaxTime:
+		r.done = true
+	case r.k.MaxRounds > 0 && r.round >= r.k.MaxRounds:
+		r.done = true
+		r.err = errors.New("pdes: MaxRounds exceeded")
+	default:
+		r.lbts = core.Eq2(allMin, pubNext, r.lookahead)
+	}
+}
+
+func (r *brt) stats(start time.Time) *sim.RunStats {
+	st := &sim.RunStats{
+		Kernel:     "barrier",
+		WallNS:     time.Since(start).Nanoseconds(),
+		Rounds:     r.round,
+		LPs:        r.part.Count,
+		Workers:    make([]sim.WorkerStats, len(r.workers)),
+		RoundTrace: r.trace,
+	}
+	for i := range r.workers {
+		w := &r.workers[i]
+		st.Events += w.events
+		if w.lastT > st.EndTime {
+			st.EndTime = w.lastT
+		}
+		st.Workers[i] = sim.WorkerStats{P: w.p, S: w.s, M: w.m, Events: w.events}
+	}
+	if r.cache != nil {
+		st.CacheRefs, st.CacheMisses = r.cache.Counters()
+	}
+	return st
+}

@@ -1,0 +1,309 @@
+package pdes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"unison/internal/core"
+	"unison/internal/eventq"
+	"unison/internal/metrics"
+	"unison/internal/sim"
+)
+
+// NullMessageKernel is the Chandy–Misra–Bryant conservative algorithm:
+// ranks synchronize pairwise through their channels instead of global
+// barriers. Every message carries a lower bound ("no future message from
+// me will arrive before T"); a rank may safely process events earlier
+// than the minimum bound over its input channels (its EIT), and it sends
+// eager null messages to propagate progress.
+//
+// Faithful to the algorithms the paper compares (§2.3), this kernel
+// supports only the stop event among global events: distributed ranks
+// have no coordination point at which to run arbitrary global events.
+// Models using dynamic topologies must use Unison.
+type NullMessageKernel struct {
+	// LPOf is the mandatory manual node→rank assignment.
+	LPOf []int32
+	// CacheWays enables the cache-locality model when positive.
+	CacheWays int
+}
+
+// Name implements sim.Kernel.
+func (k *NullMessageKernel) Name() string { return "nullmsg" }
+
+// nmMsg is one channel message: a batch of remote events plus the
+// sender's promise bound.
+type nmMsg struct {
+	from   int32
+	bound  sim.Time
+	events []sim.Event
+}
+
+// nmInbox is a rank's input channel multiplexer.
+type nmInbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []nmMsg
+	seq  uint64
+}
+
+func (in *nmInbox) post(m nmMsg) {
+	in.mu.Lock()
+	in.msgs = append(in.msgs, m)
+	in.seq++
+	in.cond.Signal()
+	in.mu.Unlock()
+}
+
+func (in *nmInbox) take(buf []nmMsg) ([]nmMsg, uint64) {
+	in.mu.Lock()
+	buf = append(buf[:0], in.msgs...)
+	in.msgs = in.msgs[:0]
+	seq := in.seq
+	in.mu.Unlock()
+	return buf, seq
+}
+
+// waitChange blocks until the inbox seq advances past seen.
+func (in *nmInbox) waitChange(seen uint64) {
+	in.mu.Lock()
+	for in.seq == seen {
+		in.cond.Wait()
+	}
+	in.mu.Unlock()
+}
+
+type nmRank struct {
+	id      int32
+	fel     *eventq.Queue
+	inbox   nmInbox
+	inFrom  []int32            // ranks with channels into this rank
+	outTo   []int32            // ranks this rank sends to
+	outLA   map[int32]sim.Time // per-channel lookahead
+	clock   map[int32]sim.Time // input channel bounds
+	promise map[int32]sim.Time // last promise sent per output channel
+	outBuf  map[int32][]sim.Event
+
+	events  uint64
+	lastT   sim.Time
+	p, s, m int64
+	nulls   uint64
+}
+
+type nmSink struct {
+	r     *nmRank
+	lpOf  []int32
+	setup bool
+}
+
+func (s *nmSink) Put(ev sim.Event) {
+	tgt := s.lpOf[ev.Node]
+	if tgt == s.r.id {
+		s.r.fel.Push(ev)
+		return
+	}
+	s.r.outBuf[tgt] = append(s.r.outBuf[tgt], ev)
+}
+
+func (s *nmSink) PutGlobal(sim.Event) {
+	panic("pdes: the null message kernel does not support global events")
+}
+
+// Run implements sim.Kernel.
+func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("pdes: %w", err)
+	}
+	if len(k.LPOf) != m.Nodes {
+		return nil, errors.New("pdes: NullMessageKernel requires a manual partition covering every node")
+	}
+	if m.StopAt <= 0 {
+		return nil, errors.New("pdes: NullMessageKernel requires Model.StopAt (no distributed termination detection)")
+	}
+	start := time.Now()
+	links := m.Links()
+	part := core.Manual(k.LPOf, links)
+	n := part.Count
+
+	// Channel lookaheads: min delay per directed rank pair.
+	type pair struct{ a, b int32 }
+	chanLA := map[pair]sim.Time{}
+	for i := range links {
+		l := &links[i]
+		ra, rb := part.LPOf[l.A], part.LPOf[l.B]
+		if ra == rb || !l.Up {
+			continue
+		}
+		for _, p := range []pair{{ra, rb}, {rb, ra}} {
+			if la, ok := chanLA[p]; !ok || l.Delay < la {
+				chanLA[p] = l.Delay
+			}
+		}
+	}
+
+	ranks := make([]*nmRank, n)
+	for i := range ranks {
+		ranks[i] = &nmRank{
+			id:      int32(i),
+			fel:     eventq.New(64),
+			outLA:   map[int32]sim.Time{},
+			clock:   map[int32]sim.Time{},
+			promise: map[int32]sim.Time{},
+			outBuf:  map[int32][]sim.Event{},
+		}
+		ranks[i].inbox.cond = sync.NewCond(&ranks[i].inbox.mu)
+	}
+	for p, la := range chanLA {
+		ranks[p.a].outTo = append(ranks[p.a].outTo, p.b)
+		ranks[p.a].outLA[p.b] = la
+		ranks[p.b].inFrom = append(ranks[p.b].inFrom, p.a)
+		ranks[p.b].clock[p.a] = 0
+	}
+
+	var cache *metrics.CacheModel
+	if k.CacheWays > 0 {
+		cache = metrics.NewCacheModel(n, k.CacheWays)
+	}
+	seqs := sim.NewSeqTable(m.Nodes)
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			if ev.Time == m.StopAt {
+				continue // the stop event is duplicated as StopAt per rank
+			}
+			return nil, errors.New("pdes: null message kernel cannot run models with global events (use Unison)")
+		}
+		ranks[part.LPOf[ev.Node]].fel.Push(ev)
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r *nmRank) {
+			defer wg.Done()
+			k.rankLoop(r, ranks, part.LPOf, seqs, m.StopAt, cache)
+		}(r)
+	}
+	wg.Wait()
+
+	st := &sim.RunStats{
+		Kernel:  "nullmsg",
+		WallNS:  time.Since(start).Nanoseconds(),
+		LPs:     n,
+		Workers: make([]sim.WorkerStats, n),
+	}
+	var nulls uint64
+	for i, r := range ranks {
+		st.Events += r.events
+		if r.lastT > st.EndTime {
+			st.EndTime = r.lastT
+		}
+		st.Workers[i] = sim.WorkerStats{P: r.p, S: r.s, M: r.m, Events: r.events}
+		nulls += r.nulls
+	}
+	st.Rounds = nulls // for null-message, "rounds" reports null messages sent
+	if cache != nil {
+		st.CacheRefs, st.CacheMisses = cache.Counters()
+	}
+	return st, nil
+}
+
+func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, seqs sim.SeqTable, stopAt sim.Time, cache *metrics.CacheModel) {
+	sink := &nmSink{r: r, lpOf: lpOf}
+	ctx := sim.NewCtx(sink, int(r.id))
+	var sw metrics.Stopwatch
+	sw.Start()
+	var buf []nmMsg
+	var seenSeq uint64
+
+	for {
+		// Drain the inbox: merge remote events, advance channel clocks.
+		buf, seenSeq = r.inbox.take(buf)
+		for _, msg := range buf {
+			for _, ev := range msg.events {
+				r.fel.Push(ev)
+			}
+			if msg.bound > r.clock[msg.from] {
+				r.clock[msg.from] = msg.bound
+			}
+		}
+		r.m += sw.Lap()
+
+		// EIT: the earliest a future remote event could arrive.
+		eit := sim.MaxTime
+		for _, from := range r.inFrom {
+			if c := r.clock[from]; c < eit {
+				eit = c
+			}
+		}
+		safe := eit
+		if stopAt < safe {
+			safe = stopAt
+		}
+
+		// Process the safe prefix.
+		progressed := false
+		for {
+			ev, ok := r.fel.PopBefore(safe)
+			if !ok {
+				break
+			}
+			if cache != nil {
+				cache.Touch(int(r.id), ev.Node)
+			}
+			ctx.Begin(&ev, seqs.Of(ev.Node))
+			ev.Fn(ctx)
+			r.events++
+			r.lastT = ev.Time
+			progressed = true
+		}
+		r.p += sw.Lap()
+
+		// Flush remote events and eager null messages. The promise is
+		// sound: any later output of this rank is caused by an event at
+		// or after min(N_own, EIT), plus the channel lookahead.
+		base := r.fel.NextTime()
+		if eit < base {
+			base = eit
+		}
+		for _, to := range r.outTo {
+			bound := satAdd(base, r.outLA[to])
+			evs := r.outBuf[to]
+			if len(evs) == 0 && bound <= r.promise[to] {
+				continue
+			}
+			msg := nmMsg{from: r.id, bound: bound}
+			if len(evs) > 0 {
+				msg.events = append([]sim.Event(nil), evs...)
+				r.outBuf[to] = evs[:0]
+			} else {
+				r.nulls++
+			}
+			r.promise[to] = bound
+			ranks[to].inbox.post(msg)
+		}
+		r.m += sw.Lap()
+
+		// Terminate once nothing before stopAt can happen here anymore.
+		if r.fel.NextTime() >= stopAt && eit >= stopAt {
+			return
+		}
+		if !progressed {
+			// Blocked: wait for a neighbor to extend a promise.
+			r.inbox.waitChange(seenSeq)
+			r.s += sw.Lap()
+		}
+	}
+}
+
+func satAdd(a, b sim.Time) sim.Time {
+	if a == sim.MaxTime || b == sim.MaxTime {
+		return sim.MaxTime
+	}
+	c := a + b
+	if c < a {
+		return sim.MaxTime
+	}
+	return c
+}

@@ -1,0 +1,122 @@
+// Package rng provides deterministic pseudo-random number streams for the
+// simulator. Every consumer (a traffic generator, a RED queue, an ECMP
+// hash) derives its own independent stream from (seed, purpose, id), so
+// random draws never depend on the interleaving of concurrent workers —
+// a prerequisite for the determinism guarantees tested across kernels.
+//
+// The generator is xoshiro256** seeded through splitmix64, both public
+// domain algorithms with well-studied statistical quality.
+package rng
+
+import "math"
+
+// splitmix64 advances a seed state and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix hashes an arbitrary number of 64-bit values into one, for deriving
+// stream identities (e.g. Mix(seed, purpose, nodeID)). It is also used as
+// the deterministic ECMP hash.
+func Mix(vs ...uint64) uint64 {
+	var s uint64 = 0x6a09e667f3bcc908
+	for _, v := range vs {
+		s ^= v
+		_ = splitmix64(&s)
+		s = splitmix64(&s)
+	}
+	return splitmix64(&s)
+}
+
+// Stream purposes, kept distinct so unrelated consumers never share draws.
+const (
+	PurposeTraffic uint64 = 1 + iota
+	PurposeRED
+	PurposeApp
+	PurposeJitter
+	PurposeMimic
+)
+
+// Rand is a xoshiro256** generator. Not safe for concurrent use; each
+// owner (node, queue, generator) holds its own.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator whose stream is fully determined by the ids.
+func New(ids ...uint64) *Rand {
+	seed := Mix(ids...)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = splitmix64(&seed)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0,n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+// Used for Poisson flow inter-arrival times.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Perm fills a permutation of [0,n) using Fisher–Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

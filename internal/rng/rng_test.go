@@ -1,0 +1,153 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(1, 2, 3)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(1, 2, 4)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different streams matched %d/1000 draws", same)
+	}
+}
+
+func TestMixStability(t *testing.T) {
+	// Mix must be a pure function.
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 2, 3) == Mix(3, 2, 1) {
+		t.Fatal("Mix ignores argument order")
+	}
+	if Mix(1) == Mix(1, 0) {
+		t.Fatal("Mix ignores argument count")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(10)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("Intn never produced %d", i)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(12)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(42)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-42)/42 > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~42", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63n(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Int63n(1_000_000_007)
+		if v < 0 || v >= 1_000_000_007 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestZeroStateGuard(t *testing.T) {
+	// Whatever the ids, the generator must not be stuck at zero.
+	r := New(0)
+	var any uint64
+	for i := 0; i < 8; i++ {
+		any |= r.Uint64()
+	}
+	if any == 0 {
+		t.Fatal("generator stuck at zero")
+	}
+}

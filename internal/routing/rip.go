@@ -1,0 +1,241 @@
+package routing
+
+import (
+	"sync/atomic"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// ripInfinity is the unreachable metric (RIP uses 16; we allow larger
+// diameters).
+const ripInfinity = 64
+
+// RIP is a distance-vector routing protocol in the style of RIPv2: every
+// router periodically advertises its distance vector to its neighbors and
+// adopts shorter routes (with split horizon). Topology changes — links
+// torn down or restored by a global event — invalidate routes at the
+// incident routers and the protocol re-converges, which is exactly the
+// behaviour the paper exercises with ns-3's RIP examples ("teardown links
+// during the simulation to observe its convergence", §6.1).
+//
+// Protocol exchanges are simulated as control-plane events scheduled
+// between neighbor nodes with the link's propagation delay; they do not
+// occupy data-plane queues. All per-router state is owned by that router's
+// node and only mutated from its own events, so RIP is safe under every
+// kernel without locks.
+type RIP struct {
+	g      *topology.Graph
+	period sim.Time
+
+	// tables[n] is owned by node n.
+	tables []ripTable
+
+	// updates counts vector advertisements sent (for convergence tests);
+	// atomic because routers on different logical processes advertise
+	// concurrently.
+	updates atomic.Uint64
+}
+
+// UpdateCount returns the number of vector advertisements sent so far.
+func (r *RIP) UpdateCount() uint64 { return r.updates.Load() }
+
+type ripTable struct {
+	dist []int32
+	next []topology.LinkID
+}
+
+// ripVector is the advertisement payload: a snapshot of distances.
+type ripVector struct {
+	from sim.NodeID
+	via  topology.LinkID // the link the advertisement arrived on
+	dist []int32
+}
+
+// NewRIP creates the protocol state for g with the given advertisement
+// period. Call Attach to schedule the protocol's events on a model setup.
+func NewRIP(g *topology.Graph, period sim.Time) *RIP {
+	r := &RIP{g: g, period: period}
+	n := g.N()
+	r.tables = make([]ripTable, n)
+	for i := range r.tables {
+		t := &r.tables[i]
+		t.dist = make([]int32, n)
+		t.next = make([]topology.LinkID, n)
+		for j := range t.dist {
+			t.dist[j] = ripInfinity
+			t.next[j] = topology.NoLink
+		}
+		t.dist[i] = 0
+	}
+	// Seed directly-connected routes.
+	for i := range r.tables {
+		r.seedAdjacent(sim.NodeID(i))
+	}
+	return r
+}
+
+func (r *RIP) seedAdjacent(n sim.NodeID) {
+	t := &r.tables[n]
+	for _, l := range r.g.Nodes[n].Links {
+		if !r.g.Links[l].Up {
+			continue
+		}
+		peer := r.g.Peer(l, n)
+		if t.dist[peer] > 1 {
+			t.dist[peer] = 1
+			t.next[peer] = l
+		}
+	}
+}
+
+// Attach schedules the periodic advertisement events for every router on
+// the model setup, with deterministic per-node phase offsets so all
+// routers do not advertise in the same instant.
+func (r *RIP) Attach(s *sim.Setup, stop sim.Time) {
+	for i := range r.tables {
+		n := sim.NodeID(i)
+		if r.g.Nodes[n].Kind != topology.Switch {
+			continue
+		}
+		offset := sim.Time(int64(n)%16) * (r.period / 16)
+		s.At(offset, n, func(ctx *sim.Ctx) { r.advertise(ctx, n, stop) })
+	}
+}
+
+// advertise sends this router's vector to every up neighbor and reschedules
+// itself after the period.
+func (r *RIP) advertise(ctx *sim.Ctx, n sim.NodeID, stop sim.Time) {
+	t := &r.tables[n]
+	for _, l := range r.g.Nodes[n].Links {
+		lk := &r.g.Links[l]
+		if !lk.Up {
+			continue
+		}
+		peer := r.g.Peer(l, n)
+		if r.g.Nodes[peer].Kind != topology.Switch {
+			continue
+		}
+		// Split horizon: report infinity for routes learned via this link.
+		vec := make([]int32, len(t.dist))
+		for d := range t.dist {
+			if t.next[d] == l && t.dist[d] != 0 {
+				vec[d] = ripInfinity
+			} else {
+				vec[d] = t.dist[d]
+			}
+		}
+		adv := ripVector{from: n, via: l, dist: vec}
+		r.updates.Add(1)
+		ctx.Schedule(lk.Delay, peer, func(c *sim.Ctx) { r.receive(c, peer, adv) })
+	}
+	if next := ctx.Now() + r.period; next < stop {
+		ctx.Schedule(r.period, n, func(c *sim.Ctx) { r.advertise(c, n, stop) })
+	}
+}
+
+// receive merges a neighbor's vector into node n's table.
+func (r *RIP) receive(_ *sim.Ctx, n sim.NodeID, adv ripVector) {
+	if !r.g.Links[adv.via].Up {
+		return // advertisement raced a teardown
+	}
+	t := &r.tables[n]
+	for d := range adv.dist {
+		if sim.NodeID(d) == n {
+			continue
+		}
+		cand := adv.dist[d] + 1
+		if cand > ripInfinity {
+			cand = ripInfinity
+		}
+		switch {
+		case t.next[d] == adv.via:
+			// Route already via this neighbor: always adopt its metric
+			// (captures both improvements and failures upstream).
+			t.dist[d] = cand
+			if cand >= ripInfinity {
+				t.next[d] = topology.NoLink
+			}
+		case cand < t.dist[d]:
+			t.dist[d] = cand
+			t.next[d] = adv.via
+		}
+	}
+	// Directly connected routes always stay valid.
+	r.seedAdjacent(n)
+}
+
+// OnTopologyChange must be called from the global event that mutated the
+// topology: routers incident to a downed link drop routes through it
+// immediately (interface-down detection); restored links re-seed adjacency.
+func (r *RIP) OnTopologyChange() {
+	for li := range r.g.Links {
+		l := &r.g.Links[li]
+		if l.Up {
+			continue
+		}
+		for _, n := range []sim.NodeID{l.A, l.B} {
+			t := &r.tables[n]
+			for d := range t.next {
+				if t.next[d] == l.ID {
+					t.dist[d] = ripInfinity
+					t.next[d] = topology.NoLink
+				}
+			}
+		}
+	}
+	for i := range r.tables {
+		r.seedAdjacent(sim.NodeID(i))
+	}
+}
+
+// Recompute implements Router; RIP converges through its own protocol
+// exchanges, so this only refreshes adjacency.
+func (r *RIP) Recompute() { r.OnTopologyChange() }
+
+// NextLink implements Router using the distance-vector tables. Hosts use
+// their single access link; routers use the table owned by their node.
+func (r *RIP) NextLink(n sim.NodeID, p *packet.Packet) (topology.LinkID, bool) {
+	if r.g.Nodes[n].Kind == topology.Host {
+		for _, l := range r.g.Nodes[n].Links {
+			if r.g.Links[l].Up {
+				return l, true
+			}
+		}
+		return topology.NoLink, false
+	}
+	t := &r.tables[n]
+	d := p.Dst
+	// Route to the destination host via its access router if the host
+	// itself has no entry yet.
+	if t.next[d] == topology.NoLink {
+		return topology.NoLink, false
+	}
+	if t.dist[d] >= ripInfinity {
+		return topology.NoLink, false
+	}
+	l := t.next[d]
+	if !r.g.Links[l].Up {
+		return topology.NoLink, false
+	}
+	return l, true
+}
+
+// Dist returns node n's current metric to dst (testing/monitoring).
+func (r *RIP) Dist(n, dst sim.NodeID) int32 { return r.tables[n].dist[dst] }
+
+// Converged reports whether every router can reach every host.
+func (r *RIP) Converged() bool {
+	for i := range r.tables {
+		if r.g.Nodes[i].Kind != topology.Switch {
+			continue
+		}
+		for _, h := range r.g.Hosts() {
+			if sim.NodeID(i) != h && r.tables[i].dist[h] >= ripInfinity {
+				return false
+			}
+		}
+	}
+	return true
+}

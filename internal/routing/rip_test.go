@@ -1,0 +1,147 @@
+package routing
+
+import (
+	"testing"
+
+	"unison/internal/des"
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// ring4 builds a 4-router ring with one host per router.
+func ring4() (*topology.Graph, []sim.NodeID, []sim.NodeID) {
+	g := topology.New()
+	var routers, hosts []sim.NodeID
+	for i := 0; i < 4; i++ {
+		routers = append(routers, g.AddNode(topology.Switch, "r"))
+	}
+	for i := 0; i < 4; i++ {
+		g.AddLink(routers[i], routers[(i+1)%4], 1e9, 100*sim.Microsecond)
+	}
+	for i := 0; i < 4; i++ {
+		h := g.AddNode(topology.Host, "h")
+		hosts = append(hosts, h)
+		g.AddLink(h, routers[i], 1e9, 10*sim.Microsecond)
+	}
+	return g, routers, hosts
+}
+
+// runRIP drives the protocol under the sequential kernel until stop.
+func runRIP(t *testing.T, g *topology.Graph, r *RIP, stop sim.Time, mutations func(s *sim.Setup)) {
+	t.Helper()
+	s := sim.NewSetup()
+	r.Attach(s, stop)
+	if mutations != nil {
+		mutations(s)
+	}
+	s.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: g.N(), Links: g.LinkInfos, Init: s.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatalf("rip run: %v", err)
+	}
+}
+
+func TestRIPConverges(t *testing.T) {
+	g, _, _ := ring4()
+	r := NewRIP(g, sim.Millisecond)
+	if r.Converged() {
+		t.Fatal("converged before any exchanges")
+	}
+	runRIP(t, g, r, 20*sim.Millisecond, nil)
+	if !r.Converged() {
+		t.Fatal("RIP did not converge on a ring")
+	}
+	if r.UpdateCount() == 0 {
+		t.Fatal("no advertisements sent")
+	}
+}
+
+func TestRIPShortestPaths(t *testing.T) {
+	g, routers, hosts := ring4()
+	r := NewRIP(g, sim.Millisecond)
+	runRIP(t, g, r, 20*sim.Millisecond, nil)
+	// Router 0 to host on router 1: dist 2 (router hop + host link).
+	if d := r.Dist(routers[0], hosts[1]); d != 2 {
+		t.Fatalf("dist r0->h1 = %d, want 2", d)
+	}
+	// Opposite corner: 2 router hops + host link = 3.
+	if d := r.Dist(routers[0], hosts[2]); d != 3 {
+		t.Fatalf("dist r0->h2 = %d, want 3", d)
+	}
+}
+
+func TestRIPRoutesPackets(t *testing.T) {
+	g, _, hosts := ring4()
+	r := NewRIP(g, sim.Millisecond)
+	runRIP(t, g, r, 20*sim.Millisecond, nil)
+	p := packet.Packet{Src: hosts[0], Dst: hosts[2], Flow: 1}
+	cur := hosts[0]
+	for hop := 0; hop < 10; hop++ {
+		if cur == hosts[2] {
+			if hop != 4 { // host->r0->r?->r2->host
+				t.Fatalf("path length %d, want 4", hop)
+			}
+			return
+		}
+		l, ok := r.NextLink(cur, &p)
+		if !ok {
+			t.Fatalf("no route at node %d", cur)
+		}
+		cur = g.Peer(l, cur)
+	}
+	t.Fatal("packet looped")
+}
+
+func TestRIPReconvergesAfterLinkFailure(t *testing.T) {
+	g, routers, hosts := ring4()
+	r := NewRIP(g, sim.Millisecond)
+	link01 := g.LinkBetween(routers[0], routers[1])
+	runRIP(t, g, r, 60*sim.Millisecond, func(s *sim.Setup) {
+		s.Global(25*sim.Millisecond, func(ctx *sim.Ctx) {
+			g.SetLinkUp(link01, false)
+			r.OnTopologyChange()
+		})
+	})
+	if !r.Converged() {
+		t.Fatal("RIP did not reconverge after teardown")
+	}
+	// Route r0 -> h1 must now go the long way: 3 router hops + host = 4.
+	if d := r.Dist(routers[0], hosts[1]); d != 4 {
+		t.Fatalf("post-failure dist r0->h1 = %d, want 4", d)
+	}
+	// And must not use the dead link.
+	p := packet.Packet{Src: hosts[0], Dst: hosts[1], Flow: 2}
+	l, ok := r.NextLink(routers[0], &p)
+	if !ok {
+		t.Fatal("no route after reconvergence")
+	}
+	if l == link01 {
+		t.Fatal("route still uses the torn-down link")
+	}
+}
+
+func TestRIPHostUsesAccessLink(t *testing.T) {
+	g, _, hosts := ring4()
+	r := NewRIP(g, sim.Millisecond)
+	p := packet.Packet{Src: hosts[0], Dst: hosts[3], Flow: 3}
+	l, ok := r.NextLink(hosts[0], &p)
+	if !ok {
+		t.Fatal("host has no default route")
+	}
+	if g.Links[l].A != hosts[0] && g.Links[l].B != hosts[0] {
+		t.Fatal("host route is not its access link")
+	}
+}
+
+func TestRIPSeedAdjacency(t *testing.T) {
+	g, routers, _ := ring4()
+	r := NewRIP(g, sim.Millisecond)
+	// Before any exchange, adjacent routers are known at distance 1.
+	if d := r.Dist(routers[0], routers[1]); d != 1 {
+		t.Fatalf("adjacent dist = %d, want 1", d)
+	}
+	if d := r.Dist(routers[0], routers[0]); d != 0 {
+		t.Fatalf("self dist = %d, want 0", d)
+	}
+}

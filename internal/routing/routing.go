@@ -1,0 +1,268 @@
+// Package routing provides the routing substrates the paper's models rely
+// on: static shortest-path tables with ECMP, NIx-vector-style cached
+// on-demand source routes (with the atomic cache-invalidation behaviour
+// §5.1 describes), and a RIP-like distance-vector protocol for the
+// dynamic-routing WAN scenarios.
+package routing
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+
+	"unison/internal/packet"
+	"unison/internal/rng"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// Router decides, at each switch, which output link a packet takes next.
+// Implementations must be safe for concurrent use from multiple logical
+// processes (reads are lock-free in the steady state).
+type Router interface {
+	// NextLink returns the up output link at node n toward p.Dst.
+	// ok is false when no route exists (the packet is dropped).
+	NextLink(n sim.NodeID, p *packet.Packet) (topology.LinkID, bool)
+	// Recompute rebuilds routing state after a topology mutation. It must
+	// only be called from a global event (all workers quiescent).
+	Recompute()
+}
+
+// Metric selects the shortest-path weight.
+type Metric uint8
+
+const (
+	// Hops minimizes hop count (data center fabrics, maximizes ECMP).
+	Hops Metric = iota
+	// Delay minimizes propagation delay (WANs).
+	Delay
+)
+
+// ECMP is a static shortest-path router with equal-cost multipath: for
+// every (node, destination host) it precomputes the set of next-hop links
+// on shortest paths and picks one per flow with a deterministic hash.
+type ECMP struct {
+	g      *topology.Graph
+	metric Metric
+	salt   uint64
+	// next[n][dst] lists equal-cost output links (nil for non-host dsts).
+	next [][][]topology.LinkID
+}
+
+// NewECMP builds the static tables for g.
+func NewECMP(g *topology.Graph, metric Metric, seed uint64) *ECMP {
+	e := &ECMP{g: g, metric: metric, salt: rng.Mix(seed, 0xec3b)}
+	e.Recompute()
+	return e
+}
+
+// Recompute rebuilds all tables from the current topology.
+func (e *ECMP) Recompute() {
+	n := e.g.N()
+	next := make([][][]topology.LinkID, n)
+	for i := range next {
+		next[i] = make([][]topology.LinkID, n)
+	}
+	for _, dst := range e.g.Hosts() {
+		dist := shortestTo(e.g, dst, e.metric)
+		for v := 0; v < n; v++ {
+			if dist[v] < 0 || sim.NodeID(v) == dst {
+				continue
+			}
+			var set []topology.LinkID
+			for _, l := range e.g.Nodes[v].Links {
+				lk := &e.g.Links[l]
+				if !lk.Up {
+					continue
+				}
+				u := e.g.Peer(l, sim.NodeID(v))
+				if dist[u] >= 0 && dist[u]+linkCost(lk, e.metric) == dist[v] {
+					set = append(set, l)
+				}
+			}
+			next[v][dst] = set
+		}
+	}
+	e.next = next
+}
+
+// NextLink picks the flow's next-hop link at n by consistent hashing over
+// the equal-cost set.
+func (e *ECMP) NextLink(n sim.NodeID, p *packet.Packet) (topology.LinkID, bool) {
+	set := e.next[n][p.Dst]
+	if len(set) == 0 {
+		return topology.NoLink, false
+	}
+	if len(set) == 1 {
+		return set[0], true
+	}
+	h := rng.Mix(e.salt, uint64(p.Flow), uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
+	return set[h%uint64(len(set))], true
+}
+
+func linkCost(l *topology.Link, m Metric) int64 {
+	if m == Delay {
+		return int64(l.Delay)
+	}
+	return 1
+}
+
+// shortestTo runs Dijkstra toward dst and returns per-node distance
+// (-1 when unreachable).
+func shortestTo(g *topology.Graph, dst sim.NodeID, m Metric) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeDist{dst, 0})
+	for pq.Len() > 0 {
+		nd := heap.Pop(pq).(nodeDist)
+		if dist[nd.n] >= 0 {
+			continue
+		}
+		dist[nd.n] = nd.d
+		for _, l := range g.Nodes[nd.n].Links {
+			lk := &g.Links[l]
+			if !lk.Up {
+				continue
+			}
+			u := g.Peer(l, nd.n)
+			if dist[u] < 0 {
+				heap.Push(pq, nodeDist{u, nd.d + linkCost(lk, m)})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeDist struct {
+	n sim.NodeID
+	d int64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	return h[i].n < h[j].n
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Nix is a NIx-vector-style router (Riley et al.): routes are computed on
+// demand per (src, dst) pair and cached globally. The cache is shared
+// across logical processes; as in the paper's thread-safety work (§5.1),
+// staleness is tracked with an atomic topology-version stamp and the slow
+// (compute) path takes a mutex while the hot path is a lock-free read of
+// an immutable snapshot.
+type Nix struct {
+	g       *topology.Graph
+	metric  Metric
+	version atomic.Uint64
+	cache   atomic.Pointer[map[uint64][]topology.LinkID]
+	mu      sync.Mutex
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewNix returns a NIx-vector router over g.
+func NewNix(g *topology.Graph, metric Metric) *Nix {
+	n := &Nix{g: g, metric: metric}
+	empty := map[uint64][]topology.LinkID{}
+	n.cache.Store(&empty)
+	n.version.Store(g.Version())
+	return n
+}
+
+// Recompute invalidates the cache (the "dirty" flag flip).
+func (n *Nix) Recompute() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	empty := map[uint64][]topology.LinkID{}
+	n.cache.Store(&empty)
+	n.version.Store(n.g.Version())
+}
+
+// Stats returns cache hit/miss counters.
+func (n *Nix) Stats() (hits, misses uint64) { return n.hits.Load(), n.misses.Load() }
+
+// NextLink walks the cached source route: the vector stores, for every
+// node on the path, the output link to take.
+func (n *Nix) NextLink(at sim.NodeID, p *packet.Packet) (topology.LinkID, bool) {
+	key := uint64(uint32(p.Src))<<32 | uint64(uint32(p.Dst))
+	m := *n.cache.Load()
+	vec, ok := m[key]
+	if !ok {
+		n.misses.Add(1)
+		vec = n.compute(key, p.Src, p.Dst)
+		if vec == nil {
+			return topology.NoLink, false
+		}
+	} else {
+		n.hits.Add(1)
+	}
+	// The packet's hop count indexes the vector.
+	if int(p.Hops) >= len(vec) {
+		return topology.NoLink, false
+	}
+	l := vec[p.Hops]
+	if !n.g.Links[l].Up {
+		return topology.NoLink, false
+	}
+	return l, true
+}
+
+func (n *Nix) compute(key uint64, src, dst sim.NodeID) []topology.LinkID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := *n.cache.Load()
+	if vec, ok := m[key]; ok {
+		return vec
+	}
+	dist := shortestTo(n.g, dst, n.metric)
+	if dist[src] < 0 {
+		return nil
+	}
+	var vec []topology.LinkID
+	cur := src
+	for cur != dst {
+		var best topology.LinkID = topology.NoLink
+		var bestPeer sim.NodeID
+		for _, l := range n.g.Nodes[cur].Links {
+			lk := &n.g.Links[l]
+			if !lk.Up {
+				continue
+			}
+			u := n.g.Peer(l, cur)
+			if dist[u] >= 0 && dist[u]+linkCost(lk, n.metric) == dist[cur] {
+				if best == topology.NoLink || u < bestPeer {
+					best, bestPeer = l, u
+				}
+			}
+		}
+		if best == topology.NoLink {
+			return nil
+		}
+		vec = append(vec, best)
+		cur = bestPeer
+	}
+	// Copy-on-write publish so readers never see a map under mutation.
+	next := make(map[uint64][]topology.LinkID, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	next[key] = vec
+	n.cache.Store(&next)
+	return vec
+}

@@ -1,0 +1,212 @@
+package routing
+
+import (
+	"testing"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+func pkt(src, dst sim.NodeID, flow packet.FlowID) packet.Packet {
+	return packet.Packet{Flow: flow, Src: src, Dst: dst}
+}
+
+// walk follows a router hop by hop from src to dst, returning the path
+// length, or -1 if the packet is dropped or loops.
+func walk(g *topology.Graph, r Router, src, dst sim.NodeID, flow packet.FlowID) int {
+	p := pkt(src, dst, flow)
+	cur := src
+	for hops := 0; hops < packet.MaxHops; hops++ {
+		if cur == dst {
+			return hops
+		}
+		l, ok := r.NextLink(cur, &p)
+		if !ok {
+			return -1
+		}
+		cur = g.Peer(l, cur)
+		p.Hops++
+	}
+	return -1
+}
+
+func TestECMPFatTreeAllPairs(t *testing.T) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1e9, sim.Microsecond))
+	e := NewECMP(ft.Graph, Hops, 1)
+	hosts := ft.Hosts()
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			if h := walk(ft.Graph, e, a, b, 7); h < 0 {
+				t.Fatalf("no route %d -> %d", a, b)
+			}
+		}
+	}
+}
+
+func TestECMPShortestPathLength(t *testing.T) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1e9, sim.Microsecond))
+	e := NewECMP(ft.Graph, Hops, 1)
+	// Same-rack hosts: host->tor->host = 2 hops.
+	a, b := ft.Clusters[0][0], ft.Clusters[0][1]
+	if h := walk(ft.Graph, e, a, b, 1); h != 2 {
+		t.Fatalf("same-rack path length %d, want 2", h)
+	}
+	// Cross-pod: host->tor->agg->core->agg->tor->host = 6 hops.
+	c := ft.Clusters[1][0]
+	if h := walk(ft.Graph, e, a, c, 1); h != 6 {
+		t.Fatalf("cross-pod path length %d, want 6", h)
+	}
+}
+
+func TestECMPFlowConsistency(t *testing.T) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1e9, sim.Microsecond))
+	e := NewECMP(ft.Graph, Hops, 1)
+	a, b := ft.Clusters[0][0], ft.Clusters[2][1]
+	p := pkt(a, b, 9)
+	l1, _ := e.NextLink(a, &p)
+	for i := 0; i < 10; i++ {
+		l2, _ := e.NextLink(a, &p)
+		if l1 != l2 {
+			t.Fatal("ECMP choice not stable for the same flow")
+		}
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1e9, sim.Microsecond))
+	e := NewECMP(ft.Graph, Hops, 1)
+	// At a ToR, cross-pod flows should use both aggregation uplinks.
+	tor := ft.ToRs[0][0]
+	dst := ft.Clusters[1][0]
+	used := map[topology.LinkID]bool{}
+	for f := packet.FlowID(0); f < 64; f++ {
+		p := pkt(ft.Clusters[0][0], dst, f)
+		l, ok := e.NextLink(tor, &p)
+		if !ok {
+			t.Fatal("no route")
+		}
+		used[l] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("ECMP used %d uplinks, want >= 2", len(used))
+	}
+}
+
+func TestECMPRecomputeAfterLinkDown(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode(topology.Host, "a")
+	s1 := g.AddNode(topology.Switch, "s1")
+	s2 := g.AddNode(topology.Switch, "s2")
+	b := g.AddNode(topology.Host, "b")
+	g.AddLink(a, s1, 1e9, 10)
+	l12 := g.AddLink(s1, s2, 1e9, 10)
+	g.AddLink(s2, b, 1e9, 10)
+	// Alternate longer path.
+	s3 := g.AddNode(topology.Switch, "s3")
+	g.AddLink(s1, s3, 1e9, 10)
+	g.AddLink(s3, s2, 1e9, 10)
+
+	e := NewECMP(g, Hops, 1)
+	if h := walk(g, e, a, b, 1); h != 3 {
+		t.Fatalf("path length %d, want 3", h)
+	}
+	g.SetLinkUp(l12, false)
+	e.Recompute()
+	if h := walk(g, e, a, b, 1); h != 4 {
+		t.Fatalf("after failover path length %d, want 4", h)
+	}
+}
+
+func TestECMPNoRoute(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode(topology.Host, "a")
+	s := g.AddNode(topology.Switch, "s")
+	b := g.AddNode(topology.Host, "b")
+	g.AddLink(a, s, 1e9, 10)
+	l := g.AddLink(s, b, 1e9, 10)
+	e := NewECMP(g, Hops, 1)
+	g.SetLinkUp(l, false)
+	e.Recompute()
+	p := pkt(a, b, 1)
+	if _, ok := e.NextLink(a, &p); ok {
+		t.Fatal("route returned over a partitioned graph")
+	}
+}
+
+func TestECMPDelayMetric(t *testing.T) {
+	// Two paths: 2 hops with large delay vs 3 hops with small delay.
+	g := topology.New()
+	a := g.AddNode(topology.Host, "a")
+	b := g.AddNode(topology.Host, "b")
+	s1 := g.AddNode(topology.Switch, "s1")
+	s2 := g.AddNode(topology.Switch, "s2")
+	s3 := g.AddNode(topology.Switch, "s3")
+	g.AddLink(a, s1, 1e9, 1)
+	g.AddLink(s1, b, 1e9, 1000) // short but slow
+	g.AddLink(s1, s2, 1e9, 10)
+	g.AddLink(s2, s3, 1e9, 10)
+	g.AddLink(s3, b, 1e9, 10)
+
+	byHops := NewECMP(g, Hops, 1)
+	byDelay := NewECMP(g, Delay, 1)
+	if h := walk(g, byHops, a, b, 1); h != 2 {
+		t.Fatalf("hop-metric path %d, want 2", h)
+	}
+	if h := walk(g, byDelay, a, b, 1); h != 4 {
+		t.Fatalf("delay-metric path %d, want 4", h)
+	}
+}
+
+func TestNixDeliversAndCaches(t *testing.T) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1e9, sim.Microsecond))
+	nx := NewNix(ft.Graph, Hops)
+	a, b := ft.Clusters[0][0], ft.Clusters[3][3]
+	if h := walk(ft.Graph, nx, a, b, 5); h != 6 {
+		t.Fatalf("nix path length %d, want 6", h)
+	}
+	_, m1 := nx.Stats()
+	if h := walk(ft.Graph, nx, a, b, 5); h != 6 {
+		t.Fatalf("second walk failed: %d", h)
+	}
+	_, m2 := nx.Stats()
+	if m2 != m1 {
+		t.Fatalf("second walk recomputed the route: misses %d -> %d", m1, m2)
+	}
+	hits, _ := nx.Stats()
+	if hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestNixInvalidatedByRecompute(t *testing.T) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1e9, sim.Microsecond))
+	nx := NewNix(ft.Graph, Hops)
+	a, b := ft.Clusters[0][0], ft.Clusters[1][0]
+	walk(ft.Graph, nx, a, b, 5)
+	_, m1 := nx.Stats()
+	nx.Recompute()
+	walk(ft.Graph, nx, a, b, 5)
+	_, m2 := nx.Stats()
+	if m2 <= m1 {
+		t.Fatal("Recompute did not invalidate the cache")
+	}
+}
+
+func TestNixUnreachable(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode(topology.Host, "a")
+	b := g.AddNode(topology.Host, "b")
+	s := g.AddNode(topology.Switch, "s")
+	g.AddLink(a, s, 1e9, 10)
+	l := g.AddLink(s, b, 1e9, 10)
+	g.SetLinkUp(l, false)
+	nx := NewNix(g, Hops)
+	p := pkt(a, b, 1)
+	if _, ok := nx.NextLink(a, &p); ok {
+		t.Fatal("nix found a route over a down link")
+	}
+}

@@ -1,0 +1,20 @@
+package sim
+
+// SeqTable holds the per-creating-node event sequence counters that stamp
+// deterministic event identities. Index [0..Nodes) belongs to the nodes;
+// the final slot belongs to global events. A node's counter is only
+// touched while one of its events executes, so no synchronization is
+// needed under any kernel.
+type SeqTable []uint64
+
+// NewSeqTable returns counters for a model with n nodes.
+func NewSeqTable(n int) SeqTable { return make(SeqTable, n+1) }
+
+// Of returns the counter cell for events created by node n
+// (GlobalNode maps to the shared global slot).
+func (t SeqTable) Of(n NodeID) *uint64 {
+	if n < 0 {
+		return &t[len(t)-1]
+	}
+	return &t[n]
+}

@@ -1,0 +1,358 @@
+// Package sim defines the substrate shared by every simulation kernel in
+// this repository: simulated time, discrete events, the execution context
+// handed to event callbacks, the model description a kernel runs, and the
+// Kernel interface itself.
+//
+// Model code (links, queues, TCP, applications, ...) is written once against
+// this package and runs unmodified under the sequential DES kernel, the
+// barrier-synchronization and null-message PDES kernels, and the Unison
+// kernel — this is the paper's "user transparency" property.
+package sim
+
+import "fmt"
+
+// Time is simulated time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Convenient duration units, all expressed in Time (nanoseconds).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+// MaxTime is the largest representable simulated time. It is used as the
+// "no event" sentinel when computing LBTS windows.
+const MaxTime Time = 1<<63 - 1
+
+// String renders a Time with an adaptive unit, e.g. "3µs" or "1.5ms".
+func (t Time) String() string {
+	switch {
+	case t == MaxTime:
+		return "∞"
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return trimUnit(float64(t)/float64(Microsecond), "µs")
+	case t < Second:
+		return trimUnit(float64(t)/float64(Millisecond), "ms")
+	default:
+		return trimUnit(float64(t)/float64(Second), "s")
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// NodeID identifies a simulated node (host or switch). Node IDs are dense:
+// a model with N nodes uses IDs 0..N-1.
+type NodeID int32
+
+// GlobalNode is the pseudo-target of global events: events that may affect
+// every node at once (stopping the simulator, mutating the topology,
+// printing progress). Under Unison these are executed by the public LP.
+const GlobalNode NodeID = -1
+
+// SetupSrc marks events created during model construction, before any event
+// has executed (there is no creating node yet).
+const SetupSrc NodeID = -2
+
+// Proc is an event callback. It receives the execution context of the
+// worker currently running the event; all interaction with the simulator
+// (reading the clock, scheduling further events) goes through ctx.
+type Proc func(ctx *Ctx)
+
+// Event is a discrete event: at Time, on node Node, run Fn.
+//
+// (Src, Seq) identify the event for deterministic tie-breaking: Src is the
+// node whose event callback created this event (SetupSrc for initial
+// events) and Seq is a per-creating-node counter. Events are executed in
+// (Time, Src, Seq) lexicographic order, a total order that is independent
+// of partitioning and thread count, so every kernel in this repository
+// produces bit-identical simulation results for the same model and seed.
+// This is a strict strengthening of the paper's per-LP tie-breaking rule
+// (§5.2), which is reproducible only within one partitioning.
+type Event struct {
+	Time Time
+	Src  NodeID
+	Seq  uint64
+	Node NodeID
+	Fn   Proc
+}
+
+// Before reports whether e must execute before o under the deterministic
+// total order (Time, Src, Seq).
+func (e *Event) Before(o *Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.Src != o.Src {
+		return e.Src < o.Src
+	}
+	return e.Seq < o.Seq
+}
+
+// Sink is where a context deposits newly scheduled events. Each kernel
+// provides its own implementation (direct FEL insertion for sequential DES,
+// mailbox routing for parallel kernels).
+type Sink interface {
+	// Put delivers a fully-stamped event to the kernel. Put is called from
+	// the worker executing the creating event; kernels must route it safely.
+	Put(ev Event)
+	// PutGlobal delivers a global event (ev.Node == GlobalNode).
+	PutGlobal(ev Event)
+}
+
+// Ctx is the execution context of one kernel worker. Exactly one event
+// callback at a time runs on a Ctx; the kernel updates now/cur around each
+// callback. Model code must never retain a Ctx across events.
+type Ctx struct {
+	now  Time
+	cur  NodeID
+	seq  *uint64 // per-creating-node sequence counter for the current node
+	sink Sink
+
+	// Worker is the index of the executing worker (thread) — useful for
+	// per-worker metrics. Sequential kernels use 0.
+	Worker int
+
+	// stopped is set by Stop; kernels poll it after each event batch.
+	stopped bool
+}
+
+// NewCtx returns a context bound to sink for worker w. Kernels call this.
+func NewCtx(sink Sink, w int) *Ctx {
+	return &Ctx{sink: sink, Worker: w}
+}
+
+// Begin positions the context at the start of event ev, whose per-node
+// sequence counter is seq. Kernels call this immediately before ev.Fn(ctx).
+func (c *Ctx) Begin(ev *Event, seq *uint64) {
+	c.now = ev.Time
+	c.cur = ev.Node
+	c.seq = seq
+}
+
+// Now returns the current simulated time.
+func (c *Ctx) Now() Time { return c.now }
+
+// Node returns the node whose event is currently executing
+// (GlobalNode inside a global event).
+func (c *Ctx) Node() NodeID { return c.cur }
+
+// Stopped reports whether Stop has been called on this context.
+func (c *Ctx) Stopped() bool { return c.stopped }
+
+// ClearStopped resets the stop flag (kernels call this between runs).
+func (c *Ctx) ClearStopped() { c.stopped = false }
+
+func (c *Ctx) stamp(t Time, node NodeID) Event {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v node=%d", c.now, t, node))
+	}
+	ev := Event{Time: t, Src: c.cur, Node: node}
+	ev.Seq = *c.seq
+	*c.seq++
+	return ev
+}
+
+// Schedule runs fn on node after delay d (relative to Now).
+func (c *Ctx) Schedule(d Time, node NodeID, fn Proc) {
+	c.ScheduleAt(c.now+d, node, fn)
+}
+
+// ScheduleAt runs fn on node at absolute time t.
+func (c *Ctx) ScheduleAt(t Time, node NodeID, fn Proc) {
+	ev := c.stamp(t, node)
+	ev.Fn = fn
+	c.sink.Put(ev)
+}
+
+// Stamp allocates the deterministic identity (Src, Seq) of an event the
+// caller will deliver through an external transport — the distributed
+// kernel serializes the returned identity over the wire so remote FELs
+// order the event exactly as a local one (internal/dist).
+func (c *Ctx) Stamp(t Time, node NodeID) Event {
+	return c.stamp(t, node)
+}
+
+// ScheduleGlobal runs fn as a global event at absolute time t. Global
+// events may mutate the topology and affect all nodes; kernels execute
+// them on the main thread with all workers quiescent (the public LP).
+func (c *Ctx) ScheduleGlobal(t Time, fn Proc) {
+	ev := c.stamp(t, GlobalNode)
+	ev.Fn = fn
+	c.sink.PutGlobal(ev)
+}
+
+// Stop terminates the simulation after the current event completes.
+// It is typically called from a global stop event scheduled by the model.
+func (c *Ctx) Stop() { c.stopped = true }
+
+// LinkInfo is the kernel's minimal view of one topology link, sufficient
+// for partitioning (Algorithm 1) and lookahead computation. Stateless
+// links (point-to-point) may be cut between LPs; stateful ones may not.
+type LinkInfo struct {
+	A, B      NodeID
+	Delay     Time
+	Stateless bool
+	Up        bool
+}
+
+// Model describes a simulation for a kernel to run. It is constructed by
+// model code (see internal/netdev's Builder) and is kernel-agnostic.
+type Model struct {
+	// Nodes is the number of simulated nodes; node IDs are 0..Nodes-1.
+	Nodes int
+
+	// Links returns the current set of topology links. Kernels call it at
+	// startup for partitioning and again whenever a global event reports a
+	// topology change (TopoChanged).
+	Links func() []LinkInfo
+
+	// Init is the list of initial events, stamped with Src == SetupSrc and
+	// strictly increasing Seq. Use NewSetup to build it conveniently.
+	Init []Event
+
+	// StopAt, if nonzero, schedules a global stop event at that time.
+	StopAt Time
+}
+
+// Validate checks structural invariants of the model.
+func (m *Model) Validate() error {
+	if m.Nodes <= 0 {
+		return fmt.Errorf("sim: model has %d nodes", m.Nodes)
+	}
+	if m.Links == nil {
+		return fmt.Errorf("sim: model has no Links function")
+	}
+	for i := range m.Init {
+		ev := &m.Init[i]
+		if ev.Src != SetupSrc {
+			return fmt.Errorf("sim: init event %d has Src=%d, want SetupSrc", i, ev.Src)
+		}
+		if ev.Node != GlobalNode && (ev.Node < 0 || int(ev.Node) >= m.Nodes) {
+			return fmt.Errorf("sim: init event %d targets node %d of %d", i, ev.Node, m.Nodes)
+		}
+		if ev.Fn == nil {
+			return fmt.Errorf("sim: init event %d has nil Fn", i)
+		}
+	}
+	return nil
+}
+
+// Setup accumulates initial events during model construction.
+type Setup struct {
+	seq    uint64
+	events []Event
+}
+
+// NewSetup returns an empty setup event accumulator.
+func NewSetup() *Setup { return &Setup{} }
+
+// At schedules fn on node at absolute time t.
+func (s *Setup) At(t Time, node NodeID, fn Proc) {
+	s.events = append(s.events, Event{Time: t, Src: SetupSrc, Seq: s.seq, Node: node, Fn: fn})
+	s.seq++
+}
+
+// Global schedules fn as a global event at absolute time t.
+func (s *Setup) Global(t Time, fn Proc) { s.At(t, GlobalNode, fn) }
+
+// Events returns the accumulated initial events.
+func (s *Setup) Events() []Event { return s.events }
+
+// Kernel runs a model to completion. Implementations: internal/des
+// (sequential), internal/pdes (barrier, null-message), internal/core
+// (Unison), internal/vtime (virtual-testbed variants of all four).
+type Kernel interface {
+	Name() string
+	Run(m *Model) (*RunStats, error)
+}
+
+// WorkerStats is the paper's T = P + S + M decomposition for one worker
+// (thread or rank): processing, synchronization (waiting), and messaging
+// time. Times are wall-clock nanoseconds for live kernels and virtual
+// nanoseconds for the virtual testbed.
+type WorkerStats struct {
+	P, S, M int64
+	Events  uint64
+}
+
+// T returns the worker's total accounted time.
+func (w WorkerStats) T() int64 { return w.P + w.S + w.M }
+
+// RoundSample records one synchronization round for per-round traces
+// (Figures 5b, 9b, 12c, 13).
+type RoundSample struct {
+	LBTS Time
+	// PerWorker[i] is worker i's processing time in the round.
+	PerWorker []int64
+	// Makespan is the duration of the round (max over workers incl. waits).
+	Makespan int64
+	// Phase1 is the processing-phase span (max worker busy time).
+	Phase1 int64
+	// Ideal is the processing-phase lower bound assuming a perfect
+	// scheduler that knows every LP's exact cost: max(longest LP,
+	// ⌈total/threads⌉). Only the virtual kernels can compute it.
+	Ideal int64
+}
+
+// RunStats summarizes a completed run.
+type RunStats struct {
+	Kernel   string
+	Events   uint64 // total events executed (incl. global)
+	EndTime  Time   // simulated time reached
+	WallNS   int64  // real elapsed wall-clock nanoseconds
+	Rounds   uint64 // synchronization rounds (0 for sequential)
+	LPs      int    // logical processes created (1 for sequential)
+	Workers  []WorkerStats
+	VirtualT int64 // virtual-testbed total time (0 for live kernels)
+
+	// Cache locality model counters (see internal/metrics).
+	CacheRefs, CacheMisses uint64
+
+	// RoundTrace, if enabled on the kernel, holds per-round samples.
+	RoundTrace []RoundSample
+}
+
+// TotalP returns the sum of worker processing times.
+func (r *RunStats) TotalP() int64 { return r.sum(func(w WorkerStats) int64 { return w.P }) }
+
+// TotalS returns the sum of worker synchronization (waiting) times.
+func (r *RunStats) TotalS() int64 { return r.sum(func(w WorkerStats) int64 { return w.S }) }
+
+// TotalM returns the sum of worker messaging times.
+func (r *RunStats) TotalM() int64 { return r.sum(func(w WorkerStats) int64 { return w.M }) }
+
+func (r *RunStats) sum(f func(WorkerStats) int64) int64 {
+	var t int64
+	for _, w := range r.Workers {
+		t += f(w)
+	}
+	return t
+}
+
+// SRatio returns S / (P+S+M) across all workers, the paper's key
+// synchronization-overhead metric.
+func (r *RunStats) SRatio() float64 {
+	tot := r.TotalP() + r.TotalS() + r.TotalM()
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.TotalS()) / float64(tot)
+}

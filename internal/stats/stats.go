@@ -1,0 +1,248 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: running summaries, quantiles, histograms, empirical
+// CDFs and the Jain fairness index.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count/sum/min/max/mean/variance online (Welford).
+// All fields are exported so summaries survive gob encoding when the
+// distributed kernel ships per-flow statistics between hosts.
+type Summary struct {
+	N        int
+	Sum      float64
+	Min, Max float64
+	// MeanAcc and M2Acc are Welford's running mean and squared-distance
+	// accumulators; use Mean/Var instead of reading them directly.
+	MeanAcc, M2Acc float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.N == 0 {
+		s.Min, s.Max = v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.N++
+	s.Sum += v
+	d := v - s.MeanAcc
+	s.MeanAcc += d / float64(s.N)
+	s.M2Acc += d * (v - s.MeanAcc)
+}
+
+// Mean returns the running mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.MeanAcc }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (s *Summary) Var() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return s.M2Acc / float64(s.N-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	if other.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.N), float64(other.N)
+	d := other.MeanAcc - s.MeanAcc
+	s.M2Acc += other.M2Acc + d*d*n1*n2/(n1+n2)
+	s.MeanAcc = (n1*s.MeanAcc + n2*other.MeanAcc) / (n1 + n2)
+	s.N += other.N
+	s.Sum += other.Sum
+	if other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs by linear
+// interpolation. xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Jain returns the Jain fairness index of xs: (Σx)² / (n·Σx²).
+// It is 1 for perfectly equal shares and 1/n for a single hog.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// RelError returns |a-b| / |b|, the relative error of a against baseline b.
+func RelError(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// CDF is an empirical (value, cumulative-probability) table used to model
+// flow-size distributions such as the web-search and gRPC workloads.
+// Points must be sorted by ascending P with P ending at 1.
+type CDF struct {
+	V []float64 // values
+	P []float64 // cumulative probabilities, ascending, last == 1
+}
+
+// Validate checks the CDF's structural invariants.
+func (c *CDF) Validate() error {
+	if len(c.V) != len(c.P) || len(c.V) == 0 {
+		return fmt.Errorf("stats: CDF needs equal-length nonempty V and P")
+	}
+	for i := range c.P {
+		if i > 0 && (c.P[i] < c.P[i-1] || c.V[i] < c.V[i-1]) {
+			return fmt.Errorf("stats: CDF not monotone at %d", i)
+		}
+		if c.P[i] < 0 || c.P[i] > 1 {
+			return fmt.Errorf("stats: CDF probability out of range at %d", i)
+		}
+	}
+	if c.P[len(c.P)-1] != 1 {
+		return fmt.Errorf("stats: CDF must end at P=1")
+	}
+	return nil
+}
+
+// Sample inverts the CDF at uniform u in [0,1) with linear interpolation.
+func (c *CDF) Sample(u float64) float64 {
+	i := sort.SearchFloat64s(c.P, u)
+	if i == 0 {
+		if c.P[0] == 0 {
+			return c.V[0]
+		}
+		// Interpolate from (0, V[0]) — treat V[0] as the minimum value.
+		return c.V[0]
+	}
+	if i >= len(c.P) {
+		return c.V[len(c.V)-1]
+	}
+	p0, p1 := c.P[i-1], c.P[i]
+	v0, v1 := c.V[i-1], c.V[i]
+	if p1 == p0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(u-p0)/(p1-p0)
+}
+
+// MeanValue returns the expected value of the CDF under linear
+// interpolation between points — used to size Poisson arrival rates so a
+// workload hits a target load.
+func (c *CDF) MeanValue() float64 {
+	var mean float64
+	prevP := 0.0
+	prevV := c.V[0]
+	for i := range c.P {
+		dp := c.P[i] - prevP
+		mean += dp * (prevV + c.V[i]) / 2
+		prevP = c.P[i]
+		prevV = c.V[i]
+	}
+	return mean
+}
+
+// Histogram is a fixed-width bucket histogram over [0, Width*len(buckets)).
+type Histogram struct {
+	Width   float64
+	Buckets []uint64
+	Over    uint64 // samples beyond the last bucket
+	Count   uint64
+}
+
+// NewHistogram returns a histogram of n buckets of the given width.
+func NewHistogram(width float64, n int) *Histogram {
+	return &Histogram{Width: width, Buckets: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.Count++
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.Width)
+	if i >= len(h.Buckets) {
+		h.Over++
+		return
+	}
+	h.Buckets[i]++
+}
+
+// QuantileEstimate returns an estimate of the q-th quantile from buckets.
+func (h *Histogram) QuantileEstimate(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	target := uint64(q * float64(h.Count))
+	var cum uint64
+	for i, b := range h.Buckets {
+		cum += b
+		if cum >= target {
+			return (float64(i) + 0.5) * h.Width
+		}
+	}
+	return float64(len(h.Buckets)) * h.Width
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N != 8 || s.Sum != 40 {
+		t.Fatalf("N=%d Sum=%v", s.N, s.Sum)
+	}
+	if !almost(s.Mean(), 5, 1e-9) {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min=%v max=%v", s.Min, s.Max)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almost(s.Var(), 32.0/7, 1e-9) {
+		t.Fatalf("var=%v want %v", s.Var(), 32.0/7)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Summary
+		for _, v := range xs {
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, v := range ys {
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		if a.N != all.N {
+			return false
+		}
+		if a.N == 0 {
+			return true
+		}
+		return almost(a.Mean(), all.Mean(), 1e-6*(1+math.Abs(all.Mean()))) &&
+			almost(a.Var(), all.Var(), 1e-6*(1+all.Var())) &&
+			a.Min == all.Min && a.Max == all.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25}, {0.99, 9.91},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestJain(t *testing.T) {
+	if !almost(Jain([]float64{5, 5, 5, 5}), 1, 1e-12) {
+		t.Error("equal shares should give Jain=1")
+	}
+	// One hog among n flows gives 1/n.
+	if !almost(Jain([]float64{10, 0, 0, 0}), 0.25, 1e-12) {
+		t.Error("single hog of 4 should give 0.25")
+	}
+	if !almost(Jain([]float64{0, 0}), 1, 1e-12) {
+		t.Error("all-zero defined as 1")
+	}
+}
+
+func TestJainRangeQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, math.Abs(v))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := Jain(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if !almost(RelError(11, 10), 0.1, 1e-12) {
+		t.Error("RelError(11,10)")
+	}
+	if RelError(0, 0) != 0 {
+		t.Error("RelError(0,0) should be 0")
+	}
+	if !math.IsInf(RelError(1, 0), 1) {
+		t.Error("RelError(1,0) should be +Inf")
+	}
+}
+
+func TestCDFValidate(t *testing.T) {
+	good := &CDF{V: []float64{1, 2, 3}, P: []float64{0, 0.5, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid CDF rejected: %v", err)
+	}
+	bad := []*CDF{
+		{V: []float64{1}, P: []float64{0.5}},        // doesn't end at 1
+		{V: []float64{1, 2}, P: []float64{1, 0}},    // non-monotone P
+		{V: []float64{2, 1}, P: []float64{0, 1}},    // non-monotone V
+		{V: []float64{}, P: []float64{}},            // empty
+		{V: []float64{1, 2}, P: []float64{0}},       // length mismatch
+		{V: []float64{1, 2}, P: []float64{-0.5, 1}}, // negative prob
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad CDF %d accepted", i)
+		}
+	}
+}
+
+func TestCDFSampleMonotone(t *testing.T) {
+	c := &CDF{V: []float64{10, 100, 1000}, P: []float64{0, 0.9, 1}}
+	prev := -1.0
+	for u := 0.0; u < 1; u += 0.01 {
+		v := c.Sample(u)
+		if v < prev {
+			t.Fatalf("Sample not monotone at u=%v: %v < %v", u, v, prev)
+		}
+		if v < 10 || v > 1000 {
+			t.Fatalf("Sample out of support: %v", v)
+		}
+		prev = v
+	}
+}
+
+func TestCDFSampleMeanApproximatesMeanValue(t *testing.T) {
+	c := &CDF{V: []float64{1e3, 1e4, 1e6}, P: []float64{0, 0.7, 1}}
+	want := c.MeanValue()
+	var sum float64
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += c.Sample(float64(i) / n)
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("sampled mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count != 100 || h.Over != 0 {
+		t.Fatalf("count=%d over=%d", h.Count, h.Over)
+	}
+	h.Add(1e9)
+	if h.Over != 1 {
+		t.Fatal("overflow sample not counted")
+	}
+	med := h.QuantileEstimate(0.5)
+	if med < 40 || med > 60 {
+		t.Fatalf("median estimate %v", med)
+	}
+	h.Add(-5) // clamps to bucket 0
+	if h.Buckets[0] != 11 {
+		t.Fatalf("negative sample not clamped, bucket0=%d", h.Buckets[0])
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}

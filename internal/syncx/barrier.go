@@ -1,0 +1,43 @@
+// Package syncx holds the low-level synchronization primitives shared by
+// the parallel kernels: a reusable sense-reversing atomic barrier.
+package syncx
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a reusable sense-reversing barrier built from two atomics.
+// Workers spin briefly and then yield; the fast path performs no
+// allocation and takes no locks, matching the paper's requirement that
+// phase changes be implemented with atomic operations alone (§5.1).
+type Barrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint64
+}
+
+// NewBarrier returns a barrier for n workers.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("syncx: barrier of zero workers")
+	}
+	return &Barrier{n: int32(n)}
+}
+
+// Wait blocks until all n workers have arrived.
+func (b *Barrier) Wait() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	spins := 0
+	for b.gen.Load() == gen {
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}

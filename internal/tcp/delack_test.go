@@ -1,0 +1,217 @@
+package tcp
+
+import (
+	"testing"
+
+	"unison/internal/core"
+	"unison/internal/des"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/sim"
+)
+
+// ackCount runs one 500 KB flow and returns packets transmitted by the
+// receiver's access device (pure ACKs) and whether the flow finished.
+func ackCount(t *testing.T, cfg Config) (uint64, bool) {
+	t.Helper()
+	h := newHarness(1, 1e9, 1e9, netdev.DropTailConfig(200), cfg, nil)
+	flows := mkFlows(h.d, 500_000)
+	h.mon = flowmon.NewMonitor(len(flows))
+	h.stack = NewStack(h.net, cfg, h.mon)
+	h.run(t, flows, 100*sim.Millisecond)
+	rcv := h.d.Receivers[0]
+	var tx uint64
+	h.net.Devices(func(d *netdev.Device) {
+		if d.Node() == rcv {
+			tx += d.TxPackets
+		}
+	})
+	return tx, h.mon.Sender(0).Done
+}
+
+func TestDelayedAckHalvesAcks(t *testing.T) {
+	off := DefaultConfig()
+	on := DefaultConfig()
+	on.DelayedAck = true
+	txOff, doneOff := ackCount(t, off)
+	txOn, doneOn := ackCount(t, on)
+	if !doneOff || !doneOn {
+		t.Fatalf("flows incomplete: off=%v on=%v", doneOff, doneOn)
+	}
+	// One ACK per two segments, modulo timer flushes and immediate ACKs.
+	if txOn > txOff*2/3 {
+		t.Fatalf("delayed ACKs sent %d vs %d without; expected a large cut", txOn, txOff)
+	}
+}
+
+func TestDelayedAckUnderLoss(t *testing.T) {
+	// Loss forces out-of-order arrivals: immediate ACKs must keep fast
+	// retransmit alive and the flow must still finish.
+	cfg := DefaultConfig()
+	cfg.DelayedAck = true
+	h := newHarness(8, 1e9, 1e8, netdev.DropTailConfig(20), cfg, nil)
+	flows := mkFlows(h.d, 500_000)
+	h.mon = flowmon.NewMonitor(len(flows))
+	h.stack = NewStack(h.net, cfg, h.mon)
+	h.run(t, flows, 5*sim.Second)
+	if h.mon.Completed() != 8 {
+		t.Fatalf("completed=%d/8 with delayed ACKs under loss", h.mon.Completed())
+	}
+}
+
+func TestDelayedAckDCTCPStillMarksAndEchoes(t *testing.T) {
+	cfg := DCTCPConfig()
+	cfg.DelayedAck = true
+	h := newHarness(8, 1e9, 1e9, netdev.DCTCPConfig(200, 20), cfg, nil)
+	flows := mkFlows(h.d, 2_000_000)
+	h.mon = flowmon.NewMonitor(len(flows))
+	h.stack = NewStack(h.net, cfg, h.mon)
+	h.run(t, flows, sim.Second)
+	if h.mon.Completed() != 8 {
+		t.Fatalf("completed=%d/8", h.mon.Completed())
+	}
+	var marks uint64
+	h.net.Devices(func(d *netdev.Device) { marks += d.MarkCount })
+	if marks == 0 {
+		t.Fatal("no marks under DCTCP with delayed ACKs")
+	}
+	// The senders must have reacted to the echoes (cwnd clamped below the
+	// slow-start blowup a mark-blind sender would reach).
+	for i := range flows {
+		c := h.stack.conns[flows[i].Src][flows[i].ID]
+		if c.alpha == 1 && c.retrans == 0 && c.cwnd > 1<<20 {
+			t.Fatalf("flow %d: cwnd=%d alpha=%v — ECE echoes seem lost", i, c.cwnd, c.alpha)
+		}
+	}
+}
+
+func TestDelayedAckDeterministicAcrossKernels(t *testing.T) {
+	// Delayed-ACK timers must not break cross-kernel equivalence.
+	run := func(kernelThreads int) uint64 {
+		cfg := DefaultConfig()
+		cfg.DelayedAck = true
+		h := newHarness(4, 1e9, 1e9, netdev.DropTailConfig(100), cfg, nil)
+		flows := mkFlows(h.d, 200_000)
+		h.mon = flowmon.NewMonitor(len(flows))
+		h.stack = NewStack(h.net, cfg, h.mon)
+		setup := sim.NewSetup()
+		h.stack.Attach(setup, flows)
+		stop := 50 * sim.Millisecond
+		setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+		m := &sim.Model{Nodes: h.d.N(), Links: h.d.LinkInfos, Init: setup.Events(), StopAt: stop}
+		var err error
+		if kernelThreads == 0 {
+			_, err = desRun(m)
+		} else {
+			_, err = coreRun(m, kernelThreads)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.mon.Fingerprint()
+	}
+	seq := run(0)
+	if run(3) != seq {
+		t.Fatal("delayed ACKs broke cross-kernel determinism")
+	}
+}
+
+// Kernel shims for the determinism helper.
+func desRun(m *sim.Model) (*sim.RunStats, error) { return des.New().Run(m) }
+
+func coreRun(m *sim.Model, threads int) (*sim.RunStats, error) {
+	return core.New(core.Config{Threads: threads}).Run(m)
+}
+
+func TestReceiveWindowCapsThroughput(t *testing.T) {
+	// With a tiny receive buffer the sender is window-limited: throughput
+	// ≈ RcvBuf / RTT regardless of the 10G path.
+	run := func(rcvBuf int32) float64 {
+		cfg := DefaultConfig()
+		cfg.RcvBuf = rcvBuf
+		h := newHarness(1, 10_000_000_000, 10_000_000_000, netdev.DropTailConfig(500), cfg, nil)
+		flows := mkFlows(h.d, 2_000_000)
+		h.mon = flowmon.NewMonitor(len(flows))
+		h.stack = NewStack(h.net, cfg, h.mon)
+		h.run(t, flows, 200*sim.Millisecond)
+		if !h.mon.Sender(0).Done {
+			t.Fatalf("rcvBuf=%d: flow incomplete", rcvBuf)
+		}
+		return h.mon.Recv(0).Goodput() * 8 / 1e6 // Mbps
+	}
+	// The harness dumbbell has RTT ≈ 2×(2+10+2) µs = 28 µs, so the
+	// window-limited ceiling is RcvBuf/RTT: ≈4.7 Gbps at 16 KB and
+	// ≈1.2 Gbps at 4 KB.
+	mid := run(16 * 1024)
+	tiny := run(4 * 1024)
+	if tiny >= mid {
+		t.Fatalf("4KB window %.0f Mbps not below 16KB window %.0f Mbps", tiny, mid)
+	}
+	if tiny > 1800 || tiny < 300 {
+		t.Fatalf("4KB window goodput %.0f Mbps outside the RcvBuf/RTT ballpark (~1200)", tiny)
+	}
+}
+
+func TestReceiveWindowStillCompletesUnderLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RcvBuf = 32 * 1024
+	h := newHarness(4, 1e9, 1e8, netdev.DropTailConfig(20), cfg, nil)
+	flows := mkFlows(h.d, 300_000)
+	h.mon = flowmon.NewMonitor(len(flows))
+	h.stack = NewStack(h.net, cfg, h.mon)
+	h.run(t, flows, 5*sim.Second)
+	if h.mon.Completed() != 4 {
+		t.Fatalf("completed=%d/4", h.mon.Completed())
+	}
+}
+
+func TestCoDelBoundsQueueDelayVsDropTail(t *testing.T) {
+	// A deep buffer under Reno bufferbloats; CoDel holds sojourn near its
+	// 5 ms target on the same path.
+	run := func(q netdev.QueueConfig) (meanQms float64, done int) {
+		cfg := DefaultConfig()
+		h := newHarness(8, 1e9, 1e8, q, cfg, nil)
+		flows := mkFlows(h.d, 2_000_000)
+		h.mon = flowmon.NewMonitor(len(flows))
+		h.stack = NewStack(h.net, cfg, h.mon)
+		h.run(t, flows, 3*sim.Second)
+		var s statsSummary
+		h.net.Devices(func(d *netdev.Device) {
+			if d.Node() == h.d.Left && d.QueueDelay.N > 0 {
+				s.merge(d.QueueDelay.Mean(), d.QueueDelay.N)
+			}
+		})
+		return s.mean() / 1e6, h.mon.Completed()
+	}
+	deepMs, deepDone := run(netdev.DropTailConfig(1000))
+	// The canonical 5 ms / 100 ms CoDel constants assume WAN RTTs; scale
+	// them to this data-center path (RTT ≈ 28 µs) as a deployment would.
+	codelCfg := netdev.CoDelConfig(1000)
+	codelCfg.CoDelTarget = 200 * sim.Microsecond
+	codelCfg.CoDelInterval = 2 * sim.Millisecond
+	codelMs, codelDone := run(codelCfg)
+	if deepDone == 0 || codelDone == 0 {
+		t.Fatalf("flows done: droptail=%d codel=%d", deepDone, codelDone)
+	}
+	if codelMs >= deepMs/4 {
+		t.Fatalf("CoDel mean queue delay %.2fms not well below deep DropTail %.2fms", codelMs, deepMs)
+	}
+}
+
+// statsSummary is a tiny weighted-mean helper for the test above.
+type statsSummary struct {
+	sum float64
+	n   int
+}
+
+func (s *statsSummary) merge(mean float64, n int) {
+	s.sum += mean * float64(n)
+	s.n += n
+}
+
+func (s *statsSummary) mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}

@@ -1,0 +1,189 @@
+// Package tcp implements the simulated transport layer: TCP New Reno
+// (slow start, AIMD congestion avoidance, fast retransmit, New Reno fast
+// recovery, Jacobson RTO estimation) and DCTCP (ECN fraction estimation
+// with window scaling), plus a minimal UDP datagram service.
+//
+// Connection state is owned by its endpoint's node and only mutated from
+// events executing there, so the transport is lock-free under every
+// kernel. Flow statistics go to an internal/flowmon monitor whose records
+// are likewise single-owner.
+package tcp
+
+import (
+	"fmt"
+
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/topology"
+)
+
+// Variant selects the congestion-control algorithm.
+type Variant uint8
+
+const (
+	// NewReno is classic loss-based TCP with New Reno fast recovery.
+	NewReno Variant = iota
+	// DCTCP scales the window by the ECN-marked fraction (Alizadeh 2010).
+	DCTCP
+)
+
+func (v Variant) String() string {
+	if v == DCTCP {
+		return "dctcp"
+	}
+	return "newreno"
+}
+
+// Config tunes the transport.
+type Config struct {
+	Variant  Variant
+	MSS      int32
+	InitCwnd int32    // initial window in segments
+	MinRTO   sim.Time // RTO floor (1 ms for DCNs, 200 ms for WANs)
+	InitRTO  sim.Time // RTO before the first RTT sample
+	MaxRTO   sim.Time
+	// DCTCPShiftG is DCTCP's alpha EWMA gain g (paper default 1/16).
+	DCTCPShiftG float64
+	// DelayedAck coalesces ACKs: one per two segments or after AckDelay,
+	// with immediate ACKs on out-of-order data, FIN, and (for DCTCP) on
+	// CE-state changes — the DCTCP delayed-ACK state machine.
+	DelayedAck bool
+	// AckDelay is the delayed-ACK timeout (default 40 µs, a data-center
+	// setting; use milliseconds for WANs).
+	AckDelay sim.Time
+	// RcvBuf enables receive-window flow control when positive: receivers
+	// advertise RcvBuf minus buffered out-of-order bytes, and senders
+	// never exceed min(cwnd, advertised window) in flight.
+	RcvBuf int32
+}
+
+// DefaultConfig returns a data-center-tuned New Reno configuration.
+func DefaultConfig() Config {
+	return Config{
+		Variant:     NewReno,
+		MSS:         packet.MSS,
+		InitCwnd:    10,
+		MinRTO:      sim.Millisecond,
+		InitRTO:     10 * sim.Millisecond,
+		MaxRTO:      sim.Second,
+		DCTCPShiftG: 1.0 / 16,
+		AckDelay:    40 * sim.Microsecond,
+	}
+}
+
+// WANConfig returns a wide-area configuration (RFC-style 200 ms RTO floor).
+func WANConfig() Config {
+	c := DefaultConfig()
+	c.MinRTO = 200 * sim.Millisecond
+	c.InitRTO = sim.Second
+	return c
+}
+
+// DCTCPConfig returns the DCTCP variant of DefaultConfig.
+func DCTCPConfig() Config {
+	c := DefaultConfig()
+	c.Variant = DCTCP
+	return c
+}
+
+// FlowSpec describes one application flow to run.
+type FlowSpec struct {
+	ID    packet.FlowID
+	Src   sim.NodeID
+	Dst   sim.NodeID
+	Bytes int64
+	Start sim.Time
+}
+
+// Stack is the per-simulation transport instance: it owns the connection
+// tables of every host and registers itself as each host's packet handler.
+type Stack struct {
+	net *netdev.Network
+	cfg Config
+	mon *flowmon.Monitor
+
+	// conns[node] maps flow → connection endpoint at that node;
+	// owned by the node, mutated only from its events.
+	conns []map[packet.FlowID]*conn
+
+	// udpSinks holds per-host datagram consumers (see udp.go); populated
+	// at setup time only, read-only during the run.
+	udpSinks map[sim.NodeID]UDPSink
+}
+
+// NewStack wires the transport into net's hosts.
+func NewStack(net *netdev.Network, cfg Config, mon *flowmon.Monitor) *Stack {
+	if cfg.MSS <= 0 || cfg.InitCwnd <= 0 {
+		panic("tcp: invalid config")
+	}
+	s := &Stack{net: net, cfg: cfg, mon: mon, conns: make([]map[packet.FlowID]*conn, net.G.N())}
+	for _, h := range net.G.Hosts() {
+		s.conns[h] = make(map[packet.FlowID]*conn)
+		host := h
+		net.SetHandler(host, func(ctx *sim.Ctx, p packet.Packet) { s.deliver(ctx, host, p) })
+	}
+	return s
+}
+
+// Attach schedules the start events for all flows on the model setup.
+// Flows must already be registered with the monitor.
+func (s *Stack) Attach(setup *sim.Setup, flows []FlowSpec) {
+	for _, f := range flows {
+		f := f
+		setup.At(f.Start, f.Src, func(ctx *sim.Ctx) { s.StartFlow(ctx, f) })
+	}
+}
+
+// StartFlow opens the connection for f and begins the handshake. It must
+// run on an event executing at f.Src.
+func (s *Stack) StartFlow(ctx *sim.Ctx, f FlowSpec) {
+	if ctx.Node() != f.Src {
+		panic(fmt.Sprintf("tcp: StartFlow for src %d on node %d", f.Src, ctx.Node()))
+	}
+	if s.net.G.Nodes[f.Dst].Kind != topology.Host {
+		panic(fmt.Sprintf("tcp: flow %d destination %d is not a host", f.ID, f.Dst))
+	}
+	c := newConn(s, f, true)
+	s.conns[f.Src][f.ID] = c
+	s.mon.Sender(f.ID).Start(ctx.Now(), f.Src, f.Dst, f.Bytes)
+	c.sendSYN(ctx)
+}
+
+// deliver dispatches an arriving packet to its connection, creating the
+// passive endpoint on SYN. UDP datagrams go to the host's sink.
+func (s *Stack) deliver(ctx *sim.Ctx, host sim.NodeID, p packet.Packet) {
+	if p.Proto == packet.UDP {
+		s.deliverUDP(ctx, host, p)
+		return
+	}
+	c := s.conns[host][p.Flow]
+	if c == nil {
+		if p.Flags&packet.FlagSYN != 0 && p.Flags&packet.FlagACK == 0 {
+			c = newConn(s, FlowSpec{ID: p.Flow, Src: p.Dst, Dst: p.Src}, false)
+			s.conns[host][p.Flow] = c
+		} else {
+			return // stray packet for a closed/unknown connection
+		}
+	}
+	c.receive(ctx, p)
+}
+
+// Conn returns the endpoint of flow id at node n, or nil (testing).
+func (s *Stack) Conn(n sim.NodeID, id packet.FlowID) Endpoint {
+	c := s.conns[n][id]
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// Endpoint exposes read-only connection state for tests and monitors.
+type Endpoint interface {
+	Cwnd() int32
+	Ssthresh() int32
+	RTO() sim.Time
+	Done() bool
+	Retransmits() uint64
+}

@@ -1,0 +1,121 @@
+package tcp
+
+import (
+	"fmt"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// UDP support: fire-and-forget datagrams dispatched to per-host sinks.
+// The transport Stack owns the dispatch so TCP and UDP coexist on the
+// same hosts; senders use SendUDP from an event on the source node.
+
+// UDPSink consumes datagrams delivered to a host.
+type UDPSink func(ctx *sim.Ctx, p packet.Packet)
+
+// RegisterUDP installs the datagram sink of host h. It must be called
+// during model construction (before the simulation runs).
+func (s *Stack) RegisterUDP(h sim.NodeID, sink UDPSink) {
+	if s.conns[h] == nil {
+		panic(fmt.Sprintf("tcp: RegisterUDP on non-host node %d", h))
+	}
+	if s.udpSinks == nil {
+		s.udpSinks = make(map[sim.NodeID]UDPSink)
+	}
+	s.udpSinks[h] = sink
+}
+
+// SendUDP emits one datagram of payload bytes from the current node.
+// Oversized payloads are fragmented into MSS-sized packets.
+func (s *Stack) SendUDP(ctx *sim.Ctx, flow packet.FlowID, dst sim.NodeID, payload int32) {
+	src := ctx.Node()
+	for payload > 0 {
+		seg := payload
+		if seg > s.cfg.MSS {
+			seg = s.cfg.MSS
+		}
+		p := packet.Packet{
+			Flow:     flow,
+			Src:      src,
+			Dst:      dst,
+			Proto:    packet.UDP,
+			Payload:  seg,
+			SendTime: ctx.Now(),
+		}
+		s.net.Inject(ctx, p)
+		payload -= seg
+	}
+}
+
+// deliverUDP routes an arriving datagram to the host's sink; hosts
+// without a sink silently drop (closed port).
+func (s *Stack) deliverUDP(ctx *sim.Ctx, host sim.NodeID, p packet.Packet) {
+	if sink := s.udpSinks[host]; sink != nil {
+		sink(ctx, p)
+	}
+}
+
+// OnOffSpec describes a UDP on/off source (the classic ns-3 OnOff
+// application): during ON periods it emits datagrams of PktBytes at
+// RateBps; OFF periods are silent. OffTime == 0 yields plain CBR.
+type OnOffSpec struct {
+	Flow     packet.FlowID
+	Src, Dst sim.NodeID
+	RateBps  int64
+	PktBytes int32
+	OnTime   sim.Time
+	OffTime  sim.Time
+	Start    sim.Time
+	Stop     sim.Time
+}
+
+// AttachOnOff schedules the on/off source on the model setup. Received
+// bytes are recorded in the monitor's receiver record for the flow.
+func (s *Stack) AttachOnOff(setup *sim.Setup, spec OnOffSpec) {
+	if spec.RateBps <= 0 || spec.PktBytes <= 0 || spec.OnTime <= 0 {
+		panic("tcp: invalid OnOff spec")
+	}
+	gap := sim.Time(int64(spec.PktBytes) * 8 * int64(sim.Second) / spec.RateBps)
+	if gap <= 0 {
+		gap = 1
+	}
+	// Receiver side: count datagrams into the flow monitor.
+	mon := s.mon.Recv(spec.Flow)
+	s.RegisterUDP(spec.Dst, func(ctx *sim.Ctx, p packet.Packet) {
+		if p.Flow != spec.Flow {
+			return
+		}
+		if mon.FirstRxT == 0 {
+			mon.FirstRxT = ctx.Now()
+		}
+		mon.BytesRcvd += int64(p.Payload)
+		mon.LastRxT = ctx.Now()
+	})
+	// Sender side: a self-rescheduling emitter that flips on/off phases.
+	var emit func(ctx *sim.Ctx, phaseEnd sim.Time)
+	emit = func(ctx *sim.Ctx, phaseEnd sim.Time) {
+		if ctx.Now() >= spec.Stop {
+			return
+		}
+		if ctx.Now() >= phaseEnd {
+			// Phase over: go silent, then start the next ON phase.
+			next := ctx.Now() + spec.OffTime
+			if next >= spec.Stop {
+				return
+			}
+			ctx.Schedule(spec.OffTime, spec.Src, func(c *sim.Ctx) {
+				emit(c, c.Now()+spec.OnTime)
+			})
+			return
+		}
+		s.SendUDP(ctx, spec.Flow, spec.Dst, spec.PktBytes)
+		s.mon.Sender(spec.Flow).Bytes += int64(spec.PktBytes)
+		ctx.Schedule(gap, spec.Src, func(c *sim.Ctx) { emit(c, phaseEnd) })
+	}
+	setup.At(spec.Start, spec.Src, func(ctx *sim.Ctx) {
+		rec := s.mon.Sender(spec.Flow)
+		rec.Start(ctx.Now(), spec.Src, spec.Dst, 0)
+		emit(ctx, ctx.Now()+spec.OnTime)
+	})
+}

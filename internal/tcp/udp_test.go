@@ -1,0 +1,146 @@
+package tcp
+
+import (
+	"testing"
+
+	"unison/internal/des"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+func TestUDPCBRDeliversAtRate(t *testing.T) {
+	h := newHarness(1, 1e9, 1e9, netdev.DropTailConfig(100), DefaultConfig(), nil)
+	h.mon = flowmon.NewMonitor(1)
+	h.stack = NewStack(h.net, DefaultConfig(), h.mon)
+	setup := sim.NewSetup()
+	h.stack.AttachOnOff(setup, OnOffSpec{
+		Flow: 0, Src: h.d.Senders[0], Dst: h.d.Receivers[0],
+		RateBps: 100_000_000, PktBytes: 1000,
+		OnTime: sim.Second, // CBR: never leaves ON
+		Start:  0, Stop: 10 * sim.Millisecond,
+	})
+	stop := 20 * sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: h.d.N(), Links: h.d.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// 100 Mbps for 10 ms = 125000 bytes = 125 datagrams of 1000B.
+	rec := h.mon.Recv(0)
+	if rec.BytesRcvd < 120_000 || rec.BytesRcvd > 126_000 {
+		t.Fatalf("received %d bytes, want ≈125000", rec.BytesRcvd)
+	}
+	if h.mon.Sender(0).Bytes != 125_000 {
+		t.Fatalf("sent %d bytes", h.mon.Sender(0).Bytes)
+	}
+}
+
+func TestUDPOnOffDutyCycle(t *testing.T) {
+	h := newHarness(1, 1e9, 1e9, netdev.DropTailConfig(100), DefaultConfig(), nil)
+	h.mon = flowmon.NewMonitor(1)
+	h.stack = NewStack(h.net, DefaultConfig(), h.mon)
+	setup := sim.NewSetup()
+	h.stack.AttachOnOff(setup, OnOffSpec{
+		Flow: 0, Src: h.d.Senders[0], Dst: h.d.Receivers[0],
+		RateBps: 100_000_000, PktBytes: 1000,
+		OnTime: sim.Millisecond, OffTime: sim.Millisecond,
+		Start: 0, Stop: 10 * sim.Millisecond,
+	})
+	stop := 20 * sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: h.d.N(), Links: h.d.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// 50% duty cycle: roughly half the CBR volume.
+	got := h.mon.Recv(0).BytesRcvd
+	if got < 55_000 || got > 72_000 {
+		t.Fatalf("received %d bytes, want ≈62500 (50%% duty)", got)
+	}
+}
+
+func TestUDPLossUnderOverload(t *testing.T) {
+	// 1 Gbps source into a 100 Mbps bottleneck: ~90% loss, no retransmit.
+	h := newHarness(1, 1e9, 1e8, netdev.DropTailConfig(10), DefaultConfig(), nil)
+	h.mon = flowmon.NewMonitor(1)
+	h.stack = NewStack(h.net, DefaultConfig(), h.mon)
+	setup := sim.NewSetup()
+	h.stack.AttachOnOff(setup, OnOffSpec{
+		Flow: 0, Src: h.d.Senders[0], Dst: h.d.Receivers[0],
+		RateBps: 1_000_000_000, PktBytes: 1000,
+		OnTime: sim.Second, Start: 0, Stop: 10 * sim.Millisecond,
+	})
+	stop := 30 * sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: h.d.N(), Links: h.d.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	sent := h.mon.Sender(0).Bytes
+	rcvd := h.mon.Recv(0).BytesRcvd
+	if rcvd >= sent/5 {
+		t.Fatalf("received %d of %d sent; expected heavy loss", rcvd, sent)
+	}
+	if h.net.Drops() == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+func TestUDPFragmentation(t *testing.T) {
+	h := newHarness(1, 1e9, 1e9, netdev.DropTailConfig(100), DefaultConfig(), nil)
+	h.mon = flowmon.NewMonitor(1)
+	h.stack = NewStack(h.net, DefaultConfig(), h.mon)
+	var got int64
+	datagrams := 0
+	h.stack.RegisterUDP(h.d.Receivers[0], func(ctx *sim.Ctx, p packet.Packet) {
+		got += int64(p.Payload)
+		datagrams++
+	})
+	setup := sim.NewSetup()
+	src := h.d.Senders[0]
+	dst := h.d.Receivers[0]
+	setup.At(0, src, func(ctx *sim.Ctx) {
+		h.stack.SendUDP(ctx, 0, dst, 4000) // > MSS: fragments
+	})
+	stop := sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: h.d.N(), Links: h.d.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if got != 4000 {
+		t.Fatalf("received %d bytes", got)
+	}
+	if datagrams != 3 { // 1448+1448+1104
+		t.Fatalf("datagrams=%d, want 3", datagrams)
+	}
+}
+
+func TestUDPCoexistsWithTCP(t *testing.T) {
+	// A TCP flow and a UDP CBR stream share the same hosts.
+	h := newHarness(1, 1e9, 1e9, netdev.DropTailConfig(200), DefaultConfig(), nil)
+	h.mon = flowmon.NewMonitor(2)
+	h.stack = NewStack(h.net, DefaultConfig(), h.mon)
+	setup := sim.NewSetup()
+	flows := []FlowSpec{{ID: 0, Src: h.d.Senders[0], Dst: h.d.Receivers[0], Bytes: 500_000}}
+	h.stack.Attach(setup, flows)
+	h.stack.AttachOnOff(setup, OnOffSpec{
+		Flow: 1, Src: h.d.Senders[0], Dst: h.d.Receivers[0],
+		RateBps: 50_000_000, PktBytes: 1000,
+		OnTime: sim.Second, Start: 0, Stop: 20 * sim.Millisecond,
+	})
+	stop := 100 * sim.Millisecond
+	setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: h.d.N(), Links: h.d.LinkInfos, Init: setup.Events(), StopAt: stop}
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if !h.mon.Sender(0).Done {
+		t.Fatal("TCP flow starved by UDP")
+	}
+	if h.mon.Recv(1).BytesRcvd == 0 {
+		t.Fatal("UDP stream delivered nothing")
+	}
+}

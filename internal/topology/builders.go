@@ -1,0 +1,357 @@
+package topology
+
+import (
+	"fmt"
+
+	"unison/internal/rng"
+	"unison/internal/sim"
+)
+
+// FatTreeCfg parameterizes a clustered fat-tree in the style the paper
+// uses throughout its evaluation: a set of clusters (pods), each holding
+// racks of hosts behind ToR switches and a layer of aggregation switches,
+// with a core layer connecting clusters.
+type FatTreeCfg struct {
+	Clusters      int
+	RacksPerPod   int // ToR switches per cluster
+	HostsPerRack  int
+	AggsPerPod    int // aggregation switches per cluster
+	Cores         int // core switches (each agg connects to Cores/AggsPerPod of them)
+	HostBandwidth int64
+	CoreBandwidth int64 // bandwidth of ToR-agg and agg-core links
+	HostDelay     sim.Time
+	FabricDelay   sim.Time // delay of ToR-agg and agg-core links
+}
+
+// FatTree describes a built clustered fat-tree.
+type FatTree struct {
+	*Graph
+	Cfg      FatTreeCfg
+	Clusters [][]sim.NodeID // hosts per cluster
+	ToRs     [][]sim.NodeID
+	Aggs     [][]sim.NodeID
+	CoreSw   []sim.NodeID
+	// CoreLinks[c] holds the agg-core link IDs of cluster c, used by the
+	// reconfigurable-DCN scenario to rewire the core.
+	CoreLinks [][]LinkID
+}
+
+// FatTreeK returns the configuration of a classic k-ary fat-tree: k pods,
+// each with k/2 edge and k/2 aggregation switches, (k/2)² cores and k³/4
+// hosts — the k=4 and k=8 topologies used in §3 and §6.
+func FatTreeK(k int, bandwidth int64, delay sim.Time) FatTreeCfg {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: fat-tree k must be even and >= 2, got %d", k))
+	}
+	return FatTreeCfg{
+		Clusters:      k,
+		RacksPerPod:   k / 2,
+		HostsPerRack:  k / 2,
+		AggsPerPod:    k / 2,
+		Cores:         (k / 2) * (k / 2),
+		HostBandwidth: bandwidth,
+		CoreBandwidth: bandwidth,
+		HostDelay:     delay,
+		FabricDelay:   delay,
+	}
+}
+
+// FatTreeClusters returns the MimicNet-style configuration used by the
+// accuracy experiments (Table 2) and the Fig 8a comparison: clusters of
+// hostsPerRack×racks hosts with one aggregation layer and a shared core.
+func FatTreeClusters(clusters, racks, hostsPerRack int, bandwidth int64, delay sim.Time) FatTreeCfg {
+	return FatTreeCfg{
+		Clusters:      clusters,
+		RacksPerPod:   racks,
+		HostsPerRack:  hostsPerRack,
+		AggsPerPod:    racks,
+		Cores:         racks * racks,
+		HostBandwidth: bandwidth,
+		CoreBandwidth: bandwidth,
+		HostDelay:     delay,
+		FabricDelay:   delay,
+	}
+}
+
+// BuildFatTree constructs the clustered fat-tree described by cfg.
+func BuildFatTree(cfg FatTreeCfg) *FatTree {
+	if cfg.Clusters <= 0 || cfg.RacksPerPod <= 0 || cfg.HostsPerRack <= 0 ||
+		cfg.AggsPerPod <= 0 || cfg.Cores <= 0 {
+		panic("topology: fat-tree config has non-positive dimension")
+	}
+	if cfg.Cores%cfg.AggsPerPod != 0 {
+		panic("topology: Cores must be a multiple of AggsPerPod")
+	}
+	ft := &FatTree{Graph: New(), Cfg: cfg}
+	// Core layer first so core IDs are stable across cluster counts.
+	for c := 0; c < cfg.Cores; c++ {
+		ft.CoreSw = append(ft.CoreSw, ft.AddNode(Switch, fmt.Sprintf("core%d", c)))
+	}
+	coresPerAgg := cfg.Cores / cfg.AggsPerPod
+	for p := 0; p < cfg.Clusters; p++ {
+		var hosts, tors, aggs []sim.NodeID
+		var coreLinks []LinkID
+		for a := 0; a < cfg.AggsPerPod; a++ {
+			agg := ft.AddNode(Switch, fmt.Sprintf("p%d.agg%d", p, a))
+			aggs = append(aggs, agg)
+			for c := 0; c < coresPerAgg; c++ {
+				core := ft.CoreSw[a*coresPerAgg+c]
+				coreLinks = append(coreLinks, ft.AddLink(agg, core, cfg.CoreBandwidth, cfg.FabricDelay))
+			}
+		}
+		for r := 0; r < cfg.RacksPerPod; r++ {
+			tor := ft.AddNode(Switch, fmt.Sprintf("p%d.tor%d", p, r))
+			tors = append(tors, tor)
+			for _, agg := range aggs {
+				ft.AddLink(tor, agg, cfg.CoreBandwidth, cfg.FabricDelay)
+			}
+			for h := 0; h < cfg.HostsPerRack; h++ {
+				host := ft.AddNode(Host, fmt.Sprintf("p%d.r%d.h%d", p, r, h))
+				hosts = append(hosts, host)
+				ft.AddLink(host, tor, cfg.HostBandwidth, cfg.HostDelay)
+			}
+		}
+		ft.Clusters = append(ft.Clusters, hosts)
+		ft.ToRs = append(ft.ToRs, tors)
+		ft.Aggs = append(ft.Aggs, aggs)
+		ft.CoreLinks = append(ft.CoreLinks, coreLinks)
+	}
+	return ft
+}
+
+// BCube describes a built BCube(n, k) topology (Guo et al., SIGCOMM'09):
+// n^(k+1) hosts, with level-l switches connecting hosts that differ only
+// in digit l of their base-n address. Hosts are multi-homed (k+1 links).
+type BCube struct {
+	*Graph
+	Ports, Levels int
+	HostList      []sim.NodeID
+	// Level[l] holds the switch IDs of level l.
+	Level [][]sim.NodeID
+	// BCube0[i] holds the hosts of the i-th level-0 group — the paper's
+	// manual-partition unit ("treat each BCube0 as an LP").
+	BCube0 [][]sim.NodeID
+}
+
+// BuildBCube constructs BCube(n, k) with the given link parameters.
+func BuildBCube(n, k int, bandwidth int64, delay sim.Time) *BCube {
+	if n < 2 || k < 0 {
+		panic("topology: BCube needs n >= 2, k >= 0")
+	}
+	b := &BCube{Graph: New(), Ports: n, Levels: k}
+	hosts := 1
+	for i := 0; i <= k; i++ {
+		hosts *= n
+	}
+	for h := 0; h < hosts; h++ {
+		b.HostList = append(b.HostList, b.AddNode(Host, fmt.Sprintf("h%d", h)))
+	}
+	switchesPerLevel := hosts / n
+	for l := 0; l <= k; l++ {
+		var level []sim.NodeID
+		for s := 0; s < switchesPerLevel; s++ {
+			sw := b.AddNode(Switch, fmt.Sprintf("l%d.s%d", l, s))
+			level = append(level, sw)
+		}
+		b.Level = append(b.Level, level)
+		// Switch s of level l connects the n hosts whose address has digit
+		// l free and the other digits encoding s.
+		stride := 1
+		for i := 0; i < l; i++ {
+			stride *= n
+		}
+		for h := 0; h < hosts; h++ {
+			low := h % stride
+			high := h / (stride * n)
+			s := high*stride + low
+			b.AddLink(b.HostList[h], level[s], bandwidth, delay)
+		}
+	}
+	for g := 0; g < switchesPerLevel; g++ {
+		var grp []sim.NodeID
+		for i := 0; i < n; i++ {
+			grp = append(grp, b.HostList[g*n+i])
+		}
+		b.BCube0 = append(b.BCube0, grp)
+	}
+	return b
+}
+
+// Torus describes a built 2D torus of rows×cols switches with one host
+// attached to each switch (the paper's 2D-torus scenario, §6.1).
+type Torus struct {
+	*Graph
+	Rows, Cols int
+	SwitchAt   [][]sim.NodeID
+	HostAt     [][]sim.NodeID
+}
+
+// BuildTorus2D constructs the torus. The host access links use the same
+// bandwidth as the mesh but a much smaller delay so Algorithm 1 groups
+// each host with its switch.
+func BuildTorus2D(rows, cols int, bandwidth int64, delay sim.Time) *Torus {
+	if rows < 2 || cols < 2 {
+		panic("topology: torus needs rows, cols >= 2")
+	}
+	t := &Torus{Graph: New(), Rows: rows, Cols: cols}
+	t.SwitchAt = make([][]sim.NodeID, rows)
+	t.HostAt = make([][]sim.NodeID, rows)
+	hostDelay := delay / 100
+	if hostDelay <= 0 {
+		hostDelay = 1
+	}
+	for i := 0; i < rows; i++ {
+		t.SwitchAt[i] = make([]sim.NodeID, cols)
+		t.HostAt[i] = make([]sim.NodeID, cols)
+		for j := 0; j < cols; j++ {
+			sw := t.AddNode(Switch, fmt.Sprintf("s%d.%d", i, j))
+			h := t.AddNode(Host, fmt.Sprintf("h%d.%d", i, j))
+			t.SwitchAt[i][j] = sw
+			t.HostAt[i][j] = h
+			t.AddLink(h, sw, bandwidth, hostDelay)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			t.AddLink(t.SwitchAt[i][j], t.SwitchAt[(i+1)%rows][j], bandwidth, delay)
+			t.AddLink(t.SwitchAt[i][j], t.SwitchAt[i][(j+1)%cols], bandwidth, delay)
+		}
+	}
+	return t
+}
+
+// SpineLeaf describes a built spine-leaf fabric.
+type SpineLeaf struct {
+	*Graph
+	Spines   []sim.NodeID
+	Leaves   []sim.NodeID
+	HostsPer [][]sim.NodeID
+}
+
+// BuildSpineLeaf constructs a spine-leaf fabric with full spine-leaf mesh.
+func BuildSpineLeaf(spines, leaves, hostsPerLeaf int, bandwidth int64, delay sim.Time) *SpineLeaf {
+	if spines <= 0 || leaves <= 0 || hostsPerLeaf <= 0 {
+		panic("topology: spine-leaf config has non-positive dimension")
+	}
+	s := &SpineLeaf{Graph: New()}
+	for i := 0; i < spines; i++ {
+		s.Spines = append(s.Spines, s.AddNode(Switch, fmt.Sprintf("spine%d", i)))
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := s.AddNode(Switch, fmt.Sprintf("leaf%d", l))
+		s.Leaves = append(s.Leaves, leaf)
+		for _, sp := range s.Spines {
+			s.AddLink(leaf, sp, bandwidth, delay)
+		}
+		var hs []sim.NodeID
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := s.AddNode(Host, fmt.Sprintf("l%d.h%d", l, h))
+			hs = append(hs, host)
+			s.AddLink(host, leaf, bandwidth, delay)
+		}
+		s.HostsPer = append(s.HostsPer, hs)
+	}
+	return s
+}
+
+// Dumbbell describes the classic congestion-control evaluation topology:
+// senders and receivers on opposite sides of one bottleneck link — the
+// DCTCP-reproduction scenario (§6.2) and the Fig 12b partition study.
+type Dumbbell struct {
+	*Graph
+	Senders, Receivers []sim.NodeID
+	Left, Right        sim.NodeID
+	Bottleneck         LinkID
+}
+
+// BuildDumbbell constructs a dumbbell with n senders and receivers, edge
+// links of edgeBW and a bottleneck of bottleneckBW.
+func BuildDumbbell(n int, edgeBW, bottleneckBW int64, edgeDelay, bottleneckDelay sim.Time) *Dumbbell {
+	if n <= 0 {
+		panic("topology: dumbbell needs n > 0")
+	}
+	d := &Dumbbell{Graph: New()}
+	d.Left = d.AddNode(Switch, "left")
+	d.Right = d.AddNode(Switch, "right")
+	d.Bottleneck = d.AddLink(d.Left, d.Right, bottleneckBW, bottleneckDelay)
+	for i := 0; i < n; i++ {
+		s := d.AddNode(Host, fmt.Sprintf("snd%d", i))
+		r := d.AddNode(Host, fmt.Sprintf("rcv%d", i))
+		d.AddLink(s, d.Left, edgeBW, edgeDelay)
+		d.AddLink(r, d.Right, edgeBW, edgeDelay)
+		d.Senders = append(d.Senders, s)
+		d.Receivers = append(d.Receivers, r)
+	}
+	return d
+}
+
+// WAN describes a built wide-area backbone: irregular router graph with one
+// host per router. Substitutes for the Internet Topology Zoo graphs
+// (GEANT, ChinaNet) per DESIGN.md §1: only the irregularity (no symmetric
+// partition exists) and the millisecond-scale delays matter to the
+// experiments.
+type WAN struct {
+	*Graph
+	Routers  []sim.NodeID
+	HostList []sim.NodeID
+}
+
+// BuildWAN constructs a deterministic irregular backbone of n routers with
+// average degree deg, link delays uniform in [minDelay,maxDelay], and one
+// host per router. The same (name) always yields the same graph.
+func BuildWAN(name string, n, deg int, bandwidth int64, minDelay, maxDelay sim.Time) *WAN {
+	if n < 3 || deg < 2 {
+		panic("topology: WAN needs n >= 3, deg >= 2")
+	}
+	w := &WAN{Graph: New()}
+	r := rng.New(rng.Mix(hashName(name)), 0x57a4)
+	for i := 0; i < n; i++ {
+		w.Routers = append(w.Routers, w.AddNode(Switch, fmt.Sprintf("%s.r%d", name, i)))
+	}
+	randDelay := func() sim.Time {
+		return minDelay + sim.Time(r.Int63n(int64(maxDelay-minDelay)+1))
+	}
+	// Ring for guaranteed connectivity, then random chords up to degree.
+	for i := 0; i < n; i++ {
+		w.AddLink(w.Routers[i], w.Routers[(i+1)%n], bandwidth, randDelay())
+	}
+	extra := n * (deg - 2) / 2
+	for e := 0; e < extra; e++ {
+		for tries := 0; tries < 32; tries++ {
+			a := sim.NodeID(r.Intn(n))
+			b := sim.NodeID(r.Intn(n))
+			if a == b || w.LinkBetween(w.Routers[a], w.Routers[b]) != NoLink {
+				continue
+			}
+			w.AddLink(w.Routers[a], w.Routers[b], bandwidth, randDelay())
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		h := w.AddNode(Host, fmt.Sprintf("%s.h%d", name, i))
+		w.HostList = append(w.HostList, h)
+		w.AddLink(h, w.Routers[i], bandwidth, sim.Microsecond)
+	}
+	return w
+}
+
+// Geant returns the GEANT-analog European backbone: 40 routers, average
+// degree 3, 1 Gbps links with 1–15 ms delays.
+func Geant() *WAN {
+	return BuildWAN("geant", 40, 3, 1_000_000_000, sim.Millisecond, 15*sim.Millisecond)
+}
+
+// ChinaNet returns the ChinaNet-analog backbone: 42 routers, average
+// degree 4, 2.5 Gbps links with 1–30 ms delays.
+func ChinaNet() *WAN {
+	return BuildWAN("chinanet", 42, 4, 2_500_000_000, sim.Millisecond, 30*sim.Millisecond)
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,269 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unison/internal/sim"
+)
+
+func TestAddNodeAndLink(t *testing.T) {
+	g := New()
+	a := g.AddNode(Host, "a")
+	b := g.AddNode(Switch, "b")
+	l := g.AddLink(a, b, 1e9, 3*sim.Microsecond)
+	if g.N() != 2 || len(g.Links) != 1 {
+		t.Fatalf("N=%d links=%d", g.N(), len(g.Links))
+	}
+	if g.Peer(l, a) != b || g.Peer(l, b) != a {
+		t.Fatal("Peer wrong")
+	}
+	if len(g.Hosts()) != 1 || g.Hosts()[0] != a {
+		t.Fatal("Hosts wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	g := New()
+	a := g.AddNode(Host, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self link did not panic")
+		}
+	}()
+	g.AddLink(a, a, 1e9, 1)
+}
+
+func TestZeroDelayLinkPanics(t *testing.T) {
+	g := New()
+	a := g.AddNode(Host, "a")
+	b := g.AddNode(Switch, "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delay link did not panic")
+		}
+	}()
+	g.AddLink(a, b, 1e9, 0)
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	g := New()
+	a := g.AddNode(Host, "a")
+	b := g.AddNode(Switch, "b")
+	l := g.AddLink(a, b, 1e9, 10)
+	v := g.Version()
+	g.SetLinkUp(l, false)
+	if g.Version() == v {
+		t.Fatal("SetLinkUp(false) did not bump version")
+	}
+	v = g.Version()
+	g.SetLinkUp(l, false) // no-op
+	if g.Version() != v {
+		t.Fatal("no-op SetLinkUp bumped version")
+	}
+	g.SetLinkDelay(l, 20)
+	if g.Version() == v {
+		t.Fatal("SetLinkDelay did not bump version")
+	}
+}
+
+func TestLinkBetweenRespectsUpState(t *testing.T) {
+	g := New()
+	a := g.AddNode(Host, "a")
+	b := g.AddNode(Switch, "b")
+	l := g.AddLink(a, b, 1e9, 10)
+	if g.LinkBetween(a, b) != l {
+		t.Fatal("LinkBetween missed the link")
+	}
+	g.SetLinkUp(l, false)
+	if g.LinkBetween(a, b) != NoLink {
+		t.Fatal("LinkBetween returned a down link")
+	}
+}
+
+func TestFatTreeKDimensions(t *testing.T) {
+	for _, k := range []int{4, 8} {
+		ft := BuildFatTree(FatTreeK(k, 1e9, sim.Microsecond))
+		wantHosts := k * k * k / 4
+		if len(ft.Hosts()) != wantHosts {
+			t.Errorf("k=%d: hosts=%d want %d", k, len(ft.Hosts()), wantHosts)
+		}
+		wantSwitches := k*k + k*k/4 // k pods × (k/2 tor + k/2 agg) + (k/2)² cores
+		if got := ft.N() - wantHosts; got != wantSwitches {
+			t.Errorf("k=%d: switches=%d want %d", k, got, wantSwitches)
+		}
+		if len(ft.Clusters) != k {
+			t.Errorf("k=%d: clusters=%d", k, len(ft.Clusters))
+		}
+		if err := ft.Validate(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestFatTreeEveryHostReachable(t *testing.T) {
+	ft := BuildFatTree(FatTreeK(4, 1e9, sim.Microsecond))
+	if !connected(ft.Graph) {
+		t.Fatal("fat-tree not connected")
+	}
+}
+
+func TestBCubeDimensions(t *testing.T) {
+	// BCube(4,1): 16 hosts, 2 levels × 4 switches, each host 2 links.
+	b := BuildBCube(4, 1, 1e9, sim.Microsecond)
+	if len(b.HostList) != 16 {
+		t.Fatalf("hosts=%d", len(b.HostList))
+	}
+	if len(b.Level) != 2 || len(b.Level[0]) != 4 || len(b.Level[1]) != 4 {
+		t.Fatalf("levels wrong: %v", len(b.Level))
+	}
+	for _, h := range b.HostList {
+		if got := len(b.Nodes[h].Links); got != 2 {
+			t.Fatalf("host %d has %d links, want 2", h, got)
+		}
+	}
+	if len(b.BCube0) != 4 {
+		t.Fatalf("BCube0 groups=%d", len(b.BCube0))
+	}
+	if !connected(b.Graph) {
+		t.Fatal("BCube not connected")
+	}
+}
+
+func TestBCubeLevelStructure(t *testing.T) {
+	// In BCube, two hosts in the same level-0 group share a level-0 switch.
+	b := BuildBCube(4, 1, 1e9, sim.Microsecond)
+	grp := b.BCube0[0]
+	sw := b.Level[0][0]
+	for _, h := range grp {
+		if b.LinkBetween(h, sw) == NoLink {
+			t.Fatalf("host %d of group 0 not on level-0 switch 0", h)
+		}
+	}
+}
+
+func TestTorusDimensions(t *testing.T) {
+	tr := BuildTorus2D(4, 6, 1e9, 30*sim.Microsecond)
+	if tr.N() != 4*6*2 {
+		t.Fatalf("N=%d", tr.N())
+	}
+	// Every switch has 4 mesh links + 1 host link.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if got := len(tr.Nodes[tr.SwitchAt[i][j]].Links); got != 5 {
+				t.Fatalf("switch (%d,%d) has %d links, want 5", i, j, got)
+			}
+		}
+	}
+	if !connected(tr.Graph) {
+		t.Fatal("torus not connected")
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	tr := BuildTorus2D(3, 3, 1e9, sim.Microsecond)
+	if tr.LinkBetween(tr.SwitchAt[2][0], tr.SwitchAt[0][0]) == NoLink {
+		t.Fatal("row wraparound missing")
+	}
+	if tr.LinkBetween(tr.SwitchAt[0][2], tr.SwitchAt[0][0]) == NoLink {
+		t.Fatal("column wraparound missing")
+	}
+}
+
+func TestSpineLeaf(t *testing.T) {
+	s := BuildSpineLeaf(2, 4, 3, 1e9, sim.Microsecond)
+	if len(s.Hosts()) != 12 {
+		t.Fatalf("hosts=%d", len(s.Hosts()))
+	}
+	for _, leaf := range s.Leaves {
+		for _, sp := range s.Spines {
+			if s.LinkBetween(leaf, sp) == NoLink {
+				t.Fatal("leaf-spine mesh incomplete")
+			}
+		}
+	}
+	if !connected(s.Graph) {
+		t.Fatal("spine-leaf not connected")
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	d := BuildDumbbell(5, 1e9, 1e8, sim.Microsecond, 10*sim.Microsecond)
+	if len(d.Senders) != 5 || len(d.Receivers) != 5 {
+		t.Fatal("endpoint counts wrong")
+	}
+	if d.Links[d.Bottleneck].Bandwidth != 1e8 {
+		t.Fatal("bottleneck bandwidth wrong")
+	}
+	if !connected(d.Graph) {
+		t.Fatal("dumbbell not connected")
+	}
+}
+
+func TestWANDeterministic(t *testing.T) {
+	a := Geant()
+	b := Geant()
+	if a.N() != b.N() || len(a.Links) != len(b.Links) {
+		t.Fatal("Geant not deterministic in shape")
+	}
+	for i := range a.Links {
+		if a.Links[i].Delay != b.Links[i].Delay {
+			t.Fatal("Geant link delays differ between builds")
+		}
+	}
+	if !connected(a.Graph) {
+		t.Fatal("Geant not connected")
+	}
+	c := ChinaNet()
+	if !connected(c.Graph) {
+		t.Fatal("ChinaNet not connected")
+	}
+	if a.N() == c.N() && len(a.Links) == len(c.Links) {
+		t.Fatal("Geant and ChinaNet identical; name hashing broken")
+	}
+}
+
+func TestBisectionBandwidth(t *testing.T) {
+	ft := BuildFatTree(FatTreeK(4, 1e9, sim.Microsecond))
+	// 16 hosts × 1 Gbps / 2.
+	if got := ft.BisectionBandwidth(); got != 8e9 {
+		t.Fatalf("bisection=%d want 8e9", got)
+	}
+}
+
+func TestBuildersValidateQuick(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := 2 * (int(kRaw%3) + 1) // 2, 4, 6
+		ft := BuildFatTree(FatTreeK(k, 1e9, sim.Microsecond))
+		return ft.Validate() == nil && connected(ft.Graph)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// connected reports whether all nodes are reachable over up links.
+func connected(g *Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []sim.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Neighbors(n) {
+			if !seen[p] {
+				seen[p] = true
+				count++
+				stack = append(stack, p)
+			}
+		}
+	}
+	return count == g.N()
+}

@@ -1,0 +1,184 @@
+// Package traffic generates workloads: flow arrivals sampled from
+// published flow-size distributions at a target load, with the incast
+// skew knob the paper sweeps in §3.2/§6.1.
+//
+// Workloads are generated ahead of the run from a seeded stream, so every
+// kernel simulates the identical flow list — workload generation can never
+// be a source of cross-kernel nondeterminism.
+package traffic
+
+import (
+	"fmt"
+
+	"unison/internal/packet"
+	"unison/internal/rng"
+	"unison/internal/sim"
+	"unison/internal/stats"
+	"unison/internal/tcp"
+)
+
+// WebSearchCDF is the flow-size distribution of the web-search workload
+// (Alizadeh et al., DCTCP, SIGCOMM'10), as commonly tabulated for
+// simulator use. Values are flow sizes in bytes.
+func WebSearchCDF() *stats.CDF {
+	return &stats.CDF{
+		V: []float64{1e3, 1e4, 2e4, 3e4, 5e4, 8e4, 2e5, 1e6, 2e6, 5e6, 1e7, 3e7},
+		P: []float64{0, 0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1},
+	}
+}
+
+// GRPCCDF is an RPC-style workload in the spirit of the gRPC traffic used
+// by TIMELY (Mittal et al., SIGCOMM'15): small, latency-sensitive
+// request/response sizes.
+func GRPCCDF() *stats.CDF {
+	return &stats.CDF{
+		V: []float64{128, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144},
+		P: []float64{0, 0.20, 0.40, 0.60, 0.75, 0.85, 0.92, 0.98, 1},
+	}
+}
+
+// Pattern selects how destinations are drawn.
+type Pattern uint8
+
+const (
+	// Uniform draws the destination uniformly among other hosts.
+	Uniform Pattern = iota
+	// Permutation fixes a random one-to-one mapping of hosts.
+	Permutation
+)
+
+// Config parameterizes a workload.
+type Config struct {
+	Seed  uint64
+	Hosts []sim.NodeID
+	// Sizes is the flow-size CDF (bytes).
+	Sizes *stats.CDF
+	// Load is the offered load as a fraction of BisectionBps.
+	Load float64
+	// BisectionBps is the topology's bisection bandwidth in bits/s.
+	BisectionBps int64
+	// Start/End bound the arrival window.
+	Start, End sim.Time
+	// Pattern selects destination drawing.
+	Pattern Pattern
+	// IncastRatio is the paper's skew knob: the probability that a flow's
+	// destination is redirected to the victim host (0 = balanced, 1 =
+	// fully incast).
+	IncastRatio float64
+	// Victim receives redirected flows; defaults to Hosts[len-1].
+	Victim sim.NodeID
+	// MinBytes floors sampled flow sizes.
+	MinBytes int64
+	// MaxBytes caps sampled flow sizes when positive (used to bound FCTs
+	// so scaled-down runs complete every flow).
+	MaxBytes int64
+	// FirstFlowID offsets assigned flow IDs (for composing workloads).
+	FirstFlowID packet.FlowID
+}
+
+// Generate produces the flow list for cfg.
+func Generate(cfg Config) []tcp.FlowSpec {
+	if len(cfg.Hosts) < 2 {
+		panic("traffic: need at least two hosts")
+	}
+	if cfg.Sizes == nil {
+		panic("traffic: nil size CDF")
+	}
+	if err := cfg.Sizes.Validate(); err != nil {
+		panic(fmt.Sprintf("traffic: %v", err))
+	}
+	if cfg.End <= cfg.Start {
+		panic("traffic: empty arrival window")
+	}
+	victim := cfg.Victim
+	if victim == 0 && cfg.IncastRatio > 0 {
+		victim = cfg.Hosts[len(cfg.Hosts)-1]
+	}
+	r := rng.New(cfg.Seed, rng.PurposeTraffic)
+	meanBytes := cfg.Sizes.MeanValue()
+	if cfg.MinBytes > 0 && meanBytes < float64(cfg.MinBytes) {
+		meanBytes = float64(cfg.MinBytes)
+	}
+	// Offered load in flows/s across the whole fabric.
+	rate := cfg.Load * float64(cfg.BisectionBps) / (8 * meanBytes)
+	if rate <= 0 {
+		panic("traffic: non-positive arrival rate")
+	}
+	meanGapNS := 1e9 / rate
+
+	var perm []int
+	if cfg.Pattern == Permutation {
+		perm = r.Perm(len(cfg.Hosts))
+	}
+
+	var flows []tcp.FlowSpec
+	id := cfg.FirstFlowID
+	for t := cfg.Start; ; {
+		t += sim.Time(r.Exp(meanGapNS))
+		if t >= cfg.End {
+			break
+		}
+		srcIdx := r.Intn(len(cfg.Hosts))
+		src := cfg.Hosts[srcIdx]
+		var dst sim.NodeID
+		if cfg.Pattern == Permutation {
+			dst = cfg.Hosts[perm[srcIdx]]
+		} else {
+			dst = cfg.Hosts[r.Intn(len(cfg.Hosts))]
+		}
+		if cfg.IncastRatio > 0 && r.Float64() < cfg.IncastRatio {
+			dst = victim
+		}
+		if dst == src {
+			dst = cfg.Hosts[(srcIdx+1)%len(cfg.Hosts)]
+		}
+		size := int64(cfg.Sizes.Sample(r.Float64()))
+		if size < cfg.MinBytes {
+			size = cfg.MinBytes
+		}
+		if cfg.MaxBytes > 0 && size > cfg.MaxBytes {
+			size = cfg.MaxBytes
+		}
+		if size < 1 {
+			size = 1
+		}
+		flows = append(flows, tcp.FlowSpec{
+			ID: id, Src: src, Dst: dst, Bytes: size, Start: t,
+		})
+		id++
+	}
+	return flows
+}
+
+// IncastBurst produces the classic synchronized incast: every sender
+// starts a flow of bytes to the victim at the same instant.
+func IncastBurst(senders []sim.NodeID, victim sim.NodeID, bytes int64, at sim.Time, firstID packet.FlowID) []tcp.FlowSpec {
+	var flows []tcp.FlowSpec
+	id := firstID
+	for _, s := range senders {
+		if s == victim {
+			continue
+		}
+		flows = append(flows, tcp.FlowSpec{ID: id, Src: s, Dst: victim, Bytes: bytes, Start: at})
+		id++
+	}
+	return flows
+}
+
+// RedirectShare rewrites flows so each has probability p of being
+// redirected to a random host in targets — the Table 2 scenario ("10%
+// chance of being changed into a random host in the very right cluster").
+func RedirectShare(flows []tcp.FlowSpec, targets []sim.NodeID, p float64, seed uint64) []tcp.FlowSpec {
+	r := rng.New(seed, rng.PurposeTraffic, 0xd1)
+	out := make([]tcp.FlowSpec, len(flows))
+	copy(out, flows)
+	for i := range out {
+		if r.Float64() < p {
+			d := targets[r.Intn(len(targets))]
+			if d != out[i].Src {
+				out[i].Dst = d
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/stats"
+)
+
+func hosts(n int) []sim.NodeID {
+	out := make([]sim.NodeID, n)
+	for i := range out {
+		out[i] = sim.NodeID(i)
+	}
+	return out
+}
+
+func baseCfg(seed uint64) Config {
+	return Config{
+		Seed:         seed,
+		Hosts:        hosts(16),
+		Sizes:        GRPCCDF(),
+		Load:         0.5,
+		BisectionBps: 10_000_000_000,
+		Start:        0,
+		End:          sim.Millisecond,
+	}
+}
+
+func TestCDFsValid(t *testing.T) {
+	for name, c := range map[string]*stats.CDF{"websearch": WebSearchCDF(), "grpc": GRPCCDF()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Web-search must be much heavier-tailed than gRPC.
+	if WebSearchCDF().MeanValue() < 50*GRPCCDF().MeanValue() {
+		t.Error("web-search mean implausibly close to gRPC mean")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(baseCfg(1))
+	b := Generate(baseCfg(1))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs", i)
+		}
+	}
+	c := Generate(baseCfg(2))
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	f := func(seed uint64, incastRaw uint8) bool {
+		cfg := baseCfg(seed)
+		cfg.IncastRatio = float64(incastRaw%101) / 100
+		flows := Generate(cfg)
+		var prev sim.Time
+		for i, fl := range flows {
+			if fl.Src == fl.Dst || fl.Bytes < 1 {
+				return false
+			}
+			if fl.Start < cfg.Start || fl.Start >= cfg.End {
+				return false
+			}
+			if fl.Start < prev {
+				return false // arrivals must be time-ordered
+			}
+			if fl.ID != cfg.FirstFlowID+packet.FlowID(i) {
+				return false // dense IDs
+			}
+			prev = fl.Start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadScalesFlowCount(t *testing.T) {
+	lo := baseCfg(3)
+	lo.Load = 0.1
+	hi := baseCfg(3)
+	hi.Load = 0.8
+	nLo, nHi := len(Generate(lo)), len(Generate(hi))
+	if nHi < nLo*4 {
+		t.Fatalf("load 0.8 produced %d flows vs %d at 0.1", nHi, nLo)
+	}
+}
+
+func TestIncastRatioConcentrates(t *testing.T) {
+	cfg := baseCfg(4)
+	cfg.IncastRatio = 1
+	flows := Generate(cfg)
+	victim := cfg.Hosts[len(cfg.Hosts)-1]
+	for _, fl := range flows {
+		if fl.Dst != victim && fl.Src != victim {
+			t.Fatalf("flow %d->%d escaped the incast", fl.Src, fl.Dst)
+		}
+	}
+}
+
+func TestPermutationPattern(t *testing.T) {
+	cfg := baseCfg(5)
+	cfg.Pattern = Permutation
+	flows := Generate(cfg)
+	// Under permutation every src maps to exactly one dst.
+	seen := map[sim.NodeID]sim.NodeID{}
+	for _, fl := range flows {
+		if prev, ok := seen[fl.Src]; ok && prev != fl.Dst {
+			t.Fatalf("src %d mapped to both %d and %d", fl.Src, prev, fl.Dst)
+		}
+		seen[fl.Src] = fl.Dst
+	}
+}
+
+func TestSizeBounds(t *testing.T) {
+	cfg := baseCfg(6)
+	cfg.Sizes = WebSearchCDF()
+	cfg.MinBytes = 5_000
+	cfg.MaxBytes = 100_000
+	for _, fl := range Generate(cfg) {
+		if fl.Bytes < 5_000 || fl.Bytes > 100_000 {
+			t.Fatalf("flow size %d out of bounds", fl.Bytes)
+		}
+	}
+}
+
+func TestIncastBurst(t *testing.T) {
+	h := hosts(5)
+	flows := IncastBurst(h, h[4], 1000, 77, 10)
+	if len(flows) != 4 {
+		t.Fatalf("flows=%d", len(flows))
+	}
+	for i, fl := range flows {
+		if fl.Dst != h[4] || fl.Start != 77 || fl.Bytes != 1000 {
+			t.Fatalf("flow %d wrong: %+v", i, fl)
+		}
+		if fl.ID != packet.FlowID(10+i) {
+			t.Fatalf("flow %d id %d", i, fl.ID)
+		}
+	}
+}
+
+func TestRedirectShare(t *testing.T) {
+	cfg := baseCfg(7)
+	flows := Generate(cfg)
+	targets := []sim.NodeID{100, 101}
+	out := RedirectShare(flows, targets, 1.0, 9)
+	redirected := 0
+	for i := range out {
+		if out[i].Dst == 100 || out[i].Dst == 101 {
+			redirected++
+		}
+		if out[i].Src != flows[i].Src || out[i].Bytes != flows[i].Bytes {
+			t.Fatal("RedirectShare mutated unrelated fields")
+		}
+	}
+	if redirected < len(out)*9/10 {
+		t.Fatalf("only %d/%d redirected at p=1", redirected, len(out))
+	}
+	// p=0 must be a no-op.
+	same := RedirectShare(flows, targets, 0, 9)
+	for i := range same {
+		if same[i] != flows[i] {
+			t.Fatal("RedirectShare at p=0 changed flows")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, tweak := range []func(*Config){
+		func(c *Config) { c.Hosts = c.Hosts[:1] },
+		func(c *Config) { c.Sizes = nil },
+		func(c *Config) { c.End = c.Start },
+		func(c *Config) { c.Load = 0 },
+	} {
+		cfg := baseCfg(8)
+		tweak(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config accepted")
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}

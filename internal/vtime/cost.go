@@ -1,0 +1,145 @@
+package vtime
+
+import (
+	"time"
+
+	"unison/internal/eventq"
+	"unison/internal/metrics"
+	"unison/internal/sim"
+)
+
+// CostModel converts kernel actions into virtual nanoseconds. The model
+// captures the quantities the paper's analysis depends on: per-event
+// processing cost (with a locality-dependent cache term, which produces
+// the super-linear speedups of Fig 8b and the granularity effects of
+// Fig 12), per-message transfer cost, barrier/collective overhead, null
+// message overhead, and scheduler sorting cost.
+type CostModel struct {
+	// EventNS is the base cost of executing one event.
+	EventNS int64
+	// MissNS is added for every modeled cache miss (see metrics.CacheModel).
+	MissNS int64
+	// CacheWays is the working-set associativity of the locality model.
+	CacheWays int
+	// MsgNS is the cost of transferring one cross-LP event.
+	MsgNS int64
+	// BarrierNS is the per-worker cost of one barrier crossing in the
+	// baseline PDES kernels, including the MPI collective that computes
+	// the LBTS.
+	BarrierNS int64
+	// SpinBarrierNS is the cost of one of Unison's in-process
+	// sense-reversing atomic barriers (§5.1) — far cheaper than an MPI
+	// collective.
+	SpinBarrierNS int64
+	// NullNS is the cost of sending one null message.
+	NullNS int64
+	// SortPerLPNS is the scheduler's per-LP sorting cost per resort.
+	SortPerLPNS int64
+}
+
+// DefaultCostModel returns constants calibrated against live event costs
+// measured on the development machine (see Calibrate); they are in the
+// regime of ns-3 event costs (≈1 µs/event), where all of the paper's
+// observations live.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EventNS:       1000,
+		MissNS:        500,
+		CacheWays:     8,
+		MsgNS:         120,
+		BarrierNS:     2500,
+		SpinBarrierNS: 300,
+		NullNS:        400,
+		SortPerLPNS:   25,
+	}
+}
+
+func (c *CostModel) fillDefaults() {
+	d := DefaultCostModel()
+	if c.EventNS <= 0 {
+		c.EventNS = d.EventNS
+	}
+	// MissNS == 0 means "default"; pass a negative value to disable the
+	// cache-locality term explicitly.
+	if c.MissNS == 0 {
+		c.MissNS = d.MissNS
+	}
+	if c.MissNS < 0 {
+		c.MissNS = 0
+	}
+	if c.CacheWays <= 0 {
+		c.CacheWays = d.CacheWays
+	}
+	if c.MsgNS <= 0 {
+		c.MsgNS = d.MsgNS
+	}
+	if c.BarrierNS <= 0 {
+		c.BarrierNS = d.BarrierNS
+	}
+	if c.SpinBarrierNS <= 0 {
+		c.SpinBarrierNS = d.SpinBarrierNS
+	}
+	if c.NullNS <= 0 {
+		c.NullNS = d.NullNS
+	}
+	if c.SortPerLPNS <= 0 {
+		c.SortPerLPNS = d.SortPerLPNS
+	}
+}
+
+// Calibrate measures the real cost of executing events of the given model
+// on this machine and returns a cost model whose EventNS matches it. It
+// runs a bounded number of events sequentially.
+func Calibrate(m *sim.Model, maxEvents uint64) CostModel {
+	cm := DefaultCostModel()
+	fel := eventq.New(1024)
+	for _, ev := range m.Init {
+		fel.Push(ev)
+	}
+	seqs := sim.NewSeqTable(m.Nodes)
+	sink := &calSink{fel: fel}
+	ctx := sim.NewCtx(sink, 0)
+	var n uint64
+	t0 := time.Now()
+	for !fel.Empty() && n < maxEvents {
+		ev := fel.Pop()
+		ctx.Begin(&ev, seqs.Of(ev.Node))
+		ev.Fn(ctx)
+		n++
+		if ctx.Stopped() {
+			break
+		}
+	}
+	if n > 0 {
+		per := time.Since(t0).Nanoseconds() / int64(n)
+		if per > 0 {
+			cm.EventNS = per
+			cm.MissNS = per / 2
+		}
+	}
+	return cm
+}
+
+type calSink struct{ fel *eventq.Queue }
+
+func (s *calSink) Put(ev sim.Event)       { s.fel.Push(ev) }
+func (s *calSink) PutGlobal(ev sim.Event) { s.fel.Push(ev) }
+
+// coster executes one event and returns its modeled cost, maintaining the
+// per-executor cache locality model.
+type coster struct {
+	cm    CostModel
+	cache *metrics.CacheModel
+}
+
+func newCoster(cm CostModel, executors int) *coster {
+	return &coster{cm: cm, cache: metrics.NewCacheModel(executors, cm.CacheWays)}
+}
+
+// cost returns the virtual cost of an event on node n run by executor e.
+func (c *coster) cost(e int, n sim.NodeID) int64 {
+	if c.cache.Touch(e, n) {
+		return c.cm.EventNS + c.cm.MissNS
+	}
+	return c.cm.EventNS
+}

@@ -1,0 +1,190 @@
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"unison/internal/core"
+	"unison/internal/sim"
+)
+
+// runHybrid models the §5.2 hybrid kernel: a static host-level partition
+// with Unison's fine-grained partition and scheduling inside each host,
+// synchronized by a per-round inter-host all-reduce. Each simulation host
+// owns CoresPerHost virtual cores; LPs never migrate across hosts, and
+// every round additionally pays the MPI-style collective cost (BarrierNS)
+// on top of the intra-host spin barriers.
+func runHybrid(m *sim.Model, cfg Config) (*sim.RunStats, error) {
+	if cfg.HostOf == nil {
+		return nil, errors.New("vtime: Hybrid requires HostOf")
+	}
+	tph := cfg.CoresPerHost
+	if tph <= 0 {
+		return nil, errors.New("vtime: Hybrid requires CoresPerHost > 0")
+	}
+	links := m.Links()
+	lpOf, hostOfLP, lookahead, err := core.HybridPartition(m.Nodes, cfg.HostOf, links)
+	if err != nil {
+		return nil, err
+	}
+	hosts := 0
+	for _, h := range cfg.HostOf {
+		if int(h)+1 > hosts {
+			hosts = int(h) + 1
+		}
+	}
+	part := &core.Partition{LPOf: lpOf, Count: len(hostOfLP), Lookahead: lookahead}
+	r := newVrt(m, part)
+	n := part.Count
+	workers := hosts * tph
+	c := newCoster(cfg.Cost, workers)
+	ws := make([]sim.WorkerStats, workers)
+	var virt int64
+	var rounds uint64
+
+	period := uint64(cfg.Period)
+	if period == 0 {
+		period = 1
+		if n > 1 {
+			period = uint64(bits.Len(uint(n - 1)))
+		}
+	}
+	// Per-host LP lists and schedules.
+	hostLPs := make([][]int32, hosts)
+	for lp, h := range hostOfLP {
+		hostLPs[h] = append(hostLPs[h], int32(lp))
+	}
+	order := make([][]int32, hosts)
+	for h := range order {
+		order[h] = append([]int32(nil), hostLPs[h]...)
+	}
+	lastP := make([]int64, n)
+	pending := make([]int64, n)
+	est := make([]int64, n)
+	avail := make([]int64, workers)
+	busyP := make([]int64, workers)
+	busyM := make([]int64, workers)
+
+	r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
+	if r.lbts == sim.MaxTime && r.pub.Empty() {
+		return hybridStats(r, ws, virt, rounds, c, hosts, tph), nil
+	}
+	argminIn := func(a []int64, lo, hi int) int {
+		best := lo
+		for i := lo + 1; i < hi; i++ {
+			if a[i] < a[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	for {
+		for i := range avail {
+			avail[i], busyP[i], busyM[i] = 0, 0, 0
+		}
+		// Phase 1: each host schedules its own LPs onto its own cores.
+		var span1 int64
+		for h := 0; h < hosts; h++ {
+			lo, hi := h*tph, (h+1)*tph
+			for _, lp := range order[h] {
+				t := argminIn(avail, lo, hi)
+				evBefore := r.events
+				cost := r.runLP(lp, t, c)
+				lastP[lp] = cost
+				avail[t] += cost
+				busyP[t] += cost
+				ws[t].Events += r.events - evBefore
+			}
+		}
+		for t := 0; t < workers; t++ {
+			ws[t].P += busyP[t]
+			if avail[t] > span1 {
+				span1 = avail[t]
+			}
+		}
+		// Phase 2: the global main thread handles public events.
+		evBefore := r.events
+		g, stopped := r.runGlobals(c)
+		ws[0].P += g
+		ws[0].Events += r.events - evBefore
+		// Phase 3: receive, host-scoped.
+		for i := range avail {
+			avail[i] = 0
+		}
+		for h := 0; h < hosts; h++ {
+			lo, hi := h*tph, (h+1)*tph
+			for _, lp := range hostLPs[h] {
+				t := argminIn(avail, lo, hi)
+				k := r.drain(lp)
+				pending[lp] = k
+				mc := k * cfg.Cost.MsgNS
+				avail[t] += mc
+				busyM[t] += mc
+			}
+		}
+		var span3 int64
+		for t := 0; t < workers; t++ {
+			ws[t].M += busyM[t]
+			if avail[t] > span3 {
+				span3 = avail[t]
+			}
+		}
+		// Phase 4: window all-reduce plus per-host rescheduling.
+		rounds++
+		var schedCost int64
+		if cfg.Metric != core.MetricNone && rounds%period == 0 {
+			schedCost = int64(n) * cfg.Cost.SortPerLPNS
+			for i := 0; i < n; i++ {
+				if cfg.Metric == core.MetricPrevTime {
+					est[i] = lastP[i]
+				} else {
+					est[i] = pending[i]
+				}
+			}
+			for h := 0; h < hosts; h++ {
+				ord := order[h]
+				sort.SliceStable(ord, func(a, b int) bool { return est[ord[a]] > est[ord[b]] })
+			}
+		}
+		ws[0].M += schedCost
+		// Intra-host spin barriers plus the inter-host all-reduce.
+		roundTotal := span1 + g + span3 + schedCost + 4*cfg.Cost.SpinBarrierNS + 2*cfg.Cost.BarrierNS
+		for t := 0; t < workers; t++ {
+			busy := busyP[t] + busyM[t]
+			if t == 0 {
+				busy += g + schedCost
+			}
+			ws[t].S += roundTotal - busy
+		}
+		virt += roundTotal
+		if stopped {
+			break
+		}
+		allMin := r.allMin()
+		pubNext := r.pub.NextTime()
+		if allMin == sim.MaxTime && pubNext == sim.MaxTime {
+			break
+		}
+		if cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
+			return nil, errors.New("vtime: MaxRounds exceeded")
+		}
+		r.lbts = core.Eq2(allMin, pubNext, r.lookahead)
+	}
+	return hybridStats(r, ws, virt, rounds, c, hosts, tph), nil
+}
+
+func hybridStats(r *vrt, ws []sim.WorkerStats, virt int64, rounds uint64, c *coster, hosts, tph int) *sim.RunStats {
+	st := &sim.RunStats{
+		Kernel:   fmt.Sprintf("v-hybrid(%dx%d)", hosts, tph),
+		Events:   r.events,
+		EndTime:  r.endTime,
+		LPs:      r.part.Count,
+		VirtualT: virt,
+		Rounds:   rounds,
+		Workers:  ws,
+	}
+	st.CacheRefs, st.CacheMisses = c.cache.Counters()
+	return st
+}

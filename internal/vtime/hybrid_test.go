@@ -1,0 +1,127 @@
+package vtime
+
+import (
+	"testing"
+
+	"unison/internal/des"
+)
+
+func TestHybridMatchesSequentialResults(t *testing.T) {
+	mRef, monRef, _ := scenario(21, 0.3)
+	if _, err := des.New().Run(mRef); err != nil {
+		t.Fatal(err)
+	}
+	m, mon, _ := scenario(21, 0.3)
+	hostOf := make([]int32, m.Nodes)
+	for i := range hostOf {
+		hostOf[i] = int32(i % 2)
+	}
+	st, err := Run(m, Config{Algo: Hybrid, HostOf: hostOf, CoresPerHost: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Fingerprint() != monRef.Fingerprint() {
+		t.Fatal("hybrid diverged from sequential DES")
+	}
+	if len(st.Workers) != 8 {
+		t.Fatalf("workers=%d, want 2 hosts x 4 cores", len(st.Workers))
+	}
+}
+
+func TestHybridSlowerThanPureUnisonAtEqualCores(t *testing.T) {
+	// Same total core count: the hybrid pays the inter-host all-reduce
+	// and cannot migrate LPs across hosts, so it must not be faster.
+	m1, _, _ := scenario(22, 0.5)
+	uni, err := Run(m1, Config{Algo: Unison, Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _ := scenario(22, 0.5)
+	hostOf := make([]int32, m2.Nodes)
+	for i := range hostOf {
+		hostOf[i] = int32(i % 2)
+	}
+	hyb, err := Run(m2, Config{Algo: Hybrid, HostOf: hostOf, CoresPerHost: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.VirtualT < uni.VirtualT {
+		t.Fatalf("hybrid %d faster than pure unison %d at equal cores", hyb.VirtualT, uni.VirtualT)
+	}
+}
+
+func TestHybridBeatsSequential(t *testing.T) {
+	m1, _, _ := scenario(23, 0)
+	seq, err := Run(m1, Config{Algo: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _ := scenario(23, 0)
+	hostOf := make([]int32, m2.Nodes)
+	for i := range hostOf {
+		hostOf[i] = int32(i % 2)
+	}
+	hyb, err := Run(m2, Config{Algo: Hybrid, HostOf: hostOf, CoresPerHost: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Speedup(seq, hyb) <= 1.5 {
+		t.Fatalf("hybrid speedup %.2f too low", Speedup(seq, hyb))
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	m, _, _ := scenario(24, 0)
+	if _, err := Run(m, Config{Algo: Hybrid}); err == nil {
+		t.Error("hybrid without HostOf accepted")
+	}
+	m2, _, _ := scenario(24, 0)
+	if _, err := Run(m2, Config{Algo: Hybrid, HostOf: make([]int32, m2.Nodes)}); err == nil {
+		t.Error("hybrid without CoresPerHost accepted")
+	}
+}
+
+func TestHeterogeneousCoresResults(t *testing.T) {
+	// Hetero cores must not change simulation results, only timing.
+	mRef, monRef, _ := scenario(25, 0.5)
+	if _, err := des.New().Run(mRef); err != nil {
+		t.Fatal(err)
+	}
+	m, mon, _ := scenario(25, 0.5)
+	speeds := []float64{1, 1, 0.5, 0.5}
+	if _, err := Run(m, Config{Algo: Unison, Cores: 4, CoreSpeeds: speeds}); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Fingerprint() != monRef.Fingerprint() {
+		t.Fatal("heterogeneous cores changed simulation results")
+	}
+}
+
+func TestSpeedAwareSchedulerHelpsOnHeteroCores(t *testing.T) {
+	speeds := []float64{1, 1, 1, 1, 0.25, 0.25, 0.25, 0.25}
+	m1, _, _ := scenario(26, 0)
+	naive, err := Run(m1, Config{Algo: Unison, Cores: 8, CoreSpeeds: speeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _ := scenario(26, 0)
+	aware, err := Run(m2, Config{Algo: Unison, Cores: 8, CoreSpeeds: speeds, SpeedAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.VirtualT >= naive.VirtualT {
+		t.Fatalf("speed-aware %d not better than naive %d on 4x-skewed cores",
+			aware.VirtualT, naive.VirtualT)
+	}
+}
+
+func TestCoreSpeedsValidation(t *testing.T) {
+	m, _, _ := scenario(27, 0)
+	if _, err := Run(m, Config{Algo: Unison, Cores: 4, CoreSpeeds: []float64{1, 1}}); err == nil {
+		t.Error("mismatched CoreSpeeds length accepted")
+	}
+	m2, _, _ := scenario(27, 0)
+	if _, err := Run(m2, Config{Algo: Unison, Cores: 2, CoreSpeeds: []float64{1, -1}}); err == nil {
+		t.Error("negative core speed accepted")
+	}
+}

@@ -1,0 +1,491 @@
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"unison/internal/core"
+	"unison/internal/eventq"
+	"unison/internal/sim"
+)
+
+// vrt is the shared single-threaded runtime of the round-based virtual
+// kernels (sequential, barrier, unison).
+type vrt struct {
+	m    *sim.Model
+	part *core.Partition
+	fels []*eventq.Queue
+	mail [][]sim.Event
+	pub  *eventq.Queue
+	seqs sim.SeqTable
+
+	lbts      sim.Time
+	lookahead sim.Time
+
+	sink *vsink
+	ctx  *sim.Ctx
+
+	events  uint64
+	endTime sim.Time
+}
+
+type vsink struct {
+	rt    *vrt
+	curLP int32 // -1 during global events
+}
+
+func (s *vsink) Put(ev sim.Event) {
+	tgt := s.rt.part.LPOf[ev.Node]
+	if s.curLP < 0 || tgt == s.curLP {
+		s.rt.fels[tgt].Push(ev)
+		return
+	}
+	if ev.Time < s.rt.lbts {
+		panic(fmt.Sprintf("vtime: causality violation: cross-LP event at %v inside window ending %v", ev.Time, s.rt.lbts))
+	}
+	s.rt.mail[tgt] = append(s.rt.mail[tgt], ev)
+}
+
+func (s *vsink) PutGlobal(ev sim.Event) {
+	if s.curLP >= 0 {
+		panic("vtime: global events may only be scheduled at setup or from other global events")
+	}
+	s.rt.pub.Push(ev)
+}
+
+func newVrt(m *sim.Model, part *core.Partition) *vrt {
+	r := &vrt{
+		m:         m,
+		part:      part,
+		fels:      make([]*eventq.Queue, part.Count),
+		mail:      make([][]sim.Event, part.Count),
+		pub:       eventq.New(16),
+		seqs:      sim.NewSeqTable(m.Nodes),
+		lookahead: part.Lookahead,
+	}
+	for i := range r.fels {
+		r.fels[i] = eventq.New(64)
+	}
+	r.sink = &vsink{rt: r}
+	r.ctx = sim.NewCtx(r.sink, 0)
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			r.pub.Push(ev)
+		} else {
+			r.fels[part.LPOf[ev.Node]].Push(ev)
+		}
+	}
+	return r
+}
+
+func (r *vrt) allMin() sim.Time {
+	m := sim.MaxTime
+	for _, f := range r.fels {
+		if t := f.NextTime(); t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// runLP executes LP lp's window under executor e and returns its virtual
+// processing cost.
+func (r *vrt) runLP(lp int32, e int, c *coster) int64 {
+	r.sink.curLP = lp
+	fel := r.fels[lp]
+	var cost int64
+	for {
+		ev, ok := fel.PopBefore(r.lbts)
+		if !ok {
+			break
+		}
+		cost += c.cost(e, ev.Node)
+		r.ctx.Begin(&ev, r.seqs.Of(ev.Node))
+		ev.Fn(r.ctx)
+		r.events++
+		if ev.Time > r.endTime {
+			r.endTime = ev.Time
+		}
+	}
+	return cost
+}
+
+// runGlobals executes public-LP events at the window boundary and returns
+// their virtual cost and whether the model stopped.
+func (r *vrt) runGlobals(c *coster) (cost int64, stopped bool) {
+	r.sink.curLP = -1
+	executed := false
+	for !r.pub.Empty() && r.pub.Peek().Time == r.lbts {
+		ev := r.pub.Pop()
+		cost += c.cm.EventNS
+		r.ctx.Begin(&ev, r.seqs.Of(sim.GlobalNode))
+		ev.Fn(r.ctx)
+		r.events++
+		if ev.Time > r.endTime {
+			r.endTime = ev.Time
+		}
+		executed = true
+	}
+	if executed {
+		r.lookahead = core.CutLookahead(r.part.LPOf, r.m.Links())
+		stopped = r.ctx.Stopped()
+	}
+	return cost, stopped
+}
+
+// drain moves LP lp's mailbox into its FEL and returns the event count.
+func (r *vrt) drain(lp int32) int64 {
+	n := int64(len(r.mail[lp]))
+	for _, ev := range r.mail[lp] {
+		r.fels[lp].Push(ev)
+	}
+	r.mail[lp] = r.mail[lp][:0]
+	return n
+}
+
+// --- Sequential ---
+
+func runSequential(m *sim.Model, cfg Config) (*sim.RunStats, error) {
+	part := core.SingleLP(m.Nodes, m.Links())
+	r := newVrt(m, part)
+	c := newCoster(cfg.Cost, 1)
+	var virt int64
+	for {
+		r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
+		if r.lbts == sim.MaxTime && r.pub.Empty() && r.fels[0].Empty() {
+			break
+		}
+		virt += r.runLP(0, 0, c)
+		g, stopped := r.runGlobals(c)
+		virt += g
+		if stopped {
+			break
+		}
+	}
+	st := &sim.RunStats{
+		Kernel:   Sequential.String(),
+		Events:   r.events,
+		EndTime:  r.endTime,
+		LPs:      1,
+		VirtualT: virt,
+		Workers:  []sim.WorkerStats{{P: virt, Events: r.events}},
+	}
+	st.CacheRefs, st.CacheMisses = c.cache.Counters()
+	return st, nil
+}
+
+// --- Barrier synchronization (one rank per virtual core) ---
+
+func runBarrier(m *sim.Model, cfg Config) (*sim.RunStats, error) {
+	if cfg.LPOf == nil {
+		return nil, errors.New("vtime: Barrier requires a manual partition (LPOf)")
+	}
+	part := core.Manual(cfg.LPOf, m.Links())
+	n := part.Count
+	r := newVrt(m, part)
+	c := newCoster(cfg.Cost, n)
+	ws := make([]sim.WorkerStats, n)
+	var virt int64
+	var rounds uint64
+	var trace []sim.RoundSample
+
+	r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
+	if r.lbts == sim.MaxTime && r.pub.Empty() {
+		return barrierStats(r, ws, virt, rounds, trace, c), nil
+	}
+	for {
+		// Phase 1: every rank processes its window on its own core.
+		var span1 int64
+		p := make([]int64, n)
+		for rank := 0; rank < n; rank++ {
+			evBefore := r.events
+			p[rank] = r.runLP(int32(rank), rank, c)
+			ws[rank].P += p[rank]
+			ws[rank].Events += r.events - evBefore
+			if p[rank] > span1 {
+				span1 = p[rank]
+			}
+		}
+		// Phase 2: rank 0 handles globals.
+		evBefore := r.events
+		g, stopped := r.runGlobals(c)
+		ws[0].P += g
+		ws[0].Events += r.events - evBefore
+		// Phase 3: receive cross-rank events.
+		var span3 int64
+		mc := make([]int64, n)
+		for rank := 0; rank < n; rank++ {
+			mc[rank] = r.drain(int32(rank)) * cfg.Cost.MsgNS
+			ws[rank].M += mc[rank]
+			if mc[rank] > span3 {
+				span3 = mc[rank]
+			}
+		}
+		roundTotal := span1 + g + span3 + 2*cfg.Cost.BarrierNS
+		for rank := 0; rank < n; rank++ {
+			busy := p[rank] + mc[rank]
+			if rank == 0 {
+				busy += g
+			}
+			ws[rank].S += roundTotal - busy
+		}
+		virt += roundTotal
+		rounds++
+		if cfg.RecordRounds {
+			var total int64
+			for _, v := range p {
+				total += v
+			}
+			ideal := (total + int64(n) - 1) / int64(n)
+			if span1 > 0 && ideal < span1 {
+				// The static partition cannot split an LP, so the longest
+				// rank is also the ideal bound here.
+				ideal = maxOf(p)
+			}
+			trace = append(trace, sim.RoundSample{
+				LBTS: r.lbts, PerWorker: p,
+				Makespan: roundTotal, Phase1: span1, Ideal: ideal,
+			})
+		}
+		if stopped {
+			break
+		}
+		allMin := r.allMin()
+		pubNext := r.pub.NextTime()
+		if allMin == sim.MaxTime && pubNext == sim.MaxTime {
+			break
+		}
+		if cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
+			return nil, errors.New("vtime: MaxRounds exceeded")
+		}
+		r.lbts = core.Eq2(allMin, pubNext, r.lookahead)
+	}
+	return barrierStats(r, ws, virt, rounds, trace, c), nil
+}
+
+func maxOf(vs []int64) int64 {
+	var m int64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func barrierStats(r *vrt, ws []sim.WorkerStats, virt int64, rounds uint64, trace []sim.RoundSample, c *coster) *sim.RunStats {
+	st := &sim.RunStats{
+		Kernel:     Barrier.String(),
+		Events:     r.events,
+		EndTime:    r.endTime,
+		LPs:        r.part.Count,
+		VirtualT:   virt,
+		Rounds:     rounds,
+		Workers:    ws,
+		RoundTrace: trace,
+	}
+	st.CacheRefs, st.CacheMisses = c.cache.Counters()
+	return st
+}
+
+// --- Unison (fine-grained partition + load-adaptive scheduling) ---
+
+func runUnison(m *sim.Model, cfg Config) (*sim.RunStats, error) {
+	threads := cfg.Cores
+	if threads <= 0 {
+		return nil, errors.New("vtime: Unison requires Cores > 0")
+	}
+	links := m.Links()
+	var part *core.Partition
+	if cfg.LPOf != nil {
+		part = core.Manual(cfg.LPOf, links)
+	} else {
+		part = core.FineGrained(m.Nodes, links)
+	}
+	n := part.Count
+	r := newVrt(m, part)
+	c := newCoster(cfg.Cost, threads)
+	ws := make([]sim.WorkerStats, threads)
+	var virt int64
+	var rounds uint64
+	var trace []sim.RoundSample
+
+	period := uint64(cfg.Period)
+	if period == 0 {
+		period = 1
+		if n > 1 {
+			period = uint64(bits.Len(uint(n - 1)))
+		}
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	lastP := make([]int64, n)
+	pending := make([]int64, n)
+	est := make([]int64, n)
+	avail := make([]int64, threads)
+	busyP := make([]int64, threads)
+	busyM := make([]int64, threads)
+
+	// Core speeds: identical by default; heterogeneous per §7 otherwise.
+	speeds := cfg.CoreSpeeds
+	if speeds == nil {
+		speeds = make([]float64, threads)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+	} else if len(speeds) != threads {
+		return nil, errors.New("vtime: CoreSpeeds length must equal Cores")
+	} else {
+		for _, sp := range speeds {
+			if sp <= 0 {
+				return nil, errors.New("vtime: CoreSpeeds must be positive")
+			}
+		}
+	}
+
+	r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
+	if r.lbts == sim.MaxTime && r.pub.Empty() {
+		return unisonStats(r, ws, virt, rounds, trace, c, threads)
+	}
+	argmin := func(a []int64) int {
+		best := 0
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	for {
+		// Phase 1: greedy longest-estimated-job-first list scheduling onto
+		// virtual threads (identical to the live kernel's cursor pull).
+		for i := range avail {
+			avail[i], busyP[i], busyM[i] = 0, 0, 0
+		}
+		var totalCost, maxLP int64
+		for _, lp := range order {
+			var t int
+			if cfg.SpeedAware {
+				// Pick the core with the earliest projected finish for the
+				// estimated cost (LPT on uniform machines).
+				t = 0
+				best := float64(avail[0]) + float64(est[lp])/speeds[0]
+				for i := 1; i < threads; i++ {
+					if fin := float64(avail[i]) + float64(est[lp])/speeds[i]; fin < best {
+						best, t = fin, i
+					}
+				}
+			} else {
+				t = argmin(avail)
+			}
+			evBefore := r.events
+			cost := r.runLP(lp, t, c)
+			lastP[lp] = cost
+			wall := int64(float64(cost) / speeds[t])
+			avail[t] += wall
+			busyP[t] += wall
+			ws[t].Events += r.events - evBefore
+			totalCost += cost
+			if cost > maxLP {
+				maxLP = cost
+			}
+		}
+		var span1 int64
+		for t := 0; t < threads; t++ {
+			ws[t].P += busyP[t]
+			if avail[t] > span1 {
+				span1 = avail[t]
+			}
+		}
+		ideal := (totalCost + int64(threads) - 1) / int64(threads)
+		if maxLP > ideal {
+			ideal = maxLP
+		}
+		// Phase 2: worker 0 handles globals.
+		evBefore := r.events
+		g, stopped := r.runGlobals(c)
+		ws[0].P += g
+		ws[0].Events += r.events - evBefore
+		// Phase 3: greedy assignment of mailbox draining.
+		for i := range avail {
+			avail[i] = 0
+		}
+		for lp := int32(0); lp < int32(n); lp++ {
+			t := argmin(avail)
+			k := r.drain(lp)
+			pending[lp] = k
+			mc := int64(float64(k*cfg.Cost.MsgNS) / speeds[t])
+			avail[t] += mc
+			busyM[t] += mc
+		}
+		var span3 int64
+		for t := 0; t < threads; t++ {
+			ws[t].M += busyM[t]
+			if avail[t] > span3 {
+				span3 = avail[t]
+			}
+		}
+		// Phase 4: window update plus periodic rescheduling on worker 0.
+		rounds++
+		var schedCost int64
+		if cfg.Metric != core.MetricNone && rounds%period == 0 {
+			schedCost = int64(n) * cfg.Cost.SortPerLPNS
+			for i := 0; i < n; i++ {
+				if cfg.Metric == core.MetricPrevTime {
+					est[i] = lastP[i]
+				} else {
+					est[i] = pending[i]
+				}
+			}
+			sort.SliceStable(order, func(a, b int) bool { return est[order[a]] > est[order[b]] })
+		}
+		ws[0].M += schedCost
+		roundTotal := span1 + g + span3 + schedCost + 4*cfg.Cost.SpinBarrierNS
+		for t := 0; t < threads; t++ {
+			busy := busyP[t] + busyM[t]
+			if t == 0 {
+				busy += g + schedCost
+			}
+			ws[t].S += roundTotal - busy
+		}
+		virt += roundTotal
+		if cfg.RecordRounds {
+			trace = append(trace, sim.RoundSample{
+				LBTS: r.lbts, PerWorker: append([]int64(nil), busyP...),
+				Makespan: roundTotal, Phase1: span1, Ideal: ideal,
+			})
+		}
+		if stopped {
+			break
+		}
+		allMin := r.allMin()
+		pubNext := r.pub.NextTime()
+		if allMin == sim.MaxTime && pubNext == sim.MaxTime {
+			break
+		}
+		if cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
+			return nil, errors.New("vtime: MaxRounds exceeded")
+		}
+		r.lbts = core.Eq2(allMin, pubNext, r.lookahead)
+	}
+	return unisonStats(r, ws, virt, rounds, trace, c, threads)
+}
+
+func unisonStats(r *vrt, ws []sim.WorkerStats, virt int64, rounds uint64, trace []sim.RoundSample, c *coster, threads int) (*sim.RunStats, error) {
+	st := &sim.RunStats{
+		Kernel:     fmt.Sprintf("v-unison(t=%d)", threads),
+		Events:     r.events,
+		EndTime:    r.endTime,
+		LPs:        r.part.Count,
+		VirtualT:   virt,
+		Rounds:     rounds,
+		Workers:    ws,
+		RoundTrace: trace,
+	}
+	st.CacheRefs, st.CacheMisses = c.cache.Counters()
+	return st, nil
+}

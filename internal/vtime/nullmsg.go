@@ -1,0 +1,319 @@
+package vtime
+
+import (
+	"errors"
+	"sort"
+
+	"unison/internal/core"
+	"unison/internal/eventq"
+	"unison/internal/sim"
+)
+
+// The null-message virtual kernel is a meta-simulation: the ranks of the
+// Chandy–Misra–Bryant protocol are themselves simulated as processes with
+// virtual CPU clocks. Messages sent at a sender's virtual time V arrive
+// at the receiver at V + MsgNS; a rank that cannot progress blocks until
+// its earliest pending arrival (accounted as synchronization time S).
+// Because CMB is asynchronous, this is the only baseline whose timing
+// cannot be expressed in rounds — the meta-DES computes the true
+// interleaving for any core count.
+
+type vnmMsg struct {
+	vArrive int64 // virtual arrival time at the receiver
+	from    int32
+	bound   sim.Time
+	events  []sim.Event
+	null    bool
+}
+
+type vnmRank struct {
+	id      int32
+	fel     *eventq.Queue
+	inbox   []vnmMsg
+	inFrom  []int32
+	outTo   []int32
+	outLA   map[int32]sim.Time
+	clock   map[int32]sim.Time
+	promise map[int32]sim.Time
+	outBuf  map[int32][]sim.Event
+
+	v       int64 // virtual CPU clock
+	parked  bool
+	done    bool
+	p, s, m int64
+	events  uint64
+	nulls   uint64
+}
+
+type vnmSink struct {
+	r    *vnmRank
+	lpOf []int32
+}
+
+func (s *vnmSink) Put(ev sim.Event) {
+	tgt := s.lpOf[ev.Node]
+	if tgt == s.r.id {
+		s.r.fel.Push(ev)
+		return
+	}
+	s.r.outBuf[tgt] = append(s.r.outBuf[tgt], ev)
+}
+
+func (s *vnmSink) PutGlobal(sim.Event) {
+	panic("vtime: the null message kernel does not support global events")
+}
+
+func runNullMessage(m *sim.Model, cfg Config) (*sim.RunStats, error) {
+	if cfg.LPOf == nil {
+		return nil, errors.New("vtime: NullMessage requires a manual partition (LPOf)")
+	}
+	if m.StopAt <= 0 {
+		return nil, errors.New("vtime: NullMessage requires Model.StopAt")
+	}
+	links := m.Links()
+	part := core.Manual(cfg.LPOf, links)
+	n := part.Count
+	c := newCoster(cfg.Cost, n)
+	seqs := sim.NewSeqTable(m.Nodes)
+
+	type pair struct{ a, b int32 }
+	chanLA := map[pair]sim.Time{}
+	for i := range links {
+		l := &links[i]
+		ra, rb := part.LPOf[l.A], part.LPOf[l.B]
+		if ra == rb || !l.Up {
+			continue
+		}
+		for _, p := range []pair{{ra, rb}, {rb, ra}} {
+			if la, ok := chanLA[p]; !ok || l.Delay < la {
+				chanLA[p] = l.Delay
+			}
+		}
+	}
+	ranks := make([]*vnmRank, n)
+	for i := range ranks {
+		ranks[i] = &vnmRank{
+			id:      int32(i),
+			fel:     eventq.New(64),
+			outLA:   map[int32]sim.Time{},
+			clock:   map[int32]sim.Time{},
+			promise: map[int32]sim.Time{},
+			outBuf:  map[int32][]sim.Event{},
+		}
+	}
+	// Deterministic channel setup order.
+	pairs := make([]pair, 0, len(chanLA))
+	for p := range chanLA {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		la := chanLA[p]
+		ranks[p.a].outTo = append(ranks[p.a].outTo, p.b)
+		ranks[p.a].outLA[p.b] = la
+		ranks[p.b].inFrom = append(ranks[p.b].inFrom, p.a)
+		ranks[p.b].clock[p.a] = 0
+	}
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode {
+			if ev.Time == m.StopAt {
+				continue
+			}
+			return nil, errors.New("vtime: null message kernel cannot run models with global events")
+		}
+		ranks[part.LPOf[ev.Node]].fel.Push(ev)
+	}
+
+	var totalEvents uint64
+	var endTime sim.Time
+
+	step := func(r *vnmRank) bool {
+		progressed := false
+		// Drain deliverable messages.
+		rest := r.inbox[:0]
+		var drained int64
+		for _, msg := range r.inbox {
+			if msg.vArrive > r.v {
+				rest = append(rest, msg)
+				continue
+			}
+			for _, ev := range msg.events {
+				r.fel.Push(ev)
+			}
+			if msg.bound > r.clock[msg.from] {
+				r.clock[msg.from] = msg.bound
+			}
+			drained++
+			progressed = true
+		}
+		r.inbox = rest
+		if drained > 0 {
+			d := drained * cfg.Cost.MsgNS
+			r.v += d
+			r.m += d
+		}
+		// EIT and safe window.
+		eit := sim.MaxTime
+		for _, from := range r.inFrom {
+			if cl := r.clock[from]; cl < eit {
+				eit = cl
+			}
+		}
+		safe := eit
+		if m.StopAt < safe {
+			safe = m.StopAt
+		}
+		// Process the safe prefix.
+		sink := &vnmSink{r: r, lpOf: part.LPOf}
+		ctx := sim.NewCtx(sink, int(r.id))
+		for {
+			ev, ok := r.fel.PopBefore(safe)
+			if !ok {
+				break
+			}
+			cost := c.cost(int(r.id), ev.Node)
+			r.v += cost
+			r.p += cost
+			ctx.Begin(&ev, seqs.Of(ev.Node))
+			ev.Fn(ctx)
+			r.events++
+			totalEvents++
+			if ev.Time > endTime {
+				endTime = ev.Time
+			}
+			progressed = true
+		}
+		// Flush events and eager nulls.
+		base := r.fel.NextTime()
+		if eit < base {
+			base = eit
+		}
+		for _, to := range r.outTo {
+			bound := vSatAdd(base, r.outLA[to])
+			evs := r.outBuf[to]
+			if len(evs) == 0 && bound <= r.promise[to] {
+				continue
+			}
+			msg := vnmMsg{from: r.id, bound: bound, vArrive: r.v + cfg.Cost.MsgNS}
+			if len(evs) > 0 {
+				msg.events = append([]sim.Event(nil), evs...)
+				r.outBuf[to] = evs[:0]
+				r.m += cfg.Cost.MsgNS
+				r.v += cfg.Cost.MsgNS
+			} else {
+				msg.null = true
+				r.nulls++
+				r.m += cfg.Cost.NullNS
+				r.v += cfg.Cost.NullNS
+			}
+			r.promise[to] = bound
+			peer := ranks[to]
+			peer.inbox = append(peer.inbox, msg)
+			if peer.parked {
+				wake := msg.vArrive
+				if wake > peer.v {
+					peer.s += wake - peer.v
+					peer.v = wake
+				}
+				peer.parked = false
+			}
+			progressed = true
+		}
+		// Termination.
+		if r.fel.NextTime() >= m.StopAt && eit >= m.StopAt {
+			r.done = true
+			return true
+		}
+		return progressed
+	}
+
+	for {
+		// Pick the runnable rank with the smallest virtual clock.
+		var pick *vnmRank
+		for _, r := range ranks {
+			if r.done || r.parked {
+				continue
+			}
+			if pick == nil || r.v < pick.v || (r.v == pick.v && r.id < pick.id) {
+				pick = r
+			}
+		}
+		if pick == nil {
+			// Everyone parked or done.
+			allDone := true
+			for _, r := range ranks {
+				if !r.done {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+			return nil, errors.New("vtime: null message meta-simulation deadlocked")
+		}
+		if !step(pick) {
+			// No progress: wait for the earliest pending arrival, or park.
+			earliest := int64(-1)
+			for _, msg := range pick.inbox {
+				if earliest < 0 || msg.vArrive < earliest {
+					earliest = msg.vArrive
+				}
+			}
+			if earliest >= 0 {
+				if earliest > pick.v {
+					pick.s += earliest - pick.v
+					pick.v = earliest
+				} else {
+					// Deliverable on the next step already.
+					continue
+				}
+			} else {
+				pick.parked = true
+			}
+		}
+	}
+
+	var virt int64
+	ws := make([]sim.WorkerStats, n)
+	var nulls uint64
+	for i, r := range ranks {
+		if r.v > virt {
+			virt = r.v
+		}
+		ws[i] = sim.WorkerStats{P: r.p, S: r.s, M: r.m, Events: r.events}
+		nulls += r.nulls
+	}
+	// Ranks that finished early waited (virtually) for the slowest one.
+	for i, r := range ranks {
+		ws[i].S += virt - r.v
+		_ = r
+	}
+	st := &sim.RunStats{
+		Kernel:   NullMessage.String(),
+		Events:   totalEvents,
+		EndTime:  endTime,
+		LPs:      n,
+		VirtualT: virt,
+		Rounds:   nulls,
+		Workers:  ws,
+	}
+	st.CacheRefs, st.CacheMisses = c.cache.Counters()
+	return st, nil
+}
+
+func vSatAdd(a, b sim.Time) sim.Time {
+	if a == sim.MaxTime || b == sim.MaxTime {
+		return sim.MaxTime
+	}
+	s := a + b
+	if s < a {
+		return sim.MaxTime
+	}
+	return s
+}

@@ -1,0 +1,279 @@
+// Package unison is a from-scratch Go reproduction of "Unison: A
+// Parallel-Efficient and User-Transparent Network Simulation Kernel"
+// (Bai et al., EuroSys 2024): a packet-level network simulator with four
+// interchangeable kernels — sequential DES, barrier-synchronization PDES,
+// null-message PDES, and the Unison kernel with automatic fine-grained
+// partition and load-adaptive scheduling.
+//
+// The user-transparency property is the heart of the API: a Scenario is
+// built once, with zero parallelism configuration, and the resulting
+// Model runs unmodified under any kernel:
+//
+//	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+//	flows := unison.GenerateTraffic(unison.TrafficConfig{ ... })
+//	sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+//	    Flows: flows, StopAt: 2 * unison.Millisecond,
+//	    NetCfg: unison.DefaultNetConfig(seed), TCPCfg: unison.DefaultTCP(),
+//	})
+//	stats, err := unison.NewUnison(unison.UnisonConfig{Threads: 8}).Run(sc.Model())
+//
+// This file re-exports the supported public surface; the implementation
+// lives in internal packages (see DESIGN.md for the system inventory).
+package unison
+
+import (
+	"unison/internal/app"
+	"unison/internal/core"
+	"unison/internal/des"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/packet"
+	"unison/internal/pdes"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/stats"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+	"unison/internal/traffic"
+	"unison/internal/vtime"
+)
+
+// --- Core simulation types ---
+
+type (
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// NodeID identifies a simulated node.
+	NodeID = sim.NodeID
+	// Model is a kernel-agnostic simulation description.
+	Model = sim.Model
+	// Kernel runs a Model to completion.
+	Kernel = sim.Kernel
+	// RunStats summarizes a completed run (events, rounds, P/S/M, ...).
+	RunStats = sim.RunStats
+	// Ctx is the execution context passed to event callbacks.
+	Ctx = sim.Ctx
+)
+
+// Re-exported time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Link bandwidths in bits per second.
+const (
+	Mbps int64 = 1_000_000
+	Gbps int64 = 1_000_000_000
+)
+
+// --- Kernels ---
+
+type (
+	// UnisonConfig tunes the Unison kernel (threads, scheduling metric,
+	// scheduling period, optional manual partition).
+	UnisonConfig = core.Config
+	// Metric selects the load-adaptive scheduling estimate.
+	Metric = core.Metric
+	// Partition is a topology partition (node → LP assignment).
+	Partition = core.Partition
+)
+
+// Scheduling metrics.
+const (
+	MetricPrevTime      = core.MetricPrevTime
+	MetricPendingEvents = core.MetricPendingEvents
+	MetricNone          = core.MetricNone
+)
+
+// NewSequential returns the sequential DES kernel.
+func NewSequential() Kernel { return des.New() }
+
+// NewUnison returns the Unison kernel.
+func NewUnison(cfg UnisonConfig) Kernel { return core.New(cfg) }
+
+// HybridConfig tunes the multi-host hybrid kernel (§5.2).
+type HybridConfig = core.HybridConfig
+
+// NewHybrid returns the hybrid kernel: a static host-level partition with
+// Unison's fine-grained partition and scheduling inside each host.
+func NewHybrid(cfg HybridConfig) Kernel { return core.NewHybrid(cfg) }
+
+// NewBarrier returns the barrier-synchronization PDES baseline; lpOf is
+// the mandatory static manual node→rank partition.
+func NewBarrier(lpOf []int32) Kernel { return &pdes.BarrierKernel{LPOf: lpOf} }
+
+// NewNullMessage returns the null-message PDES baseline; lpOf is the
+// mandatory static manual node→rank partition.
+func NewNullMessage(lpOf []int32) Kernel { return &pdes.NullMessageKernel{LPOf: lpOf} }
+
+// FineGrainedPartition runs the paper's Algorithm 1 on a topology.
+func FineGrainedPartition(g *Graph) *Partition {
+	return core.FineGrained(g.N(), g.LinkInfos())
+}
+
+// --- Topologies ---
+
+type (
+	// Graph is a mutable network topology.
+	Graph = topology.Graph
+	// LinkID indexes a link within its graph.
+	LinkID = topology.LinkID
+	// FatTree is a built clustered fat-tree.
+	FatTree = topology.FatTree
+	// FatTreeCfg parameterizes a clustered fat-tree.
+	FatTreeCfg = topology.FatTreeCfg
+	// BCube is a built BCube(n,k).
+	BCube = topology.BCube
+	// Torus is a built 2D torus.
+	Torus = topology.Torus
+	// SpineLeaf is a built spine-leaf fabric.
+	SpineLeaf = topology.SpineLeaf
+	// Dumbbell is a built dumbbell (congestion-control topology).
+	Dumbbell = topology.Dumbbell
+	// WAN is a built wide-area backbone.
+	WAN = topology.WAN
+)
+
+// Node kinds.
+const (
+	Host   = topology.Host
+	Switch = topology.Switch
+)
+
+// Topology builders (see internal/topology for parameter semantics).
+var (
+	FatTreeK        = topology.FatTreeK
+	FatTreeClusters = topology.FatTreeClusters
+	BuildFatTree    = topology.BuildFatTree
+	BuildBCube      = topology.BuildBCube
+	BuildTorus2D    = topology.BuildTorus2D
+	BuildSpineLeaf  = topology.BuildSpineLeaf
+	BuildDumbbell   = topology.BuildDumbbell
+	BuildWAN        = topology.BuildWAN
+	Geant           = topology.Geant
+	ChinaNet        = topology.ChinaNet
+)
+
+// --- Routing ---
+
+type (
+	// Router picks output links for packets.
+	Router = routing.Router
+	// RIP is the distance-vector dynamic routing protocol.
+	RIP = routing.RIP
+)
+
+// Shortest-path metrics.
+const (
+	Hops  = routing.Hops
+	Delay = routing.Delay
+)
+
+// NewECMP builds static equal-cost multipath shortest-path tables.
+func NewECMP(g *Graph, metric routing.Metric, seed uint64) *routing.ECMP {
+	return routing.NewECMP(g, metric, seed)
+}
+
+// NewNix builds a NIx-vector-style cached source-route router.
+func NewNix(g *Graph, metric routing.Metric) *routing.Nix { return routing.NewNix(g, metric) }
+
+// NewRIP builds RIP state for g with the given advertisement period.
+func NewRIP(g *Graph, period Time) *RIP { return routing.NewRIP(g, period) }
+
+// --- Scenarios, transport, traffic ---
+
+type (
+	// Scenario binds topology + routing + data plane + transport + flows.
+	Scenario = app.Scenario
+	// ScenarioConfig selects scenario-level options.
+	ScenarioConfig = app.Config
+	// NetConfig tunes the data plane (queues, per-byte work model).
+	NetConfig = netdev.Config
+	// Device is one link endpoint (queue + transmitter); reachable via
+	// Scenario.Net.Devices for post-run statistics.
+	Device = netdev.Device
+	// QueueConfig parameterizes a device queue.
+	QueueConfig = netdev.QueueConfig
+	// TCPConfig tunes the transport.
+	TCPConfig = tcp.Config
+	// FlowSpec describes one application flow.
+	FlowSpec = tcp.FlowSpec
+	// FlowID identifies a flow.
+	FlowID = packet.FlowID
+	// TrafficConfig parameterizes workload generation.
+	TrafficConfig = traffic.Config
+	// OnOffSpec describes a UDP on/off (or CBR) source application.
+	OnOffSpec = tcp.OnOffSpec
+	// Monitor holds per-flow statistics of a run.
+	Monitor = flowmon.Monitor
+	// CDF is an empirical distribution (flow sizes).
+	CDF = stats.CDF
+)
+
+// NewScenario assembles a scenario (see internal/app).
+func NewScenario(g *Graph, router Router, cfg ScenarioConfig) *Scenario {
+	return app.New(g, router, cfg)
+}
+
+// DefaultNetConfig returns DropTail queues with the checksum work model.
+func DefaultNetConfig(seed uint64) NetConfig { return netdev.DefaultConfig(seed) }
+
+// Queue configuration helpers.
+var (
+	DropTailConfig  = netdev.DropTailConfig
+	REDConfig       = netdev.REDConfig
+	DCTCPQueue      = netdev.DCTCPConfig
+	PfifoFastConfig = netdev.PfifoFastConfig
+	CoDelConfig     = netdev.CoDelConfig
+)
+
+// Transport configuration helpers.
+var (
+	DefaultTCP = tcp.DefaultConfig
+	WANTCP     = tcp.WANConfig
+	DCTCPCfg   = tcp.DCTCPConfig
+)
+
+// Workload helpers.
+var (
+	GenerateTraffic = traffic.Generate
+	IncastBurst     = traffic.IncastBurst
+	WebSearchCDF    = traffic.WebSearchCDF
+	GRPCCDF         = traffic.GRPCCDF
+)
+
+// Traffic patterns.
+const (
+	Uniform     = traffic.Uniform
+	Permutation = traffic.Permutation
+)
+
+// --- Virtual testbed ---
+
+type (
+	// VirtualConfig parameterizes a virtual-testbed run: the same kernel
+	// algorithms executed against virtual per-worker clocks so that
+	// speedups for arbitrary core counts can be measured on any machine
+	// (DESIGN.md §1).
+	VirtualConfig = vtime.Config
+	// CostModel converts events into virtual nanoseconds.
+	CostModel = vtime.CostModel
+)
+
+// VirtualRun executes m under the virtual testbed.
+func VirtualRun(m *Model, cfg VirtualConfig) (*RunStats, error) { return vtime.Run(m, cfg) }
+
+// Virtual testbed algorithms.
+const (
+	VSequential  = vtime.Sequential
+	VBarrier     = vtime.Barrier
+	VNullMessage = vtime.NullMessage
+	VUnison      = vtime.Unison
+	VHybrid      = vtime.Hybrid
+)
+
+// DefaultCostModel returns the calibrated event cost model.
+func DefaultCostModel() CostModel { return vtime.DefaultCostModel() }
