@@ -97,9 +97,11 @@ func benchKernel(b *testing.B, mk func() sim.Kernel) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		events = st.Events
+		// Accumulate: multiplying the last iteration's count by b.N would
+		// misreport if any iteration ever diverged.
+		events += st.Events
 	}
-	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 func BenchmarkKernelSequential(b *testing.B) {

@@ -1,0 +1,207 @@
+// Command unibench measures the kernel hot path: events/s, ns/op and
+// allocation counts for every kernel on the fixed fat-tree workload of the
+// kernel micro-benchmarks (bench_test.go), written as BENCH_hotpath.json.
+//
+// The report embeds the pre-overhaul seed baseline (docs/bench_seed.json)
+// next to the fresh numbers so every run carries its own before/after
+// comparison — the acceptance gate of the hot-path overhaul reads the
+// speedup straight from this file.
+//
+// Usage:
+//
+//	unibench [-n 15] [-seed docs/bench_seed.json] [-o BENCH_hotpath.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"unison"
+	"unison/internal/core"
+	"unison/internal/des"
+	"unison/internal/pdes"
+	"unison/internal/sim"
+)
+
+// sample is one kernel's measurement; the field names match
+// docs/bench_seed.json so seed and current blocks diff cleanly.
+type sample struct {
+	EventsPerSec int64 `json:"events_per_sec"`
+	NsPerOp      int64 `json:"ns_per_op"`
+	BytesPerOp   int64 `json:"bytes_per_op"`
+	AllocsPerOp  int64 `json:"allocs_per_op"`
+	Iterations   int   `json:"iterations"`
+}
+
+type seedFile struct {
+	Note    string            `json:"note"`
+	Kernels map[string]sample `json:"kernels"`
+}
+
+type delta struct {
+	EventsSpeedup float64 `json:"events_speedup"`
+	AllocsRatio   float64 `json:"allocs_ratio"`
+}
+
+type report struct {
+	Note       string            `json:"note"`
+	Go         string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Generated  string            `json:"generated"`
+	Current    map[string]sample `json:"current"`
+	Seed       map[string]sample `json:"seed,omitempty"`
+	SeedNote   string            `json:"seed_note,omitempty"`
+	Delta      map[string]delta  `json:"delta,omitempty"`
+}
+
+// kernelOrder fixes the iteration and report order.
+var kernelOrder = []string{"Sequential", "Unison1", "Unison4", "Barrier", "NullMessage", "Hybrid"}
+
+func scenario(seed uint64) *unison.Scenario {
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	stop := sim.Time(2 * unison.Millisecond)
+	flows := unison.GenerateTraffic(unison.TrafficConfig{
+		Seed:         seed,
+		Hosts:        ft.Hosts(),
+		Sizes:        unison.GRPCCDF(),
+		Load:         0.3,
+		BisectionBps: ft.BisectionBandwidth(),
+		Start:        0,
+		End:          stop / 2,
+	})
+	return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		Seed:   seed,
+		NetCfg: unison.DefaultNetConfig(seed),
+		TCPCfg: unison.DefaultTCP(),
+		StopAt: stop,
+		Flows:  flows,
+	})
+}
+
+func kernels() map[string]func() sim.Kernel {
+	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	manual4 := pdes.FatTreeManual(ft, 4)
+	manual2 := pdes.FatTreeManual(ft, 2)
+	return map[string]func() sim.Kernel{
+		"Sequential":  func() sim.Kernel { return des.New() },
+		"Unison1":     func() sim.Kernel { return core.New(core.Config{Threads: 1}) },
+		"Unison4":     func() sim.Kernel { return core.New(core.Config{Threads: 4}) },
+		"Barrier":     func() sim.Kernel { return &pdes.BarrierKernel{LPOf: manual4} },
+		"NullMessage": func() sim.Kernel { return &pdes.NullMessageKernel{LPOf: manual4} },
+		"Hybrid": func() sim.Kernel {
+			return core.NewHybrid(core.HybridConfig{HostOf: manual2, ThreadsPerHost: 2})
+		},
+	}
+}
+
+// measure runs the kernel n times and reports per-op figures using the
+// same allocation counters `go test -benchmem` reads (Mallocs/TotalAlloc).
+func measure(n int, mk func() sim.Kernel) (sample, error) {
+	// One warm-up run so one-time costs (pools, route caches) don't skew
+	// the per-op figures, mirroring testing.B's calibration runs.
+	if _, err := mk().Run(scenario(42).Model()); err != nil {
+		return sample{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events uint64
+	for i := 0; i < n; i++ {
+		st, err := mk().Run(scenario(42).Model())
+		if err != nil {
+			return sample{}, err
+		}
+		events += st.Events
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return sample{
+		EventsPerSec: int64(float64(events) / elapsed.Seconds()),
+		NsPerOp:      elapsed.Nanoseconds() / int64(n),
+		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / int64(n),
+		Iterations:   n,
+	}, nil
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 15, "iterations per kernel")
+		seedPath = flag.String("seed", "docs/bench_seed.json", "seed baseline to embed ('' to skip)")
+		out      = flag.String("o", "BENCH_hotpath.json", "output report path")
+	)
+	flag.Parse()
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "unibench: -n must be at least 1")
+		os.Exit(2)
+	}
+
+	rep := report{
+		Note: "Kernel hot-path micro-benchmark: fixed fat-tree k=4 workload of bench_test.go, " +
+			"fresh numbers under 'current', pre-overhaul baseline under 'seed'.",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Current:    make(map[string]sample, len(kernelOrder)),
+	}
+
+	if *seedPath != "" {
+		raw, err := os.ReadFile(*seedPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: seed baseline unavailable (%v); reporting current only\n", err)
+		} else {
+			var sf seedFile
+			if err := json.Unmarshal(raw, &sf); err != nil {
+				fmt.Fprintf(os.Stderr, "unibench: bad seed baseline: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Seed = sf.Kernels
+			rep.SeedNote = sf.Note
+		}
+	}
+
+	mks := kernels()
+	for _, name := range kernelOrder {
+		s, err := measure(*n, mks[name])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Current[name] = s
+		fmt.Printf("%-12s %9d events/s  %9d ns/op  %8d B/op  %6d allocs/op\n",
+			name, s.EventsPerSec, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp)
+	}
+
+	if rep.Seed != nil {
+		rep.Delta = make(map[string]delta, len(rep.Current))
+		for name, cur := range rep.Current {
+			sd, ok := rep.Seed[name]
+			if !ok || sd.EventsPerSec == 0 || sd.AllocsPerOp == 0 {
+				continue
+			}
+			rep.Delta[name] = delta{
+				EventsSpeedup: float64(cur.EventsPerSec) / float64(sd.EventsPerSec),
+				AllocsRatio:   float64(cur.AllocsPerOp) / float64(sd.AllocsPerOp),
+			}
+		}
+		if d, ok := rep.Delta["Unison4"]; ok {
+			fmt.Printf("Unison4 vs seed: %.2fx events/s, %.2fx allocs/op\n", d.EventsSpeedup, d.AllocsRatio)
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unibench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "unibench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

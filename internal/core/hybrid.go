@@ -133,8 +133,11 @@ func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	for i := range r.lps {
 		r.lps[i].fel = eventq.New(64)
-		r.lps[i].mail = make([][]sim.Event, workers)
 		r.hostLPs[hostOfLP[i]] = append(r.hostLPs[hostOfLP[i]], int32(i))
+	}
+	r.outboxes = make([]outbox, workers)
+	for w := range r.outboxes {
+		r.outboxes[w] = newOutbox(part.Count)
 	}
 	r.order = make([][]int32, hosts)
 	for h := 0; h < hosts; h++ {
@@ -188,9 +191,10 @@ type hrt struct {
 	hosts    int
 	tph      int
 
-	lps  []lpState
-	pub  *eventq.Queue
-	seqs sim.SeqTable
+	lps      []lpState
+	outboxes []outbox
+	pub      *eventq.Queue
+	seqs     sim.SeqTable
 
 	lbts      sim.Time
 	lookahead sim.Time
@@ -225,8 +229,7 @@ func (s *hybridSink) Put(ev sim.Event) {
 	if ev.Time < s.rt.lbts {
 		panic(fmt.Sprintf("core: hybrid causality violation: cross-LP event at %v inside window ending %v", ev.Time, s.rt.lbts))
 	}
-	mb := &s.rt.lps[tgt].mail[s.w]
-	*mb = append(*mb, ev)
+	s.rt.outboxes[s.w].put(tgt, ev)
 }
 
 func (s *hybridSink) PutGlobal(ev sim.Event) {
@@ -241,13 +244,21 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 	sink := &hybridSink{rt: r, w: w}
 	ctx := sim.NewCtx(sink, w)
 	ws := &r.workers[w]
+	ob := &r.outboxes[w]
+	timed := r.k.cfg.Metric == MetricPrevTime
+	var clock lpClock
+	var recv []sim.Event // phase-3 gather scratch, reused across rounds
 	var sw metrics.Stopwatch
 	sw.Start()
 
 	for {
 		// Phase 1: pull LPs of this worker's host only.
+		ob.reset()
 		order := r.order[host]
 		nLP := int64(len(order))
+		if timed {
+			clock.start()
+		}
 		for {
 			i := r.cursor1[host].Add(1) - 1
 			if i >= nLP {
@@ -256,7 +267,7 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 			lpIdx := order[i]
 			lp := &r.lps[lpIdx]
 			sink.curLP = lpIdx
-			t0 := time.Now()
+			var nev int64
 			for {
 				ev, ok := lp.fel.PopBefore(r.lbts)
 				if !ok {
@@ -264,18 +275,22 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 				}
 				ctx.Begin(&ev, r.seqs.Of(ev.Node))
 				ev.Fn(ctx)
-				ws.events++
+				nev++
 				ws.lastT = ev.Time
 			}
-			lp.lastP = time.Since(t0).Nanoseconds()
+			ws.events += uint64(nev)
+			if timed && clock.note(lpIdx, nev) {
+				clock.flush(r.lps)
+			}
+		}
+		if timed {
+			clock.flush(r.lps)
 		}
 		ws.p += sw.Lap()
-		bar.Wait()
-		ws.s += sw.Lap()
-
-		// Phase 2: the global main thread (worker 0 of host 0) handles
-		// public-LP events with every host quiescent.
-		if w == 0 {
+		// Phase 2 fuses into the barrier: the last worker to arrive
+		// handles public-LP events with every host quiescent, then
+		// prepares the receive phase before anyone is released.
+		bar.WaitSerial(func() {
 			sink.curLP = -1
 			executed := false
 			for !r.pub.Empty() && r.pub.Peek().Time == r.lbts {
@@ -295,12 +310,10 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 			for h := 0; h < r.hosts; h++ {
 				r.cursor3[h].Store(0)
 			}
-			ws.p += sw.Lap()
-		}
-		bar.Wait()
+		})
 		ws.s += sw.Lap()
 
-		// Phase 3: drain mailboxes of this host's LPs (intra- and
+		// Phase 3: gather staged events for this host's LPs (intra- and
 		// inter-host events arrive the same way: shared memory).
 		locMin := sim.MaxTime
 		hostList := r.hostLPs[host]
@@ -310,32 +323,21 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 			if i >= n3 {
 				break
 			}
-			lp := &r.lps[hostList[i]]
-			var pending int64
-			for t := range lp.mail {
-				for _, ev := range lp.mail[t] {
-					lp.fel.Push(ev)
-				}
-				pending += int64(len(lp.mail[t]))
-				lp.mail[t] = lp.mail[t][:0]
-			}
-			lp.pending = pending
+			lpIdx := hostList[i]
+			lp := &r.lps[lpIdx]
+			recv = gather(r.outboxes, lpIdx, recv[:0])
+			lp.pending = int64(len(recv))
+			lp.fel.PushBatch(recv)
 			if t := lp.fel.NextTime(); t < locMin {
 				locMin = t
 			}
 		}
 		r.perWorkerMin[w] = locMin
 		ws.m += sw.Lap()
-		bar.Wait()
-		ws.s += sw.Lap()
-
-		// Phase 4: the all-reduce — worker 0 folds every host's minimum
-		// and broadcasts the next window.
-		if w == 0 {
-			r.phase4()
-			ws.m += sw.Lap()
-		}
-		bar.Wait()
+		// Phase 4, the all-reduce, fuses into the barrier: the last
+		// arriver folds every host's minimum and broadcasts the next
+		// window before anyone is released.
+		bar.WaitSerial(func() { r.phase4() })
 		ws.s += sw.Lap()
 		if r.done {
 			return

@@ -78,13 +78,10 @@ func New(cfg Config) *Kernel {
 // Name implements sim.Kernel.
 func (k *Kernel) Name() string { return fmt.Sprintf("unison(t=%d)", k.cfg.Threads) }
 
-// lpState is one logical process.
+// lpState is one logical process. Cross-LP events in flight live in the
+// per-worker staged outboxes (mailbox.go), not on the LP.
 type lpState struct {
 	fel *eventq.Queue
-	// mail[w] is the SPSC mailbox written by worker w during the
-	// processing phase and drained by whichever worker handles this LP in
-	// the receiving phase; phase barriers provide the happens-before.
-	mail [][]sim.Event
 	// est is the scheduling estimate; lastP the measured processing time
 	// of the previous round; pending the events received last round.
 	est     int64
@@ -100,6 +97,11 @@ type rt struct {
 	lps  []lpState
 	pub  *eventq.Queue
 	seqs sim.SeqTable
+
+	// outboxes[w] stages worker w's outgoing cross-LP events of the
+	// current round; the phase barriers order writes before the phase-3
+	// reads (mailbox.go).
+	outboxes []outbox
 
 	lbts      sim.Time
 	lookahead sim.Time
@@ -147,8 +149,7 @@ func (s *workerSink) Put(ev sim.Event) {
 	if ev.Time < s.rt.lbts {
 		panic(fmt.Sprintf("core: causality violation: cross-LP event at %v inside window ending %v (lookahead too small)", ev.Time, s.rt.lbts))
 	}
-	mb := &s.rt.lps[tgt].mail[s.w]
-	*mb = append(*mb, ev)
+	s.rt.outboxes[s.w].put(tgt, ev)
 }
 
 func (s *workerSink) PutGlobal(ev sim.Event) {
@@ -177,6 +178,7 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		m:            m,
 		part:         part,
 		lps:          make([]lpState, n),
+		outboxes:     make([]outbox, k.cfg.Threads),
 		pub:          eventq.New(16),
 		seqs:         sim.NewSeqTable(m.Nodes),
 		lookahead:    part.Lookahead,
@@ -187,8 +189,10 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	for i := range r.lps {
 		r.lps[i].fel = eventq.New(64)
-		r.lps[i].mail = make([][]sim.Event, k.cfg.Threads)
 		r.order[i] = int32(i)
+	}
+	for w := range r.outboxes {
+		r.outboxes[w] = newOutbox(n)
 	}
 	if k.cfg.CacheWays > 0 {
 		r.cache = metrics.NewCacheModel(k.cfg.Threads, k.cfg.CacheWays)
@@ -270,13 +274,24 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 	sink := &workerSink{rt: r, w: w}
 	ctx := sim.NewCtx(sink, w)
 	ws := &r.workers[w]
+	ob := &r.outboxes[w]
+	// timed: only MetricPrevTime needs per-LP wall-clock estimates.
+	timed := r.k.cfg.Metric == MetricPrevTime
+	var clock lpClock
+	var recv []sim.Event // phase-3 gather scratch, reused across rounds
 	var sw metrics.Stopwatch
 	sw.Start()
 
 	for {
 		// Phase 1: process events within the window, pulling LPs in
-		// longest-estimated-job-first order via the shared cursor.
+		// longest-estimated-job-first order via the shared cursor. The
+		// previous round's staged events were all delivered in phase 3,
+		// so the outbox can be recycled before the first Put.
+		ob.reset()
 		nLP := int64(len(r.lps))
+		if timed {
+			clock.start()
+		}
 		for {
 			i := r.cursor1.Add(1) - 1
 			if i >= nLP {
@@ -285,7 +300,7 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 			lpIdx := r.order[i]
 			lp := &r.lps[lpIdx]
 			sink.curLP = lpIdx
-			t0 := time.Now()
+			var nev int64
 			for {
 				ev, ok := lp.fel.PopBefore(r.lbts)
 				if !ok {
@@ -296,27 +311,30 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 				}
 				ctx.Begin(&ev, r.seqs.Of(ev.Node))
 				ev.Fn(ctx)
-				ws.events++
+				nev++
 				ws.lastT = ev.Time
 			}
-			lp.lastP = time.Since(t0).Nanoseconds()
+			ws.events += uint64(nev)
+			if timed && clock.note(lpIdx, nev) {
+				clock.flush(r.lps)
+			}
+		}
+		if timed {
+			clock.flush(r.lps)
 		}
 		p1 := sw.Lap()
 		ws.p += p1
 		r.roundP[w] = p1
-		bar.Wait()
+		// Phase 2 fuses into the barrier: the last worker to arrive
+		// handles global events at exactly the window boundary and
+		// prepares the receive phase before anyone is released. Its cost
+		// lands in that worker's S, where the paper files the collective
+		// step of a round (§3.2).
+		bar.WaitSerial(func() { r.phase2(ctx, sink) })
 		ws.s += sw.Lap()
 
-		// Phase 2: worker 0 handles global events at exactly the window
-		// boundary and prepares the receive phase.
-		if w == 0 {
-			r.phase2(ctx, sink)
-			ws.p += sw.Lap()
-		}
-		bar.Wait()
-		ws.s += sw.Lap()
-
-		// Phase 3: drain mailboxes into FELs and compute the local
+		// Phase 3: gather each LP's staged events from every worker's
+		// outbox, bulk-load them into the FEL, and compute the local
 		// minimum next-event time.
 		locMin := sim.MaxTime
 		for {
@@ -325,31 +343,18 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 				break
 			}
 			lp := &r.lps[i]
-			var pending int64
-			for t := range lp.mail {
-				for _, ev := range lp.mail[t] {
-					lp.fel.Push(ev)
-				}
-				pending += int64(len(lp.mail[t]))
-				lp.mail[t] = lp.mail[t][:0]
-			}
-			lp.pending = pending
+			recv = gather(r.outboxes, int32(i), recv[:0])
+			lp.pending = int64(len(recv))
+			lp.fel.PushBatch(recv)
 			if t := lp.fel.NextTime(); t < locMin {
 				locMin = t
 			}
 		}
 		r.perWorkerMin[w] = locMin
 		ws.m += sw.Lap()
-		bar.Wait()
-		ws.s += sw.Lap()
-
-		// Phase 4: worker 0 updates the window, reschedules LPs and
-		// decides termination.
-		if w == 0 {
-			r.phase4()
-			ws.m += sw.Lap()
-		}
-		bar.Wait()
+		// Phase 4 fuses into the barrier the same way: the last arriver
+		// updates the window, reschedules LPs and decides termination.
+		bar.WaitSerial(func() { r.phase4() })
 		ws.s += sw.Lap()
 		if r.done {
 			return
@@ -357,7 +362,8 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 	}
 }
 
-// phase2 runs on worker 0 with all other workers parked at the barrier.
+// phase2 runs as the serial section of the post-phase-1 barrier, with
+// every other worker parked.
 func (r *rt) phase2(ctx *sim.Ctx, sink *workerSink) {
 	sink.curLP = -1
 	executedGlobal := false
@@ -380,7 +386,8 @@ func (r *rt) phase2(ctx *sim.Ctx, sink *workerSink) {
 	r.cursor3.Store(0)
 }
 
-// phase4 runs on worker 0 with all other workers parked at the barrier.
+// phase4 runs as the serial section of the post-phase-3 barrier, with
+// every other worker parked.
 func (r *rt) phase4() {
 	allMin := sim.MaxTime
 	for _, t := range r.perWorkerMin {

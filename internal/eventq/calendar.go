@@ -70,6 +70,16 @@ func (c *Calendar) Push(ev sim.Event) {
 	}
 }
 
+// PushBatch inserts every event of evs. Calendar buckets are sorted
+// arrays, so bulk heapification does not apply; insertion is already
+// amortized O(1) per event and the loop keeps the resize bookkeeping of
+// Push intact.
+func (c *Calendar) PushBatch(evs []sim.Event) {
+	for _, ev := range evs {
+		c.Push(ev)
+	}
+}
+
 // Pop removes and returns the earliest event; it panics on empty.
 func (c *Calendar) Pop() sim.Event {
 	if c.n == 0 {

@@ -12,6 +12,7 @@ package netdev
 
 import (
 	"fmt"
+	"sync"
 
 	"unison/internal/packet"
 	"unison/internal/routing"
@@ -73,6 +74,13 @@ type Network struct {
 	// partition guarantees live in one LP (stateful links are never cut),
 	// so no synchronization is needed.
 	halfBusy []bool
+
+	// route[at] is a per-node scratch packet for the Router interface
+	// call in forward: passing the address of a stack packet through an
+	// interface method forces the whole packet to the heap on every hop.
+	// Events of one node never run concurrently, so each slot is owned by
+	// its node.
+	route []packet.Packet
 }
 
 // New builds devices for every link of g.
@@ -85,6 +93,7 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Network {
 		handlers:  make([]Handler, g.N()),
 		nodeDrops: make([]uint64, g.N()),
 		halfBusy:  make([]bool, len(g.Links)),
+		route:     make([]packet.Packet, g.N()),
 	}
 	for i := range g.Links {
 		l := &g.Links[i]
@@ -180,14 +189,75 @@ func (n *Network) forward(ctx *sim.Ctx, at sim.NodeID, p packet.Packet) {
 		n.traceEvent(ctx, trace.Drop, at, &p)
 		return
 	}
-	l, ok := n.Router.NextLink(at, &p)
+	// Route via the node's scratch slot so the packet stays off the heap
+	// (routers only read the packet; the slot is consumed again before any
+	// reentrant forward on this node can run).
+	sp := &n.route[at]
+	*sp = p
+	l, ok := n.Router.NextLink(at, sp)
 	if !ok {
 		n.nodeDrops[at]++
-		n.traceEvent(ctx, trace.Drop, at, &p)
+		n.traceEvent(ctx, trace.Drop, at, sp)
 		return
 	}
-	p.Hops++
-	n.Device(at, l).Send(ctx, p)
+	sp.Hops++
+	n.Device(at, l).Send(ctx, *sp)
+}
+
+// pktEvt is a pooled event context for the two per-hop closures of the
+// transmit path (txDone and receive). An ad-hoc closure capturing a packet
+// costs two heap allocations per hop; a pooled context reuses one struct
+// whose bound method value was allocated once, so steady-state hops are
+// allocation-free. A context is exclusive from Get until its event fires;
+// run copies the fields out and returns it to the pool before dispatching.
+type pktEvt struct {
+	net  *Network
+	dev  *Device
+	at   sim.NodeID
+	p    packet.Packet
+	kind uint8
+	fn   sim.Proc
+}
+
+const (
+	evtTxDone uint8 = iota
+	evtReceive
+)
+
+var pktEvtPool sync.Pool
+
+func init() {
+	// Assigned in init (not in the var declaration) to break the spurious
+	// initialization cycle pool → run → receive → … → pool.
+	pktEvtPool.New = func() any {
+		e := &pktEvt{}
+		e.fn = e.run
+		return e
+	}
+}
+
+func (e *pktEvt) run(c *sim.Ctx) {
+	net, dev, at, p, kind := e.net, e.dev, e.at, e.p, e.kind
+	e.net, e.dev = nil, nil
+	pktEvtPool.Put(e)
+	switch kind {
+	case evtTxDone:
+		dev.txDone(c, p)
+	default:
+		net.receive(c, at, p)
+	}
+}
+
+func schedTxDone(ctx *sim.Ctx, delay sim.Time, d *Device, p packet.Packet) {
+	e := pktEvtPool.Get().(*pktEvt)
+	e.dev, e.kind, e.p = d, evtTxDone, p
+	ctx.Schedule(delay, d.node, e.fn)
+}
+
+func schedReceive(ctx *sim.Ctx, delay sim.Time, n *Network, at sim.NodeID, p packet.Packet) {
+	e := pktEvtPool.Get().(*pktEvt)
+	e.net, e.at, e.kind, e.p = n, at, evtReceive, p
+	ctx.Schedule(delay, at, e.fn)
 }
 
 // Device is one endpoint of a link: an output queue plus the transmitter.
@@ -271,8 +341,7 @@ func (d *Device) startTx(ctx *sim.Ctx) {
 	d.TxPackets++
 	d.TxBytes += uint64(item.p.Size())
 	d.net.traceEvent(ctx, trace.Dequeue, d.node, &item.p)
-	p := item.p
-	ctx.Schedule(txTime, d.node, func(c *sim.Ctx) { d.txDone(c, p) })
+	schedTxDone(ctx, txTime, d, item.p)
 }
 
 func (d *Device) txDone(ctx *sim.Ctx, p packet.Packet) {
@@ -281,7 +350,7 @@ func (d *Device) txDone(ctx *sim.Ctx, p packet.Packet) {
 		peer := d.net.G.Peer(d.link, d.node)
 		net := d.net
 		if net.Remote == nil || !net.Remote(ctx, peer, p, ctx.Now()+lk.Delay) {
-			ctx.Schedule(lk.Delay, peer, func(c *sim.Ctx) { net.receive(c, peer, p) })
+			schedReceive(ctx, lk.Delay, net, peer, p)
 		}
 	} else {
 		d.Drops++

@@ -45,6 +45,44 @@ func TestChecksumSizes(t *testing.T) {
 	}
 }
 
+// checksumRef is the original byte-pair reference implementation; the
+// word-wise Checksum must return bit-identical values for every reachable
+// size (one's-complement sums are commutative over their 16-bit words, so
+// the two groupings fold to the same result).
+func checksumRef(p *Packet) uint16 {
+	n := int(p.Size())
+	if n > len(workBuf) {
+		n = len(workBuf)
+	}
+	var sum uint32
+	b := workBuf[:n]
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	sum += uint32(p.Seq>>16) + uint32(p.Seq&0xffff) + uint32(p.Ack>>16) + uint32(p.Ack&0xffff)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func TestChecksumWordWise(t *testing.T) {
+	for payload := int32(-HeaderBytes); payload < int32(len(workBuf)); payload++ {
+		p := Packet{Payload: payload, Seq: uint32(payload) * 2654435761, Ack: uint32(payload) ^ 0xdeadbeef}
+		if got, want := Checksum(&p), checksumRef(&p); got != want {
+			t.Fatalf("payload %d: Checksum=%#04x, reference=%#04x", payload, got, want)
+		}
+	}
+	// Beyond the work buffer the read is clamped; spot-check the clamp.
+	big := Packet{Payload: 9000, Seq: 3, Ack: 4}
+	if got, want := Checksum(&big), checksumRef(&big); got != want {
+		t.Fatalf("clamped: Checksum=%#04x, reference=%#04x", got, want)
+	}
+}
+
 func TestFlagConstantsDistinct(t *testing.T) {
 	flags := []uint8{FlagSYN, FlagACK, FlagFIN, FlagECE, FlagCWR}
 	seen := uint8(0)

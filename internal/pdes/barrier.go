@@ -185,38 +185,24 @@ func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
 		p := sw.Lap()
 		ws.p += p
 		r.roundP[rank] = p
-		bar.Wait()
+		// The last rank to arrive handles globals inside the barrier (the
+		// LBTS "collective communication" moment) while everyone else
+		// waits — the cost the paper folds into S (§3.2 footnote).
+		bar.WaitSerial(func() { r.globals(ctx, sink) })
 		ws.s += sw.Lap()
 
-		// Rank 0 handles globals (the LBTS "collective communication"
-		// moment) while everyone else waits — the cost the paper folds
-		// into S (§3.2 footnote).
-		if rank == 0 {
-			r.globals(ctx, sink)
-			ws.p += sw.Lap()
-		}
-		bar.Wait()
-		ws.s += sw.Lap()
-
-		// Receive cross-rank events.
+		// Receive cross-rank events, bulk-loading each source's batch.
 		var received int
 		for src := range r.mail[rank] {
-			for _, ev := range r.mail[rank][src] {
-				fel.Push(ev)
-			}
-			received += len(r.mail[rank][src])
-			r.mail[rank][src] = r.mail[rank][src][:0]
+			row := r.mail[rank][src]
+			fel.PushBatch(row)
+			received += len(row)
+			r.mail[rank][src] = row[:0]
 		}
 		r.rankMin[rank] = fel.NextTime()
 		ws.m += sw.Lap()
-		bar.Wait()
-		ws.s += sw.Lap()
-
-		if rank == 0 {
-			r.advance()
-			ws.m += sw.Lap()
-		}
-		bar.Wait()
+		// Window advance fuses into the barrier the same way.
+		bar.WaitSerial(func() { r.advance() })
 		ws.s += sw.Lap()
 		if r.done {
 			return

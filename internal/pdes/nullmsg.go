@@ -221,9 +221,7 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 		// Drain the inbox: merge remote events, advance channel clocks.
 		buf, seenSeq = r.inbox.take(buf)
 		for _, msg := range buf {
-			for _, ev := range msg.events {
-				r.fel.Push(ev)
-			}
+			r.fel.PushBatch(msg.events)
 			if msg.bound > r.clock[msg.from] {
 				r.clock[msg.from] = msg.bound
 			}

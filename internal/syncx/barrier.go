@@ -27,8 +27,22 @@ func NewBarrier(n int) *Barrier {
 
 // Wait blocks until all n workers have arrived.
 func (b *Barrier) Wait() {
+	b.WaitSerial(nil)
+}
+
+// WaitSerial blocks until all n workers have arrived; the last worker to
+// arrive runs fn (when non-nil) before any worker is released. This fuses
+// the common "barrier → single-worker phase → barrier" sequence of the
+// round-based kernels into one barrier episode, halving the number of
+// full releases per round. The atomic arrival counter orders every
+// worker's prior writes before fn, and the generation increment orders
+// fn's writes before every worker's return.
+func (b *Barrier) WaitSerial(fn func()) {
 	gen := b.gen.Load()
 	if b.count.Add(1) == b.n {
+		if fn != nil {
+			fn()
+		}
 		b.count.Store(0)
 		b.gen.Add(1)
 		return

@@ -69,6 +69,38 @@ func TestBarrierHappensBefore(t *testing.T) {
 	wg.Wait()
 }
 
+func TestBarrierWaitSerial(t *testing.T) {
+	// The serial section must run exactly once per episode, after every
+	// arrival and before any release (checked under -race as well).
+	const workers = 4
+	const rounds = 100
+	b := NewBarrier(workers)
+	arrivals := make([]int, workers)
+	var serialRuns, sum int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				arrivals[w] = r + 1
+				b.WaitSerial(func() {
+					serialRuns++
+					for _, a := range arrivals {
+						sum += a
+					}
+				})
+				// Every worker observes the serial section's effects.
+				if serialRuns != r+1 || sum != (r+1)*(r+2)/2*workers {
+					t.Errorf("round %d: serialRuns=%d sum=%d", r, serialRuns, sum)
+				}
+				b.Wait()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestBarrierZeroPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
