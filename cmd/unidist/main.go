@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"unison"
 	"unison/internal/dist"
@@ -42,15 +43,17 @@ func main() {
 		stopD  = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
 		load   = flag.Float64("load", 0.4, "offered load")
 		seed   = flag.Uint64("seed", 42, "random seed")
+		tmo    = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
+		dials  = flag.Int("dial-attempts", 8, "host dial retries for the coordinator startup race")
 	)
 	flag.Parse()
 	stop := sim.Time(stopD.Nanoseconds())
 
 	switch *role {
 	case "coord":
-		runCoord(*listen, *hosts, *k, stop, *load, *seed)
+		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo)
 	case "host":
-		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed)
+		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -74,7 +77,7 @@ func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model,
 	return m, network, mon, ft, len(flows)
 }
 
-func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64) {
+func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration) {
 	_, _, _, _, flows := buildScenario(k, stop, load, seed)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -83,7 +86,7 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	fmt.Printf("coordinator listening on %s for %d hosts (%d flows, stop %v)\n",
 		ln.Addr(), hosts, flows, stop)
 	mon, rounds, err := dist.RunCoordinator(ln, dist.CoordConfig{
-		Hosts: hosts, StopAt: stop, Flows: flows,
+		Hosts: hosts, StopAt: stop, Flows: flows, Timeout: tmo,
 	})
 	if err != nil {
 		fatal(err)
@@ -95,11 +98,12 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	fmt.Printf("result hash      %016x\n", mon.Fingerprint())
 }
 
-func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64) {
+func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int) {
 	m, network, mon, ft, _ := buildScenario(k, stop, load, seed)
 	hostOf := pdes.FatTreeManual(ft, hosts)
 	st, err := dist.RunHost(dist.HostConfig{
 		ID: id, Addr: addr, HostOf: hostOf, StopAt: stop,
+		Timeout: tmo, DialAttempts: dials,
 	}, m, network, mon)
 	if err != nil {
 		fatal(err)

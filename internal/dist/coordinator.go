@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"unison/internal/flowmon"
 	"unison/internal/sim"
@@ -17,13 +19,36 @@ type CoordConfig struct {
 	StopAt sim.Time
 	// Flows is the model's registered flow count (for the final gather).
 	Flows int
-	// MaxRounds aborts runaway runs when positive.
+	// MaxRounds aborts runaway runs when positive. Exceeding it is an
+	// error ("dist: MaxRounds exceeded"), mirroring the core kernel, and
+	// is broadcast to the hosts so they fail too.
 	MaxRounds uint64
+	// Timeout bounds every socket operation: each Accept during the
+	// handshake, every per-message read from a host, and every write.
+	// It must exceed the longest per-round compute time of the slowest
+	// host, since hosts are silent while they execute a window. When a
+	// host exceeds it the coordinator aborts the run, notifies the
+	// surviving hosts with an abort message, and returns a descriptive
+	// error. Zero disables deadlines (legacy trusted-loopback behavior).
+	Timeout time.Duration
+}
+
+// hostMsg is one decoded envelope (or terminal read error) from a host's
+// reader goroutine.
+type hostMsg struct {
+	host int
+	e    *envelope
+	err  error
 }
 
 // RunCoordinator accepts cfg.Hosts connections on ln, drives the round
 // protocol (min all-reduce → window broadcast → event routing) until the
 // simulation completes, and returns the merged global flow monitor.
+//
+// Reads from hosts run in one goroutine per host, so a dead or slow host
+// cannot head-of-line-block the others past cfg.Timeout. On any host
+// error the coordinator broadcasts an abort (with the reason) to every
+// surviving host before returning.
 func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64, error) {
 	if cfg.Hosts <= 0 {
 		return nil, 0, fmt.Errorf("dist: coordinator needs Hosts > 0")
@@ -31,46 +56,62 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 	if cfg.StopAt <= 0 {
 		return nil, 0, fmt.Errorf("dist: coordinator needs StopAt")
 	}
-	conns := make([]*conn, cfg.Hosts)
-	for i := 0; i < cfg.Hosts; i++ {
-		c, err := ln.Accept()
-		if err != nil {
-			return nil, 0, fmt.Errorf("dist: accept: %w", err)
-		}
-		cc := newConn(c)
-		hello, err := cc.recv(kHello)
-		if err != nil {
-			return nil, 0, fmt.Errorf("dist: hello: %w", err)
-		}
-		if hello.Host < 0 || int(hello.Host) >= cfg.Hosts || conns[hello.Host] != nil {
-			return nil, 0, fmt.Errorf("dist: bad or duplicate host id %d", hello.Host)
-		}
-		conns[hello.Host] = cc
-	}
+
+	// The cleanup defer is installed before any connection is accepted so
+	// that a failed handshake (accept error, bad hello, duplicate id)
+	// cannot abandon already-accepted connections.
+	var accepted []*conn
 	defer func() {
-		for _, c := range conns {
-			if c != nil {
-				c.close()
-			}
+		for _, c := range accepted {
+			c.close()
 		}
 	}()
 
+	conns, err := handshake(ln, cfg, &accepted)
+	if err != nil {
+		abortAll(accepted, err.Error())
+		return nil, 0, err
+	}
+
+	// One reader goroutine per host: each decodes envelopes into a shared
+	// channel and exits on its first error (including the read-deadline
+	// firing, and the EOF produced by the deferred close above). The
+	// protocol is lock-step, so a host has at most one undelivered message
+	// plus one terminal error in flight; the buffer makes exits non-blocking.
+	g := &gatherer{in: make(chan hostMsg, 4*cfg.Hosts), conns: conns, dead: make([]error, len(conns))}
+	for h, c := range conns {
+		go func(h int, c *conn) {
+			for {
+				e, err := c.recvAny()
+				g.in <- hostMsg{host: h, e: e, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(h, c)
+	}
+
+	fail := func(rounds uint64, err error) (*flowmon.Monitor, uint64, error) {
+		abortAll(conns, err.Error())
+		return nil, rounds, err
+	}
+
 	var rounds uint64
 	for {
-		// All-reduce: gather local minima.
+		// All-reduce: gather local minima (concurrently, via the readers).
+		mins, err := g.collect(kMin, "min")
+		if err != nil {
+			return fail(rounds, err)
+		}
 		globalMin := sim.MaxTime
-		for h, c := range conns {
-			e, err := c.recv(kMin)
-			if err != nil {
-				return nil, rounds, fmt.Errorf("dist: min from host %d: %w", h, err)
-			}
+		for _, e := range mins {
 			if e.Min < globalMin {
 				globalMin = e.Min
 			}
 		}
 		done := globalMin >= cfg.StopAt || globalMin == sim.MaxTime
-		if cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
-			done = true
+		if !done && cfg.MaxRounds > 0 && rounds >= cfg.MaxRounds {
+			return fail(rounds, errors.New("dist: MaxRounds exceeded"))
 		}
 		kind := kWindow
 		if done {
@@ -78,7 +119,7 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 		}
 		for _, c := range conns {
 			if err := c.send(&envelope{Kind: kind, Min: globalMin}); err != nil {
-				return nil, rounds, fmt.Errorf("dist: window broadcast: %w", err)
+				return fail(rounds, fmt.Errorf("dist: window broadcast to %s: %w", c.peer, err))
 			}
 		}
 		if done {
@@ -86,36 +127,137 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 		}
 		rounds++
 		// Route this round's cross-host events.
+		flushes, err := g.collect(kFlush, "flush")
+		if err != nil {
+			return fail(rounds, err)
+		}
 		outbox := make([][]RemoteEvent, cfg.Hosts)
-		for h, c := range conns {
-			e, err := c.recv(kFlush)
-			if err != nil {
-				return nil, rounds, fmt.Errorf("dist: flush from host %d: %w", h, err)
-			}
+		for h, e := range flushes {
 			for _, rev := range e.Events {
 				if rev.Host < 0 || int(rev.Host) >= cfg.Hosts {
-					return nil, rounds, fmt.Errorf("dist: event addressed to host %d", rev.Host)
+					return fail(rounds, fmt.Errorf("dist: %s sent an event addressed to host %d", conns[h].peer, rev.Host))
 				}
 				outbox[rev.Host] = append(outbox[rev.Host], rev)
 			}
 		}
 		for h, c := range conns {
 			if err := c.send(&envelope{Kind: kEvents, Events: outbox[h]}); err != nil {
-				return nil, rounds, fmt.Errorf("dist: events to host %d: %w", h, err)
+				return fail(rounds, fmt.Errorf("dist: events to %s: %w", c.peer, err))
 			}
 		}
 	}
 
 	// Final gather: merge per-host monitors into the global view.
+	gathers, err := g.collect(kGather, "gather")
+	if err != nil {
+		return fail(rounds, err)
+	}
 	mon := flowmon.NewMonitor(cfg.Flows)
-	for h, c := range conns {
-		e, err := c.recv(kGather)
-		if err != nil {
-			return nil, rounds, fmt.Errorf("dist: gather from host %d: %w", h, err)
-		}
+	for _, e := range gathers {
 		part := flowmon.NewMonitor(cfg.Flows)
 		part.Import(e.Senders, e.Recvs)
 		mon.MergeFrom(part)
 	}
 	return mon, rounds, nil
+}
+
+// handshake accepts cfg.Hosts connections and reads their hellos
+// concurrently (one goroutine per accepted conn), so a host that connects
+// but never identifies itself cannot block the hosts behind it past the
+// deadline. Every accepted conn is appended to *accepted immediately,
+// which the caller's deferred cleanup closes on every path.
+func handshake(ln net.Listener, cfg CoordConfig, accepted *[]*conn) ([]*conn, error) {
+	type helloMsg struct {
+		c   *conn
+		e   *envelope
+		err error
+	}
+	dl, hasDeadline := ln.(interface{ SetDeadline(time.Time) error })
+	hasDeadline = hasDeadline && cfg.Timeout > 0
+	if hasDeadline {
+		defer func() { _ = dl.SetDeadline(time.Time{}) }()
+	}
+	hellos := make(chan helloMsg, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		if hasDeadline {
+			_ = dl.SetDeadline(time.Now().Add(cfg.Timeout))
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: accept (%d of %d hosts connected): %w", i, cfg.Hosts, err)
+		}
+		cc := newConn(nc, cfg.Timeout, "connecting host")
+		*accepted = append(*accepted, cc)
+		go func(cc *conn) {
+			e, err := cc.recv(kHello)
+			hellos <- helloMsg{cc, e, err}
+		}(cc)
+	}
+	conns := make([]*conn, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		m := <-hellos
+		if m.err != nil {
+			return nil, fmt.Errorf("dist: hello: %w", m.err)
+		}
+		if m.e.Host < 0 || int(m.e.Host) >= cfg.Hosts || conns[m.e.Host] != nil {
+			return nil, fmt.Errorf("dist: bad or duplicate host id %d", m.e.Host)
+		}
+		m.c.peer = fmt.Sprintf("host %d", m.e.Host)
+		conns[m.e.Host] = m.c
+	}
+	return conns, nil
+}
+
+// gatherer owns the per-host reader channel and remembers which readers
+// have terminated. A host may legitimately deliver its last message of a
+// phase and then die (e.g. closing right after its gather); that terminal
+// error must fail the NEXT phase that needs the host, not the phase the
+// host already completed.
+type gatherer struct {
+	in    chan hostMsg
+	conns []*conn
+	dead  []error // terminal read error per host, once its reader exits
+}
+
+// collect reads one envelope of the wanted kind from every host, in
+// whatever order the reader goroutines deliver them.
+func (g *gatherer) collect(want msgKind, phase string) ([]*envelope, error) {
+	for h, err := range g.dead {
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s from %s: %w", phase, g.conns[h].peer, err)
+		}
+	}
+	out := make([]*envelope, len(g.conns))
+	for got := 0; got < len(g.conns); {
+		m := <-g.in
+		if m.err != nil {
+			g.dead[m.host] = m.err
+			if out[m.host] != nil {
+				continue // already delivered this phase; surfaces next phase
+			}
+			return nil, fmt.Errorf("dist: %s from %s: %w", phase, g.conns[m.host].peer, m.err)
+		}
+		if m.e.Kind != want {
+			return nil, fmt.Errorf("dist: %s: expected %v, got %v", g.conns[m.host].peer, want, m.e.Kind)
+		}
+		if out[m.host] != nil {
+			return nil, fmt.Errorf("dist: %s sent two %v messages in one phase", g.conns[m.host].peer, want)
+		}
+		out[m.host] = m.e
+		got++
+	}
+	return out, nil
+}
+
+// abortAll best-effort notifies every connected host that the run is over
+// and why, so survivors fail fast with a descriptive error instead of
+// hanging on their next read. Send errors are ignored: the conn is about
+// to be closed anyway, and a host whose conn is already dead learns of
+// the abort from that.
+func abortAll(conns []*conn, reason string) {
+	for _, c := range conns {
+		if c != nil {
+			_ = c.send(&envelope{Kind: kAbort, Err: reason})
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"unison/internal/des"
 	"unison/internal/flowmon"
@@ -58,6 +59,7 @@ func runDistributed(t *testing.T, seed uint64, stop sim.Time, hosts int) (*flowm
 	go func() {
 		mon, rounds, err := RunCoordinator(ln, CoordConfig{
 			Hosts: hosts, StopAt: stop, Flows: flows, MaxRounds: 10_000_000,
+			Timeout: 30 * time.Second,
 		})
 		coordCh <- coordOut{mon, rounds, err}
 	}()
@@ -73,6 +75,7 @@ func runDistributed(t *testing.T, seed uint64, stop sim.Time, hosts int) (*flowm
 			m, network, mon, _, _ := buildPieces(seed, stop)
 			st, err := RunHost(HostConfig{
 				ID: h, Addr: ln.Addr().String(), HostOf: hostOf, StopAt: stop,
+				Timeout: 30 * time.Second, DialAttempts: 3,
 			}, m, network, mon)
 			if err != nil {
 				errs <- err

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -25,6 +26,50 @@ type HostConfig struct {
 	HostOf []int32
 	// StopAt bounds the simulation (must match the coordinator's).
 	StopAt sim.Time
+	// Timeout bounds every message exchange with the coordinator (read
+	// and write deadlines, and each dial attempt). Because the
+	// coordinator only answers once the slowest host has reported, the
+	// timeout must exceed the longest per-round compute time across all
+	// hosts. Zero disables deadlines (legacy trusted-loopback behavior).
+	Timeout time.Duration
+	// DialAttempts bounds connection attempts to the coordinator; values
+	// below 2 mean a single attempt. Retries cover the common startup
+	// race where host processes launch before the coordinator listens,
+	// backing off exponentially from DialBackoff with deterministic
+	// (ID-seeded) jitter so a fleet of hosts does not retry in lockstep.
+	DialAttempts int
+	// DialBackoff is the initial retry backoff; it doubles per attempt.
+	// Defaults to 50ms when DialAttempts enables retries.
+	DialBackoff time.Duration
+}
+
+// dialCoordinator dials cfg.Addr with bounded retry. Each attempt gets
+// cfg.Timeout as its dial timeout; between attempts the host sleeps the
+// current backoff plus up to 50% deterministic jitter.
+func dialCoordinator(cfg HostConfig) (net.Conn, error) {
+	attempts := cfg.DialAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := cfg.DialBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.ID) + 1))
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff)/2+1)))
+			backoff *= 2
+		}
+		d := net.Dialer{Timeout: cfg.Timeout}
+		c, err := d.Dial("tcp", cfg.Addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: dialing coordinator %s (%d attempts): %w", cfg.Addr, attempts, lastErr)
 }
 
 // RunHost connects to the coordinator and executes the host's share of
@@ -51,11 +96,11 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 	links := m.Links()
 	lookahead := core.CutLookahead(cfg.HostOf, links)
 
-	nc, err := net.Dial("tcp", cfg.Addr)
+	nc, err := dialCoordinator(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("dist: dialing coordinator: %w", err)
+		return nil, err
 	}
-	c := newConn(nc)
+	c := newConn(nc, cfg.Timeout, "coordinator")
 	defer c.close()
 	if err := c.send(&envelope{Kind: kHello, Host: cfg.ID}); err != nil {
 		return nil, fmt.Errorf("dist: hello: %w", err)
@@ -100,8 +145,8 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 		if err := c.send(&envelope{Kind: kMin, Host: cfg.ID, Min: fel.NextTime()}); err != nil {
 			return nil, fmt.Errorf("dist: sending min: %w", err)
 		}
-		var e envelope
-		if err := c.dec.Decode(&e); err != nil {
+		e, err := c.recvAny()
+		if err != nil {
 			return nil, fmt.Errorf("dist: window: %w", err)
 		}
 		switch e.Kind {
@@ -149,8 +194,10 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 					Fn: func(c *sim.Ctx) { network.Deliver(c, rev.Node, rev.Pkt) },
 				})
 			}
+		case kAbort:
+			return nil, fmt.Errorf("dist: coordinator aborted the run: %s", e.Err)
 		default:
-			return nil, fmt.Errorf("dist: unexpected message kind %d", e.Kind)
+			return nil, fmt.Errorf("dist: %s: expected %v or %v, got %v", c.peer, kWindow, kDone, e.Kind)
 		}
 	}
 }

@@ -10,28 +10,59 @@
 // Because remote events carry the same identity a local event would have,
 // a distributed run produces bit-identical results to the sequential
 // kernel — the property dist_test.go pins over loopback TCP.
+//
+// Fault model (DESIGN.md §7): every socket operation carries a deadline
+// when CoordConfig.Timeout / HostConfig.Timeout is set, a failed or
+// timed-out host makes the coordinator broadcast kAbort so the survivors
+// return a descriptive error instead of hanging, and hosts retry the
+// initial dial with bounded exponential backoff to survive coordinator
+// startup races. Nothing mid-simulation is retried: a lost host means the
+// deterministic global event order can no longer be completed, so the
+// only safe reaction is a loud, bounded-time abort.
 package dist
 
 import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"time"
 
 	"unison/internal/flowmon"
 	"unison/internal/packet"
 	"unison/internal/sim"
 )
 
-// Wire message kinds.
+// msgKind enumerates the wire message kinds.
+type msgKind byte
+
 const (
-	kHello  byte = iota + 1
-	kMin         // host → coord: local minimum next-event time
-	kWindow      // coord → host: global minimum (hosts derive the LBTS)
-	kFlush       // host → coord: this round's outbound remote events
-	kEvents      // coord → host: the remote events addressed to this host
-	kDone        // coord → host: simulation over, send your gather
-	kGather      // host → coord: final per-host flow statistics
+	kHello  msgKind = iota + 1
+	kMin            // host → coord: local minimum next-event time
+	kWindow         // coord → host: global minimum (hosts derive the LBTS)
+	kFlush          // host → coord: this round's outbound remote events
+	kEvents         // coord → host: the remote events addressed to this host
+	kDone           // coord → host: simulation over, send your gather
+	kGather         // host → coord: final per-host flow statistics
+	kAbort          // coord → host: a peer failed or the run was cut short; Err says why
 )
+
+var kindNames = [...]string{
+	kHello:  "hello",
+	kMin:    "min",
+	kWindow: "window",
+	kFlush:  "flush",
+	kEvents: "events",
+	kDone:   "done",
+	kGather: "gather",
+	kAbort:  "abort",
+}
+
+func (k msgKind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
 
 // RemoteEvent is a serialized cross-host packet arrival. Identity fields
 // (Time, Src, Seq) reproduce the deterministic event order on the
@@ -47,36 +78,63 @@ type RemoteEvent struct {
 
 // envelope is the single wire message type (gob-encoded).
 type envelope struct {
-	Kind    byte
+	Kind    msgKind
 	Host    int32
 	Min     sim.Time
+	Err     string // kAbort: human-readable reason the run was aborted
 	Events  []RemoteEvent
 	Senders []flowmon.SenderRec
 	Recvs   []flowmon.RecvRec
 }
 
-// conn wraps a TCP connection with gob codecs.
+// conn wraps a TCP connection with gob codecs, optional per-message
+// deadlines, and a label for the remote peer so protocol errors are
+// diagnosable from the message alone.
 type conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	c       net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration // 0 = no deadlines
+	peer    string        // remote role, e.g. "coordinator" or "host 3"
 }
 
-func newConn(c net.Conn) *conn {
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newConn(c net.Conn, timeout time.Duration, peer string) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), timeout: timeout, peer: peer}
 }
 
-func (c *conn) send(e *envelope) error { return c.enc.Encode(e) }
+func (c *conn) send(e *envelope) error {
+	if c.timeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	return c.enc.Encode(e)
+}
 
-func (c *conn) recv(wantKind byte) (*envelope, error) {
+// recvAny decodes the next envelope, whatever its kind. The read deadline
+// covers the whole inter-message gap: a peer that goes silent for longer
+// than the timeout surfaces as a deadline error here.
+func (c *conn) recvAny() (*envelope, error) {
+	if c.timeout > 0 {
+		_ = c.c.SetReadDeadline(time.Now().Add(c.timeout))
+	}
 	var e envelope
 	if err := c.dec.Decode(&e); err != nil {
 		return nil, err
 	}
-	if e.Kind != wantKind {
-		return nil, fmt.Errorf("dist: expected message kind %d, got %d", wantKind, e.Kind)
-	}
 	return &e, nil
+}
+
+func (c *conn) recv(want msgKind) (*envelope, error) {
+	e, err := c.recvAny()
+	if err != nil {
+		return nil, err
+	}
+	if e.Kind == kAbort && want != kAbort {
+		return nil, fmt.Errorf("dist: %s aborted the run: %s", c.peer, e.Err)
+	}
+	if e.Kind != want {
+		return nil, fmt.Errorf("dist: %s: expected %v, got %v", c.peer, want, e.Kind)
+	}
+	return e, nil
 }
 
 func (c *conn) close() { _ = c.c.Close() }

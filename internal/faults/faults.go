@@ -1,0 +1,182 @@
+// Package faults provides deterministic, seed-driven fault injection for
+// net.Conn and net.Listener, so any socket-coupled subsystem (today
+// internal/dist, tomorrow anything else) can prove in tests that every
+// failure mode turns into a bounded-time, descriptive error rather than
+// a hang.
+//
+// A Plan describes one fault: what to inject (drop, delay, close
+// mid-write, bit garble), after how many clean writes, and — for Garble —
+// a seed that picks the flipped bit deterministically. Wrap a single conn
+// with Wrap, or a listener with WrapListener to fault-inject a chosen
+// accepted connection. Everything is deterministic given the same Plan,
+// so fault tests are reproducible.
+//
+// Faults act on the Write side of the wrapped conn: Drop blackholes the
+// peer (its reads time out), Close truncates the peer's stream mid
+// message, Garble corrupts the framing of exactly one message, Delay
+// stalls writes past any configured deadline. Read-side behavior is
+// untouched — a faulty writer is indistinguishable, to the peer, from a
+// faulty network, which is the point.
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Action selects what a Plan injects.
+type Action int
+
+const (
+	// None passes traffic through untouched (useful as the control arm
+	// of a fault matrix).
+	None Action = iota
+	// Drop silently discards every write once the fault engages: the
+	// writer sees success, the peer sees silence (a "half-dead" host).
+	Drop
+	// Delay sleeps Latency before every engaged write, stalling past
+	// write deadlines and starving the peer's read deadline.
+	Delay
+	// Close writes roughly half of the engaged message, then closes the
+	// connection: the peer sees a truncated stream mid-decode.
+	Close
+	// Garble flips one seed-chosen bit in the first byte(s) of the
+	// engaged message — corrupting the length-prefixed framing so the
+	// peer's decoder desyncs — then passes traffic through untouched.
+	Garble
+)
+
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Close:
+		return "close"
+	case Garble:
+		return "garble"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Plan describes one deterministic fault.
+type Plan struct {
+	// Action selects the fault; None disables injection.
+	Action Action
+	// After is how many writes pass through cleanly before the fault
+	// engages (0 = the very first write).
+	After int
+	// Latency is the per-write sleep for Delay.
+	Latency time.Duration
+	// Seed picks the garbled bit for Garble, deterministically.
+	Seed uint64
+}
+
+// Conn wraps a net.Conn and injects the Plan's fault on the write path.
+// Safe for the usual one-writer/one-reader conn discipline; Write is
+// internally serialized.
+type Conn struct {
+	net.Conn
+	mu     sync.Mutex
+	plan   Plan
+	writes int
+}
+
+// Wrap returns c with the fault plan installed.
+func Wrap(c net.Conn, p Plan) *Conn {
+	return &Conn{Conn: c, plan: p}
+}
+
+func (f *Conn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	engaged := f.writes >= f.plan.After
+	n := f.writes
+	f.writes++
+	if !engaged {
+		return f.Conn.Write(b)
+	}
+	switch f.plan.Action {
+	case Drop:
+		return len(b), nil
+	case Delay:
+		time.Sleep(f.plan.Latency)
+	case Close:
+		written, _ := f.Conn.Write(b[:len(b)/2])
+		_ = f.Conn.Close()
+		return written, fmt.Errorf("faults: injected close mid-write (write %d)", n)
+	case Garble:
+		if n == f.plan.After && len(b) > 0 {
+			g := make([]byte, len(b))
+			copy(g, b)
+			// Corrupt within the first 8 bytes: length-prefixed codecs
+			// (gob included) keep framing there, so one flipped bit
+			// desyncs the peer's decoder rather than silently altering
+			// a payload value.
+			span := len(g)
+			if span > 8 {
+				span = 8
+			}
+			bit := int(f.plan.Seed % uint64(span*8))
+			g[bit/8] ^= 1 << (bit % 8)
+			return f.Conn.Write(g)
+		}
+	}
+	return f.Conn.Write(b)
+}
+
+// Listener wraps a net.Listener and applies a per-connection fault plan
+// to accepted conns.
+type Listener struct {
+	net.Listener
+	// PlanFor returns the plan for the i-th accepted connection
+	// (0-based). A nil PlanFor or a None plan leaves the conn untouched.
+	PlanFor func(i int) Plan
+
+	mu  sync.Mutex
+	idx int
+}
+
+// WrapListener faults the n-th accepted connection (0-based) with plan
+// and leaves every other connection untouched.
+func WrapListener(ln net.Listener, n int, plan Plan) *Listener {
+	return &Listener{Listener: ln, PlanFor: func(i int) Plan {
+		if i == n {
+			return plan
+		}
+		return Plan{}
+	}}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.idx
+	l.idx++
+	l.mu.Unlock()
+	if l.PlanFor == nil {
+		return c, nil
+	}
+	if p := l.PlanFor(i); p.Action != None {
+		return Wrap(c, p), nil
+	}
+	return c, nil
+}
+
+// SetDeadline forwards to the underlying listener when it supports
+// deadlines (type assertion, since net.Listener itself does not carry
+// SetDeadline), so wrapped listeners keep bounded Accepts.
+func (l *Listener) SetDeadline(t time.Time) error {
+	if d, ok := l.Listener.(interface{ SetDeadline(time.Time) error }); ok {
+		return d.SetDeadline(t)
+	}
+	return fmt.Errorf("faults: underlying %T does not support deadlines", l.Listener)
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped in-memory conn pair: w is the faulty writer end,
+// r the peer that observes the fault.
+func pipe(t *testing.T, p Plan) (w *Conn, r net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a, p), b
+}
+
+// readN reads exactly n bytes from c with a deadline, reporting how many
+// arrived.
+func readN(c net.Conn, n int, d time.Duration) ([]byte, error) {
+	_ = c.SetReadDeadline(time.Now().Add(d))
+	buf := make([]byte, n)
+	got, err := io.ReadFull(c, buf)
+	return buf[:got], err
+}
+
+func TestDropBlackholesAfterN(t *testing.T) {
+	w, r := pipe(t, Plan{Action: Drop, After: 1})
+	go func() {
+		w.Write([]byte("first"))
+		w.Write([]byte("second")) // dropped, but reports success
+	}()
+	got, err := readN(r, 5, time.Second)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("clean write: got %q, %v", got, err)
+	}
+	if _, err := readN(r, 1, 100*time.Millisecond); err == nil {
+		t.Fatal("dropped write was delivered")
+	}
+}
+
+func TestDelayStallsWrites(t *testing.T) {
+	const lat = 80 * time.Millisecond
+	w, r := pipe(t, Plan{Action: Delay, Latency: lat})
+	start := time.Now()
+	go w.Write([]byte("x"))
+	if _, err := readN(r, 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < lat {
+		t.Fatalf("delivered after %v, want >= %v", d, lat)
+	}
+}
+
+func TestCloseTruncatesMidWrite(t *testing.T) {
+	w, r := pipe(t, Plan{Action: Close, After: 0})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("0123456789"))
+		errCh <- err
+	}()
+	got, err := readN(r, 10, time.Second)
+	if err == nil {
+		t.Fatal("peer read the full message across an injected close")
+	}
+	if len(got) != 5 {
+		t.Fatalf("peer saw %d bytes, want the truncated 5", len(got))
+	}
+	if werr := <-errCh; werr == nil {
+		t.Fatal("writer did not observe the injected close")
+	}
+}
+
+func TestGarbleIsDeterministic(t *testing.T) {
+	msg := []byte("deterministic payload")
+	flip := func(seed uint64) []byte {
+		w, r := pipe(t, Plan{Action: Garble, After: 0, Seed: seed})
+		go w.Write(msg)
+		got, err := readN(r, len(msg), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := flip(12345), flip(12345)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, msg) {
+		t.Fatal("garble left the message intact")
+	}
+	if bytes.Equal(flip(12346), a) {
+		t.Fatal("adjacent seed flipped the same bit")
+	}
+	// Subsequent writes pass through untouched.
+	w, r := pipe(t, Plan{Action: Garble, After: 0, Seed: 1})
+	go func() {
+		w.Write([]byte("aaaa"))
+		w.Write([]byte("bbbb"))
+	}()
+	if _, err := readN(r, 4, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readN(r, 4, time.Second)
+	if err != nil || string(got) != "bbbb" {
+		t.Fatalf("post-garble write corrupted: %q, %v", got, err)
+	}
+}
+
+func TestNonePassesThrough(t *testing.T) {
+	w, r := pipe(t, Plan{})
+	go w.Write([]byte("hello"))
+	got, err := readN(r, 5, time.Second)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestWrapListenerFaultsNthConn(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(base, 1, Plan{Action: Drop})
+	defer ln.Close()
+
+	if err := ln.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatalf("SetDeadline not forwarded: %v", err)
+	}
+
+	for i := 0; i < 2; i++ {
+		cl, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		sv, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sv.Close()
+		_, faulty := sv.(*Conn)
+		if faulty != (i == 1) {
+			t.Fatalf("conn %d: wrapped=%v", i, faulty)
+		}
+	}
+}
