@@ -23,6 +23,8 @@ import (
 	"unison"
 	"unison/internal/core"
 	"unison/internal/des"
+	"unison/internal/obs"
+	"unison/internal/obs/obshttp"
 	"unison/internal/pdes"
 	"unison/internal/sim"
 )
@@ -56,6 +58,10 @@ type report struct {
 	Seed       map[string]sample `json:"seed,omitempty"`
 	SeedNote   string            `json:"seed_note,omitempty"`
 	Delta      map[string]delta  `json:"delta,omitempty"`
+	// RunStats embeds each kernel's final-iteration run summary (stable
+	// JSON tags from internal/sim) so a report carries the P/S/M split,
+	// not just throughput.
+	RunStats map[string]*sim.RunStats `json:"run_stats,omitempty"`
 }
 
 // kernelOrder fixes the iteration and report order.
@@ -100,23 +106,25 @@ func kernels() map[string]func() sim.Kernel {
 
 // measure runs the kernel n times and reports per-op figures using the
 // same allocation counters `go test -benchmem` reads (Mallocs/TotalAlloc).
-func measure(n int, mk func() sim.Kernel) (sample, error) {
+func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, error) {
 	// One warm-up run so one-time costs (pools, route caches) don't skew
 	// the per-op figures, mirroring testing.B's calibration runs.
 	if _, err := mk().Run(scenario(42).Model()); err != nil {
-		return sample{}, err
+		return sample{}, nil, err
 	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	var events uint64
+	var last *sim.RunStats
 	for i := 0; i < n; i++ {
 		st, err := mk().Run(scenario(42).Model())
 		if err != nil {
-			return sample{}, err
+			return sample{}, nil, err
 		}
 		events += st.Events
+		last = st
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -126,19 +134,29 @@ func measure(n int, mk func() sim.Kernel) (sample, error) {
 		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
 		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / int64(n),
 		Iterations:   n,
-	}, nil
+	}, last, nil
 }
 
 func main() {
 	var (
-		n        = flag.Int("n", 15, "iterations per kernel")
-		seedPath = flag.String("seed", "docs/bench_seed.json", "seed baseline to embed ('' to skip)")
-		out      = flag.String("o", "BENCH_hotpath.json", "output report path")
+		n         = flag.Int("n", 15, "iterations per kernel")
+		seedPath  = flag.String("seed", "docs/bench_seed.json", "seed baseline to embed ('' to skip)")
+		out       = flag.String("o", "BENCH_hotpath.json", "output report path")
+		traceOut  = flag.String("trace", "", "write a Perfetto trace of one probed Unison4 run to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if *n < 1 {
 		fmt.Fprintln(os.Stderr, "unibench: -n must be at least 1")
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		addr, err := obshttp.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug http on %s (/debug/vars, /debug/pprof)\n", addr)
 	}
 
 	rep := report{
@@ -166,13 +184,16 @@ func main() {
 	}
 
 	mks := kernels()
+	rep.RunStats = make(map[string]*sim.RunStats, len(kernelOrder))
 	for _, name := range kernelOrder {
-		s, err := measure(*n, mks[name])
+		s, st, err := measure(*n, mks[name])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unibench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		st.RoundTrace = nil // keep the report compact
 		rep.Current[name] = s
+		rep.RunStats[name] = st
 		fmt.Printf("%-12s %9d events/s  %9d ns/op  %8d B/op  %6d allocs/op\n",
 			name, s.EventsPerSec, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp)
 	}
@@ -204,4 +225,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace runs Unison4 once more with a probe attached and exports the
+// round/worker phase timeline as Chrome trace-event JSON (load it at
+// https://ui.perfetto.dev). The probed run is outside the measured loop,
+// so it never skews the report.
+func writeTrace(path string) error {
+	reg := obs.NewRegistry(0)
+	reg.Publish("unison_last_run")
+	if _, err := core.New(core.Config{Threads: 4, Observe: reg}).Run(scenario(42).Model()); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := reg.WritePerfetto(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d round records)\n", path, len(reg.Records()))
+	return nil
 }

@@ -24,6 +24,8 @@ import (
 	"unison/internal/dist"
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
+	"unison/internal/obs"
+	"unison/internal/obs/obshttp"
 	"unison/internal/pdes"
 	"unison/internal/routing"
 	"unison/internal/sim"
@@ -45,18 +47,41 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "random seed")
 		tmo    = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
 		dials  = flag.Int("dial-attempts", 8, "host dial retries for the coordinator startup race")
+		trace  = flag.String("trace", "", "write a Perfetto trace of this endpoint's rounds to this file")
+		debugA = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	stop := sim.Time(stopD.Nanoseconds())
 
+	if *debugA != "" {
+		bound, err := obshttp.Serve(*debugA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug http on %s (/debug/vars, /debug/pprof)\n", bound)
+	}
+	reg := obs.NewRegistry(0)
+	reg.Publish("unison_dist")
+
 	switch *role {
 	case "coord":
-		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo)
+		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo, reg)
 	case "host":
-		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials)
+		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials, reg)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := reg.WritePerfetto(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d round records)\n", *trace, len(reg.Records()))
 	}
 }
 
@@ -77,7 +102,7 @@ func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model,
 	return m, network, mon, ft, len(flows)
 }
 
-func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration) {
+func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, reg *obs.Registry) {
 	_, _, _, _, flows := buildScenario(k, stop, load, seed)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -86,7 +111,7 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	fmt.Printf("coordinator listening on %s for %d hosts (%d flows, stop %v)\n",
 		ln.Addr(), hosts, flows, stop)
 	mon, rounds, err := dist.RunCoordinator(ln, dist.CoordConfig{
-		Hosts: hosts, StopAt: stop, Flows: flows, Timeout: tmo,
+		Hosts: hosts, StopAt: stop, Flows: flows, Timeout: tmo, Observe: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -98,18 +123,17 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	fmt.Printf("result hash      %016x\n", mon.Fingerprint())
 }
 
-func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int) {
+func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int, reg *obs.Registry) {
 	m, network, mon, ft, _ := buildScenario(k, stop, load, seed)
 	hostOf := pdes.FatTreeManual(ft, hosts)
 	st, err := dist.RunHost(dist.HostConfig{
 		ID: id, Addr: addr, HostOf: hostOf, StopAt: stop,
-		Timeout: tmo, DialAttempts: dials,
+		Timeout: tmo, DialAttempts: dials, Observe: reg,
 	}, m, network, mon)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("host %d: %d events in %d rounds, wall %.2fs\n",
-		id, st.Events, st.Rounds, float64(st.WallNS)/1e9)
+	fmt.Printf("host %d: %s\n", id, st)
 }
 
 func fatal(err error) {

@@ -73,7 +73,7 @@ func main() {
 		sc.Net.Tracer = trace.NewCollector(g.N(), 0)
 	}
 
-	st, err := runKernel(*kernel, *threads, manual, sc.Model())
+	st, err := runKernel(*kernel, *threads, g, manual, sc.Model())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 		os.Exit(1)
@@ -151,7 +151,7 @@ func buildTopology(name string, k, rows, cols, n int, bw int64, delay sim.Time) 
 	}
 }
 
-func runKernel(name string, threads int, manual []int32, m *sim.Model) (*sim.RunStats, error) {
+func runKernel(name string, threads int, g *topology.Graph, manual []int32, m *sim.Model) (*sim.RunStats, error) {
 	switch strings.ToLower(name) {
 	case "sequential", "seq":
 		return unison.NewSequential().Run(m)
@@ -166,12 +166,12 @@ func runKernel(name string, threads int, manual []int32, m *sim.Model) (*sim.Run
 		if manual == nil {
 			return nil, fmt.Errorf("the barrier kernel needs a manual partition; this topology has no recipe (use unison)")
 		}
-		return unison.NewBarrier(manual).Run(m)
+		return unison.NewBarrier(unison.ManualPartition(g, manual)).Run(m)
 	case "nullmsg":
 		if manual == nil {
 			return nil, fmt.Errorf("the null message kernel needs a manual partition; this topology has no recipe (use unison)")
 		}
-		return unison.NewNullMessage(manual).Run(m)
+		return unison.NewNullMessage(unison.ManualPartition(g, manual)).Run(m)
 	case "vseq":
 		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Sequential})
 	case "vbarrier":

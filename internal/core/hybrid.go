@@ -11,6 +11,7 @@ import (
 
 	"unison/internal/eventq"
 	"unison/internal/metrics"
+	"unison/internal/obs"
 	"unison/internal/sim"
 	"unison/internal/syncx"
 )
@@ -33,6 +34,9 @@ type HybridConfig struct {
 	Period int
 	// MaxRounds aborts runaway simulations when positive.
 	MaxRounds uint64
+	// Observe, when non-nil, receives per-round per-worker telemetry
+	// (internal/obs); workers are numbered host*ThreadsPerHost+thread.
+	Observe obs.Probe
 }
 
 // HybridKernel is the multi-host Unison kernel.
@@ -157,6 +161,7 @@ func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 			r.lps[lpOf[ev.Node]].fel.Push(ev)
 		}
 	}
+	obs.Begin(k.cfg.Observe, obs.RunMeta{Kernel: k.Name(), Workers: workers, LPs: part.Count})
 	allMin := sim.MaxTime
 	for i := range r.lps {
 		if t := r.lps[i].fel.NextTime(); t < allMin {
@@ -165,7 +170,9 @@ func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	r.lbts = eq2(allMin, r.pub.NextTime(), r.lookahead)
 	if r.lbts == sim.MaxTime && r.pub.Empty() {
-		return r.stats(start), nil
+		st := r.stats(start)
+		obs.End(k.cfg.Observe, st)
+		return st, nil
 	}
 
 	bar := syncx.NewBarrier(workers)
@@ -179,7 +186,9 @@ func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	r.workerLoop(0, bar)
 	wg.Wait()
-	return r.stats(start), r.err
+	st := r.stats(start)
+	obs.End(k.cfg.Observe, st)
+	return st, r.err
 }
 
 // hrt is the hybrid runtime: Unison's rt with host-scoped scheduling.
@@ -246,12 +255,18 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 	ws := &r.workers[w]
 	ob := &r.outboxes[w]
 	timed := r.k.cfg.Metric == MetricPrevTime
+	probe := r.k.cfg.Observe
 	var clock lpClock
 	var recv []sim.Event // phase-3 gather scratch, reused across rounds
 	var sw metrics.Stopwatch
 	sw.Start()
 
 	for {
+		// Stable here: both are only written in phase-4's serial section.
+		roundIdx := r.round
+		roundLBTS := r.lbts
+		evStart := ws.events
+		var migrations uint64
 		// Phase 1: pull LPs of this worker's host only.
 		ob.reset()
 		order := r.order[host]
@@ -282,11 +297,19 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 			if timed && clock.note(lpIdx, nev) {
 				clock.flush(r.lps)
 			}
+			if probe != nil && nev > 0 {
+				if lp.lastW != 0 && lp.lastW != int32(w)+1 {
+					migrations++
+				}
+				lp.lastW = int32(w) + 1
+			}
 		}
 		if timed {
 			clock.flush(r.lps)
 		}
-		ws.p += sw.Lap()
+		p1 := sw.Lap()
+		ws.p += p1
+		sends := uint64(len(ob.buf))
 		// Phase 2 fuses into the barrier: the last worker to arrive
 		// handles public-LP events with every host quiescent, then
 		// prepares the receive phase before anyone is released.
@@ -311,13 +334,15 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 				r.cursor3[h].Store(0)
 			}
 		})
-		ws.s += sw.Lap()
+		s1 := sw.Lap()
+		ws.s += s1
 
 		// Phase 3: gather staged events for this host's LPs (intra- and
 		// inter-host events arrive the same way: shared memory).
 		locMin := sim.MaxTime
 		hostList := r.hostLPs[host]
 		n3 := int64(len(hostList))
+		var recvd, depth uint64
 		for {
 			i := r.cursor3[host].Add(1) - 1
 			if i >= n3 {
@@ -331,14 +356,30 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 			if t := lp.fel.NextTime(); t < locMin {
 				locMin = t
 			}
+			if probe != nil {
+				recvd += uint64(len(recv))
+				depth += uint64(lp.fel.Len())
+			}
 		}
 		r.perWorkerMin[w] = locMin
-		ws.m += sw.Lap()
+		mNS := sw.Lap()
+		ws.m += mNS
 		// Phase 4, the all-reduce, fuses into the barrier: the last
 		// arriver folds every host's minimum and broadcasts the next
 		// window before anyone is released.
 		bar.WaitSerial(func() { r.phase4() })
-		ws.s += sw.Lap()
+		s2 := sw.Lap()
+		ws.s += s2
+		if probe != nil {
+			rec := obs.RoundRecord{
+				Round: roundIdx, Worker: int32(w), LBTS: roundLBTS,
+				Events: ws.events - evStart,
+				ProcNS: p1, SyncNS: s1 + s2, MsgNS: mNS, WaitGlobalNS: s1,
+				Sends: sends, SendBytes: sends * obs.EventBytes,
+				Recvs: recvd, FELDepth: depth, Migrations: migrations,
+			}
+			probe.OnRound(&rec)
+		}
 		if r.done {
 			return
 		}

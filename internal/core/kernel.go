@@ -12,6 +12,7 @@ import (
 
 	"unison/internal/eventq"
 	"unison/internal/metrics"
+	"unison/internal/obs"
 	"unison/internal/sim"
 	"unison/internal/syncx"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	RecordRounds bool
 	// MaxRounds aborts runaway simulations when positive.
 	MaxRounds uint64
+	// Observe, when non-nil, receives per-round per-worker telemetry
+	// (internal/obs). A probe only observes: probed runs are bit-identical
+	// to unprobed ones, and a nil probe costs one branch per round.
+	Observe obs.Probe
 }
 
 // Kernel is the Unison simulation kernel.
@@ -87,6 +92,9 @@ type lpState struct {
 	est     int64
 	lastP   int64
 	pending int64
+	// lastW is 1 + the worker that ran this LP last round (0 = never);
+	// only maintained when a probe is attached, to count migrations.
+	lastW int32
 }
 
 // rt is the shared runtime of one Run call.
@@ -212,11 +220,15 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		}
 	}
 
+	obs.Begin(k.cfg.Observe, obs.RunMeta{Kernel: k.Name(), Workers: k.cfg.Threads, LPs: n})
+
 	// Initial window (the phase-4 computation for round 0).
 	r.lbts = r.computeLBTS()
 	if r.lbts == sim.MaxTime && r.pub.Empty() {
 		// Nothing to do at all.
-		return r.stats(start), nil
+		st := r.stats(start)
+		obs.End(k.cfg.Observe, st)
+		return st, nil
 	}
 	r.cursor1.Store(0)
 
@@ -233,6 +245,7 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	wg.Wait()
 
 	st := r.stats(start)
+	obs.End(k.cfg.Observe, st)
 	return st, r.err
 }
 
@@ -277,12 +290,19 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 	ob := &r.outboxes[w]
 	// timed: only MetricPrevTime needs per-LP wall-clock estimates.
 	timed := r.k.cfg.Metric == MetricPrevTime
+	probe := r.k.cfg.Observe
 	var clock lpClock
 	var recv []sim.Event // phase-3 gather scratch, reused across rounds
 	var sw metrics.Stopwatch
 	sw.Start()
 
 	for {
+		// r.round and r.lbts are stable here: they are only written in the
+		// phase-4 serial section, behind the barrier this worker left.
+		roundIdx := r.round
+		roundLBTS := r.lbts
+		evStart := ws.events
+		var migrations uint64
 		// Phase 1: process events within the window, pulling LPs in
 		// longest-estimated-job-first order via the shared cursor. The
 		// previous round's staged events were all delivered in phase 3,
@@ -318,6 +338,12 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 			if timed && clock.note(lpIdx, nev) {
 				clock.flush(r.lps)
 			}
+			if probe != nil && nev > 0 {
+				if lp.lastW != 0 && lp.lastW != int32(w)+1 {
+					migrations++
+				}
+				lp.lastW = int32(w) + 1
+			}
 		}
 		if timed {
 			clock.flush(r.lps)
@@ -325,18 +351,21 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 		p1 := sw.Lap()
 		ws.p += p1
 		r.roundP[w] = p1
+		sends := uint64(len(ob.buf))
 		// Phase 2 fuses into the barrier: the last worker to arrive
 		// handles global events at exactly the window boundary and
 		// prepares the receive phase before anyone is released. Its cost
 		// lands in that worker's S, where the paper files the collective
 		// step of a round (§3.2).
 		bar.WaitSerial(func() { r.phase2(ctx, sink) })
-		ws.s += sw.Lap()
+		s1 := sw.Lap()
+		ws.s += s1
 
 		// Phase 3: gather each LP's staged events from every worker's
 		// outbox, bulk-load them into the FEL, and compute the local
 		// minimum next-event time.
 		locMin := sim.MaxTime
+		var recvd, depth uint64
 		for {
 			i := r.cursor3.Add(1) - 1
 			if i >= nLP {
@@ -349,13 +378,29 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 			if t := lp.fel.NextTime(); t < locMin {
 				locMin = t
 			}
+			if probe != nil {
+				recvd += uint64(len(recv))
+				depth += uint64(lp.fel.Len())
+			}
 		}
 		r.perWorkerMin[w] = locMin
-		ws.m += sw.Lap()
+		mNS := sw.Lap()
+		ws.m += mNS
 		// Phase 4 fuses into the barrier the same way: the last arriver
 		// updates the window, reschedules LPs and decides termination.
 		bar.WaitSerial(func() { r.phase4() })
-		ws.s += sw.Lap()
+		s2 := sw.Lap()
+		ws.s += s2
+		if probe != nil {
+			rec := obs.RoundRecord{
+				Round: roundIdx, Worker: int32(w), LBTS: roundLBTS,
+				Events: ws.events - evStart,
+				ProcNS: p1, SyncNS: s1 + s2, MsgNS: mNS, WaitGlobalNS: s1,
+				Sends: sends, SendBytes: sends * obs.EventBytes,
+				Recvs: recvd, FELDepth: depth, Migrations: migrations,
+			}
+			probe.OnRound(&rec)
+		}
 		if r.done {
 			return
 		}

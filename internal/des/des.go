@@ -9,6 +9,7 @@ import (
 
 	"unison/internal/eventq"
 	"unison/internal/metrics"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -21,6 +22,10 @@ type Kernel struct {
 	// structure) instead of the binary heap — an ablation knob; results
 	// are identical either way.
 	UseCalendar bool
+	// Observe, when non-nil, receives run begin/end notifications and one
+	// summary RoundRecord for the whole run (the sequential kernel has no
+	// round structure).
+	Observe obs.Probe
 }
 
 // New returns a sequential kernel.
@@ -58,6 +63,7 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		cache = metrics.NewCacheModel(1, k.CacheWays)
 	}
 
+	obs.Begin(k.Observe, obs.RunMeta{Kernel: k.Name(), Workers: 1, LPs: 1})
 	var events uint64
 	var now sim.Time
 	for !fel.Empty() {
@@ -85,5 +91,15 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if cache != nil {
 		st.CacheRefs, st.CacheMisses = cache.Counters()
 	}
+	if k.Observe != nil {
+		rec := obs.RoundRecord{
+			LBTS:     now,
+			Events:   events,
+			ProcNS:   st.WallNS,
+			FELDepth: uint64(fel.Len()),
+		}
+		k.Observe.OnRound(&rec)
+	}
+	obs.End(k.Observe, st)
 	return st, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"unison/internal/flowmon"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -31,6 +32,11 @@ type CoordConfig struct {
 	// surviving hosts with an abort message, and returns a descriptive
 	// error. Zero disables deadlines (legacy trusted-loopback behavior).
 	Timeout time.Duration
+	// Observe, when non-nil, receives one obs.RoundRecord per protocol
+	// round (Worker 0): AllReduceNS is the min-gather latency — the time
+	// the slowest host kept everyone waiting — and Sends counts the
+	// cross-host events routed that round.
+	Observe obs.Probe
 }
 
 // hostMsg is one decoded envelope (or terminal read error) from a host's
@@ -96,13 +102,20 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 		return nil, rounds, err
 	}
 
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: "dist-coordinator", Workers: 1, LPs: cfg.Hosts})
+	coordStart := time.Now()
+	var totalEvents uint64
+
 	var rounds uint64
 	for {
 		// All-reduce: gather local minima (concurrently, via the readers).
+		gatherStart := time.Now()
 		mins, err := g.collect(kMin, "min")
 		if err != nil {
 			return fail(rounds, err)
 		}
+		gatherNS := time.Since(gatherStart).Nanoseconds()
 		globalMin := sim.MaxTime
 		for _, e := range mins {
 			if e.Min < globalMin {
@@ -127,23 +140,36 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 		}
 		rounds++
 		// Route this round's cross-host events.
+		routeStart := time.Now()
 		flushes, err := g.collect(kFlush, "flush")
 		if err != nil {
 			return fail(rounds, err)
 		}
 		outbox := make([][]RemoteEvent, cfg.Hosts)
+		var routed uint64
 		for h, e := range flushes {
 			for _, rev := range e.Events {
 				if rev.Host < 0 || int(rev.Host) >= cfg.Hosts {
 					return fail(rounds, fmt.Errorf("dist: %s sent an event addressed to host %d", conns[h].peer, rev.Host))
 				}
 				outbox[rev.Host] = append(outbox[rev.Host], rev)
+				routed++
 			}
 		}
 		for h, c := range conns {
 			if err := c.send(&envelope{Kind: kEvents, Events: outbox[h]}); err != nil {
 				return fail(rounds, fmt.Errorf("dist: events to %s: %w", c.peer, err))
 			}
+		}
+		if probe != nil {
+			totalEvents += routed
+			rec := obs.RoundRecord{
+				Round: rounds - 1, LBTS: globalMin,
+				SyncNS: gatherNS, MsgNS: time.Since(routeStart).Nanoseconds(),
+				Sends: routed, SendBytes: routed * obs.EventBytes,
+				Recvs: routed, AllReduceNS: gatherNS,
+			}
+			probe.OnRound(&rec)
 		}
 	}
 
@@ -157,6 +183,13 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 		part := flowmon.NewMonitor(cfg.Flows)
 		part.Import(e.Senders, e.Recvs)
 		mon.MergeFrom(part)
+	}
+	if probe != nil {
+		probe.EndRun(&sim.RunStats{
+			Kernel: "dist-coordinator", Rounds: rounds, Events: totalEvents,
+			WallNS:  time.Since(coordStart).Nanoseconds(),
+			Workers: []sim.WorkerStats{{S: time.Since(coordStart).Nanoseconds()}},
+		})
 	}
 	return mon, rounds, nil
 }

@@ -458,7 +458,7 @@ func TestDialRetryBounded(t *testing.T) {
 	addr := tmp.Addr().String()
 	tmp.Close()
 
-	_, err = dialCoordinator(HostConfig{ID: 3, Addr: addr, DialAttempts: 2, DialBackoff: 10 * time.Millisecond})
+	_, _, err = dialCoordinator(HostConfig{ID: 3, Addr: addr, DialAttempts: 2, DialBackoff: 10 * time.Millisecond})
 	if err == nil {
 		t.Fatal("dial to a dead address succeeded")
 	}

@@ -9,7 +9,9 @@ import (
 	"unison/internal/core"
 	"unison/internal/eventq"
 	"unison/internal/flowmon"
+	"unison/internal/metrics"
 	"unison/internal/netdev"
+	"unison/internal/obs"
 	"unison/internal/packet"
 	"unison/internal/sim"
 )
@@ -41,12 +43,18 @@ type HostConfig struct {
 	// DialBackoff is the initial retry backoff; it doubles per attempt.
 	// Defaults to 50ms when DialAttempts enables retries.
 	DialBackoff time.Duration
+	// Observe, when non-nil, receives one obs.RoundRecord per window
+	// (Worker 0): AllReduceNS is the wait for the coordinator's window
+	// broadcast, and Retries reports extra dial attempts on the first
+	// record.
+	Observe obs.Probe
 }
 
-// dialCoordinator dials cfg.Addr with bounded retry. Each attempt gets
-// cfg.Timeout as its dial timeout; between attempts the host sleeps the
-// current backoff plus up to 50% deterministic jitter.
-func dialCoordinator(cfg HostConfig) (net.Conn, error) {
+// dialCoordinator dials cfg.Addr with bounded retry, returning the
+// connection and how many retries (attempts beyond the first) it took.
+// Each attempt gets cfg.Timeout as its dial timeout; between attempts the
+// host sleeps the current backoff plus up to 50% deterministic jitter.
+func dialCoordinator(cfg HostConfig) (net.Conn, int, error) {
 	attempts := cfg.DialAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -65,11 +73,11 @@ func dialCoordinator(cfg HostConfig) (net.Conn, error) {
 		d := net.Dialer{Timeout: cfg.Timeout}
 		c, err := d.Dial("tcp", cfg.Addr)
 		if err == nil {
-			return c, nil
+			return c, i, nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("dist: dialing coordinator %s (%d attempts): %w", cfg.Addr, attempts, lastErr)
+	return nil, attempts - 1, fmt.Errorf("dist: dialing coordinator %s (%d attempts): %w", cfg.Addr, attempts, lastErr)
 }
 
 // RunHost connects to the coordinator and executes the host's share of
@@ -96,7 +104,7 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 	links := m.Links()
 	lookahead := core.CutLookahead(cfg.HostOf, links)
 
-	nc, err := dialCoordinator(cfg)
+	nc, dialRetries, err := dialCoordinator(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +113,9 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 	if err := c.send(&envelope{Kind: kHello, Host: cfg.ID}); err != nil {
 		return nil, fmt.Errorf("dist: hello: %w", err)
 	}
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: fmt.Sprintf("dist-host(%d)", cfg.ID), Workers: 1, LPs: 1})
+	pendingRetries := uint64(dialRetries)
 
 	fel := eventq.New(256)
 	seqs := sim.NewSeqTable(m.Nodes)
@@ -141,6 +152,8 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 	}
 
 	st := &sim.RunStats{Kernel: fmt.Sprintf("dist-host(%d)", cfg.ID), Workers: make([]sim.WorkerStats, 1)}
+	var sw metrics.Stopwatch
+	sw.Start()
 	for {
 		if err := c.send(&envelope{Kind: kMin, Host: cfg.ID, Min: fel.NextTime()}); err != nil {
 			return nil, fmt.Errorf("dist: sending min: %w", err)
@@ -149,6 +162,7 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 		if err != nil {
 			return nil, fmt.Errorf("dist: window: %w", err)
 		}
+		sNS := sw.Lap() // the all-reduce wait: min sent, window received
 		switch e.Kind {
 		case kDone:
 			recs, rcvs := mon.Export()
@@ -158,6 +172,7 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 			st.WallNS = time.Since(start).Nanoseconds()
 			st.Workers[0].P = st.WallNS
 			st.Workers[0].Events = st.Events
+			obs.End(probe, st)
 			return st, nil
 		case kWindow:
 			// LBTS per Equation 1, bounded by the stop time.
@@ -165,6 +180,7 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 			if cfg.StopAt < lbts {
 				lbts = cfg.StopAt
 			}
+			evStart := st.Events
 			for {
 				ev, ok := fel.PopBefore(lbts)
 				if !ok {
@@ -178,7 +194,9 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 				}
 			}
 			st.Rounds++
+			pNS := sw.Lap()
 			// Flush outbound remote events and receive this round's inbox.
+			sends := uint64(len(outbound))
 			if err := c.send(&envelope{Kind: kFlush, Host: cfg.ID, Events: outbound}); err != nil {
 				return nil, fmt.Errorf("dist: flush: %w", err)
 			}
@@ -193,6 +211,19 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 					Time: rev.Time, Src: rev.Src, Seq: rev.Seq, Node: rev.Node,
 					Fn: func(c *sim.Ctx) { network.Deliver(c, rev.Node, rev.Pkt) },
 				})
+			}
+			if probe != nil {
+				mNS := sw.Lap()
+				rec := obs.RoundRecord{
+					Round: st.Rounds - 1, LBTS: lbts,
+					Events: st.Events - evStart,
+					ProcNS: pNS, SyncNS: sNS, MsgNS: mNS,
+					Sends: sends, SendBytes: sends * obs.EventBytes,
+					Recvs: uint64(len(in.Events)), FELDepth: uint64(fel.Len()),
+					AllReduceNS: sNS, Retries: pendingRetries,
+				}
+				probe.OnRound(&rec)
+				pendingRetries = 0
 			}
 		case kAbort:
 			return nil, fmt.Errorf("dist: coordinator aborted the run: %s", e.Err)

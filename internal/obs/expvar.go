@@ -1,0 +1,14 @@
+package obs
+
+import "expvar"
+
+// Publish registers the registry's Snapshot under name in the process-wide
+// expvar namespace (served at /debug/vars once an HTTP listener is up; see
+// the obshttp subpackage). Publishing the same name twice is a no-op, so a
+// tool that builds one registry per run can re-publish safely.
+func (g *Registry) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return g.Snapshot() }))
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"testing"
+
+	"unison/internal/sim"
+)
+
+// emit pushes a minimal record for (round, worker) with e events.
+func emit(g *Registry, round uint64, worker int32, e uint64) {
+	g.OnRound(&RoundRecord{
+		Round:  round,
+		Worker: worker,
+		LBTS:   sim.Time(1000 * (round + 1)),
+		Events: e,
+		ProcNS: 100,
+		SyncNS: 40,
+		MsgNS:  10,
+	})
+}
+
+func TestRegistryMergeOrder(t *testing.T) {
+	g := NewRegistry(16)
+	g.BeginRun(RunMeta{Kernel: "test", Workers: 3, LPs: 3})
+	// Emit out of worker order; rounds interleaved.
+	for round := uint64(0); round < 4; round++ {
+		for _, w := range []int32{2, 0, 1} {
+			emit(g, round, w, uint64(w)+1)
+		}
+	}
+	recs := g.Records()
+	if len(recs) != 12 {
+		t.Fatalf("got %d records, want 12", len(recs))
+	}
+	for i, r := range recs {
+		wantRound := uint64(i / 3)
+		wantWorker := int32(i % 3)
+		if r.Round != wantRound || r.Worker != wantWorker {
+			t.Errorf("recs[%d] = (round %d, worker %d), want (%d, %d)",
+				i, r.Round, r.Worker, wantRound, wantWorker)
+		}
+	}
+}
+
+func TestRegistryRingWrap(t *testing.T) {
+	const capacity = 8
+	g := NewRegistry(capacity)
+	g.BeginRun(RunMeta{Kernel: "test", Workers: 1, LPs: 1})
+	const total = 20
+	for round := uint64(0); round < total; round++ {
+		emit(g, round, 0, 1)
+	}
+	recs := g.Records()
+	if len(recs) != capacity {
+		t.Fatalf("got %d records after wrap, want %d", len(recs), capacity)
+	}
+	// The ring keeps the newest `capacity` records, oldest first.
+	for i, r := range recs {
+		want := uint64(total - capacity + i)
+		if r.Round != want {
+			t.Errorf("recs[%d].Round = %d, want %d", i, r.Round, want)
+		}
+	}
+	// Totals survive overwrites even though old records are gone.
+	s := g.Snapshot()
+	if s.Records != total || s.Events != total {
+		t.Errorf("snapshot records=%d events=%d, want %d/%d", s.Records, s.Events, total, total)
+	}
+}
+
+func TestRegistryDropsOutOfRangeWorkers(t *testing.T) {
+	g := NewRegistry(4)
+	g.BeginRun(RunMeta{Kernel: "test", Workers: 1, LPs: 1})
+	emit(g, 0, 5, 1)  // beyond Workers
+	emit(g, 0, -1, 1) // negative
+	if n := len(g.Records()); n != 0 {
+		t.Fatalf("got %d records, want 0", n)
+	}
+	if s := g.Snapshot(); s.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", s.Dropped)
+	}
+}
+
+func TestRegistryBeginRunResets(t *testing.T) {
+	g := NewRegistry(4)
+	g.BeginRun(RunMeta{Kernel: "first", Workers: 2, LPs: 2})
+	emit(g, 0, 0, 5)
+	g.EndRun(&sim.RunStats{Kernel: "first", Events: 5})
+	g.BeginRun(RunMeta{Kernel: "second", Workers: 1, LPs: 1})
+	if n := len(g.Records()); n != 0 {
+		t.Fatalf("records survived BeginRun: %d", n)
+	}
+	if g.Final() != nil {
+		t.Fatal("final stats survived BeginRun")
+	}
+	if got := g.Meta().Kernel; got != "second" {
+		t.Fatalf("meta.Kernel = %q, want %q", got, "second")
+	}
+}
+
+// perfettoFile mirrors the Chrome trace-event JSON container for decoding.
+type perfettoFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args,omitempty"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWritePerfettoStructure(t *testing.T) {
+	g := NewRegistry(64)
+	g.BeginRun(RunMeta{Kernel: "test", Workers: 2, LPs: 4})
+	for round := uint64(0); round < 3; round++ {
+		for w := int32(0); w < 2; w++ {
+			g.OnRound(&RoundRecord{
+				Round: round, Worker: w, LBTS: sim.Time(500 * (round + 1)),
+				Events: 10, ProcNS: 3000, SyncNS: 1500, MsgNS: 500,
+				WaitGlobalNS: 600, Sends: 2, SendBytes: 2 * EventBytes, Recvs: 2,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+
+	var tf perfettoFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	var spans, meta, counters int
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("event %d (%s): negative ts/dur (%v, %v)", i, ev.Name, ev.Ts, ev.Dur)
+			}
+			if ev.Name == "" {
+				t.Errorf("event %d: span with empty name", i)
+			}
+		case "M":
+			meta++
+		case "C":
+			counters++
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if spans == 0 || meta == 0 || counters == 0 {
+		t.Fatalf("want spans, metadata and counters; got %d/%d/%d", spans, meta, counters)
+	}
+
+	// Per-worker spans must be time-ordered and non-overlapping: each
+	// round's phases stack after the previous round on the same thread.
+	lastEnd := map[int]float64{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts < lastEnd[ev.Tid] {
+			t.Fatalf("span %q on tid %d starts at %v before previous end %v",
+				ev.Name, ev.Tid, ev.Ts, lastEnd[ev.Tid])
+		}
+		lastEnd[ev.Tid] = ev.Ts + ev.Dur
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	g := NewRegistry(8)
+	g.BeginRun(RunMeta{Kernel: "expvar-test", Workers: 1, LPs: 1})
+	emit(g, 0, 0, 7)
+	g.Publish("obs_test_registry")
+	g.Publish("obs_test_registry") // second call must not panic (expvar re-publish does)
+
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar payload is not a JSON Summary: %v\npayload: %s", err, v.String())
+	}
+	if s.Kernel != "expvar-test" || s.Events != 7 {
+		t.Fatalf("summary = %+v, want kernel expvar-test with 7 events", s)
+	}
+}
+
+func TestNilProbeHelpers(t *testing.T) {
+	// The helpers are the nil fast path every kernel relies on; they must
+	// be no-ops, not panics, for a nil probe.
+	Begin(nil, RunMeta{})
+	Emit(nil, &RoundRecord{})
+	End(nil, &sim.RunStats{})
+	End(&Registry{}, nil) // nil stats must be ignored too
+}

@@ -1,0 +1,27 @@
+// Package obshttp starts the optional debug HTTP listener the cmd tools
+// expose behind a -debug-addr flag: /debug/vars (expvar, including every
+// published obs.Registry) and /debug/pprof (CPU, heap, mutex, ...).
+//
+// It lives apart from package obs so that importing the simulation kernels
+// never drags pprof's DefaultServeMux side-effect registration into user
+// binaries; only tools that opt in import this package.
+package obshttp
+
+import (
+	_ "expvar" // registers /debug/vars on DefaultServeMux
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+)
+
+// Serve starts an HTTP listener on addr serving the process-wide
+// DefaultServeMux (expvar + pprof) in a background goroutine and returns
+// the bound address (useful with ":0").
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

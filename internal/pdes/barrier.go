@@ -16,6 +16,7 @@ import (
 	"unison/internal/core"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
+	"unison/internal/obs"
 	"unison/internal/sim"
 	"unison/internal/syncx"
 )
@@ -27,7 +28,11 @@ import (
 // The rank assignment is static: there is no load balancing, which is the
 // root cause of the synchronization time the paper measures in §3.2.
 type BarrierKernel struct {
-	// LPOf is the mandatory manual node→rank assignment.
+	// Part is the preferred typed partition (rank assignment + lookahead).
+	// When set it takes precedence over LPOf.
+	Part *core.Partition
+	// LPOf is the manual node→rank assignment. Deprecated in favour of
+	// Part; kept so existing call sites keep compiling.
 	LPOf []int32
 	// RecordRounds captures per-round P samples (Figures 5b/13a).
 	RecordRounds bool
@@ -35,6 +40,9 @@ type BarrierKernel struct {
 	CacheWays int
 	// MaxRounds aborts runaway simulations when positive.
 	MaxRounds uint64
+	// Observe, when non-nil, receives one obs.RoundRecord per rank per
+	// round plus run begin/end notifications. Rank index == worker index.
+	Observe obs.Probe
 }
 
 // Name implements sim.Kernel.
@@ -100,12 +108,18 @@ func (k *BarrierKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("pdes: %w", err)
 	}
-	if len(k.LPOf) != m.Nodes {
-		return nil, errors.New("pdes: BarrierKernel requires a manual partition covering every node")
-	}
 	start := time.Now()
 	links := m.Links()
-	part := core.Manual(k.LPOf, links)
+	part := k.Part
+	if part == nil {
+		if len(k.LPOf) != m.Nodes {
+			return nil, errors.New("pdes: BarrierKernel requires a manual partition covering every node")
+		}
+		part = core.Manual(k.LPOf, links)
+	}
+	if len(part.LPOf) != m.Nodes {
+		return nil, errors.New("pdes: BarrierKernel partition does not cover every node")
+	}
 	n := part.Count
 	r := &brt{
 		k:         k,
@@ -141,8 +155,11 @@ func (k *BarrierKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		}
 	}
 	r.lbts = core.Eq2(allMin, r.pub.NextTime(), r.lookahead)
+	obs.Begin(k.Observe, obs.RunMeta{Kernel: k.Name(), Workers: n, LPs: n})
 	if r.lbts == sim.MaxTime && r.pub.Empty() {
-		return r.stats(start), nil
+		st := r.stats(start)
+		obs.End(k.Observe, st)
+		return st, nil
 	}
 
 	bar := syncx.NewBarrier(n)
@@ -156,7 +173,9 @@ func (k *BarrierKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	r.rankLoop(0, bar)
 	wg.Wait()
-	return r.stats(start), r.err
+	st := r.stats(start)
+	obs.End(k.Observe, st)
+	return st, r.err
 }
 
 func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
@@ -164,10 +183,15 @@ func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
 	ctx := sim.NewCtx(sink, int(rank))
 	ws := &r.workers[rank]
 	fel := r.fels[rank]
+	probe := r.k.Observe
 	var sw metrics.Stopwatch
 	sw.Start()
 
 	for {
+		// Stable here: both are only written inside serial barrier sections.
+		roundIdx := r.round
+		roundLBTS := r.lbts
+		evStart := ws.events
 		// Process all events within the window.
 		for {
 			ev, ok := fel.PopBefore(r.lbts)
@@ -185,11 +209,19 @@ func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
 		p := sw.Lap()
 		ws.p += p
 		r.roundP[rank] = p
+		var sends uint64
+		if probe != nil {
+			// Only this rank writes mail[*][rank], so the rows are stable.
+			for dst := range r.mail {
+				sends += uint64(len(r.mail[dst][rank]))
+			}
+		}
 		// The last rank to arrive handles globals inside the barrier (the
 		// LBTS "collective communication" moment) while everyone else
 		// waits — the cost the paper folds into S (§3.2 footnote).
 		bar.WaitSerial(func() { r.globals(ctx, sink) })
-		ws.s += sw.Lap()
+		s1 := sw.Lap()
+		ws.s += s1
 
 		// Receive cross-rank events, bulk-loading each source's batch.
 		var received int
@@ -200,10 +232,22 @@ func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
 			r.mail[rank][src] = row[:0]
 		}
 		r.rankMin[rank] = fel.NextTime()
-		ws.m += sw.Lap()
+		mNS := sw.Lap()
+		ws.m += mNS
 		// Window advance fuses into the barrier the same way.
 		bar.WaitSerial(func() { r.advance() })
-		ws.s += sw.Lap()
+		s2 := sw.Lap()
+		ws.s += s2
+		if probe != nil {
+			rec := obs.RoundRecord{
+				Round: roundIdx, Worker: rank, LBTS: roundLBTS,
+				Events: ws.events - evStart,
+				ProcNS: p, SyncNS: s1 + s2, MsgNS: mNS, WaitGlobalNS: s1,
+				Sends: sends, SendBytes: sends * obs.EventBytes,
+				Recvs: uint64(received), FELDepth: uint64(fel.Len()),
+			}
+			probe.OnRound(&rec)
+		}
 		if r.done {
 			return
 		}

@@ -9,6 +9,7 @@ import (
 	"unison/internal/core"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -24,10 +25,18 @@ import (
 // have no coordination point at which to run arbitrary global events.
 // Models using dynamic topologies must use Unison.
 type NullMessageKernel struct {
-	// LPOf is the mandatory manual node→rank assignment.
+	// Part is the preferred typed partition (rank assignment + lookahead).
+	// When set it takes precedence over LPOf.
+	Part *core.Partition
+	// LPOf is the manual node→rank assignment. Deprecated in favour of
+	// Part; kept so existing call sites keep compiling.
 	LPOf []int32
 	// CacheWays enables the cache-locality model when positive.
 	CacheWays int
+	// Observe, when non-nil, receives one obs.RoundRecord per rank per
+	// null-message iteration (Round counts iterations per rank; there is
+	// no global round structure) plus run begin/end notifications.
+	Observe obs.Probe
 }
 
 // Name implements sim.Kernel.
@@ -116,15 +125,21 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("pdes: %w", err)
 	}
-	if len(k.LPOf) != m.Nodes {
-		return nil, errors.New("pdes: NullMessageKernel requires a manual partition covering every node")
-	}
 	if m.StopAt <= 0 {
 		return nil, errors.New("pdes: NullMessageKernel requires Model.StopAt (no distributed termination detection)")
 	}
 	start := time.Now()
 	links := m.Links()
-	part := core.Manual(k.LPOf, links)
+	part := k.Part
+	if part == nil {
+		if len(k.LPOf) != m.Nodes {
+			return nil, errors.New("pdes: NullMessageKernel requires a manual partition covering every node")
+		}
+		part = core.Manual(k.LPOf, links)
+	}
+	if len(part.LPOf) != m.Nodes {
+		return nil, errors.New("pdes: NullMessageKernel partition does not cover every node")
+	}
 	n := part.Count
 
 	// Channel lookaheads: min delay per directed rank pair.
@@ -177,6 +192,7 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		ranks[part.LPOf[ev.Node]].fel.Push(ev)
 	}
 
+	obs.Begin(k.Observe, obs.RunMeta{Kernel: k.Name(), Workers: n, LPs: n})
 	var wg sync.WaitGroup
 	for _, r := range ranks {
 		wg.Add(1)
@@ -206,12 +222,15 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if cache != nil {
 		st.CacheRefs, st.CacheMisses = cache.Counters()
 	}
+	obs.End(k.Observe, st)
 	return st, nil
 }
 
 func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, seqs sim.SeqTable, stopAt sim.Time, cache *metrics.CacheModel) {
 	sink := &nmSink{r: r, lpOf: lpOf}
 	ctx := sim.NewCtx(sink, int(r.id))
+	probe := k.Observe
+	var iter uint64
 	var sw metrics.Stopwatch
 	sw.Start()
 	var buf []nmMsg
@@ -219,14 +238,17 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 
 	for {
 		// Drain the inbox: merge remote events, advance channel clocks.
+		var recvd uint64
 		buf, seenSeq = r.inbox.take(buf)
 		for _, msg := range buf {
 			r.fel.PushBatch(msg.events)
+			recvd += uint64(len(msg.events))
 			if msg.bound > r.clock[msg.from] {
 				r.clock[msg.from] = msg.bound
 			}
 		}
-		r.m += sw.Lap()
+		m1 := sw.Lap()
+		r.m += m1
 
 		// EIT: the earliest a future remote event could arrive.
 		eit := sim.MaxTime
@@ -241,6 +263,7 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 		}
 
 		// Process the safe prefix.
+		evStart := r.events
 		progressed := false
 		for {
 			ev, ok := r.fel.PopBefore(safe)
@@ -256,7 +279,8 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 			r.lastT = ev.Time
 			progressed = true
 		}
-		r.p += sw.Lap()
+		pNS := sw.Lap()
+		r.p += pNS
 
 		// Flush remote events and eager null messages. The promise is
 		// sound: any later output of this rank is caused by an event at
@@ -265,6 +289,7 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 		if eit < base {
 			base = eit
 		}
+		var sent uint64
 		for _, to := range r.outTo {
 			bound := satAdd(base, r.outLA[to])
 			evs := r.outBuf[to]
@@ -274,6 +299,7 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 			msg := nmMsg{from: r.id, bound: bound}
 			if len(evs) > 0 {
 				msg.events = append([]sim.Event(nil), evs...)
+				sent += uint64(len(evs))
 				r.outBuf[to] = evs[:0]
 			} else {
 				r.nulls++
@@ -281,16 +307,31 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 			r.promise[to] = bound
 			ranks[to].inbox.post(msg)
 		}
-		r.m += sw.Lap()
+		m2 := sw.Lap()
+		r.m += m2
 
 		// Terminate once nothing before stopAt can happen here anymore.
-		if r.fel.NextTime() >= stopAt && eit >= stopAt {
-			return
-		}
-		if !progressed {
+		terminal := r.fel.NextTime() >= stopAt && eit >= stopAt
+		var sNS int64
+		if !terminal && !progressed {
 			// Blocked: wait for a neighbor to extend a promise.
 			r.inbox.waitChange(seenSeq)
-			r.s += sw.Lap()
+			sNS = sw.Lap()
+			r.s += sNS
+		}
+		if probe != nil {
+			rec := obs.RoundRecord{
+				Round: iter, Worker: r.id, LBTS: safe,
+				Events: r.events - evStart,
+				ProcNS: pNS, SyncNS: sNS, MsgNS: m1 + m2,
+				Sends: sent, SendBytes: sent * obs.EventBytes,
+				Recvs: recvd, FELDepth: uint64(r.fel.Len()),
+			}
+			probe.OnRound(&rec)
+			iter++
+		}
+		if terminal {
+			return
 		}
 	}
 }

@@ -9,7 +9,10 @@
 // kernel — this is the paper's "user transparency" property.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Time is simulated time in nanoseconds since the start of the simulation.
 type Time int64
@@ -288,9 +291,13 @@ type Kernel interface {
 // (thread or rank): processing, synchronization (waiting), and messaging
 // time. Times are wall-clock nanoseconds for live kernels and virtual
 // nanoseconds for the virtual testbed.
+// The JSON tags are a stable contract for exported reports (unibench,
+// unidist) and external tooling; renaming them is a breaking change.
 type WorkerStats struct {
-	P, S, M int64
-	Events  uint64
+	P      int64  `json:"p_ns"`
+	S      int64  `json:"s_ns"`
+	M      int64  `json:"m_ns"`
+	Events uint64 `json:"events"`
 }
 
 // T returns the worker's total accounted time.
@@ -299,35 +306,37 @@ func (w WorkerStats) T() int64 { return w.P + w.S + w.M }
 // RoundSample records one synchronization round for per-round traces
 // (Figures 5b, 9b, 12c, 13).
 type RoundSample struct {
-	LBTS Time
+	LBTS Time `json:"lbts"`
 	// PerWorker[i] is worker i's processing time in the round.
-	PerWorker []int64
+	PerWorker []int64 `json:"per_worker,omitempty"`
 	// Makespan is the duration of the round (max over workers incl. waits).
-	Makespan int64
+	Makespan int64 `json:"makespan"`
 	// Phase1 is the processing-phase span (max worker busy time).
-	Phase1 int64
+	Phase1 int64 `json:"phase1"`
 	// Ideal is the processing-phase lower bound assuming a perfect
 	// scheduler that knows every LP's exact cost: max(longest LP,
 	// ⌈total/threads⌉). Only the virtual kernels can compute it.
-	Ideal int64
+	Ideal int64 `json:"ideal"`
 }
 
-// RunStats summarizes a completed run.
+// RunStats summarizes a completed run. The JSON tags are a stable
+// contract for exported reports and external tooling.
 type RunStats struct {
-	Kernel   string
-	Events   uint64 // total events executed (incl. global)
-	EndTime  Time   // simulated time reached
-	WallNS   int64  // real elapsed wall-clock nanoseconds
-	Rounds   uint64 // synchronization rounds (0 for sequential)
-	LPs      int    // logical processes created (1 for sequential)
-	Workers  []WorkerStats
-	VirtualT int64 // virtual-testbed total time (0 for live kernels)
+	Kernel   string        `json:"kernel"`
+	Events   uint64        `json:"events"`             // total events executed (incl. global)
+	EndTime  Time          `json:"end_time_ns"`        // simulated time reached
+	WallNS   int64         `json:"wall_ns"`            // real elapsed wall-clock nanoseconds
+	Rounds   uint64        `json:"rounds"`             // synchronization rounds (0 for sequential)
+	LPs      int           `json:"lps"`                // logical processes created (1 for sequential)
+	Workers  []WorkerStats `json:"workers,omitempty"`  // per-worker P/S/M
+	VirtualT int64         `json:"virtual_ns,omitempty"` // virtual-testbed total time (0 for live kernels)
 
 	// Cache locality model counters (see internal/metrics).
-	CacheRefs, CacheMisses uint64
+	CacheRefs   uint64 `json:"cache_refs,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
 
 	// RoundTrace, if enabled on the kernel, holds per-round samples.
-	RoundTrace []RoundSample
+	RoundTrace []RoundSample `json:"round_trace,omitempty"`
 }
 
 // TotalP returns the sum of worker processing times.
@@ -355,4 +364,17 @@ func (r *RunStats) SRatio() float64 {
 		return 0
 	}
 	return float64(r.TotalS()) / float64(tot)
+}
+
+// String renders a one-line human summary:
+//
+//	unison(t=4): 1234567 events, 89 rounds, 12 LPs, wall 1.234s, S 3.2%
+func (r *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d events, %d rounds, %d LPs", r.Kernel, r.Events, r.Rounds, r.LPs)
+	if r.VirtualT > 0 {
+		fmt.Fprintf(&b, ", virtual %.3fs", float64(r.VirtualT)/1e9)
+	}
+	fmt.Fprintf(&b, ", wall %.3fs, S %.1f%%", float64(r.WallNS)/1e9, 100*r.SRatio())
+	return b.String()
 }

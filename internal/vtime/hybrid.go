@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"unison/internal/core"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -66,6 +67,15 @@ func runHybrid(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 	avail := make([]int64, workers)
 	busyP := make([]int64, workers)
 	busyM := make([]int64, workers)
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: fmt.Sprintf("v-hybrid(%dx%d)", hosts, tph), Workers: workers, LPs: n})
+	evPrev := make([]uint64, workers)
+	recvT := make([]uint64, workers)
+	migT := make([]uint64, workers)
+	lastWrk := make([]int32, n)
+	for i := range lastWrk {
+		lastWrk[i] = -1
+	}
 
 	r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
 	if r.lbts == sim.MaxTime && r.pub.Empty() {
@@ -81,8 +91,10 @@ func runHybrid(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 		return best
 	}
 	for {
+		roundIdx := rounds
 		for i := range avail {
 			avail[i], busyP[i], busyM[i] = 0, 0, 0
+			recvT[i], migT[i] = 0, 0
 		}
 		// Phase 1: each host schedules its own LPs onto its own cores.
 		var span1 int64
@@ -96,6 +108,12 @@ func runHybrid(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 				avail[t] += cost
 				busyP[t] += cost
 				ws[t].Events += r.events - evBefore
+				if probe != nil && r.events > evBefore {
+					if lastWrk[lp] != -1 && lastWrk[lp] != int32(t) {
+						migT[t]++
+					}
+					lastWrk[lp] = int32(t)
+				}
 			}
 		}
 		for t := 0; t < workers; t++ {
@@ -122,6 +140,9 @@ func runHybrid(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 				mc := k * cfg.Cost.MsgNS
 				avail[t] += mc
 				busyM[t] += mc
+				if probe != nil {
+					recvT[t] += uint64(k)
+				}
 			}
 		}
 		var span3 int64
@@ -157,6 +178,28 @@ func runHybrid(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 				busy += g + schedCost
 			}
 			ws[t].S += roundTotal - busy
+		}
+		if probe != nil {
+			for t := 0; t < workers; t++ {
+				busy := busyP[t] + busyM[t]
+				proc := busyP[t]
+				msg := busyM[t]
+				if t == 0 {
+					busy += g + schedCost
+					proc += g
+					msg += schedCost
+				}
+				rec := obs.RoundRecord{
+					Round: roundIdx, Worker: int32(t), LBTS: r.lbts,
+					Events: ws[t].Events - evPrev[t],
+					ProcNS: proc, SyncNS: roundTotal - busy, MsgNS: msg,
+					WaitGlobalNS: span1 - busyP[t],
+					Recvs:        recvT[t], Migrations: migT[t],
+					AllReduceNS: 2 * cfg.Cost.BarrierNS,
+				}
+				probe.OnRound(&rec)
+				evPrev[t] = ws[t].Events
+			}
 		}
 		virt += roundTotal
 		if stopped {

@@ -8,6 +8,7 @@ import (
 
 	"unison/internal/core"
 	"unison/internal/eventq"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -151,15 +152,27 @@ func runSequential(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 	part := core.SingleLP(m.Nodes, m.Links())
 	r := newVrt(m, part)
 	c := newCoster(cfg.Cost, 1)
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: Sequential.String(), Workers: 1, LPs: 1})
 	var virt int64
+	var round uint64
 	for {
 		r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
 		if r.lbts == sim.MaxTime && r.pub.Empty() && r.fels[0].Empty() {
 			break
 		}
-		virt += r.runLP(0, 0, c)
+		evStart := r.events
+		p := r.runLP(0, 0, c)
 		g, stopped := r.runGlobals(c)
-		virt += g
+		virt += p + g
+		if probe != nil {
+			rec := obs.RoundRecord{
+				Round: round, LBTS: r.lbts, Events: r.events - evStart,
+				ProcNS: p + g, FELDepth: uint64(r.fels[0].Len()),
+			}
+			probe.OnRound(&rec)
+			round++
+		}
 		if stopped {
 			break
 		}
@@ -190,6 +203,10 @@ func runBarrier(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 	var virt int64
 	var rounds uint64
 	var trace []sim.RoundSample
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: Barrier.String(), Workers: n, LPs: n})
+	evRound := make([]uint64, n)
+	rc := make([]int64, n)
 
 	r.lbts = core.Eq2(r.allMin(), r.pub.NextTime(), r.lookahead)
 	if r.lbts == sim.MaxTime && r.pub.Empty() {
@@ -203,7 +220,8 @@ func runBarrier(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 			evBefore := r.events
 			p[rank] = r.runLP(int32(rank), rank, c)
 			ws[rank].P += p[rank]
-			ws[rank].Events += r.events - evBefore
+			evRound[rank] = r.events - evBefore
+			ws[rank].Events += evRound[rank]
 			if p[rank] > span1 {
 				span1 = p[rank]
 			}
@@ -213,11 +231,13 @@ func runBarrier(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 		g, stopped := r.runGlobals(c)
 		ws[0].P += g
 		ws[0].Events += r.events - evBefore
+		evRound[0] += r.events - evBefore
 		// Phase 3: receive cross-rank events.
 		var span3 int64
 		mc := make([]int64, n)
 		for rank := 0; rank < n; rank++ {
-			mc[rank] = r.drain(int32(rank)) * cfg.Cost.MsgNS
+			rc[rank] = r.drain(int32(rank))
+			mc[rank] = rc[rank] * cfg.Cost.MsgNS
 			ws[rank].M += mc[rank]
 			if mc[rank] > span3 {
 				span3 = mc[rank]
@@ -230,6 +250,25 @@ func runBarrier(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 				busy += g
 			}
 			ws[rank].S += roundTotal - busy
+		}
+		if probe != nil {
+			for rank := 0; rank < n; rank++ {
+				busy := p[rank] + mc[rank]
+				proc := p[rank]
+				if rank == 0 {
+					busy += g
+					proc += g
+				}
+				rec := obs.RoundRecord{
+					Round: rounds, Worker: int32(rank), LBTS: r.lbts,
+					Events: evRound[rank],
+					ProcNS: proc, SyncNS: roundTotal - busy, MsgNS: mc[rank],
+					WaitGlobalNS: span1 - p[rank],
+					Recvs:        uint64(rc[rank]),
+					FELDepth:     uint64(r.fels[rank].Len()),
+				}
+				probe.OnRound(&rec)
+			}
 		}
 		virt += roundTotal
 		rounds++
@@ -329,6 +368,16 @@ func runUnison(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 	avail := make([]int64, threads)
 	busyP := make([]int64, threads)
 	busyM := make([]int64, threads)
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: fmt.Sprintf("v-unison(t=%d)", threads), Workers: threads, LPs: n})
+	evPrev := make([]uint64, threads)
+	recvT := make([]uint64, threads)
+	depthT := make([]uint64, threads)
+	migT := make([]uint64, threads)
+	lastWrk := make([]int32, n)
+	for i := range lastWrk {
+		lastWrk[i] = -1
+	}
 
 	// Core speeds: identical by default; heterogeneous per §7 otherwise.
 	speeds := cfg.CoreSpeeds
@@ -361,10 +410,12 @@ func runUnison(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 		return best
 	}
 	for {
+		roundIdx := rounds
 		// Phase 1: greedy longest-estimated-job-first list scheduling onto
 		// virtual threads (identical to the live kernel's cursor pull).
 		for i := range avail {
 			avail[i], busyP[i], busyM[i] = 0, 0, 0
+			recvT[i], depthT[i], migT[i] = 0, 0, 0
 		}
 		var totalCost, maxLP int64
 		for _, lp := range order {
@@ -389,6 +440,12 @@ func runUnison(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 			avail[t] += wall
 			busyP[t] += wall
 			ws[t].Events += r.events - evBefore
+			if probe != nil && r.events > evBefore {
+				if lastWrk[lp] != -1 && lastWrk[lp] != int32(t) {
+					migT[t]++
+				}
+				lastWrk[lp] = int32(t)
+			}
 			totalCost += cost
 			if cost > maxLP {
 				maxLP = cost
@@ -421,6 +478,10 @@ func runUnison(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 			mc := int64(float64(k*cfg.Cost.MsgNS) / speeds[t])
 			avail[t] += mc
 			busyM[t] += mc
+			if probe != nil {
+				recvT[t] += uint64(k)
+				depthT[t] += uint64(r.fels[lp].Len())
+			}
 		}
 		var span3 int64
 		for t := 0; t < threads; t++ {
@@ -451,6 +512,28 @@ func runUnison(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 				busy += g + schedCost
 			}
 			ws[t].S += roundTotal - busy
+		}
+		if probe != nil {
+			for t := 0; t < threads; t++ {
+				busy := busyP[t] + busyM[t]
+				proc := busyP[t]
+				msg := busyM[t]
+				if t == 0 {
+					busy += g + schedCost
+					proc += g
+					msg += schedCost
+				}
+				rec := obs.RoundRecord{
+					Round: roundIdx, Worker: int32(t), LBTS: r.lbts,
+					Events: ws[t].Events - evPrev[t],
+					ProcNS: proc, SyncNS: roundTotal - busy, MsgNS: msg,
+					WaitGlobalNS: span1 - busyP[t],
+					Recvs:        recvT[t], FELDepth: depthT[t],
+					Migrations: migT[t],
+				}
+				probe.OnRound(&rec)
+				evPrev[t] = ws[t].Events
+			}
 		}
 		virt += roundTotal
 		if cfg.RecordRounds {

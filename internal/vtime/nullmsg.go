@@ -6,6 +6,7 @@ import (
 
 	"unison/internal/core"
 	"unison/internal/eventq"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -43,6 +44,7 @@ type vnmRank struct {
 	p, s, m int64
 	events  uint64
 	nulls   uint64
+	iter    uint64 // probe iteration counter
 }
 
 type vnmSink struct {
@@ -131,12 +133,16 @@ func runNullMessage(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 
 	var totalEvents uint64
 	var endTime sim.Time
+	probe := cfg.Observe
+	obs.Begin(probe, obs.RunMeta{Kernel: NullMessage.String(), Workers: n, LPs: n})
 
 	step := func(r *vnmRank) bool {
+		p0, s0, m0, ev0 := r.p, r.s, r.m, r.events
 		progressed := false
 		// Drain deliverable messages.
 		rest := r.inbox[:0]
 		var drained int64
+		var recvd uint64
 		for _, msg := range r.inbox {
 			if msg.vArrive > r.v {
 				rest = append(rest, msg)
@@ -145,6 +151,7 @@ func runNullMessage(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 			for _, ev := range msg.events {
 				r.fel.Push(ev)
 			}
+			recvd += uint64(len(msg.events))
 			if msg.bound > r.clock[msg.from] {
 				r.clock[msg.from] = msg.bound
 			}
@@ -193,6 +200,7 @@ func runNullMessage(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 		if eit < base {
 			base = eit
 		}
+		var sent uint64
 		for _, to := range r.outTo {
 			bound := vSatAdd(base, r.outLA[to])
 			evs := r.outBuf[to]
@@ -202,6 +210,7 @@ func runNullMessage(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 			msg := vnmMsg{from: r.id, bound: bound, vArrive: r.v + cfg.Cost.MsgNS}
 			if len(evs) > 0 {
 				msg.events = append([]sim.Event(nil), evs...)
+				sent += uint64(len(evs))
 				r.outBuf[to] = evs[:0]
 				r.m += cfg.Cost.MsgNS
 				r.v += cfg.Cost.MsgNS
@@ -227,7 +236,18 @@ func runNullMessage(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 		// Termination.
 		if r.fel.NextTime() >= m.StopAt && eit >= m.StopAt {
 			r.done = true
-			return true
+			progressed = true
+		}
+		if probe != nil {
+			rec := obs.RoundRecord{
+				Round: r.iter, Worker: r.id, LBTS: safe,
+				Events: r.events - ev0,
+				ProcNS: r.p - p0, SyncNS: r.s - s0, MsgNS: r.m - m0,
+				Sends: sent, SendBytes: sent * obs.EventBytes,
+				Recvs: recvd, FELDepth: uint64(r.fel.Len()),
+			}
+			probe.OnRound(&rec)
+			r.iter++
 		}
 		return progressed
 	}

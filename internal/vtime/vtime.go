@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"unison/internal/core"
+	"unison/internal/obs"
 	"unison/internal/sim"
 )
 
@@ -85,6 +86,11 @@ type Config struct {
 	RecordRounds bool
 	// MaxRounds aborts runaway simulations when positive.
 	MaxRounds uint64
+	// Observe, when non-nil, receives one obs.RoundRecord per virtual
+	// worker per round. Because the testbed is single-threaded and its
+	// clocks are modeled, every record field — including the NS timings —
+	// is deterministic.
+	Observe obs.Probe
 }
 
 // Run executes m under the virtual testbed.
@@ -112,6 +118,9 @@ func Run(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 	}
 	if st != nil {
 		st.WallNS = time.Since(start).Nanoseconds()
+	}
+	if err == nil {
+		obs.End(cfg.Observe, st)
 	}
 	return st, err
 }

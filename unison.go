@@ -27,6 +27,7 @@ import (
 	"unison/internal/des"
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
+	"unison/internal/obs"
 	"unison/internal/packet"
 	"unison/internal/pdes"
 	"unison/internal/routing"
@@ -101,17 +102,41 @@ type HybridConfig = core.HybridConfig
 // Unison's fine-grained partition and scheduling inside each host.
 func NewHybrid(cfg HybridConfig) Kernel { return core.NewHybrid(cfg) }
 
-// NewBarrier returns the barrier-synchronization PDES baseline; lpOf is
-// the mandatory static manual node→rank partition.
-func NewBarrier(lpOf []int32) Kernel { return &pdes.BarrierKernel{LPOf: lpOf} }
+// NewBarrier returns the barrier-synchronization PDES baseline. The
+// typed partition carries the static manual node→rank assignment plus
+// the lookahead derived from it; build one with ManualPartition.
+func NewBarrier(part *Partition) Kernel { return &pdes.BarrierKernel{Part: part} }
 
-// NewNullMessage returns the null-message PDES baseline; lpOf is the
-// mandatory static manual node→rank partition.
-func NewNullMessage(lpOf []int32) Kernel { return &pdes.NullMessageKernel{LPOf: lpOf} }
+// NewNullMessage returns the null-message PDES baseline. The typed
+// partition carries the static manual node→rank assignment plus the
+// lookahead derived from it; build one with ManualPartition.
+func NewNullMessage(part *Partition) Kernel { return &pdes.NullMessageKernel{Part: part} }
+
+// NewBarrierManual returns the barrier PDES baseline from a raw node→rank
+// slice.
+//
+// Deprecated: use NewBarrier with a typed partition from ManualPartition,
+// which validates the assignment and carries the derived lookahead.
+func NewBarrierManual(lpOf []int32) Kernel { return &pdes.BarrierKernel{LPOf: lpOf} }
+
+// NewNullMessageManual returns the null-message PDES baseline from a raw
+// node→rank slice.
+//
+// Deprecated: use NewNullMessage with a typed partition from
+// ManualPartition, which validates the assignment and carries the derived
+// lookahead.
+func NewNullMessageManual(lpOf []int32) Kernel { return &pdes.NullMessageKernel{LPOf: lpOf} }
 
 // FineGrainedPartition runs the paper's Algorithm 1 on a topology.
 func FineGrainedPartition(g *Graph) *Partition {
 	return core.FineGrained(g.N(), g.LinkInfos())
+}
+
+// ManualPartition wraps a manual node→rank assignment (one entry per node
+// of g) into a typed Partition, deriving the cross-rank lookahead from
+// g's links — the form NewBarrier and NewNullMessage accept.
+func ManualPartition(g *Graph, lpOf []int32) *Partition {
+	return core.Manual(lpOf, g.LinkInfos())
 }
 
 // --- Topologies ---
@@ -250,6 +275,42 @@ const (
 	Uniform     = traffic.Uniform
 	Permutation = traffic.Permutation
 )
+
+// --- Observability ---
+//
+// Every kernel config carries an `Observe Probe` knob. A nil probe (the
+// default) costs one predictable branch per round; a non-nil probe
+// receives one RoundRecord per worker per synchronization round. Probes
+// only observe: a probed run is bit-identical to an unprobed one (pinned
+// by the equivalence tests). The standard probe is Registry; its captured
+// records export as a Chrome/Perfetto trace (WritePerfetto) or an expvar
+// summary (Registry.Publish).
+
+type (
+	// Probe receives kernel telemetry; see the interface docs for the
+	// call discipline every kernel follows.
+	Probe = obs.Probe
+	// RoundRecord is one worker's view of one synchronization round:
+	// round index, LBTS, events executed, the T = P + S + M nanosecond
+	// decomposition, mailbox and FEL counters, scheduler migrations, and
+	// distributed all-reduce latency.
+	RoundRecord = obs.RoundRecord
+	// RunMeta identifies one kernel run to a probe.
+	RunMeta = obs.RunMeta
+	// Registry is the standard probe: per-worker ring buffers merged in
+	// (round, worker) order, with Perfetto and expvar exports.
+	Registry = obs.Registry
+)
+
+// NewRegistry returns a Registry keeping up to capPerWorker round records
+// per worker (a sensible default when capPerWorker <= 0).
+func NewRegistry(capPerWorker int) *Registry { return obs.NewRegistry(capPerWorker) }
+
+// WritePerfetto renders round records (as merged by Registry.Records)
+// into w as Chrome trace-event JSON, loadable at https://ui.perfetto.dev:
+// one thread track per worker with a span per round phase, plus LBTS and
+// event-rate counter tracks.
+var WritePerfetto = obs.WritePerfetto
 
 // --- Virtual testbed ---
 
