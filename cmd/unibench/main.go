@@ -23,10 +23,12 @@ import (
 	"unison"
 	"unison/internal/core"
 	"unison/internal/des"
+	"unison/internal/netobs"
 	"unison/internal/obs"
 	"unison/internal/obs/obshttp"
 	"unison/internal/pdes"
 	"unison/internal/sim"
+	"unison/internal/stats"
 )
 
 // sample is one kernel's measurement; the field names match
@@ -49,6 +51,18 @@ type delta struct {
 	AllocsRatio   float64 `json:"allocs_ratio"`
 }
 
+// fidelity is one kernel's simulation-result summary from the final
+// iteration: throughput numbers alone can hide a kernel that got fast by
+// simulating the wrong thing, so every report carries what the run
+// actually produced.
+type fidelity struct {
+	P50FCTms    float64 `json:"p50_fct_ms"`
+	P99FCTms    float64 `json:"p99_fct_ms"`
+	Completed   int     `json:"completed"`
+	Drops       uint64  `json:"drops"`
+	Fingerprint uint64  `json:"fingerprint"`
+}
+
 type report struct {
 	Note       string            `json:"note"`
 	Go         string            `json:"go"`
@@ -62,6 +76,9 @@ type report struct {
 	// JSON tags from internal/sim) so a report carries the P/S/M split,
 	// not just throughput.
 	RunStats map[string]*sim.RunStats `json:"run_stats,omitempty"`
+	// Fidelity embeds each kernel's simulated results (percentile FCTs,
+	// drops, fingerprint) from the final iteration.
+	Fidelity map[string]fidelity `json:"fidelity,omitempty"`
 }
 
 // kernelOrder fixes the iteration and report order.
@@ -106,11 +123,13 @@ func kernels() map[string]func() sim.Kernel {
 
 // measure runs the kernel n times and reports per-op figures using the
 // same allocation counters `go test -benchmem` reads (Mallocs/TotalAlloc).
-func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, error) {
+// The final iteration's scenario also yields the fidelity summary; reading
+// it after the run costs nothing inside the timed region.
+func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, fidelity, error) {
 	// One warm-up run so one-time costs (pools, route caches) don't skew
 	// the per-op figures, mirroring testing.B's calibration runs.
 	if _, err := mk().Run(scenario(42).Model()); err != nil {
-		return sample{}, nil, err
+		return sample{}, nil, fidelity{}, err
 	}
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -118,23 +137,34 @@ func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, error) {
 	start := time.Now()
 	var events uint64
 	var last *sim.RunStats
+	var lastSc *unison.Scenario
 	for i := 0; i < n; i++ {
-		st, err := mk().Run(scenario(42).Model())
+		sc := scenario(42)
+		st, err := mk().Run(sc.Model())
 		if err != nil {
-			return sample{}, nil, err
+			return sample{}, nil, fidelity{}, err
 		}
 		events += st.Events
-		last = st
+		last, lastSc = st, sc
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	fid := fidelity{
+		Completed:   lastSc.Mon.Completed(),
+		Drops:       lastSc.Net.Drops(),
+		Fingerprint: lastSc.Mon.Fingerprint(),
+	}
+	if fcts := lastSc.Mon.FCTs(); len(fcts) > 0 {
+		fid.P50FCTms = stats.Quantile(fcts, 0.50)
+		fid.P99FCTms = stats.Quantile(fcts, 0.99)
+	}
 	return sample{
 		EventsPerSec: int64(float64(events) / elapsed.Seconds()),
 		NsPerOp:      elapsed.Nanoseconds() / int64(n),
 		BytesPerOp:   int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
 		AllocsPerOp:  int64(after.Mallocs-before.Mallocs) / int64(n),
 		Iterations:   n,
-	}, last, nil
+	}, last, fid, nil
 }
 
 func main() {
@@ -143,6 +173,9 @@ func main() {
 		seedPath  = flag.String("seed", "docs/bench_seed.json", "seed baseline to embed ('' to skip)")
 		out       = flag.String("o", "BENCH_hotpath.json", "output report path")
 		traceOut  = flag.String("trace", "", "write a Perfetto trace of one probed Unison4 run to this file")
+		artifacts = flag.String("artifacts", "", "write a run-artifact bundle of one observed Unison4 run to this directory")
+		gatePath  = flag.String("gate", "", "baseline report (e.g. BENCH_hotpath.json); exit nonzero if Unison4 events/s regresses more than -gate-pct against it")
+		gatePct   = flag.Float64("gate-pct", 10, "allowed Unison4 events/s regression percentage for -gate")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -185,8 +218,9 @@ func main() {
 
 	mks := kernels()
 	rep.RunStats = make(map[string]*sim.RunStats, len(kernelOrder))
+	rep.Fidelity = make(map[string]fidelity, len(kernelOrder))
 	for _, name := range kernelOrder {
-		s, st, err := measure(*n, mks[name])
+		s, st, fid, err := measure(*n, mks[name])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unibench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -194,8 +228,10 @@ func main() {
 		st.RoundTrace = nil // keep the report compact
 		rep.Current[name] = s
 		rep.RunStats[name] = st
-		fmt.Printf("%-12s %9d events/s  %9d ns/op  %8d B/op  %6d allocs/op\n",
-			name, s.EventsPerSec, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp)
+		rep.Fidelity[name] = fid
+		fmt.Printf("%-12s %9d events/s  %9d ns/op  %8d B/op  %6d allocs/op  p50 %.3fms p99 %.3fms drops %d\n",
+			name, s.EventsPerSec, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp,
+			fid.P50FCTms, fid.P99FCTms, fid.Drops)
 	}
 
 	if rep.Seed != nil {
@@ -232,6 +268,80 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *artifacts != "" {
+		if err := writeArtifacts(*artifacts); err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: artifacts: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *gatePath != "" {
+		if err := gate(*gatePath, *gatePct, rep.Current); err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: gate: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gate compares the fresh Unison4 throughput against a baseline report
+// and fails on a regression beyond pct percent — the CI bench smoke gate.
+// The measured runs are probe-disabled, so this also pins the cost of the
+// observability hooks at (near) zero when nothing is attached.
+func gate(path string, pct float64, current map[string]sample) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bad baseline %s: %w", path, err)
+	}
+	b, ok := base.Current["Unison4"]
+	if !ok || b.EventsPerSec == 0 {
+		return fmt.Errorf("baseline %s has no Unison4 events/s", path)
+	}
+	cur := current["Unison4"]
+	change := 100 * (float64(cur.EventsPerSec)/float64(b.EventsPerSec) - 1)
+	fmt.Printf("gate: Unison4 %d events/s vs baseline %d (%+.1f%%, threshold -%.0f%%)\n",
+		cur.EventsPerSec, b.EventsPerSec, change, pct)
+	if change < -pct {
+		return fmt.Errorf("Unison4 events/s regressed %.1f%% (limit %.0f%%)", -change, pct)
+	}
+	return nil
+}
+
+// writeArtifacts runs Unison4 once with the full observability stack
+// attached and materializes the run-artifact bundle. Like writeTrace, the
+// observed run happens outside the measured loop.
+func writeArtifacts(dir string) error {
+	sc := scenario(42)
+	tracer, sampler := sc.EnableNetObs(0, 0)
+	reg := obs.NewRegistry(0)
+	st, err := core.New(core.Config{Threads: 4, Observe: reg}).Run(sc.Model())
+	if err != nil {
+		return err
+	}
+	sampler.Flush()
+	b := &netobs.Bundle{
+		Meta: netobs.Meta{
+			Tool: "unibench", Kernel: st.Kernel, Topology: "fat-tree k=4",
+			Seed: 42, Workers: 4, StopNS: int64(2 * unison.Millisecond),
+			Flows: sc.Mon.Flows(),
+		},
+		Stats:        st,
+		Mon:          sc.Mon,
+		RefBandwidth: 10 * unison.Gbps,
+		Rows:         sampler.Rows(),
+		Interval:     sampler.Interval(),
+		Trace:        tracer.Merged(),
+		KernelMeta:   reg.Meta(),
+		KernelRecs:   reg.Records(),
+	}
+	files, err := b.Write(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote artifact bundle %s (%v)\n", dir, files)
+	return nil
 }
 
 // writeTrace runs Unison4 once more with a probe attached and exports the

@@ -24,6 +24,7 @@ import (
 	"unison/internal/dist"
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
+	"unison/internal/netobs"
 	"unison/internal/obs"
 	"unison/internal/obs/obshttp"
 	"unison/internal/pdes"
@@ -31,6 +32,7 @@ import (
 	"unison/internal/sim"
 	"unison/internal/tcp"
 	"unison/internal/topology"
+	utrace "unison/internal/trace"
 	"unison/internal/traffic"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		tmo    = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
 		dials  = flag.Int("dial-attempts", 8, "host dial retries for the coordinator startup race")
 		trace  = flag.String("trace", "", "write a Perfetto trace of this endpoint's rounds to this file")
+		artif  = flag.String("artifacts", "", "run-artifact bundle directory: pass to every process; hosts enable sampling/tracing, the coordinator writes the bundle")
 		debugA = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -65,9 +68,9 @@ func main() {
 
 	switch *role {
 	case "coord":
-		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo, reg)
+		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo, reg, *artif)
 	case "host":
-		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials, reg)
+		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials, reg, *artif != "")
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -102,7 +105,7 @@ func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model,
 	return m, network, mon, ft, len(flows)
 }
 
-func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, reg *obs.Registry) {
+func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, reg *obs.Registry, artifacts string) {
 	_, _, _, _, flows := buildScenario(k, stop, load, seed)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -110,9 +113,13 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	}
 	fmt.Printf("coordinator listening on %s for %d hosts (%d flows, stop %v)\n",
 		ln.Addr(), hosts, flows, stop)
-	mon, rounds, err := dist.RunCoordinator(ln, dist.CoordConfig{
+	cfg := dist.CoordConfig{
 		Hosts: hosts, StopAt: stop, Flows: flows, Timeout: tmo, Observe: reg,
-	})
+	}
+	if artifacts != "" {
+		cfg.Net = &dist.NetData{}
+	}
+	mon, rounds, err := dist.RunCoordinator(ln, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -121,10 +128,38 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	fmt.Printf("mean FCT         %.3f ms\n", mon.MeanFCTms())
 	fmt.Printf("mean RTT         %.3f ms\n", mon.MeanRTTms())
 	fmt.Printf("result hash      %016x\n", mon.Fingerprint())
+	if artifacts != "" {
+		b := &netobs.Bundle{
+			Meta: netobs.Meta{
+				Tool: "unidist", Kernel: fmt.Sprintf("dist(%d)", hosts),
+				Topology: fmt.Sprintf("fat-tree k=%d", k),
+				Seed:     seed, Workers: hosts, StopNS: int64(stop),
+				Flows: mon.Flows(),
+			},
+			Mon:          mon,
+			RefBandwidth: 10 * unison.Gbps,
+			Rows:         cfg.Net.Rows,
+			Interval:     netobs.DefaultInterval,
+			Trace:        cfg.Net.Trace,
+			KernelMeta:   reg.Meta(),
+			KernelRecs:   reg.Records(),
+		}
+		files, err := b.Write(artifacts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("artifact bundle  %s (%v)\n", artifacts, files)
+	}
 }
 
-func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int, reg *obs.Registry) {
+func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int, reg *obs.Registry, observe bool) {
 	m, network, mon, ft, _ := buildScenario(k, stop, load, seed)
+	if observe {
+		// The coordinator assembles the bundle; this host only collects its
+		// own devices' records and ships them at gather.
+		network.Tracer = utrace.NewCollector(ft.N(), 0)
+		network.AttachSampler(netobs.NewSampler(netobs.SamplerConfig{}))
+	}
 	hostOf := pdes.FatTreeManual(ft, hosts)
 	st, err := dist.RunHost(dist.HostConfig{
 		ID: id, Addr: addr, HostOf: hostOf, StopAt: stop,

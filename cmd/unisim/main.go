@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"unison"
+	"unison/internal/netobs"
 	"unison/internal/pdes"
 	"unison/internal/sim"
 	"unison/internal/topology"
@@ -41,6 +42,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random seed")
 		web     = flag.Bool("websearch", false, "use the web-search flow size CDF (default: gRPC)")
 		traceF  = flag.String("trace", "", "write a packet trace (UTR1 binary) to this file")
+		artif   = flag.String("artifacts", "", "write a run-artifact bundle to this directory")
 	)
 	flag.Parse()
 
@@ -71,6 +73,10 @@ func main() {
 	})
 	if *traceF != "" {
 		sc.Net.Tracer = trace.NewCollector(g.N(), 0)
+	}
+	var sampler *netobs.Sampler
+	if *artif != "" {
+		_, sampler = sc.EnableNetObs(0, 0)
 	}
 
 	st, err := runKernel(*kernel, *threads, g, manual, sc.Model())
@@ -110,6 +116,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace       %d records -> %s\n", sc.Net.Tracer.Count(), *traceF)
+	}
+	if *artif != "" {
+		sampler.Flush()
+		b := &netobs.Bundle{
+			Meta: netobs.Meta{
+				Tool: "unisim", Kernel: st.Kernel, Topology: *topo,
+				Seed: *seed, Workers: *threads, StopNS: int64(stopAt),
+				Flows: sc.Mon.Flows(),
+			},
+			Stats:        st,
+			Mon:          sc.Mon,
+			RefBandwidth: int64(*bwGbps * 1e9),
+			Rows:         sampler.Rows(),
+			Interval:     sampler.Interval(),
+			Trace:        sc.Net.Tracer.Merged(),
+		}
+		files, err := b.Write(*artif)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: artifacts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifacts   %s (%v)\n", *artif, files)
 	}
 }
 

@@ -1,9 +1,11 @@
 // Command unitrace inspects packet traces written by unisim -trace:
-// it prints per-kind and per-flow summaries, or the full ascii dump.
+// it prints per-kind and per-flow summaries, the full ascii dump, or
+// converts the trace to pcapng for Wireshark.
 //
 //	unisim -topo fattree -k 4 -trace /tmp/run.utr
 //	unitrace /tmp/run.utr
 //	unitrace -dump /tmp/run.utr | head
+//	unitrace -pcap /tmp/run.pcapng /tmp/run.utr
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"unison/internal/netobs"
 	"unison/internal/packet"
 	"unison/internal/trace"
 )
@@ -19,9 +22,10 @@ import (
 func main() {
 	dump := flag.Bool("dump", false, "print every record (ascii tracing)")
 	top := flag.Int("top", 5, "number of flows in the per-flow summary")
+	pcap := flag.String("pcap", "", "convert the trace to pcapng at this path (open in Wireshark)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: unitrace [-dump] [-top N] <file.utr>")
+		fmt.Fprintln(os.Stderr, "usage: unitrace [-dump] [-top N] [-pcap out.pcapng] <file.utr>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -32,6 +36,24 @@ func main() {
 	recs, err := trace.ReadAll(f)
 	if err != nil {
 		fatal(err)
+	}
+	if *pcap != "" {
+		// A standalone .utr carries no flow table, so endpoint addresses
+		// synthesize as zeros; the flow id is still recoverable from the
+		// TCP source port and each frame's comment names the event kind.
+		out, err := os.Create(*pcap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netobs.WritePcapng(out, recs, nil); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d frames)\n", *pcap, len(recs))
+		return
 	}
 	if *dump {
 		if err := trace.Dump(os.Stdout, recs); err != nil {

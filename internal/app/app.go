@@ -12,10 +12,12 @@ import (
 
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
+	"unison/internal/netobs"
 	"unison/internal/routing"
 	"unison/internal/sim"
 	"unison/internal/tcp"
 	"unison/internal/topology"
+	"unison/internal/trace"
 )
 
 // Scenario binds the pieces of one simulation.
@@ -93,6 +95,24 @@ func (s *Scenario) Model() *sim.Model {
 		panic(fmt.Sprintf("app: %v", err))
 	}
 	return m
+}
+
+// EnableNetObs turns on the full simulated-network observability stack:
+// a packet-trace collector (perNodeCap records per node, 0 = unlimited)
+// and a queue/link sampler with the given bucket interval (<= 0 uses
+// netobs.DefaultInterval). Call before Model; both collectors ride the
+// deterministic event stream, so their merged output is identical across
+// kernels. Returns the collector and sampler for post-run export.
+func (s *Scenario) EnableNetObs(interval sim.Time, perNodeCap int) (*trace.Collector, *netobs.Sampler) {
+	if s.Net.Tracer == nil {
+		s.Net.Tracer = trace.NewCollector(s.G.N(), perNodeCap)
+	}
+	sampler := s.Net.Sampler()
+	if sampler == nil {
+		sampler = netobs.NewSampler(netobs.SamplerConfig{Interval: interval})
+		s.Net.AttachSampler(sampler)
+	}
+	return s.Net.Tracer, sampler
 }
 
 // ScheduleTopoChange registers a global event at t that applies mutate to

@@ -35,8 +35,8 @@ type stagedEvent struct {
 // current round. The backing arrays are reused across rounds.
 type outbox struct {
 	buf     []stagedEvent
-	head    []int32 // head[lp] indexes buf, -1 when lp has no events
-	touched []int32 // LPs with non-empty chains, for O(touched) reset
+	head    []int32  // head[lp] indexes buf, -1 when lp has no events
+	touched []int32  // LPs with non-empty chains, for O(touched) reset
 	_       [64]byte // keep neighbouring workers' outboxes off one cache line
 }
 

@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"time"
 
 	"unison/internal/flowmon"
+	"unison/internal/netobs"
 	"unison/internal/obs"
 	"unison/internal/sim"
+	"unison/internal/trace"
 )
 
 // CoordConfig parameterizes the coordinator.
@@ -37,6 +40,17 @@ type CoordConfig struct {
 	// the slowest host kept everyone waiting — and Sends counts the
 	// cross-host events routed that round.
 	Observe obs.Probe
+	// Net, when non-nil, receives the merged network observability data
+	// (sampler rows and packet-trace records) the hosts ship at gather.
+	Net *NetData
+}
+
+// NetData is the coordinator-side merge of the hosts' network
+// observability records. Each device and node is owned by exactly one
+// host, so the merged views are byte-identical to a single-process run.
+type NetData struct {
+	Rows  []netobs.Row
+	Trace []trace.Record
 }
 
 // hostMsg is one decoded envelope (or terminal read error) from a host's
@@ -183,6 +197,26 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 		part := flowmon.NewMonitor(cfg.Flows)
 		part.Import(e.Senders, e.Recvs)
 		mon.MergeFrom(part)
+	}
+	if cfg.Net != nil {
+		sets := make([][]netobs.Row, 0, len(gathers))
+		for _, e := range gathers {
+			if len(e.Rows) > 0 {
+				sets = append(sets, e.Rows)
+			}
+			cfg.Net.Trace = append(cfg.Net.Trace, e.Trace...)
+		}
+		cfg.Net.Rows = netobs.MergeRows(sets...)
+		// Per-host lists arrive in each host's merged (time, node, emission)
+		// order and every node lives on one host, so a stable sort by
+		// (time, node) reproduces the single-process merged trace.
+		sort.SliceStable(cfg.Net.Trace, func(i, j int) bool {
+			a, b := &cfg.Net.Trace[i], &cfg.Net.Trace[j]
+			if a.Time != b.Time {
+				return a.Time < b.Time
+			}
+			return a.Node < b.Node
+		})
 	}
 	if probe != nil {
 		probe.EndRun(&sim.RunStats{

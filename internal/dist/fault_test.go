@@ -482,4 +482,3 @@ func TestKindString(t *testing.T) {
 		t.Errorf("unknown kind: %q", got)
 	}
 }
-

@@ -166,7 +166,17 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 		switch e.Kind {
 		case kDone:
 			recs, rcvs := mon.Export()
-			if err := c.send(&envelope{Kind: kGather, Host: cfg.ID, Senders: recs, Recvs: rcvs}); err != nil {
+			gather := &envelope{Kind: kGather, Host: cfg.ID, Senders: recs, Recvs: rcvs}
+			// Ship this host's share of the network observability data; the
+			// sampler and tracer only hold records of locally-owned devices.
+			if s := network.Sampler(); s != nil {
+				s.Flush()
+				gather.Rows = s.Rows()
+			}
+			if network.Tracer != nil {
+				gather.Trace = network.Tracer.Merged()
+			}
+			if err := c.send(gather); err != nil {
 				return nil, fmt.Errorf("dist: gather: %w", err)
 			}
 			st.WallNS = time.Since(start).Nanoseconds()

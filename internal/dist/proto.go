@@ -28,8 +28,10 @@ import (
 	"time"
 
 	"unison/internal/flowmon"
+	"unison/internal/netobs"
 	"unison/internal/packet"
 	"unison/internal/sim"
+	"unison/internal/trace"
 )
 
 // msgKind enumerates the wire message kinds.
@@ -85,6 +87,11 @@ type envelope struct {
 	Events  []RemoteEvent
 	Senders []flowmon.SenderRec
 	Recvs   []flowmon.RecvRec
+	// Rows and Trace ride the kGather message when the host had a sampler
+	// or tracer attached; every device and node is owned by exactly one
+	// host, so the coordinator's merge reproduces the single-process output.
+	Rows  []netobs.Row
+	Trace []trace.Record
 }
 
 // conn wraps a TCP connection with gob codecs, optional per-message

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"unison/internal/core"
+	"unison/internal/netobs"
+	"unison/internal/obs"
+	"unison/internal/sim"
+)
+
+// ArtifactConfig parameterizes WriteArtifacts.
+type ArtifactConfig struct {
+	// Seed drives every random stream.
+	Seed uint64
+	// Quick shrinks the run for CI smoke tests.
+	Quick bool
+	// Workers sizes the Unison kernel (default 4).
+	Workers int
+	// Interval is the sampler bucket width (default netobs.DefaultInterval).
+	Interval sim.Time
+}
+
+// WriteArtifacts runs the canonical fat-tree scenario under the Unison
+// kernel with full network observability enabled and materializes the
+// run-artifact bundle under dir (see netobs.Bundle for the inventory).
+// It returns the files written.
+func WriteArtifacts(dir string, cfg ArtifactConfig) ([]string, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	k, stop := 4, 2*sim.Millisecond
+	if cfg.Quick {
+		stop = 500 * sim.Microsecond
+	}
+	spec := fatTreeSpec(cfg.Seed, k, 1_000_000_000, 3*sim.Microsecond, stop, 0)
+	sc := spec.build()
+	tracer, sampler := sc.EnableNetObs(cfg.Interval, 0)
+
+	reg := obs.NewRegistry(0)
+	st, err := core.New(core.Config{Threads: cfg.Workers, Observe: reg}).Run(sc.Model())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: artifact run: %w", err)
+	}
+	sampler.Flush()
+
+	b := &netobs.Bundle{
+		Meta: netobs.Meta{
+			Tool:     "uniexp",
+			Kernel:   st.Kernel,
+			Topology: fmt.Sprintf("fat-tree k=%d", k),
+			Seed:     cfg.Seed,
+			Workers:  cfg.Workers,
+			StopNS:   int64(stop),
+			Flows:    sc.Mon.Flows(),
+		},
+		Stats:        st,
+		Mon:          sc.Mon,
+		RefBandwidth: 1_000_000_000,
+		Rows:         sampler.Rows(),
+		Interval:     sampler.Interval(),
+		Trace:        tracer.Merged(),
+		KernelMeta:   reg.Meta(),
+		KernelRecs:   reg.Records(),
+	}
+	return b.Write(dir)
+}

@@ -1,0 +1,170 @@
+package flowmon
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"unison/internal/stats"
+)
+
+// This file turns a Monitor into the FlowReport consumed by uniexp and the
+// run-artifact bundle: percentile FCTs, slowdown against the ideal
+// transfer time on an uncongested reference link, a goodput histogram and
+// per-flow entries. The report is a pure function of the monitor's
+// records, so it is identical across kernels whenever the fingerprints
+// are.
+
+// ReportConfig parameterizes Report.
+type ReportConfig struct {
+	// RefBandwidthBps is the access-link bandwidth used to compute each
+	// flow's ideal FCT (bytes*8 / RefBandwidthBps) and hence its slowdown.
+	// Zero disables slowdown columns.
+	RefBandwidthBps int64
+	// GoodputBucketMbps is the histogram bucket width (default 100 Mbit/s).
+	GoodputBucketMbps float64
+	// GoodputBuckets is the bucket count (default 16).
+	GoodputBuckets int
+}
+
+// FlowEntry is one flow's line in the report.
+type FlowEntry struct {
+	ID       int     `json:"id"`
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	Bytes    int64   `json:"bytes"`
+	StartNS  int64   `json:"start_ns"`
+	Done     bool    `json:"done"`
+	FCTms    float64 `json:"fct_ms,omitempty"`
+	Slowdown float64 `json:"slowdown,omitempty"`
+	GoodMbps float64 `json:"goodput_mbps,omitempty"`
+	Retrans  uint64  `json:"retransmits,omitempty"`
+}
+
+// FCTStats summarizes a flow-completion-time distribution (milliseconds).
+type FCTStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// GoodputHist is the goodput histogram in fixed Mbit/s buckets.
+type GoodputHist struct {
+	BucketMbps float64  `json:"bucket_mbps"`
+	Counts     []uint64 `json:"counts"`
+	Over       uint64   `json:"over"`
+}
+
+// FlowReport is the stable JSON document written as flow_report.json.
+type FlowReport struct {
+	Flows        int         `json:"flows"`
+	Completed    int         `json:"completed"`
+	Retransmits  uint64      `json:"retransmits"`
+	FCT          FCTStats    `json:"fct"`
+	MeanSlowdown float64     `json:"mean_slowdown,omitempty"`
+	P99Slowdown  float64     `json:"p99_slowdown,omitempty"`
+	Goodput      GoodputHist `json:"goodput"`
+	Fingerprint  uint64      `json:"fingerprint"`
+	PerFlow      []FlowEntry `json:"per_flow"`
+}
+
+// fctStats summarizes xs (ms); zero-valued for empty input.
+func fctStats(xs []float64) FCTStats {
+	if len(xs) == 0 {
+		return FCTStats{}
+	}
+	return FCTStats{
+		Count: len(xs),
+		Mean:  stats.Mean(xs),
+		P50:   stats.Quantile(xs, 0.50),
+		P95:   stats.Quantile(xs, 0.95),
+		P99:   stats.Quantile(xs, 0.99),
+		Max:   stats.Quantile(xs, 1),
+	}
+}
+
+// Report builds the flow report.
+func (m *Monitor) Report(cfg ReportConfig) *FlowReport {
+	if cfg.GoodputBucketMbps <= 0 {
+		cfg.GoodputBucketMbps = 100
+	}
+	if cfg.GoodputBuckets <= 0 {
+		cfg.GoodputBuckets = 16
+	}
+	rep := &FlowReport{
+		Flows:       m.Flows(),
+		Completed:   m.Completed(),
+		Retransmits: m.TotalRetransmits(),
+		FCT:         fctStats(m.FCTs()),
+		Fingerprint: m.Fingerprint(),
+	}
+	hist := stats.NewHistogram(cfg.GoodputBucketMbps, cfg.GoodputBuckets)
+	var slowdowns []float64
+	for i := range m.senders {
+		s := &m.senders[i]
+		if s.Bytes == 0 && s.StartT == 0 && s.Src == 0 && s.Dst == 0 {
+			continue // never registered
+		}
+		e := FlowEntry{
+			ID: i, Src: int(s.Src), Dst: int(s.Dst),
+			Bytes: s.Bytes, StartNS: int64(s.StartT),
+			Done: s.Done, Retrans: s.Retransmit,
+		}
+		if s.Done {
+			fct := s.FCT()
+			e.FCTms = fct.Seconds() * 1e3
+			if cfg.RefBandwidthBps > 0 && fct > 0 {
+				ideal := float64(s.Bytes*8) / float64(cfg.RefBandwidthBps)
+				if ideal > 0 {
+					e.Slowdown = fct.Seconds() / ideal
+					slowdowns = append(slowdowns, e.Slowdown)
+				}
+			}
+		}
+		if i < len(m.recvs) {
+			if g := m.recvs[i].Goodput(); g > 0 {
+				e.GoodMbps = g * 8 / 1e6
+				hist.Add(e.GoodMbps)
+			}
+		}
+		rep.PerFlow = append(rep.PerFlow, e)
+	}
+	rep.Goodput = GoodputHist{
+		BucketMbps: cfg.GoodputBucketMbps,
+		Counts:     hist.Buckets,
+		Over:       hist.Over,
+	}
+	if len(slowdowns) > 0 {
+		rep.MeanSlowdown = stats.Mean(slowdowns)
+		rep.P99Slowdown = stats.Quantile(slowdowns, 0.99)
+	}
+	return rep
+}
+
+// WriteJSON serializes the report as deterministic, indented JSON. NaNs
+// cannot appear: empty distributions report zero-valued stats.
+func (r *FlowReport) WriteJSON(w io.Writer) error {
+	r.scrub()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// scrub replaces NaN/Inf with zeros so the report always marshals.
+func (r *FlowReport) scrub() {
+	clean := func(v *float64) {
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			*v = 0
+		}
+	}
+	clean(&r.FCT.Mean)
+	clean(&r.FCT.P50)
+	clean(&r.FCT.P95)
+	clean(&r.FCT.P99)
+	clean(&r.FCT.Max)
+	clean(&r.MeanSlowdown)
+	clean(&r.P99Slowdown)
+}

@@ -1,0 +1,120 @@
+package flowmon
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// reportMonitor builds a monitor with three completed flows whose FCTs are
+// 1, 2 and 4 ms against a 1 Gbit/s reference link (slowdowns 1, 2, 4) and
+// one flow that was never registered.
+func reportMonitor() *Monitor {
+	m := NewMonitor(4)
+	for i, doneMs := range []sim.Time{1, 2, 4} {
+		s := m.Sender(packet.FlowID(i))
+		s.Start(0, sim.NodeID(i+1), sim.NodeID(i+2), 125_000) // ideal 1ms at 1Gbps
+		s.Done = true
+		s.DoneT = doneMs * sim.Millisecond
+		r := m.Recv(packet.FlowID(i))
+		r.BytesRcvd = 125_000
+		r.FirstRxT = 0
+		r.LastRxT = doneMs * sim.Millisecond
+		r.Done = true
+	}
+	return m
+}
+
+func TestReportPercentilesAndSlowdown(t *testing.T) {
+	m := reportMonitor()
+	rep := m.Report(ReportConfig{RefBandwidthBps: 1_000_000_000})
+
+	if rep.Flows != 4 || rep.Completed != 3 {
+		t.Fatalf("flows=%d completed=%d", rep.Flows, rep.Completed)
+	}
+	// Linear-interpolation quantiles of [1,2,4] ms.
+	approx := func(got, want float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+	approx(rep.FCT.Mean, 7.0/3, "fct mean")
+	approx(rep.FCT.P50, 2, "fct p50")
+	approx(rep.FCT.P95, 3.8, "fct p95")
+	approx(rep.FCT.P99, 3.96, "fct p99")
+	approx(rep.FCT.Max, 4, "fct max")
+	if rep.FCT.Count != 3 {
+		t.Fatalf("fct count=%d", rep.FCT.Count)
+	}
+	approx(rep.MeanSlowdown, 7.0/3, "mean slowdown")
+	approx(rep.P99Slowdown, 3.96, "p99 slowdown")
+
+	// The unregistered flow must not appear in per-flow entries.
+	if len(rep.PerFlow) != 3 {
+		t.Fatalf("per-flow entries=%d, want 3", len(rep.PerFlow))
+	}
+	approx(rep.PerFlow[2].Slowdown, 4, "flow 2 slowdown")
+	approx(rep.PerFlow[2].FCTms, 4, "flow 2 fct")
+}
+
+func TestReportGoodputHistogram(t *testing.T) {
+	m := reportMonitor()
+	rep := m.Report(ReportConfig{GoodputBucketMbps: 100, GoodputBuckets: 16})
+	// 125 kB over 1/2/4 ms = 1000/500/250 Mbit/s -> buckets 10, 5, 2.
+	want := map[int]uint64{10: 1, 5: 1, 2: 1}
+	for i, c := range rep.Goodput.Counts {
+		if c != want[i] {
+			t.Fatalf("goodput bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if rep.Goodput.Over != 0 || rep.Goodput.BucketMbps != 100 {
+		t.Fatalf("goodput hist = %+v", rep.Goodput)
+	}
+}
+
+func TestReportWriteJSONDeterministicAndNaNFree(t *testing.T) {
+	m := reportMonitor()
+	var b1, b2 bytes.Buffer
+	if err := m.Report(ReportConfig{RefBandwidthBps: 1_000_000_000}).WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Report(ReportConfig{RefBandwidthBps: 1_000_000_000}).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("report JSON not deterministic")
+	}
+	var parsed FlowReport
+	if err := json.Unmarshal(b1.Bytes(), &parsed); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if parsed.Fingerprint != m.Fingerprint() {
+		t.Fatal("fingerprint lost in serialization")
+	}
+	if strings.Contains(b1.String(), "NaN") {
+		t.Fatal("NaN leaked into JSON")
+	}
+}
+
+func TestReportEmptyMonitorMarshals(t *testing.T) {
+	// No flows ever completed: Quantile returns NaN internally, but the
+	// report must still be valid JSON with zero-valued stats.
+	m := NewMonitor(2)
+	var buf bytes.Buffer
+	if err := m.Report(ReportConfig{RefBandwidthBps: 1}).WriteJSON(&buf); err != nil {
+		t.Fatalf("empty monitor report failed to marshal: %v", err)
+	}
+	var parsed FlowReport
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.FCT.Count != 0 || parsed.FCT.P99 != 0 {
+		t.Fatalf("empty FCT stats = %+v", parsed.FCT)
+	}
+}

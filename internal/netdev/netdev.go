@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"unison/internal/netobs"
 	"unison/internal/packet"
 	"unison/internal/routing"
 	"unison/internal/sim"
@@ -52,6 +53,10 @@ type Network struct {
 	// dequeue, drop, mark, deliver) — the pcap/ascii tracing analog.
 	// Collection is lock-free (per-node buffers).
 	Tracer *trace.Collector
+
+	// sampler, when attached before the run, collects per-device queue and
+	// link time series (see AttachSampler).
+	sampler *netobs.Sampler
 
 	// Remote, when set, is consulted before scheduling a link arrival: if
 	// it returns true the delivery was taken over by an external transport
@@ -130,6 +135,24 @@ func (n *Network) Devices(fn func(*Device)) {
 		fn(n.devs[i][1])
 	}
 }
+
+// AttachSampler registers a queue/link probe on every device. Call before
+// the run starts; probes then ride the device's own events (single-owner,
+// lock-free under every kernel — the same discipline as Tracer). A nil or
+// absent sampler costs one nil-check per queue operation.
+func (n *Network) AttachSampler(s *netobs.Sampler) {
+	n.sampler = s
+	if s == nil {
+		n.Devices(func(d *Device) { d.probe = nil })
+		return
+	}
+	n.Devices(func(d *Device) {
+		d.probe = s.Register(d.node, int32(d.link), n.G.Links[d.link].Bandwidth)
+	})
+}
+
+// Sampler returns the attached sampler, or nil.
+func (n *Network) Sampler() *netobs.Sampler { return n.sampler }
 
 // Drops returns the total packets dropped network-wide.
 func (n *Network) Drops() uint64 {
@@ -268,6 +291,7 @@ type Device struct {
 
 	queue Queue
 	busy  bool
+	probe *netobs.DevProbe // nil unless a sampler is attached
 
 	// Statistics, owned by the device's node.
 	TxPackets, TxBytes uint64
@@ -301,12 +325,21 @@ func (d *Device) Send(ctx *sim.Ctx, p packet.Packet) {
 	case verdictDrop:
 		d.Drops++
 		d.net.traceEvent(ctx, trace.Drop, d.node, &p)
+		if d.probe != nil {
+			d.probe.OnDrop(ctx.Now(), int32(d.queue.Len()))
+		}
 		return
 	case verdictMark:
 		d.MarkCount++
 		d.net.traceEvent(ctx, trace.Mark, d.node, &p)
+		if d.probe != nil {
+			d.probe.OnEnqueue(ctx.Now(), int32(d.queue.Len()), true)
+		}
 	default:
 		d.net.traceEvent(ctx, trace.Enqueue, d.node, &p)
+		if d.probe != nil {
+			d.probe.OnEnqueue(ctx.Now(), int32(d.queue.Len()), false)
+		}
 	}
 	if !d.busy {
 		d.startTx(ctx)
@@ -331,6 +364,9 @@ func (d *Device) startTx(ctx *sim.Ctx) {
 	if !lk.Up {
 		// Link went down while queued: drop and drain the rest next event.
 		d.Drops++
+		if d.probe != nil {
+			d.probe.OnDrop(ctx.Now(), int32(d.queue.Len()))
+		}
 		ctx.Schedule(0, d.node, func(c *sim.Ctx) { d.startTx(c) })
 		return
 	}
@@ -341,6 +377,9 @@ func (d *Device) startTx(ctx *sim.Ctx) {
 	d.TxPackets++
 	d.TxBytes += uint64(item.p.Size())
 	d.net.traceEvent(ctx, trace.Dequeue, d.node, &item.p)
+	if d.probe != nil {
+		d.probe.OnDequeue(ctx.Now(), int32(d.queue.Len()), item.p.Size())
+	}
 	schedTxDone(ctx, txTime, d, item.p)
 }
 
@@ -354,6 +393,9 @@ func (d *Device) txDone(ctx *sim.Ctx, p packet.Packet) {
 		}
 	} else {
 		d.Drops++
+		if d.probe != nil {
+			d.probe.OnDrop(ctx.Now(), int32(d.queue.Len()))
+		}
 	}
 	if !lk.Stateless {
 		// Release the shared channel and offer it to the peer device; the

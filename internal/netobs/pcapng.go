@@ -1,0 +1,241 @@
+package netobs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"strconv"
+
+	"unison/internal/flowmon"
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/trace"
+)
+
+// This file converts internal/trace records into pcapng — the capture
+// format Wireshark, tshark and tcpdump open directly. The simulator does
+// not carry real packet bytes, so each record becomes a frame with
+// synthesized Ethernet/IPv4/TCP (or UDP) headers reconstructed from the
+// record plus the flow table: MAC and IP addresses are derived from the
+// flow's endpoint node IDs, the TCP sequence number is the record's, and
+// the frame's original length is the packet's true on-wire size (capture
+// truncated after the headers, like a snaplen capture). Every frame
+// carries a pcapng comment option naming the trace event kind and the
+// observing node, so queue drops and ECN marks are grep-able in tshark.
+
+// FlowInfo is the per-flow addressing the header synthesizer needs.
+type FlowInfo struct {
+	Src, Dst sim.NodeID
+	Proto    packet.Proto
+}
+
+// FlowLookup resolves a flow ID to its addressing; ok=false falls back
+// to zero addresses (frames still parse).
+type FlowLookup func(f packet.FlowID) (FlowInfo, bool)
+
+// FlowTable builds a FlowLookup from a flow monitor's sender records —
+// the natural source, since every registered flow records Src and Dst.
+// Flows without a sender record (pure UDP sinks) resolve ok=false.
+func FlowTable(mon *flowmon.Monitor) FlowLookup {
+	return func(f packet.FlowID) (FlowInfo, bool) {
+		if int(f) >= mon.Flows() {
+			return FlowInfo{}, false
+		}
+		s := mon.Sender(f)
+		if s.StartT == 0 && s.Bytes == 0 && s.Src == 0 && s.Dst == 0 {
+			return FlowInfo{}, false
+		}
+		return FlowInfo{Src: s.Src, Dst: s.Dst, Proto: packet.TCP}, true
+	}
+}
+
+// pcapng block types and fixed values.
+const (
+	shbType       = 0x0A0D0D0A
+	idbType       = 0x00000001
+	epbType       = 0x00000006
+	byteOrder     = 0x1A2B3C4D
+	linkEthernet  = 1
+	snapLen       = 128
+	optComment    = 1
+	optEndOfOpt   = 0
+	optIfTsresol  = 9
+	tsresolNanos  = 9 // timestamps are 10^-9 s
+	ethHeaderLen  = 14
+	ipHeaderLen   = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	maxFrameBytes = ethHeaderLen + ipHeaderLen + tcpHeaderLen
+)
+
+// WritePcapng renders records (in merged order, as returned by
+// trace.Collector.Merged) into w as a pcapng capture. flows may be nil.
+// The output is a pure function of its inputs, hence byte-identical
+// across kernels for the same scenario.
+func WritePcapng(w io.Writer, recs []trace.Record, flows FlowLookup) error {
+	bw := bufio.NewWriter(w)
+	writeSHB(bw)
+	writeIDB(bw)
+	var frame [maxFrameBytes]byte
+	for i := range recs {
+		r := &recs[i]
+		var fi FlowInfo
+		if flows != nil {
+			fi, _ = flows(r.Flow)
+		}
+		n := synthFrame(&frame, r, &fi)
+		writeEPB(bw, r, frame[:n])
+	}
+	return bw.Flush()
+}
+
+// block assembles one pcapng block: 4-byte-aligned body framed by the
+// block type and the total length repeated at both ends.
+func block(bw *bufio.Writer, typ uint32, body []byte) {
+	pad := (4 - len(body)%4) % 4
+	total := uint32(12 + len(body) + pad)
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], typ)
+	bw.Write(u[:])
+	binary.LittleEndian.PutUint32(u[:], total)
+	bw.Write(u[:])
+	bw.Write(body)
+	bw.Write(make([]byte, pad))
+	binary.LittleEndian.PutUint32(u[:], total)
+	bw.Write(u[:])
+}
+
+func writeSHB(bw *bufio.Writer) {
+	body := make([]byte, 16)
+	binary.LittleEndian.PutUint32(body[0:], byteOrder)
+	binary.LittleEndian.PutUint16(body[4:], 1) // major
+	binary.LittleEndian.PutUint16(body[6:], 0) // minor
+	// Section length unknown: -1.
+	binary.LittleEndian.PutUint64(body[8:], ^uint64(0))
+	block(bw, shbType, body)
+}
+
+func writeIDB(bw *bufio.Writer) {
+	body := make([]byte, 8, 16)
+	binary.LittleEndian.PutUint16(body[0:], linkEthernet)
+	binary.LittleEndian.PutUint32(body[4:], snapLen)
+	// if_tsresol option: timestamps in nanoseconds.
+	body = append(body,
+		byte(optIfTsresol), 0, 1, 0, // code, len=1
+		tsresolNanos, 0, 0, 0, // value + 3 pad
+		byte(optEndOfOpt), 0, 0, 0)
+	block(bw, idbType, body)
+}
+
+func writeEPB(bw *bufio.Writer, r *trace.Record, frame []byte) {
+	origLen := int(r.Size) + ethHeaderLen
+	if origLen < len(frame) {
+		origLen = len(frame)
+	}
+	comment := r.Kind.String() + " node=" + strconv.Itoa(int(r.Node))
+	cpad := (4 - len(comment)%4) % 4
+	fpad := (4 - len(frame)%4) % 4
+
+	body := make([]byte, 0, 20+len(frame)+fpad+4+len(comment)+cpad+4)
+	var u [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u[:], v)
+		body = append(body, u[:]...)
+	}
+	put(0) // interface 0
+	ts := uint64(r.Time)
+	put(uint32(ts >> 32))
+	put(uint32(ts))
+	put(uint32(len(frame)))
+	put(uint32(origLen))
+	body = append(body, frame...)
+	body = append(body, make([]byte, fpad)...)
+	// opt_comment
+	body = append(body, byte(optComment), 0, byte(len(comment)), byte(len(comment)>>8))
+	body = append(body, comment...)
+	body = append(body, make([]byte, cpad)...)
+	body = append(body, byte(optEndOfOpt), 0, 0, 0)
+	block(bw, epbType, body)
+}
+
+// synthFrame writes Ethernet+IPv4+TCP/UDP headers for one record into
+// buf and returns the captured length.
+func synthFrame(buf *[maxFrameBytes]byte, r *trace.Record, fi *FlowInfo) int {
+	b := buf[:]
+	// Ethernet: locally-administered MACs derived from the endpoint IDs.
+	mac(b[0:6], fi.Dst)
+	mac(b[6:12], fi.Src)
+	b[12], b[13] = 0x08, 0x00 // IPv4
+
+	ip := b[ethHeaderLen:]
+	totLen := uint16(r.Size)
+	if int(totLen) < ipHeaderLen {
+		totLen = ipHeaderLen
+	}
+	ip[0] = 0x45 // v4, 20-byte header
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:], totLen)
+	binary.BigEndian.PutUint16(ip[4:], uint16(r.Seq)) // IP ID: low seq bits
+	ip[6], ip[7] = 0x40, 0                            // DF, no fragment offset
+	ip[8] = 64                                        // TTL
+	proto := byte(6)                                  // TCP
+	if fi.Proto == packet.UDP {
+		proto = 17
+	}
+	ip[9] = proto
+	ip[10], ip[11] = 0, 0 // checksum, filled below
+	ipAddr(ip[12:16], fi.Src)
+	ipAddr(ip[16:20], fi.Dst)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:ipHeaderLen]))
+
+	l4 := ip[ipHeaderLen:]
+	sport := uint16(1024 + uint32(r.Flow)%50000)
+	const dport = 5001
+	if fi.Proto == packet.UDP {
+		binary.BigEndian.PutUint16(l4[0:], sport)
+		binary.BigEndian.PutUint16(l4[2:], dport)
+		ulen := int(totLen) - ipHeaderLen
+		if ulen < udpHeaderLen {
+			ulen = udpHeaderLen
+		}
+		binary.BigEndian.PutUint16(l4[4:], uint16(ulen))
+		binary.BigEndian.PutUint16(l4[6:], 0)
+		return ethHeaderLen + ipHeaderLen + udpHeaderLen
+	}
+	binary.BigEndian.PutUint16(l4[0:], sport)
+	binary.BigEndian.PutUint16(l4[2:], dport)
+	binary.BigEndian.PutUint32(l4[4:], r.Seq)
+	binary.BigEndian.PutUint32(l4[8:], 0) // ack unknown
+	l4[12] = 5 << 4                       // data offset
+	l4[13] = 0x10                         // ACK
+	binary.BigEndian.PutUint16(l4[14:], 65535)
+	binary.BigEndian.PutUint16(l4[16:], 0) // checksum (capture is truncated)
+	binary.BigEndian.PutUint16(l4[18:], 0) // urgent
+	return ethHeaderLen + ipHeaderLen + tcpHeaderLen
+}
+
+// mac derives a locally-administered unicast MAC from a node ID.
+func mac(b []byte, n sim.NodeID) {
+	b[0], b[1] = 0x02, 0x55 // local bit set, 'U' for unison
+	binary.BigEndian.PutUint32(b[2:], uint32(n))
+}
+
+// ipAddr derives a 10.0.0.0/8 address from a node ID.
+func ipAddr(b []byte, n sim.NodeID) {
+	b[0] = 10
+	b[1] = byte(n >> 16)
+	b[2] = byte(n >> 8)
+	b[3] = byte(n)
+}
+
+// ipChecksum is the standard Internet checksum over the IP header.
+func ipChecksum(h []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(h); i += 2 {
+		sum += uint32(h[i])<<8 | uint32(h[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,137 @@
+package netobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"unison/internal/flowmon"
+	"unison/internal/obs"
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// This file renders the simulated network as Perfetto tracks that land in
+// the same trace file as the kernel's worker lanes (internal/obs): one
+// counter track per sampled device for queue depth and one for link
+// utilization, plus one async slice per flow spanning start to
+// completion. Network tracks live on their own process (NetPid) because
+// their time axis is *simulated* time, while the kernel lanes are
+// reconstructed wall time — Perfetto displays both, grouped by process.
+
+// NetPid is the trace-event process id of the simulated-network tracks.
+const NetPid = 2
+
+// FlowSlice is the visible lifetime of one flow.
+type FlowSlice struct {
+	ID    packet.FlowID
+	Src   sim.NodeID
+	Dst   sim.NodeID
+	Bytes int64
+	Start sim.Time
+	End   sim.Time // completion; unfinished flows are skipped
+}
+
+// FlowSlices extracts completed flows from a monitor in flow-ID order.
+func FlowSlices(mon *flowmon.Monitor) []FlowSlice {
+	var out []FlowSlice
+	for id := 0; id < mon.Flows(); id++ {
+		s := mon.Sender(packet.FlowID(id))
+		if !s.Done {
+			continue
+		}
+		out = append(out, FlowSlice{
+			ID: packet.FlowID(id), Src: s.Src, Dst: s.Dst,
+			Bytes: s.Bytes, Start: s.StartT, End: s.DoneT,
+		})
+	}
+	return out
+}
+
+// NetworkEvents renders sampler rows and flow slices as trace events on
+// the simulated-network process track. rows must be in canonical
+// (Tick, Node, Link) order; interval is the sampler's bucket width.
+func NetworkEvents(rows []Row, interval sim.Time, flows []FlowSlice) []obs.TraceEvent {
+	evs := []obs.TraceEvent{
+		obs.ProcessName(NetPid, "simulated network"),
+		obs.ThreadName(NetPid, 0, "flows"),
+	}
+
+	// Group rows per device so each device becomes two counter tracks
+	// with zero-resets after idle gaps (otherwise Perfetto holds the last
+	// value across gaps, painting phantom standing queues).
+	type devKey struct {
+		node sim.NodeID
+		link int32
+	}
+	perDev := map[devKey][]*Row{}
+	var keys []devKey
+	for i := range rows {
+		k := devKey{rows[i].Node, rows[i].Link}
+		if _, ok := perDev[k]; !ok {
+			keys = append(keys, k)
+		}
+		perDev[k] = append(perDev[k], &rows[i])
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].link < keys[j].link
+	})
+	counter := func(name string, t sim.Time, v float64) obs.TraceEvent {
+		return obs.TraceEvent{
+			Name: name, Ph: "C", Ts: float64(t) / 1e3,
+			Pid: NetPid, Args: map[string]any{"value": v},
+		}
+	}
+	for _, k := range keys {
+		depthName := fmt.Sprintf("queue n%d l%d (pkts)", k.node, k.link)
+		utilName := fmt.Sprintf("util n%d l%d", k.node, k.link)
+		prevEnd := sim.Time(-1)
+		for _, r := range perDev[k] {
+			if prevEnd >= 0 && r.Tick > prevEnd {
+				// Idle gap: reset both counters at the end of the last
+				// active bucket.
+				evs = append(evs, counter(depthName, prevEnd, 0),
+					counter(utilName, prevEnd, 0))
+			}
+			evs = append(evs, counter(depthName, r.Tick, float64(r.Depth)),
+				counter(utilName, r.Tick, r.Utilization(interval)))
+			prevEnd = r.Tick + interval
+		}
+		if prevEnd >= 0 {
+			evs = append(evs, counter(depthName, prevEnd, 0),
+				counter(utilName, prevEnd, 0))
+		}
+	}
+
+	for _, f := range flows {
+		id := fmt.Sprintf("flow-%d", f.ID)
+		name := fmt.Sprintf("flow %d", f.ID)
+		args := map[string]any{
+			"src": int(f.Src), "dst": int(f.Dst), "bytes": f.Bytes,
+			"fct": (f.End - f.Start).String(),
+		}
+		evs = append(evs,
+			obs.TraceEvent{
+				Name: name, Ph: "b", Cat: "flow", ID: id,
+				Ts: float64(f.Start) / 1e3, Pid: NetPid, Tid: 0, Args: args,
+			},
+			obs.TraceEvent{
+				Name: name, Ph: "e", Cat: "flow", ID: id,
+				Ts: float64(f.End) / 1e3, Pid: NetPid, Tid: 0,
+			})
+	}
+	return evs
+}
+
+// WriteCombinedPerfetto writes one trace file holding both the kernel's
+// worker lanes (round records from internal/obs) and the simulated
+// network's queue/link/flow tracks. Either side may be empty.
+func WriteCombinedPerfetto(w io.Writer, meta obs.RunMeta, recs []obs.RoundRecord,
+	rows []Row, interval sim.Time, flows []FlowSlice) error {
+	evs := obs.Events(meta, recs)
+	evs = append(evs, NetworkEvents(rows, interval, flows)...)
+	return obs.WriteTraceJSON(w, evs)
+}

@@ -21,12 +21,19 @@ import (
 // therefore stay visually aligned at barriers up to measurement noise,
 // and a virtual-testbed export (whose durations are exact) aligns
 // perfectly.
+//
+// The building blocks are exported (TraceEvent, Events, WriteTraceJSON)
+// so other exporters — internal/netobs renders simulated-network queue,
+// link and flow tracks — can append their events and land in the same
+// trace file as the kernel's worker lanes.
 
-// traceEvent is one Chrome trace-event object. Ts and Dur are in
+// TraceEvent is one Chrome trace-event object. Ts and Dur are in
 // microseconds, per the format.
-type traceEvent struct {
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
 	Ts   float64        `json:"ts"`
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
@@ -36,32 +43,45 @@ type traceEvent struct {
 
 // traceFile is the top-level trace-event JSON object.
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
-const tracePid = 1
+// KernelPid is the trace-event process id of the kernel's worker lanes;
+// exporters of other domains (the simulated network) use distinct pids so
+// their tracks group separately in the Perfetto UI.
+const KernelPid = 1
+
+// ProcessName returns the metadata event naming a trace-event process.
+func ProcessName(pid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// ThreadName returns the metadata event naming a trace-event thread.
+func ThreadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	}
+}
 
 // phase names, in within-round order.
 var phaseNames = [4]string{"process", "wait-global", "recv", "wait-window"}
 
-// WritePerfetto renders recs (as returned by Registry.Records: merged in
-// (Round, Worker) order) into w as Chrome trace-event JSON.
-func WritePerfetto(w io.Writer, meta RunMeta, recs []RoundRecord) error {
-	evs := []traceEvent{{
-		Name: "process_name", Ph: "M", Pid: tracePid,
-		Args: map[string]any{"name": fmt.Sprintf("unison %s", meta.Kernel)},
-	}}
+// Events renders recs (as returned by Registry.Records: merged in
+// (Round, Worker) order) into trace events on the kernel process track.
+func Events(meta RunMeta, recs []RoundRecord) []TraceEvent {
+	evs := []TraceEvent{ProcessName(KernelPid, fmt.Sprintf("unison %s", meta.Kernel))}
 	seen := map[int32]bool{}
 	clock := map[int32]int64{} // per-worker cumulative ns
 	for i := range recs {
 		rec := &recs[i]
 		if !seen[rec.Worker] {
 			seen[rec.Worker] = true
-			evs = append(evs, traceEvent{
-				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: int(rec.Worker),
-				Args: map[string]any{"name": fmt.Sprintf("worker %d", rec.Worker)},
-			})
+			evs = append(evs, ThreadName(KernelPid, int(rec.Worker), fmt.Sprintf("worker %d", rec.Worker)))
 		}
 		waitWindow := rec.SyncNS - rec.WaitGlobalNS
 		if waitWindow < 0 {
@@ -78,10 +98,10 @@ func WritePerfetto(w io.Writer, meta RunMeta, recs []RoundRecord) error {
 			if d <= 0 {
 				continue
 			}
-			ev := traceEvent{
+			ev := TraceEvent{
 				Name: phaseNames[p], Ph: "X",
 				Ts: float64(t) / 1e3, Dur: float64(d) / 1e3,
-				Pid: tracePid, Tid: int(rec.Worker),
+				Pid: KernelPid, Tid: int(rec.Worker),
 			}
 			if p == 0 {
 				args := map[string]any{
@@ -103,17 +123,29 @@ func WritePerfetto(w io.Writer, meta RunMeta, recs []RoundRecord) error {
 			t += d
 		}
 		if rec.AllReduceNS > 0 {
-			evs = append(evs, traceEvent{
+			evs = append(evs, TraceEvent{
 				Name: "all-reduce", Ph: "X",
 				Ts: float64(t-rec.AllReduceNS) / 1e3, Dur: float64(rec.AllReduceNS) / 1e3,
-				Pid: tracePid, Tid: int(rec.Worker),
+				Pid: KernelPid, Tid: int(rec.Worker),
 				Args: map[string]any{"round": rec.Round},
 			})
 		}
 		clock[rec.Worker] = t
 	}
+	return evs
+}
+
+// WriteTraceJSON serializes trace events as one Chrome trace-event JSON
+// file, loadable at https://ui.perfetto.dev.
+func WriteTraceJSON(w io.Writer, evs []TraceEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// WritePerfetto renders recs (as returned by Registry.Records: merged in
+// (Round, Worker) order) into w as Chrome trace-event JSON.
+func WritePerfetto(w io.Writer, meta RunMeta, recs []RoundRecord) error {
+	return WriteTraceJSON(w, Events(meta, recs))
 }
 
 // WritePerfetto renders the registry's retained records.
@@ -121,10 +153,10 @@ func (g *Registry) WritePerfetto(w io.Writer) error {
 	return WritePerfetto(w, g.Meta(), g.Records())
 }
 
-func counterEvent(name string, tNS int64, v float64) traceEvent {
-	return traceEvent{
+func counterEvent(name string, tNS int64, v float64) TraceEvent {
+	return TraceEvent{
 		Name: name, Ph: "C", Ts: float64(tNS) / 1e3,
-		Pid: tracePid, Args: map[string]any{"value": v},
+		Pid: KernelPid, Args: map[string]any{"value": v},
 	}
 }
 

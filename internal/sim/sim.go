@@ -323,12 +323,12 @@ type RoundSample struct {
 // contract for exported reports and external tooling.
 type RunStats struct {
 	Kernel   string        `json:"kernel"`
-	Events   uint64        `json:"events"`             // total events executed (incl. global)
-	EndTime  Time          `json:"end_time_ns"`        // simulated time reached
-	WallNS   int64         `json:"wall_ns"`            // real elapsed wall-clock nanoseconds
-	Rounds   uint64        `json:"rounds"`             // synchronization rounds (0 for sequential)
-	LPs      int           `json:"lps"`                // logical processes created (1 for sequential)
-	Workers  []WorkerStats `json:"workers,omitempty"`  // per-worker P/S/M
+	Events   uint64        `json:"events"`               // total events executed (incl. global)
+	EndTime  Time          `json:"end_time_ns"`          // simulated time reached
+	WallNS   int64         `json:"wall_ns"`              // real elapsed wall-clock nanoseconds
+	Rounds   uint64        `json:"rounds"`               // synchronization rounds (0 for sequential)
+	LPs      int           `json:"lps"`                  // logical processes created (1 for sequential)
+	Workers  []WorkerStats `json:"workers,omitempty"`    // per-worker P/S/M
 	VirtualT int64         `json:"virtual_ns,omitempty"` // virtual-testbed total time (0 for live kernels)
 
 	// Cache locality model counters (see internal/metrics).

@@ -43,8 +43,10 @@ func (k Kind) String() string {
 		return "drop"
 	case Mark:
 		return "mark"
-	default:
+	case Deliver:
 		return "rcv"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 

@@ -148,4 +148,21 @@ func TestKindStrings(t *testing.T) {
 			t.Fatalf("kind %d has empty string", k)
 		}
 	}
+	// Every defined kind renders its own name, not a neighbor's: the
+	// switch must have an explicit case per kind.
+	names := map[Kind]string{
+		Enqueue: "enq", Dequeue: "deq", Drop: "drop", Mark: "mark", Deliver: "rcv",
+	}
+	if len(names) != int(kindCount) {
+		t.Fatalf("test covers %d kinds, enum has %d", len(names), kindCount)
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	// Unknown kinds render diagnosably instead of aliasing a real kind.
+	if got := kindCount.String(); got != "kind(5)" {
+		t.Fatalf("unknown kind renders %q, want kind(5)", got)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"unison/internal/des"
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
+	"unison/internal/netobs"
 	"unison/internal/obs"
 	"unison/internal/packet"
 	"unison/internal/pdes"
@@ -311,6 +312,47 @@ func NewRegistry(capPerWorker int) *Registry { return obs.NewRegistry(capPerWork
 // one thread track per worker with a span per round phase, plus LBTS and
 // event-rate counter tracks.
 var WritePerfetto = obs.WritePerfetto
+
+// --- Simulated-network observability (internal/netobs) ---
+//
+// Scenario.EnableNetObs attaches the packet tracer and the queue/link
+// sampler before the run; both ride the deterministic event stream, so
+// the exports below are byte-identical across every kernel — including
+// multi-rank distributed runs — for the same seeded scenario.
+
+type (
+	// NetSampler collects per-device queue-depth/drop/mark and link
+	// utilization time series on a fixed simulated-time bucket grid.
+	NetSampler = netobs.Sampler
+	// NetSamplerConfig parameterizes a NetSampler.
+	NetSamplerConfig = netobs.SamplerConfig
+	// NetRow is one device's sample for one time bucket.
+	NetRow = netobs.Row
+	// ArtifactBundle materializes one run's outputs as a directory
+	// (meta.json, run_stats.json, flow_report.json, series.csv,
+	// trace.pcapng, trace.perfetto.json).
+	ArtifactBundle = netobs.Bundle
+	// ArtifactMeta is the provenance header of an artifact bundle.
+	ArtifactMeta = netobs.Meta
+	// FlowReport is flowmon's percentile/slowdown/goodput report.
+	FlowReport = flowmon.FlowReport
+	// FlowReportConfig parameterizes Monitor.Report.
+	FlowReportConfig = flowmon.ReportConfig
+)
+
+// Network observability exporters.
+var (
+	// NewNetSampler returns a sampler; attach it with
+	// Scenario.Net.AttachSampler (or use Scenario.EnableNetObs).
+	NewNetSampler = netobs.NewSampler
+	// WriteSeriesCSV renders sampler rows as series.csv.
+	WriteSeriesCSV = netobs.WriteCSV
+	// WritePcapng renders packet-trace records as a Wireshark-openable
+	// pcapng capture with synthesized Ethernet/IP/TCP headers.
+	WritePcapng = netobs.WritePcapng
+	// FlowTable derives the pcapng flow-address table from a Monitor.
+	FlowTable = netobs.FlowTable
+)
 
 // --- Virtual testbed ---
 
