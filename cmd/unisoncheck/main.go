@@ -1,0 +1,157 @@
+// Command unisoncheck runs the unison analyzer suite (wallclock,
+// maporder, owner, seedflow, deprecated — see DESIGN.md §9) over Go
+// packages. It works two ways:
+//
+// Standalone, on package patterns (exit 1 if anything is found):
+//
+//	go run ./cmd/unisoncheck ./...
+//	unisoncheck -tests=false ./internal/core/
+//
+// Or as a go vet tool, which lets the go command drive per-package
+// analysis with its build cache (exit 2 on findings, the vet convention):
+//
+//	go build -o "$(go env GOPATH)/bin/unisoncheck" ./cmd/unisoncheck
+//	go vet -vettool="$(which unisoncheck)" ./...
+//
+// The vet integration implements the unitchecker protocol: go vet probes
+// the tool with -V=full (cache key) and -flags (supported flags), then
+// invokes it once per package with a *.cfg JSON file describing sources,
+// the import map, and export-data locations.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"unison/internal/analysis"
+	"unison/internal/analysis/analyzers"
+	"unison/internal/analysis/load"
+)
+
+func main() {
+	// go vet probes: must be handled before normal flag parsing because
+	// the go command passes them in its own formats.
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V="):
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			// No analyzer-selection flags yet; report none so go vet
+			// passes only the cfg file.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runVet(os.Args[1]))
+		}
+	}
+
+	tests := flag.Bool("tests", true, "also analyze test files (per-package test variants)")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: unisoncheck [-tests=false] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, fset, err := load.Load(wd, patterns, *tests)
+	if err != nil {
+		fatal(err)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Fset:       fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			Directives: analysis.NewDirectives(fset, pkg.Files),
+		}
+		for _, d := range runSuite(pass) {
+			found++
+			printDiag(fset, wd, d)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "unisoncheck: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// runSuite applies every analyzer to the pass's package, returning the
+// diagnostics sorted by position, de-duplicated across test variants by
+// the caller's package selection.
+func runSuite(pass *analysis.Pass) []diag {
+	var out []diag
+	for _, a := range analyzers.All() {
+		p := *pass
+		p.Analyzer = a
+		p.Report = func(d analysis.Diagnostic) { out = append(out, diag{a.Name, d}) }
+		if err := a.Run(&p); err != nil {
+			fatal(fmt.Errorf("%s: %s: %v", pass.Pkg.Path(), a.Name, err))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].d.Pos < out[j].d.Pos })
+	return out
+}
+
+type diag struct {
+	analyzer string
+	d        analysis.Diagnostic
+}
+
+func printDiag(fset *token.FileSet, wd string, d diag) {
+	pos := fset.Position(d.d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.analyzer, d.d.Message)
+	for _, fix := range d.d.SuggestedFixes {
+		fmt.Printf("\tsuggested fix: %s\n", fix.Message)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unisoncheck:", err)
+	os.Exit(3)
+}
+
+// printVersion emits the -V=full line the go command uses as a cache
+// key; the hash of the executable makes rebuilt tools invalidate cached
+// vet results, as x/tools' unitchecker does.
+func printVersion() {
+	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}

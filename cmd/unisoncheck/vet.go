@@ -1,0 +1,148 @@
+package main
+
+// The go vet -vettool unit-checker protocol: the go command hands the
+// tool one JSON config file per package, naming the sources to analyze
+// and the export-data files of every dependency it already compiled.
+// Diagnostics go to stderr, exit code 2 means findings — the same
+// contract x/tools' unitchecker implements. The tool must also write the
+// (possibly empty) facts file the config points at, or the go command
+// treats the run as failed; this suite keeps no cross-package facts, so
+// the file is always empty.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"unison/internal/analysis"
+	"unison/internal/analysis/load"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg files this
+// driver needs (the full struct has more; unknown fields are ignored).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single package described by cfgFile, returning the
+// process exit code.
+func runVet(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unisoncheck:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "unisoncheck: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// Facts file first: even a finding-free (or source-free) run must
+	// produce it for the go command's cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "unisoncheck:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		fmt.Fprintf(os.Stderr, "unisoncheck: unsupported compiler %q\n", cfg.Compiler)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "unisoncheck:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	conf := types.Config{
+		Importer:  vetImporter{importer.ForCompiler(fset, "gc", lookup)},
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	// Test variants are named "p [p.test]"; the analyzers classify by the
+	// plain import path.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "unisoncheck: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pass := &analysis.Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		Directives: analysis.NewDirectives(fset, files),
+	}
+	diags := runSuite(pass)
+	for _, d := range diags {
+		pos := fset.Position(d.d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.analyzer, d.d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetImporter adds the "unsafe" special case the gc importer skips when
+// given an explicit lookup function.
+type vetImporter struct{ imp types.Importer }
+
+func (v vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return v.imp.Import(path)
+}

@@ -1,0 +1,136 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, built only on the standard
+// library so the repository stays module-clean. It exists to host the
+// unisoncheck analyzer suite (see internal/analysis/analyzers): compiler-
+// grade checks that enforce the kernel's determinism and ownership
+// invariants at the offending line instead of at a downstream bit-identity
+// hash mismatch.
+//
+// The API mirrors x/tools deliberately — Analyzer, Pass, Diagnostic,
+// SuggestedFix — so that if the repository ever vendors x/tools the suite
+// ports mechanically. Drivers (cmd/unisoncheck, the analysistest harness)
+// construct a Pass per package and collect reported Diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named, documented check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then free-form prose describing the rules and escape hatches.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report and returns an error only for internal failures (a nil
+	// type where one was guaranteed, not for findings).
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// a sink for its diagnostics. Passes are not reused across packages.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Directives indexes //unison: comment directives by file and line;
+	// analyzers consult it for escape hatches. Never nil.
+	Directives *Directives
+
+	// Report delivers one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos with no suggested fixes.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position, a message, and optionally a
+// mechanical fix.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // zero means unknown
+	Message string
+
+	// SuggestedFixes holds zero or more mechanical rewrites that would
+	// resolve the diagnostic. Drivers may render or apply them.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained rewrite: a message plus the text
+// edits that implement it.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source in [Pos, End) with NewText. A pure
+// insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// Inspect walks every file in the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree, as in ast.Inspect.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// InSimPackage reports whether path names one of the packages whose code
+// runs inside the simulated-time universe. These packages carry the
+// paper's determinism guarantee (§3 deterministic tie-breaking, §4
+// lock-free rounds): no wall clock, no unseeded randomness, and no
+// map-iteration order may leak into simulation state there.
+//
+// The set is a function of the import path, not configuration, so that
+// every driver (unisoncheck standalone, go vet -vettool, analysistest
+// fixtures under matching paths) classifies identically.
+func InSimPackage(path string) bool { return simPackages[path] }
+
+var simPackages = map[string]bool{
+	"unison/internal/des":     true,
+	"unison/internal/core":    true,
+	"unison/internal/pdes":    true,
+	"unison/internal/vtime":   true,
+	"unison/internal/eventq":  true,
+	"unison/internal/netdev":  true,
+	"unison/internal/flowmon": true,
+	"unison/internal/netobs":  true,
+	"unison/internal/traffic": true,
+	"unison/internal/routing": true,
+	"unison/internal/tcp":     true,
+	"unison/internal/sim":     true,
+	"unison/internal/metrics": true,
+}
+
+// InWallclockExemptPackage reports whether path is allowed to read the
+// wall clock outright: the distributed runtime, fault injection, and the
+// observability plane deal in real deadlines and real timestamps.
+func InWallclockExemptPackage(path string) bool { return wallclockExempt[path] }
+
+var wallclockExempt = map[string]bool{
+	"unison/internal/dist":   true,
+	"unison/internal/faults": true,
+	"unison/internal/obs":    true,
+}
+
+// RNGPackage is the one package allowed to construct raw generators;
+// every other package derives streams from it so each draw is traceable
+// to the run seed.
+const RNGPackage = "unison/internal/rng"

@@ -1,0 +1,57 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unison/internal/analysis"
+)
+
+// deprecatedFuncs maps package path -> function name -> replacement hint.
+// It covers the typed-partition migration: the Manual constructors exist
+// only for external callers holding a raw []int32; in-repo code must pass
+// a *core.Partition so lookahead and LP counts travel together.
+var deprecatedFuncs = map[string]map[string]string{
+	"unison": {
+		"NewBarrierManual":     "NewBarrier with a *Partition (typed-partition facade)",
+		"NewNullMessageManual": "NewNullMessage with a *Partition (typed-partition facade)",
+	},
+}
+
+// Deprecated flags references to constructors kept only for external
+// compatibility. It replaces the CI shell grep that used to police the
+// same names: unlike the grep, it resolves identifiers through the type
+// checker, so mentioning a name in a string or comment is fine while
+// calling it — or capturing it as a function value — is not.
+var Deprecated = &analysis.Analyzer{
+	Name: "deprecated",
+	Doc: `forbid in-repo references to compatibility-only constructors
+
+unison.NewBarrierManual and unison.NewNullMessageManual survive for
+external callers; repository code must use the typed-partition
+constructors. Any type-resolved reference (call or function value) is a
+diagnostic; string literals and comments naming them are not. Checked in
+test files too — only the declaring package itself is exempt.`,
+	Run: runDeprecated,
+}
+
+func runDeprecated(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		// Idents alone suffice: a qualified reference's Sel is visited as
+		// an ident child, and handling the SelectorExpr too would report
+		// every finding twice.
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
+			return true
+		}
+		if hint, ok := deprecatedFuncs[fn.Pkg().Path()][fn.Name()]; ok {
+			pass.Reportf(id.Pos(), "%s.%s is a compatibility-only constructor; use %s", fn.Pkg().Name(), fn.Name(), hint)
+		}
+		return true
+	})
+	return nil
+}

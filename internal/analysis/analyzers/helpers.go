@@ -1,0 +1,82 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"unison/internal/analysis"
+)
+
+// isTestFile reports whether file came from a _test.go source file. The
+// determinism analyzers skip tests: a test measuring wall time or
+// iterating a map to build inputs does not touch simulation state.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	name := pass.Fset.Position(file.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// escaped reports whether a directive named name annotates pos's line
+// (written on the line or standing alone on the line above). missing is
+// true when the directive is present but carries no argument text.
+func escaped(pass *analysis.Pass, pos token.Pos, name string) (ok, missing bool) {
+	dirs := pass.Directives.At(pos, name)
+	if len(dirs) == 0 {
+		return false, false
+	}
+	for _, d := range dirs {
+		if d.Args != "" {
+			return true, false
+		}
+	}
+	return true, true
+}
+
+// exprString renders a small expression for use in diagnostics and as a
+// receiver identity key. It intentionally normalizes whitespace by
+// rebuilding from the AST.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "…"
+	}
+}
+
+// rootIdent returns the base identifier of a chain of selector, index,
+// paren, star and unary expressions, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

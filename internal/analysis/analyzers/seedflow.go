@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unison/internal/analysis"
+)
+
+// Seedflow forbids constructing math/rand generators outside
+// internal/rng. Every stochastic choice in the simulator must be
+// traceable to the run seed through rng.New(seed, purpose, id); a
+// rand.New(rand.NewSource(...)) constructed ad hoc creates a stream
+// whose identity the reproducibility tooling cannot account for.
+var Seedflow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: `forbid math/rand generator construction outside internal/rng
+
+References to rand.New, rand.NewSource and rand.NewZipf (math/rand and
+math/rand/v2) are diagnostics everywhere except the internal/rng
+package, whose deterministic splitmix64/xoshiro streams are the one
+sanctioned randomness source. Test files are not checked: a test may
+seed whatever it likes, it ships no simulation state.
+
+There is no escape hatch — deriving a stream from internal/rng is
+always possible and always the answer.`,
+	Run: runSeedflow,
+}
+
+// randConstructors are the generator-constructing entry points.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewChaCha8": true, "NewPCG": true, // math/rand/v2 sources
+}
+
+func runSeedflow(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == analysis.RNGPackage {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if (path != "math/rand" && path != "math/rand/v2") || !randConstructors[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s constructs an untracked random stream; derive it from %s instead so the draw is traceable to the run seed",
+				fn.Pkg().Name(), fn.Name(), analysis.RNGPackage)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Fixture: in-repo references to the compatibility-only constructors.
+package depuser
+
+import "unison"
+
+func build() unison.Kernel {
+	return unison.NewBarrierManual(nil) // want `compatibility-only constructor`
+}
+
+// Capturing the function value counts as a reference too.
+var ctor = unison.NewNullMessageManual // want `compatibility-only constructor`
+
+func fine() unison.Kernel { return unison.NewBarrier() }
+
+// Naming one in a string or comment is not a reference: NewBarrierManual.
+const doc = "NewBarrierManual("

@@ -1,0 +1,100 @@
+// Fixture: the maporder analyzer's sinks, idioms and escape hatch.
+package maporder
+
+import "sort"
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out`
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // blessed: sorted two lines down
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation`
+	}
+	return sum
+}
+
+func intAccum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes: legal
+	}
+	return n
+}
+
+func stringConcat(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation`
+	}
+	return s
+}
+
+func lastWrite(m map[int]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `random last value`
+	}
+	return last
+}
+
+func keyedWrite(dst, src map[int]int) {
+	for k, v := range src {
+		dst[k] = v // keyed by the loop key: order-independent
+	}
+}
+
+func maxReduce(m map[int]int) int {
+	best := -1
+	for _, v := range m {
+		if v > best {
+			best = v // guarded monotone update: legal
+		}
+	}
+	return best
+}
+
+type q struct{ evs []int }
+
+func (q *q) Push(v int) { q.evs = append(q.evs, v) }
+
+func pushes(m map[int]int, qq *q) {
+	for _, v := range m {
+		qq.Push(v) // want `order-sensitive sink Push`
+	}
+}
+
+func orderedEscape(m map[int]int, qq *q) {
+	for _, v := range m { //unison:ordered the queue re-sorts by (time, src, seq)
+		qq.Push(v)
+	}
+}
+
+func sliceRange(xs []int, qq *q) {
+	for _, v := range xs {
+		qq.Push(v) // slices iterate in order: legal
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture: the mechanical sort-keys suggested fix (golden: fix.go.golden).
+package maporder
+
+func fixme(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out`
+	}
+	return out
+}
+
+func fixval(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k+v) // want `appending to out`
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Fixture: the owner analyzer's side declarations, scope rules and the
+// transfer escape hatch.
+package owner
+
+type ring struct{ buf []int }
+
+//unison:owner producer
+func (r *ring) push(v int) { r.buf = append(r.buf, v) }
+
+//unison:owner consumer
+func (r *ring) pop() int { v := r.buf[0]; r.buf = r.buf[1:]; return v }
+
+// drain is a consumer-side free function: the ring is its first argument.
+//
+//unison:owner consumer
+func drain(r *ring) []int { out := r.buf; r.buf = nil; return out }
+
+//unison:owner widget
+func (r *ring) reset() {} // want `must say producer or consumer`
+
+func producerOnly(r *ring) {
+	r.push(1)
+	r.push(2)
+}
+
+func consumerOnly(r *ring) int {
+	_ = drain(r)
+	return r.pop()
+}
+
+func mixed(r *ring) int {
+	r.push(1)
+	return r.pop() // want `may not hold both ends`
+}
+
+func mixedFree(r *ring) []int {
+	r.push(1)
+	return drain(r) // want `may not hold both ends`
+}
+
+func separateGoroutine(r *ring) {
+	r.push(1)
+	go func() {
+		_ = r.pop() // its own goroutine scope: legal
+	}()
+}
+
+func transfer(r *ring) int {
+	r.push(1)
+	return r.pop() //unison:owner transfer round barrier published the producer writes
+}
+
+func transferNoReason(r *ring) int {
+	r.push(1)
+	//unison:owner transfer
+	return r.pop() // want `needs a reason string`
+}
+
+func distinctRings(a, b *ring) int {
+	a.push(1)
+	return b.pop() // different rings: legal
+}
+
+type pool struct{ rings []ring }
+
+// aliased: taking a pointer into the pool does not launder identity —
+// the alias resolver maps `r` back to `p.rings`.
+func aliased(p *pool) int {
+	r := &p.rings[0]
+	r.push(1)
+	rr := r
+	return rr.pop() // want `may not hold both ends`
+}
+
+func aliasedFree(p *pool, w int) {
+	ob := &p.rings[w]
+	ob.push(1)
+	_ = drain(&p.rings[w]) // want `may not hold both ends`
+}
+
+func aliasedDistinct(p *pool, q *pool) {
+	a := &p.rings[0]
+	a.push(1)
+	b := &q.rings[0]
+	_ = b.pop() // distinct pools: legal
+}

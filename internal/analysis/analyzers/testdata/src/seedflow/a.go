@@ -1,0 +1,16 @@
+// Fixture: seedflow forbids ad-hoc generator construction.
+package seedflow
+
+import "math/rand"
+
+func bad() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want `untracked random stream` `untracked random stream`
+}
+
+func alsoBad() rand.Source {
+	return rand.NewSource(9) // want `untracked random stream`
+}
+
+func legalDraw(r *rand.Rand) int {
+	return r.Intn(10) // drawing from a stream someone else seeded is fine
+}

@@ -1,0 +1,18 @@
+// Fixture: a stand-in for the repository root package, declaring the
+// compatibility-only constructors the deprecated analyzer polices.
+package unison
+
+type Kernel interface{ Run() }
+
+type barrier struct{}
+
+func (barrier) Run() {}
+
+// NewBarrierManual survives for external callers holding a raw []int32.
+func NewBarrierManual(lpOf []int32) Kernel { return barrier{} }
+
+// NewNullMessageManual survives for external callers holding a raw []int32.
+func NewNullMessageManual(lpOf []int32) Kernel { return barrier{} }
+
+// NewBarrier is the typed-partition replacement.
+func NewBarrier() Kernel { return barrier{} }

@@ -1,0 +1,39 @@
+// Fixture: the wallclock analyzer inside a simulation package path.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `wall clock`
+	time.Sleep(1)                      // want `wall clock`
+	_ = time.Since(time.Time{})        // want `wall clock`
+	_ = time.After(1)                  // want `wall clock`
+	_ = rand.Intn(4)                   // want `process-global math/rand`
+	rand.Shuffle(1, func(i, j int) {}) // want `process-global math/rand`
+}
+
+func annotatedTrailing() {
+	_ = time.Now() //unison:wallclock-ok calibration window; never folded into sim state
+}
+
+func annotatedAbove() {
+	//unison:wallclock-ok worker wall-time stat for the T=P+S+M decomposition
+	_ = time.Now()
+}
+
+func annotatedWithoutReason() {
+	//unison:wallclock-ok
+	_ = time.Now() // want `needs a reason string`
+}
+
+func legal() {
+	var t time.Time
+	_ = t.Add(3)
+	var d time.Duration
+	_ = d.Seconds()
+	r := rand.New(rand.NewSource(1)) // constructing is seedflow's concern, not wallclock's
+	_ = r.Intn(3)
+}

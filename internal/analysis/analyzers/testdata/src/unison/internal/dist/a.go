@@ -1,0 +1,8 @@
+// Fixture: dist is wallclock-exempt — real deadlines live here.
+package dist
+
+import "time"
+
+func deadline() time.Time { return time.Now().Add(3 * time.Second) }
+
+func backoff() { time.Sleep(time.Millisecond) }

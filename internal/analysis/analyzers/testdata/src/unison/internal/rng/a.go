@@ -1,0 +1,6 @@
+// Fixture: internal/rng is the one package allowed to build generators.
+package rng
+
+import "math/rand"
+
+func seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

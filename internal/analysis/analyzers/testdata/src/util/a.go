@@ -1,0 +1,6 @@
+// Fixture: a package outside the simulation set; wallclock ignores it.
+package util
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }

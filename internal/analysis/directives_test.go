@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+//unison:ordered
+var after int
+
+var trailing int //unison:wallclock-ok measuring only
+
+var both int //unison:owner transfer barrier hand-off
+
+// unison:ordered
+var spaced int
+
+//unison:wallclock-ok
+var bare int
+`
+
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirectives(fset, []*ast.File{f})
+
+	pos := func(name string) token.Pos {
+		for _, decl := range f.Decls {
+			g, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range g.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && vs.Names[0].Name == name {
+					return vs.Pos()
+				}
+			}
+		}
+		t.Fatalf("no decl %s", name)
+		return token.NoPos
+	}
+
+	if got := d.At(pos("after"), "ordered"); len(got) != 1 {
+		t.Errorf("standalone directive should annotate the following line, got %v", got)
+	}
+	if got := d.At(pos("trailing"), "wallclock-ok"); len(got) != 1 || got[0].Args != "measuring only" {
+		t.Errorf("trailing directive with args: got %v", got)
+	}
+	if got := d.At(pos("both"), "owner"); len(got) != 1 || got[0].Args != "transfer barrier hand-off" {
+		t.Errorf("owner transfer args: got %v", got)
+	}
+	if got := d.At(pos("spaced"), "ordered"); len(got) != 0 {
+		t.Errorf("'// unison:' with a space is not a directive, got %v", got)
+	}
+	if got := d.At(pos("bare"), "wallclock-ok"); len(got) != 1 || got[0].Args != "" {
+		t.Errorf("bare directive should surface with empty args, got %v", got)
+	}
+}

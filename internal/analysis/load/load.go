@@ -1,0 +1,208 @@
+// Package load turns `go list` output into type-checked packages for the
+// unisoncheck analyzer suite, using only the standard library.
+//
+// Strategy: `go list -e -deps -export -json` compiles (or reuses from the
+// build cache) export data for every dependency of the requested
+// patterns. The packages we actually analyze — the pattern roots, all
+// inside this repository — are re-parsed from source and type-checked
+// with go/types against that export data via the gc importer, which is
+// exactly how x/tools' unitchecker drivers work under `go vet`. With
+// -test, `go list` also emits the test variants ("pkg [pkg.test]",
+// "pkg_test [pkg.test]"), so analyzers see _test.go files too.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ID      string // go list ImportPath, e.g. "unison/internal/core [unison/internal/core.test]"
+	PkgPath string // import path with any test-variant suffix stripped
+	GoFiles []string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir and returns the type-checked root packages.
+// With tests, test variants replace their plain package (they are a
+// superset of its files) and external test packages are included.
+func Load(dir string, patterns []string, tests bool) ([]*Package, *token.FileSet, error) {
+	args := []string{"list", "-e", "-deps", "-export", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	byID := make(map[string]*listPackage)
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list decode: %v", err)
+		}
+		byID[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+
+	// Pick analysis roots: non-dependency, non-synthesized-test-main
+	// entries. When a test variant "p [p.test]" exists, skip plain "p".
+	hasVariant := make(map[string]bool)
+	for _, lp := range order {
+		if lp.ForTest != "" && strings.HasPrefix(lp.ImportPath, lp.ForTest+" ") {
+			hasVariant[lp.ForTest] = true
+		}
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range order {
+		switch {
+		case lp.DepOnly, lp.Standard:
+			continue
+		case strings.HasSuffix(lp.ImportPath, ".test"): // synthesized test main
+			continue
+		case hasVariant[lp.ImportPath]:
+			continue // superseded by its [p.test] variant
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // e.g. a directory holding only _test.go files; its variant covers it
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("load: %s uses cgo, which the source loader cannot analyze", lp.ImportPath)
+		}
+		pkg, err := typecheck(fset, lp, byID)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, fset, nil
+}
+
+// typecheck parses lp's files and type-checks them against the export
+// data of its dependencies.
+func typecheck(fset *token.FileSet, lp *listPackage, byID map[string]*listPackage) (*Package, error) {
+	var files []*ast.File
+	var names []string
+	for _, f := range lp.GoFiles {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, af)
+		names = append(names, path)
+	}
+
+	// Imports written in source name plain paths; the dep list may have
+	// resolved some of them to test variants ("p [q.test]"). Build the
+	// source-path -> list-entry map for this package.
+	resolve := make(map[string]*listPackage)
+	for _, imp := range lp.Imports {
+		plain := imp
+		if i := strings.Index(imp, " ["); i >= 0 {
+			plain = imp[:i]
+		}
+		if dep := byID[imp]; dep != nil {
+			resolve[plain] = dep
+		}
+	}
+
+	pkg := &Package{ID: lp.ImportPath, PkgPath: lp.ImportPath, GoFiles: names, Files: files}
+	if i := strings.Index(pkg.PkgPath, " ["); i >= 0 {
+		pkg.PkgPath = pkg.PkgPath[:i]
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		dep := resolve[path]
+		if dep == nil {
+			dep = byID[path]
+		}
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", path, lp.ImportPath)
+		}
+		return os.Open(dep.Export)
+	}
+	pkg.Info = NewInfo()
+	conf := types.Config{
+		Importer: unsafeAware{importer.ForCompiler(fset, "gc", lookup)},
+		Error:    func(error) {}, // collect via the returned error; keep going for soft errors
+	}
+	tpkg, err := conf.Check(pkg.PkgPath, fset, files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// unsafeAware routes "unsafe" to types.Unsafe and everything else to the
+// wrapped gc importer (which, when given a lookup function, does not
+// special-case unsafe itself).
+type unsafeAware struct{ imp types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.imp.Import(path)
+}

@@ -1,0 +1,47 @@
+package load
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestLoadPackage exercises the go list + gc-export pipeline on a small
+// real package of this repository, test variant included.
+func TestLoadPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	_, here, _, _ := runtime.Caller(0)
+	root := filepath.Clean(filepath.Join(filepath.Dir(here), "..", "..", ".."))
+
+	pkgs, _, err := Load(root, []string{"./internal/rng"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	sawTestVariant := false
+	for _, p := range pkgs {
+		ids = append(ids, p.ID)
+		if p.PkgPath != "unison/internal/rng" {
+			t.Errorf("unexpected root package %s", p.ID)
+		}
+		if p.ID != p.PkgPath {
+			sawTestVariant = true
+			if len(p.Files) < 2 {
+				t.Errorf("test variant should carry the _test.go files, got %d files", len(p.Files))
+			}
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Fatalf("%s not type-checked", p.ID)
+		}
+	}
+	if !sawTestVariant {
+		t.Errorf("expected the [rng.test] variant among %v", ids)
+	}
+	for _, p := range pkgs {
+		if p.ID == "unison/internal/rng" {
+			t.Errorf("plain package should be superseded by its test variant: %v", ids)
+		}
+	}
+}

@@ -102,7 +102,7 @@ func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	start := time.Now()
+	start := time.Now() //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 	links := m.Links()
 	lpOf, hostOfLP, lookahead, err := HybridPartition(m.Nodes, k.cfg.HostOf, links)
 	if err != nil {
@@ -350,7 +350,7 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 			}
 			lpIdx := hostList[i]
 			lp := &r.lps[lpIdx]
-			recv = gather(r.outboxes, lpIdx, recv[:0])
+			recv = gather(r.outboxes, lpIdx, recv[:0]) //unison:owner transfer phase-2 barrier published every worker's phase-1 puts
 			lp.pending = int64(len(recv))
 			lp.fel.PushBatch(recv)
 			if t := lp.fel.NextTime(); t < locMin {
@@ -430,7 +430,7 @@ func (r *hrt) phase4() {
 func (r *hrt) stats(start time.Time) *sim.RunStats {
 	st := &sim.RunStats{
 		Kernel:  r.k.Name(),
-		WallNS:  time.Since(start).Nanoseconds(),
+		WallNS:  time.Since(start).Nanoseconds(), //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 		Rounds:  r.round,
 		LPs:     r.part.Count,
 		Workers: make([]sim.WorkerStats, len(r.workers)),

@@ -172,7 +172,7 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	start := time.Now()
+	start := time.Now() //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 	links := m.Links()
 	var part *Partition
 	if k.cfg.ManualLP != nil {
@@ -372,7 +372,7 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 				break
 			}
 			lp := &r.lps[i]
-			recv = gather(r.outboxes, int32(i), recv[:0])
+			recv = gather(r.outboxes, int32(i), recv[:0]) //unison:owner transfer phase-2 barrier published every worker's phase-1 puts
 			lp.pending = int64(len(recv))
 			lp.fel.PushBatch(recv)
 			if t := lp.fel.NextTime(); t < locMin {
@@ -491,7 +491,7 @@ func (r *rt) reschedule() {
 func (r *rt) stats(start time.Time) *sim.RunStats {
 	st := &sim.RunStats{
 		Kernel:     r.k.Name(),
-		WallNS:     time.Since(start).Nanoseconds(),
+		WallNS:     time.Since(start).Nanoseconds(), //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 		Rounds:     r.round,
 		LPs:        r.part.Count,
 		Workers:    make([]sim.WorkerStats, len(r.workers)),

@@ -50,6 +50,8 @@ func newOutbox(nLP int) outbox {
 }
 
 // put stages ev for delivery to lp in the next receive phase.
+//
+//unison:owner producer
 func (o *outbox) put(lp int32, ev sim.Event) {
 	h := o.head[lp]
 	if h < 0 {
@@ -63,6 +65,8 @@ func (o *outbox) put(lp int32, ev sim.Event) {
 // pointers are dropped so executed events can be collected. Owners call
 // this at the top of their phase 1, after the phase-4 barrier has
 // published every phase-3 read of the previous round.
+//
+//unison:owner producer
 func (o *outbox) reset() {
 	for _, lp := range o.touched {
 		o.head[lp] = -1
@@ -76,6 +80,8 @@ func (o *outbox) reset() {
 
 // gather appends every staged event addressed to lp, across all workers'
 // outboxes, to dst and returns the extended slice.
+//
+//unison:owner consumer
 func gather(outboxes []outbox, lp int32, dst []sim.Event) []sim.Event {
 	for w := range outboxes {
 		o := &outboxes[w]

@@ -35,7 +35,7 @@ type lpClock struct {
 // start opens a fresh measurement window at the top of phase 1.
 func (c *lpClock) start() {
 	c.n = 0
-	c.mark = time.Now()
+	c.mark = time.Now() //unison:wallclock-ok measures real per-LP processing cost (the P-hat estimate)
 }
 
 // note records that LP lp executed events events; it reports whether the
@@ -54,7 +54,7 @@ func (c *lpClock) flush(lps []lpState) {
 	if c.n == 0 {
 		return
 	}
-	now := time.Now()
+	now := time.Now() //unison:wallclock-ok measures real per-LP processing cost (the P-hat estimate)
 	elapsed := now.Sub(c.mark).Nanoseconds()
 	c.mark = now
 	var total int64

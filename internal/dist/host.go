@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"time"
 
@@ -13,6 +12,7 @@ import (
 	"unison/internal/netdev"
 	"unison/internal/obs"
 	"unison/internal/packet"
+	"unison/internal/rng"
 	"unison/internal/sim"
 )
 
@@ -63,11 +63,14 @@ func dialCoordinator(cfg HostConfig) (net.Conn, int, error) {
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
-	rng := rand.New(rand.NewSource(int64(cfg.ID) + 1))
+	// The jitter stream is derived from the run-wide rng package rather
+	// than an ad-hoc rand.New, so even wall-side randomness stays
+	// traceable to (purpose, host id) — and unisoncheck:seedflow passes.
+	jitter := rng.New(rng.PurposeJitter, uint64(cfg.ID))
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff)/2+1)))
+			time.Sleep(backoff + time.Duration(jitter.Int63n(int64(backoff)/2+1)))
 			backoff *= 2
 		}
 		d := net.Dialer{Timeout: cfg.Timeout}

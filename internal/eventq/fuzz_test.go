@@ -1,0 +1,130 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+
+	"unison/internal/sim"
+)
+
+// FuzzPushBatch drives the heap Queue through arbitrary interleavings of
+// PushBatch, Push, Pop and PopBefore decoded from the fuzz input, and
+// checks two properties after every operation:
+//
+//  1. the 4-ary heap invariant holds over the backing slice, and
+//  2. every dequeue matches a reference oracle (a sorted slice under the
+//     deterministic (Time, Src, Seq) total order).
+//
+// Batch sizes are drawn up to 48 so inputs land on both sides of the
+// Floyd-heapify threshold inside PushBatch. Seq is globally unique per
+// run, matching the kernel invariant that the total order has no
+// duplicate keys. CI runs this with -fuzz=FuzzPushBatch -fuzztime=10s as
+// a smoke pass; the committed seeds alone cover the empty queue, a pure
+// bulk load, and a push/pop churn.
+func FuzzPushBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 40, 1, 2, 3}) // one large batch: Floyd path
+	f.Add([]byte{3, 1, 9, 0, 0, 3, 1, 4, 0, 0, 1, 5})
+	f.Add([]byte{2, 8, 6, 6, 6, 6, 0, 0, 0, 2, 8, 6, 1, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := New(0)
+		var ref []sim.Event // oracle: pending events, sorted on demand
+		var seq uint64
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+
+		sortRef := func() {
+			sort.Slice(ref, func(i, j int) bool {
+				a, b := ref[i], ref[j]
+				if a.Time != b.Time {
+					return a.Time < b.Time
+				}
+				if a.Src != b.Src {
+					return a.Src < b.Src
+				}
+				return a.Seq < b.Seq
+			})
+		}
+		checkPopped := func(got sim.Event) {
+			t.Helper()
+			sortRef()
+			want := ref[0]
+			ref = ref[1:]
+			if got.Time != want.Time || got.Src != want.Src || got.Seq != want.Seq {
+				t.Fatalf("popped (%v,%d,%d), oracle says (%v,%d,%d)",
+					got.Time, got.Src, got.Seq, want.Time, want.Src, want.Seq)
+			}
+		}
+
+		for len(data) > 0 {
+			switch next() % 4 {
+			case 0: // Pop
+				if q.Empty() {
+					if len(ref) != 0 {
+						t.Fatalf("queue empty but oracle holds %d events", len(ref))
+					}
+					continue
+				}
+				checkPopped(q.Pop())
+			case 1: // PopBefore
+				bound := sim.Time(next() % 8)
+				got, ok := q.PopBefore(bound)
+				sortRef()
+				wantOK := len(ref) > 0 && ref[0].Time < bound
+				if ok != wantOK {
+					t.Fatalf("PopBefore(%v) ok=%v, oracle says %v (pending %d)", bound, ok, wantOK, len(ref))
+				}
+				if ok {
+					checkPopped(got)
+				}
+			case 2: // PushBatch
+				n := int(next() % 49)
+				batch := make([]sim.Event, n)
+				for i := range batch {
+					batch[i] = ev(sim.Time(next()%7), sim.NodeID(next()%5), seq)
+					seq++
+				}
+				q.PushBatch(batch)
+				ref = append(ref, batch...)
+			case 3: // single Push
+				e := ev(sim.Time(next()%7), sim.NodeID(next()%5), seq)
+				seq++
+				q.Push(e)
+				ref = append(ref, e)
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("queue holds %d events, oracle %d", q.Len(), len(ref))
+			}
+			checkHeapInvariant(t, q)
+		}
+
+		// Drain: the full dequeue sequence must equal the sorted oracle.
+		for !q.Empty() {
+			checkPopped(q.Pop())
+			checkHeapInvariant(t, q)
+		}
+		if len(ref) != 0 {
+			t.Fatalf("queue drained but oracle still holds %d events", len(ref))
+		}
+	})
+}
+
+// checkHeapInvariant asserts the 4-ary min-heap ordering over the queue's
+// backing slice: no element sorts before its parent.
+func checkHeapInvariant(t *testing.T, q *Queue) {
+	t.Helper()
+	for i := 1; i < len(q.h); i++ {
+		p := (i - 1) / 4
+		if q.h[i].before(&q.h[p]) {
+			t.Fatalf("heap invariant broken: h[%d]=(%v,%d,%d) sorts before parent h[%d]=(%v,%d,%d)",
+				i, q.h[i].time, q.h[i].src, q.h[i].seq, p, q.h[p].time, q.h[p].src, q.h[p].seq)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pdes
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -128,7 +129,7 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if m.StopAt <= 0 {
 		return nil, errors.New("pdes: NullMessageKernel requires Model.StopAt (no distributed termination detection)")
 	}
-	start := time.Now()
+	start := time.Now() //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 	links := m.Links()
 	part := k.Part
 	if part == nil {
@@ -170,7 +171,23 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		}
 		ranks[i].inbox.cond = sync.NewCond(&ranks[i].inbox.mu)
 	}
-	for p, la := range chanLA {
+	// Deterministic channel setup order: ranging chanLA directly would
+	// let Go's randomized map order decide each rank's outTo/inFrom
+	// sequence — and with it the null-message send order — varying run
+	// to run. (unisoncheck:maporder caught this; the vtime sibling
+	// kernel already sorted.)
+	pairs := make([]pair, 0, len(chanLA))
+	for p := range chanLA {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		la := chanLA[p]
 		ranks[p.a].outTo = append(ranks[p.a].outTo, p.b)
 		ranks[p.a].outLA[p.b] = la
 		ranks[p.b].inFrom = append(ranks[p.b].inFrom, p.a)
@@ -205,7 +222,7 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 
 	st := &sim.RunStats{
 		Kernel:  "nullmsg",
-		WallNS:  time.Since(start).Nanoseconds(),
+		WallNS:  time.Since(start).Nanoseconds(), //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 		LPs:     n,
 		Workers: make([]sim.WorkerStats, n),
 	}

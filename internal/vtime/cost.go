@@ -100,7 +100,7 @@ func Calibrate(m *sim.Model, maxEvents uint64) CostModel {
 	sink := &calSink{fel: fel}
 	ctx := sim.NewCtx(sink, 0)
 	var n uint64
-	t0 := time.Now()
+	t0 := time.Now() //unison:wallclock-ok calibrates the real per-event cost baseline
 	for !fel.Empty() && n < maxEvents {
 		ev := fel.Pop()
 		ctx.Begin(&ev, seqs.Of(ev.Node))
@@ -111,7 +111,7 @@ func Calibrate(m *sim.Model, maxEvents uint64) CostModel {
 		}
 	}
 	if n > 0 {
-		per := time.Since(t0).Nanoseconds() / int64(n)
+		per := time.Since(t0).Nanoseconds() / int64(n) //unison:wallclock-ok calibrates the real per-event cost baseline
 		if per > 0 {
 			cm.EventNS = per
 			cm.MissNS = per / 2
