@@ -174,14 +174,27 @@ func main() {
 		out       = flag.String("o", "BENCH_hotpath.json", "output report path")
 		traceOut  = flag.String("trace", "", "write a Perfetto trace of one probed Unison4 run to this file")
 		artifacts = flag.String("artifacts", "", "write a run-artifact bundle of one observed Unison4 run to this directory")
-		gatePath  = flag.String("gate", "", "baseline report (e.g. BENCH_hotpath.json); exit nonzero if Unison4 events/s regresses more than -gate-pct against it")
-		gatePct   = flag.Float64("gate-pct", 10, "allowed Unison4 events/s regression percentage for -gate")
+		gatePath  = flag.String("gate", "", "baseline report (e.g. BENCH_hotpath.json); exit nonzero if Unison4 events/s or allocs/op regresses more than -gate-pct against it")
+		gatePct   = flag.Float64("gate-pct", 10, "allowed Unison4 events/s (and allocs/op growth) regression percentage for -gate")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+
+		scale        = flag.Bool("scale", false, "run the fat-tree scale benchmark (memory/node, memory/flow, k x cores sweep) instead of the hot-path suite")
+		scaleOut     = flag.String("scale-o", "BENCH_scale.json", "scale report output path")
+		scaleMaxK    = flag.Int("scale-max-k", 16, "largest fat-tree k to measure (8 for the CI smoke run)")
+		scaleThreads = flag.Int("scale-threads", 4, "Unison threads for the live scale runs")
+		scaleGate    = flag.Bool("scale-gate", false, "exit nonzero unless k=8 live bytes/flow is at least 4x below the pre-overhaul baseline")
 	)
 	flag.Parse()
 	if *n < 1 {
 		fmt.Fprintln(os.Stderr, "unibench: -n must be at least 1")
 		os.Exit(2)
+	}
+	if *scale {
+		if err := runScale(*scaleOut, *scaleMaxK, *scaleThreads, *scaleGate); err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *debugAddr != "" {
 		addr, err := obshttp.Serve(*debugAddr)
@@ -305,6 +318,14 @@ func gate(path string, pct float64, current map[string]sample) error {
 		cur.EventsPerSec, b.EventsPerSec, change, pct)
 	if change < -pct {
 		return fmt.Errorf("Unison4 events/s regressed %.1f%% (limit %.0f%%)", -change, pct)
+	}
+	if b.AllocsPerOp > 0 {
+		growth := 100 * (float64(cur.AllocsPerOp)/float64(b.AllocsPerOp) - 1)
+		fmt.Printf("gate: Unison4 %d allocs/op vs baseline %d (%+.1f%%, threshold +%.0f%%)\n",
+			cur.AllocsPerOp, b.AllocsPerOp, growth, pct)
+		if growth > pct {
+			return fmt.Errorf("Unison4 allocs/op grew %.1f%% (limit %.0f%%)", growth, pct)
+		}
 	}
 	return nil
 }

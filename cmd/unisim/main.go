@@ -43,6 +43,7 @@ func main() {
 		web     = flag.Bool("websearch", false, "use the web-search flow size CDF (default: gRPC)")
 		traceF  = flag.String("trace", "", "write a packet trace (UTR1 binary) to this file")
 		artif   = flag.String("artifacts", "", "write a run-artifact bundle to this directory")
+		stream  = flag.Bool("stream", false, "generate the workload lazily as virtual time advances (O(window) memory; needs a kernel that accepts global events, so not nullmsg/vnullmsg)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		sizes = unison.WebSearchCDF()
 	}
 	stopAt := sim.Time(stop.Nanoseconds())
-	flows := unison.GenerateTraffic(unison.TrafficConfig{
+	tc := unison.TrafficConfig{
 		Seed:         *seed,
 		Hosts:        hosts,
 		Sizes:        sizes,
@@ -63,14 +64,29 @@ func main() {
 		Start:        0,
 		End:          stopAt * 3 / 4,
 		IncastRatio:  *incast,
-	})
-	sc := unison.NewScenario(g, unison.NewECMP(g, unison.Hops, *seed), unison.ScenarioConfig{
+	}
+	scCfg := unison.ScenarioConfig{
 		Seed:   *seed,
 		NetCfg: unison.DefaultNetConfig(*seed),
 		TCPCfg: unison.DefaultTCP(),
 		StopAt: stopAt,
-		Flows:  flows,
-	})
+	}
+	var nflows int
+	if *stream {
+		switch strings.ToLower(*kernel) {
+		case "nullmsg", "vnullmsg":
+			fmt.Fprintf(os.Stderr, "unisim: -stream needs a kernel that accepts global events; %s does not (drop -stream for the materialized workload)\n", *kernel)
+			os.Exit(2)
+		}
+		scCfg.FlowSrc = unison.NewTrafficStream(tc)
+		scCfg.FlowCount = unison.CountTraffic(tc)
+		nflows = scCfg.FlowCount
+	} else {
+		flows := unison.GenerateTraffic(tc)
+		scCfg.Flows = flows
+		nflows = len(flows)
+	}
+	sc := unison.NewScenario(g, unison.NewECMP(g, unison.Hops, *seed), scCfg)
 	if *traceF != "" {
 		sc.Net.Tracer = trace.NewCollector(g.N(), 0)
 	}
@@ -87,7 +103,7 @@ func main() {
 
 	fmt.Printf("kernel      %s\n", st.Kernel)
 	fmt.Printf("nodes       %d (%d hosts), %d LPs\n", g.N(), len(hosts), st.LPs)
-	fmt.Printf("flows       %d generated, %d completed\n", len(flows), sc.Mon.Completed())
+	fmt.Printf("flows       %d generated, %d completed\n", nflows, sc.Mon.Completed())
 	fmt.Printf("events      %d in %d rounds\n", st.Events, st.Rounds)
 	fmt.Printf("sim time    %v reached\n", st.EndTime)
 	fmt.Printf("wall time   %.3fs", float64(st.WallNS)/1e9)

@@ -28,6 +28,10 @@ func TestOwner(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analyzers.Owner, "owner")
 }
 
+func TestArena(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Arena, "arena")
+}
+
 func TestSeedflow(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analyzers.Seedflow,
 		"seedflow",            // violations

@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unison/internal/analysis"
+)
+
+// Arena enforces the index-addressed arena contract behind the per-host
+// connection stores (§ memory-lean scale-out): records handed out by an
+// arena are only valid until the arena mutates. Methods declare their
+// role in their doc comment:
+//
+//	//unison:arena alloc    // hands out a record, may recycle a slot
+//	//unison:arena get      // resolves an index to its record
+//	//unison:arena release  // recycles a slot
+//
+// and the analyzer flags any pointer obtained from an alloc/get method
+// that is still used after a later alloc or release call on the same
+// arena within the function.
+var Arena = &analysis.Analyzer{
+	Name: "arena",
+	Doc: `flag arena records retained across a grow/recycle boundary
+
+Arena methods annotated //unison:arena alloc (or get, release) in their
+doc comment form an index-addressed store: alloc/get return a record
+pointer, alloc and release mutate the arena (growth historically moved
+records; recycling rebinds a slot to a new owner). Within a function,
+a pointer bound from an alloc/get call must not be used after a
+subsequent alloc or release call on the same arena expression — the
+record may now belong to a different flow. Re-fetch through the index
+instead: indices are the stable names, pointers are ephemeral views.
+
+The check is linear over source order, so mutually-exclusive branches
+can trip it; a use the author can prove safe (e.g. chunked arenas whose
+records never move, and the slot is known live) is declared at the use
+site with a mandatory reason:
+
+	c.receive(ctx, p) //unison:arena-ok slot freed only below, after this use
+
+A bare //unison:arena-ok with no reason is itself a diagnostic. The
+annotation is package-local: roles are read from this package's syntax,
+so the arena and its callers must live together (true of the tcp conn
+store). Test files are not checked.`,
+	Run: runArena,
+}
+
+type arenaOp int
+
+const (
+	opNone arenaOp = iota
+	opAlloc
+	opGet
+	opRelease
+)
+
+func runArena(pass *analysis.Pass) error {
+	// Pass 1: collect role declarations from doc comments.
+	ops := make(map[*types.Func]arenaOp)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				dir, ok := analysis.ParseDirective(c)
+				if !ok || dir.Name != "arena" {
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				switch word(dir.Args) {
+				case "alloc":
+					ops[fn] = opAlloc
+				case "get":
+					ops[fn] = opGet
+				case "release":
+					ops[fn] = opRelease
+				default:
+					pass.Reportf(fd.Name.Pos(), "//unison:arena on a function must say alloc, get or release, got %q", dir.Args)
+				}
+			}
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+
+	// Pass 2: per function body, track record pointers and catch uses
+	// past an arena mutation.
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkArenaBody(pass, ops, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// trackedRec is a variable bound from an alloc/get call: which arena it
+// came from, where it was bound, and the method that produced it.
+type trackedRec struct {
+	arena string    // receiver expression of the producing call
+	def   token.Pos // position of the producing call
+	from  string    // method name, for the diagnostic
+}
+
+// arenaMut is the most recent arena-mutating call seen for one arena.
+type arenaMut struct {
+	pos  token.Pos
+	what string
+}
+
+// checkArenaBody scans one function body in source order. Rebinding a
+// variable re-tracks it (so `c, idx = h.arena.alloc()` in an else branch
+// supersedes the `c = h.arena.at(idx)` of the then branch); binding and
+// mutation from the same call cancel out because their positions match.
+func checkArenaBody(pass *analysis.Pass, ops map[*types.Func]arenaOp, body ast.Node) {
+	tracked := make(map[types.Object]trackedRec)
+	muts := make(map[string]arenaMut)
+	writes := make(map[*ast.Ident]bool) // LHS idents: writes, not record uses
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				writes[id] = true
+				if obj := assignedObj(pass, id); obj != nil {
+					delete(tracked, obj) // rebound; stale tracking would misfire
+				}
+			}
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			if op := ops[fn]; op == opAlloc || op == opGet {
+				key, ok := arenaKey(call)
+				if !ok {
+					return true
+				}
+				// The record pointer is result 0 by convention (alloc
+				// returns (record, index), get returns the record).
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if obj := assignedObj(pass, id); obj != nil {
+						tracked[obj] = trackedRec{arena: key, def: call.Pos(), from: fn.Name()}
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil {
+				return true
+			}
+			if op := ops[fn]; op == opAlloc || op == opRelease {
+				if key, ok := arenaKey(n); ok {
+					muts[key] = arenaMut{pos: n.Pos(), what: fn.Name()}
+				}
+			}
+			return true
+		case *ast.Ident:
+			if writes[n] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil {
+				return true
+			}
+			rec, ok := tracked[obj]
+			if !ok {
+				return true
+			}
+			mut, ok := muts[rec.arena]
+			if !ok || mut.pos <= rec.def || n.Pos() <= mut.pos {
+				return true
+			}
+			if esc, missing := escaped(pass, n.Pos(), "arena-ok"); esc {
+				if missing {
+					pass.Reportf(n.Pos(), "//unison:arena-ok needs a reason string")
+				}
+				delete(tracked, obj)
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s was obtained from %s.%s but %s.%s ran afterwards; the slot may have been recycled — re-fetch the record by index (annotate //unison:arena-ok <reason> if the record provably survives)",
+				n.Name, rec.arena, rec.from, rec.arena, mut.what)
+			delete(tracked, obj) // one report per binding, not per use
+			return true
+		}
+		return true
+	})
+}
+
+// assignedObj resolves the object an assignment LHS identifier binds:
+// Defs for `:=`, Uses for `=`.
+func assignedObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// arenaKey identifies the arena a call mutates or reads: the receiver
+// expression of the method call, rendered as source text.
+func arenaKey(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return exprString(sel.X), true
+}

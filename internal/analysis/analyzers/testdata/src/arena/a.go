@@ -1,0 +1,83 @@
+// Fixture: the arena analyzer's role declarations, the use-after-mutate
+// rule, rebinding, and the arena-ok escape hatch.
+package arena
+
+type rec struct{ gen int }
+
+//unison:arena
+type store struct {
+	chunks []rec
+	free   []int32
+}
+
+//unison:arena alloc
+func (s *store) alloc() (*rec, int32) {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return &s.chunks[idx], idx
+	}
+	s.chunks = append(s.chunks, rec{})
+	return &s.chunks[len(s.chunks)-1], int32(len(s.chunks) - 1)
+}
+
+//unison:arena get
+func (s *store) at(idx int32) *rec { return &s.chunks[idx] }
+
+//unison:arena release
+func (s *store) release(idx int32) { s.free = append(s.free, idx) }
+
+//unison:arena borrow
+func (s *store) reset() {} // want `must say alloc, get or release`
+
+func useAfterRelease(s *store, idx int32) int {
+	c := s.at(idx)
+	s.release(idx)
+	return c.gen // want `c was obtained from s\.at but s\.release ran afterwards`
+}
+
+func useAfterAlloc(s *store, idx int32) int {
+	c := s.at(idx)
+	d, _ := s.alloc()
+	d.gen++      // the fresh record is fine; only c predates the mutation
+	return c.gen // want `c was obtained from s\.at but s\.alloc ran afterwards`
+}
+
+func useBeforeMutate(s *store, idx int32) int {
+	c := s.at(idx)
+	g := c.gen // use precedes the mutation: legal
+	s.release(idx)
+	return g
+}
+
+func allocThenUse(s *store) int {
+	c, _ := s.alloc()
+	c.gen = 1 // binding and mutation are the same call: legal
+	return c.gen
+}
+
+func refetch(s *store, idx int32) int {
+	c := s.at(idx)
+	_, _ = s.alloc()
+	c = s.at(idx) // rebinding re-tracks: the stale view is gone
+	return c.gen
+}
+
+func distinctArenas(a, b *store, idx int32) int {
+	c := a.at(idx)
+	b.release(idx)
+	return c.gen // different arena mutated: legal
+}
+
+func escapeWithReason(s *store, idx int32) int {
+	c := s.at(idx)
+	s.release(idx)
+	return c.gen //unison:arena-ok chunk storage is append-only here and gen is read before any realloc
+}
+
+func escapeNoReason(s *store, idx int32) int {
+	c := s.at(idx)
+	s.release(idx)
+	//unison:arena-ok
+	return c.gen // want `needs a reason string`
+}

@@ -44,6 +44,22 @@ type Config struct {
 	// ExtraFlowSlots reserves additional monitor records beyond Flows
 	// (for flows injected by custom setup events).
 	ExtraFlowSlots int
+
+	// FlowSrc, when set, replaces Flows with a streaming workload: flow
+	// specs are pulled on demand during the run instead of being
+	// materialized up front, keeping workload memory O(window) instead of
+	// O(flows). Requires a kernel with global-event support (sequential,
+	// Unison, hybrid, barrier, virtual testbed). Mutually exclusive with
+	// Flows.
+	FlowSrc tcp.FlowSource
+	// FlowCount sizes the flow monitor when FlowSrc is set (the number of
+	// flows the source will emit, e.g. traffic.Count). Flow IDs at or
+	// beyond FlowCount+ExtraFlowSlots spill into the monitor's straggler
+	// overflow, so an underestimate degrades memory, not correctness.
+	FlowCount int
+	// StreamWindow is the pull-ahead horizon for FlowSrc (0 uses
+	// tcp.DefaultStreamWindow).
+	StreamWindow sim.Time
 }
 
 // New assembles a scenario over g with the given router.
@@ -54,13 +70,20 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
 	if cfg.StopAt <= 0 {
 		panic("app: StopAt must be positive")
 	}
-	maxID := -1
-	for _, f := range cfg.Flows {
-		if int(f.ID) > maxID {
-			maxID = int(f.ID)
-		}
+	if cfg.FlowSrc != nil && len(cfg.Flows) > 0 {
+		panic("app: Flows and FlowSrc are mutually exclusive")
 	}
-	mon := flowmon.NewMonitor(maxID + 1 + cfg.ExtraFlowSlots)
+	slots := cfg.FlowCount
+	if cfg.FlowSrc == nil {
+		maxID := -1
+		for _, f := range cfg.Flows {
+			if int(f.ID) > maxID {
+				maxID = int(f.ID)
+			}
+		}
+		slots = maxID + 1
+	}
+	mon := flowmon.NewMonitor(slots + cfg.ExtraFlowSlots)
 	net := netdev.New(g, router, cfg.NetCfg)
 	stack := tcp.NewStack(net, cfg.TCPCfg, mon)
 	s := &Scenario{
@@ -73,7 +96,11 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
 		Flows:  cfg.Flows,
 		StopAt: cfg.StopAt,
 	}
-	stack.Attach(s.Setup, cfg.Flows)
+	if cfg.FlowSrc != nil {
+		stack.AttachStream(s.Setup, cfg.FlowSrc, cfg.StreamWindow)
+	} else {
+		stack.Attach(s.Setup, cfg.Flows)
+	}
 	return s
 }
 

@@ -12,6 +12,8 @@ package flowmon
 
 import (
 	"fmt"
+	"sync"
+	"unsafe"
 
 	"unison/internal/packet"
 	"unison/internal/sim"
@@ -64,9 +66,24 @@ func (r *RecvRec) Goodput() float64 {
 }
 
 // Monitor holds the records of all flows of one simulation run.
+//
+// Storage is a dense slice keyed by flow index — one preallocated record
+// per flow, no per-flow heap objects and no map lookups on the hot path.
+// Flow IDs at or beyond the preallocated range (possible when a streamed
+// workload was sized by estimate rather than traffic.Count) fall back to
+// a mutex-guarded overflow map; the lock is only ever taken on that
+// straggler path, so the dense common case stays lock-free.
 type Monitor struct {
 	senders []SenderRec
 	recvs   []RecvRec
+
+	// Overflow records for stragglers with id >= len(senders). Guarded by
+	// mu because, unlike the disjoint dense records, lazily inserting into
+	// a shared map from concurrent node events would race.
+	mu       sync.Mutex
+	oSenders map[packet.FlowID]*SenderRec
+	oRecvs   map[packet.FlowID]*RecvRec
+	oEnd     int // 1 + highest overflow id seen
 }
 
 // NewMonitor pre-registers n flows with IDs 0..n-1.
@@ -74,25 +91,99 @@ func NewMonitor(n int) *Monitor {
 	return &Monitor{senders: make([]SenderRec, n), recvs: make([]RecvRec, n)}
 }
 
-// Flows returns the number of registered flows.
-func (m *Monitor) Flows() int { return len(m.senders) }
+// Flows returns the number of registered flows (including stragglers
+// beyond the preallocated range).
+func (m *Monitor) Flows() int {
+	if m.oEnd > len(m.senders) {
+		return m.oEnd
+	}
+	return len(m.senders)
+}
 
 // Sender returns the sender-side record of flow id.
 func (m *Monitor) Sender(id packet.FlowID) *SenderRec {
-	if int(id) >= len(m.senders) {
-		panic(fmt.Sprintf("flowmon: flow %d not registered (have %d)", id, len(m.senders)))
+	if int(id) < len(m.senders) {
+		return &m.senders[id]
 	}
-	return &m.senders[id]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.oSenders == nil {
+		m.oSenders = make(map[packet.FlowID]*SenderRec)
+	}
+	r := m.oSenders[id]
+	if r == nil {
+		r = &SenderRec{}
+		m.oSenders[id] = r
+		if int(id)+1 > m.oEnd {
+			m.oEnd = int(id) + 1
+		}
+	}
+	return r
 }
 
 // Recv returns the receiver-side record of flow id.
-func (m *Monitor) Recv(id packet.FlowID) *RecvRec { return &m.recvs[id] }
+func (m *Monitor) Recv(id packet.FlowID) *RecvRec {
+	if int(id) < len(m.recvs) {
+		return &m.recvs[id]
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.oRecvs == nil {
+		m.oRecvs = make(map[packet.FlowID]*RecvRec)
+	}
+	r := m.oRecvs[id]
+	if r == nil {
+		r = &RecvRec{}
+		m.oRecvs[id] = r
+		if int(id)+1 > m.oEnd {
+			m.oEnd = int(id) + 1
+		}
+	}
+	return r
+}
+
+// senderAt returns the record of flow i without allocating: dense slot,
+// overflow entry, or the zero record.
+func (m *Monitor) senderAt(i int) *SenderRec {
+	if i < len(m.senders) {
+		return &m.senders[i]
+	}
+	if r := m.oSenders[packet.FlowID(i)]; r != nil {
+		return r
+	}
+	return &zeroSender
+}
+
+func (m *Monitor) recvAt(i int) *RecvRec {
+	if i < len(m.recvs) {
+		return &m.recvs[i]
+	}
+	if r := m.oRecvs[packet.FlowID(i)]; r != nil {
+		return r
+	}
+	return &zeroRecv
+}
+
+var (
+	zeroSender SenderRec
+	zeroRecv   RecvRec
+)
+
+// MemBytes reports the monitor's record storage footprint.
+func (m *Monitor) MemBytes() int64 {
+	b := int64(len(m.senders))*int64(unsafe.Sizeof(SenderRec{})) +
+		int64(len(m.recvs))*int64(unsafe.Sizeof(RecvRec{}))
+	// Overflow entries cost the record plus roughly a map bucket slot.
+	b += int64(len(m.oSenders)) * int64(unsafe.Sizeof(SenderRec{})+48)
+	b += int64(len(m.oRecvs)) * int64(unsafe.Sizeof(RecvRec{})+48)
+	return b
+}
 
 // Completed returns the number of flows whose sender finished.
 func (m *Monitor) Completed() int {
 	n := 0
-	for i := range m.senders {
-		if m.senders[i].Done {
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		if m.senderAt(i).Done {
 			n++
 		}
 	}
@@ -102,9 +193,9 @@ func (m *Monitor) Completed() int {
 // FCTs returns all completed flow completion times in milliseconds.
 func (m *Monitor) FCTs() []float64 {
 	var out []float64
-	for i := range m.senders {
-		if m.senders[i].Done {
-			out = append(out, m.senders[i].FCT().Seconds()*1e3)
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		if r := m.senderAt(i); r.Done {
+			out = append(out, r.FCT().Seconds()*1e3)
 		}
 	}
 	return out
@@ -116,9 +207,8 @@ func (m *Monitor) MeanFCTms() float64 { return stats.Mean(m.FCTs()) }
 // MeanRTTms returns the mean of per-flow mean RTTs, in milliseconds.
 func (m *Monitor) MeanRTTms() float64 {
 	var agg stats.Summary
-	for i := range m.senders {
-		r := &m.senders[i]
-		if r.RTT.N > 0 {
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		if r := m.senderAt(i); r.RTT.N > 0 {
 			agg.Add(r.RTT.Mean() / 1e6)
 		}
 	}
@@ -129,8 +219,8 @@ func (m *Monitor) MeanRTTms() float64 {
 // that received data.
 func (m *Monitor) MeanGoodputMbps() float64 {
 	var agg stats.Summary
-	for i := range m.recvs {
-		if g := m.recvs[i].Goodput(); g > 0 {
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		if g := m.recvAt(i).Goodput(); g > 0 {
 			agg.Add(g * 8 / 1e6)
 		}
 	}
@@ -140,8 +230,8 @@ func (m *Monitor) MeanGoodputMbps() float64 {
 // Goodputs returns per-flow goodputs in Mbit/s (zero entries skipped).
 func (m *Monitor) Goodputs() []float64 {
 	var out []float64
-	for i := range m.recvs {
-		if g := m.recvs[i].Goodput(); g > 0 {
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		if g := m.recvAt(i).Goodput(); g > 0 {
 			out = append(out, g*8/1e6)
 		}
 	}
@@ -151,8 +241,8 @@ func (m *Monitor) Goodputs() []float64 {
 // TotalRetransmits sums retransmissions across flows.
 func (m *Monitor) TotalRetransmits() uint64 {
 	var t uint64
-	for i := range m.senders {
-		t += m.senders[i].Retransmit
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		t += m.senderAt(i).Retransmit
 	}
 	return t
 }
@@ -166,15 +256,15 @@ func (m *Monitor) Fingerprint() uint64 {
 		h ^= v
 		h *= 1099511628211
 	}
-	for i := range m.senders {
-		s := &m.senders[i]
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		s := m.senderAt(i)
 		mix(uint64(s.DoneT))
 		mix(uint64(s.Retransmit))
 		mix(uint64(s.RTT.N))
 		mix(uint64(int64(s.RTT.Sum)))
 	}
-	for i := range m.recvs {
-		r := &m.recvs[i]
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		r := m.recvAt(i)
 		mix(uint64(r.BytesRcvd))
 		mix(uint64(r.LastRxT))
 	}
@@ -187,29 +277,48 @@ func (m *Monitor) Fingerprint() uint64 {
 // into the global view (a record is taken from `other` when it carries
 // any content). Monitors must have the same flow count.
 func (m *Monitor) MergeFrom(other *Monitor) {
-	if len(other.senders) != len(m.senders) {
-		panic(fmt.Sprintf("flowmon: merging %d flows into %d", len(other.senders), len(m.senders)))
+	if other.Flows() != m.Flows() {
+		panic(fmt.Sprintf("flowmon: merging %d flows into %d", other.Flows(), m.Flows()))
 	}
-	for i := range other.senders {
-		s := &other.senders[i]
+	for i, fl := 0, other.Flows(); i < fl; i++ {
+		s := other.senderAt(i)
 		if s.StartT != 0 || s.Done || s.RTT.N > 0 || s.Bytes != 0 {
-			m.senders[i] = *s
+			*m.Sender(packet.FlowID(i)) = *s
 		}
 	}
-	for i := range other.recvs {
-		r := &other.recvs[i]
+	for i, fl := 0, other.Flows(); i < fl; i++ {
+		r := other.recvAt(i)
 		if r.BytesRcvd != 0 || r.Done || r.FirstRxT != 0 {
-			m.recvs[i] = *r
+			*m.Recv(packet.FlowID(i)) = *r
 		}
 	}
 }
 
 // Export returns the monitor's raw records for serialization (gob) by the
-// distributed kernel.
-func (m *Monitor) Export() ([]SenderRec, []RecvRec) { return m.senders, m.recvs }
+// distributed kernel. Overflow stragglers are folded into dense arrays.
+func (m *Monitor) Export() ([]SenderRec, []RecvRec) {
+	if m.oEnd <= len(m.senders) {
+		return m.senders, m.recvs
+	}
+	fl := m.Flows()
+	senders := make([]SenderRec, fl)
+	recvs := make([]RecvRec, fl)
+	copy(senders, m.senders)
+	copy(recvs, m.recvs)
+	for id, r := range m.oSenders {
+		senders[id] = *r
+	}
+	for id, r := range m.oRecvs {
+		recvs[id] = *r
+	}
+	return senders, recvs
+}
 
 // Import replaces the monitor's records (the inverse of Export).
 func (m *Monitor) Import(senders []SenderRec, recvs []RecvRec) {
 	m.senders = senders
 	m.recvs = recvs
+	m.oSenders = nil
+	m.oRecvs = nil
+	m.oEnd = 0
 }

@@ -36,14 +36,40 @@ func TestRecvGoodput(t *testing.T) {
 	}
 }
 
-func TestUnknownFlowPanics(t *testing.T) {
+// TestStragglerOverflow: ids beyond the preallocated dense range land in
+// the straggler overflow and are visible to every aggregate — a streamed
+// workload sized by estimate must never lose records.
+func TestStragglerOverflow(t *testing.T) {
 	m := NewMonitor(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range flow id did not panic")
-		}
-	}()
-	m.Sender(5)
+	s := m.Sender(5)
+	s.Start(1, 0, 1, 100)
+	s.Done = true
+	s.DoneT = 10 * sim.Millisecond
+	m.Recv(5).BytesRcvd = 100
+	if m.Sender(5) != s {
+		t.Fatal("overflow record not stable across lookups")
+	}
+	if got := m.Flows(); got != 6 {
+		t.Fatalf("Flows=%d, want 6 (dense 1 + straggler id 5)", got)
+	}
+	if got := m.Completed(); got != 1 {
+		t.Fatalf("Completed=%d, want 1", got)
+	}
+	// A dense monitor with the same records must fingerprint identically.
+	ref := NewMonitor(6)
+	*ref.Sender(5) = *s
+	*ref.Recv(5) = *m.Recv(5)
+	if ref.Fingerprint() != m.Fingerprint() {
+		t.Fatalf("overflow fingerprint %x != dense %x", m.Fingerprint(), ref.Fingerprint())
+	}
+	// Export folds stragglers into dense arrays.
+	es, er := m.Export()
+	if len(es) != 6 || len(er) != 6 || !es[5].Done || er[5].BytesRcvd != 100 {
+		t.Fatalf("Export did not fold stragglers: %d/%d", len(es), len(er))
+	}
+	if m.MemBytes() <= 0 {
+		t.Fatal("MemBytes not positive")
+	}
 }
 
 func TestAggregates(t *testing.T) {

@@ -103,8 +103,8 @@ func (m *Monitor) Report(cfg ReportConfig) *FlowReport {
 	}
 	hist := stats.NewHistogram(cfg.GoodputBucketMbps, cfg.GoodputBuckets)
 	var slowdowns []float64
-	for i := range m.senders {
-		s := &m.senders[i]
+	for i, fl := 0, m.Flows(); i < fl; i++ {
+		s := m.senderAt(i)
 		if s.Bytes == 0 && s.StartT == 0 && s.Src == 0 && s.Dst == 0 {
 			continue // never registered
 		}
@@ -124,11 +124,9 @@ func (m *Monitor) Report(cfg ReportConfig) *FlowReport {
 				}
 			}
 		}
-		if i < len(m.recvs) {
-			if g := m.recvs[i].Goodput(); g > 0 {
-				e.GoodMbps = g * 8 / 1e6
-				hist.Add(e.GoodMbps)
-			}
+		if g := m.recvAt(i).Goodput(); g > 0 {
+			e.GoodMbps = g * 8 / 1e6
+			hist.Add(e.GoodMbps)
 		}
 		rep.PerFlow = append(rep.PerFlow, e)
 	}

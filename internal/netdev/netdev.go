@@ -13,6 +13,7 @@ package netdev
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"unison/internal/netobs"
 	"unison/internal/packet"
@@ -64,9 +65,13 @@ type Network struct {
 	// host over the wire, internal/dist).
 	Remote func(ctx *sim.Ctx, at sim.NodeID, p packet.Packet, arrival sim.Time) bool
 
-	// devs[l][side] is the device of link l at endpoint A (side 0) or B
-	// (side 1).
-	devs [][2]*Device
+	// devs is the flat device array in struct-of-arrays style: the device
+	// of link l at endpoint A (side 0) or B (side 1) is devs[2*l+side].
+	// One allocation holds every device; hot per-device state (queue
+	// pointer, busy flag) sits first in each record and the cold
+	// observability counters live in the embedded DevStats block, so the
+	// forwarding path touches a dense, predictable working set.
+	devs []Device
 
 	// handlers[n] receives packets addressed to host n.
 	handlers []Handler
@@ -94,16 +99,22 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Network {
 		G:         g,
 		Router:    router,
 		Cfg:       cfg,
-		devs:      make([][2]*Device, len(g.Links)),
+		devs:      make([]Device, 2*len(g.Links)),
 		handlers:  make([]Handler, g.N()),
 		nodeDrops: make([]uint64, g.N()),
 		halfBusy:  make([]bool, len(g.Links)),
 		route:     make([]packet.Packet, g.N()),
 	}
+	qalloc := newQueueArena(cfg, 2*len(g.Links))
 	for i := range g.Links {
 		l := &g.Links[i]
-		n.devs[i][0] = newDevice(n, l.A, l.ID, cfg)
-		n.devs[i][1] = newDevice(n, l.B, l.ID, cfg)
+		for side, node := range [2]sim.NodeID{l.A, l.B} {
+			d := &n.devs[2*i+side]
+			d.net = n
+			d.node = node
+			d.link = l.ID
+			d.queue = qalloc(node, l.ID)
+		}
 	}
 	return n
 }
@@ -118,12 +129,11 @@ func (n *Network) SetHandler(h sim.NodeID, fn Handler) {
 
 // Device returns the device of node at on link l.
 func (n *Network) Device(at sim.NodeID, l topology.LinkID) *Device {
-	d := &n.devs[l]
-	if d[0].node == at {
-		return d[0]
+	if d := &n.devs[2*int(l)]; d.node == at {
+		return d
 	}
-	if d[1].node == at {
-		return d[1]
+	if d := &n.devs[2*int(l)+1]; d.node == at {
+		return d
 	}
 	panic(fmt.Sprintf("netdev: node %d not on link %d", at, l))
 }
@@ -131,8 +141,7 @@ func (n *Network) Device(at sim.NodeID, l topology.LinkID) *Device {
 // Devices calls fn for every device (post-run statistics collection).
 func (n *Network) Devices(fn func(*Device)) {
 	for i := range n.devs {
-		fn(n.devs[i][0])
-		fn(n.devs[i][1])
+		fn(&n.devs[i])
 	}
 }
 
@@ -153,6 +162,30 @@ func (n *Network) AttachSampler(s *netobs.Sampler) {
 
 // Sampler returns the attached sampler, or nil.
 func (n *Network) Sampler() *netobs.Sampler { return n.sampler }
+
+// MemStats is the data plane's self-reported memory footprint, used by
+// unibench's scale accounting.
+type MemStats struct {
+	Devices     int   // link endpoints
+	DeviceBytes int64 // flat device array
+	QueueBytes  int64 // queue records + ring buffers
+	NodeBytes   int64 // per-node flat state (handlers, drops, scratch)
+}
+
+// Mem reports the network's state footprint.
+func (n *Network) Mem() MemStats {
+	m := MemStats{
+		Devices:     len(n.devs),
+		DeviceBytes: int64(cap(n.devs)) * int64(unsafe.Sizeof(Device{})),
+		NodeBytes: int64(cap(n.handlers))*int64(unsafe.Sizeof(Handler(nil))) +
+			int64(cap(n.nodeDrops))*8 + int64(cap(n.halfBusy)) +
+			int64(cap(n.route))*int64(unsafe.Sizeof(packet.Packet{})),
+	}
+	for i := range n.devs {
+		m.QueueBytes += queueMemBytes(n.devs[i].queue)
+	}
+	return m
+}
 
 // Drops returns the total packets dropped network-wide.
 func (n *Network) Drops() uint64 {
@@ -284,29 +317,31 @@ func schedReceive(ctx *sim.Ctx, delay sim.Time, n *Network, at sim.NodeID, p pac
 }
 
 // Device is one endpoint of a link: an output queue plus the transmitter.
+// Devices live in the Network's flat device array (never behind individual
+// heap pointers); the hot transmit-path fields come first and the cold
+// per-device statistics are split into the embedded DevStats block. Field
+// promotion keeps d.TxPackets-style access working for consumers.
 type Device struct {
-	net  *Network
-	node sim.NodeID
-	link topology.LinkID
-
+	// Hot: touched on every Send/startTx/txDone.
+	net   *Network
 	queue Queue
-	busy  bool
 	probe *netobs.DevProbe // nil unless a sampler is attached
+	node  sim.NodeID
+	link  topology.LinkID
+	busy  bool
 
-	// Statistics, owned by the device's node.
-	TxPackets, TxBytes uint64
-	Drops              uint64
-	QueueDelay         stats.Summary
-	MarkCount          uint64 // ECN CE marks applied
+	// Cold: observability counters, read per-event but only written on
+	// the slow paths (dequeue accounting, drops, marks).
+	DevStats
 }
 
-func newDevice(n *Network, node sim.NodeID, link topology.LinkID, cfg Config) *Device {
-	return &Device{
-		net:   n,
-		node:  node,
-		link:  link,
-		queue: newQueue(cfg.Queue, cfg.Seed, node, link),
-	}
+// DevStats is the cold statistics block of a Device, owned by the
+// device's node like the rest of its state.
+type DevStats struct {
+	TxPackets, TxBytes uint64
+	Drops              uint64
+	MarkCount          uint64 // ECN CE marks applied
+	QueueDelay         stats.Summary
 }
 
 // Node returns the owning node.

@@ -2,6 +2,7 @@ package netdev
 
 import (
 	"fmt"
+	"unsafe"
 
 	"unison/internal/packet"
 	"unison/internal/rng"
@@ -124,10 +125,78 @@ func newQueue(cfg QueueConfig, seed uint64, node sim.NodeID, link topology.LinkI
 	case RED:
 		return &redQueue{
 			cfg: cfg,
-			r:   rng.New(seed, rng.PurposeRED, uint64(uint32(node)), uint64(uint32(link))),
+			r:   *rng.New(seed, rng.PurposeRED, uint64(uint32(node)), uint64(uint32(link))),
 		}
 	default:
 		panic(fmt.Sprintf("netdev: unknown queue kind %d", cfg.Kind))
+	}
+}
+
+// newQueueArena returns an allocator handing out queues backed by one
+// contiguous per-discipline array sized for n devices — the SoA
+// counterpart of newQueue. Per-queue state (RED's rng stream, which is
+// derived from node and link) is initialized per call; the backing array
+// keeps queue records of all devices adjacent in memory and costs one
+// allocation instead of n.
+func newQueueArena(cfg Config, n int) func(node sim.NodeID, link topology.LinkID) Queue {
+	i := 0
+	switch cfg.Queue.Kind {
+	case DropTail:
+		arr := make([]dropTail, n)
+		return func(sim.NodeID, topology.LinkID) Queue {
+			q := &arr[i]
+			i++
+			q.max = cfg.Queue.MaxPkts
+			return q
+		}
+	case PfifoFast:
+		arr := make([]pfifoFast, n)
+		return func(sim.NodeID, topology.LinkID) Queue {
+			q := &arr[i]
+			i++
+			q.max = cfg.Queue.MaxPkts
+			return q
+		}
+	case CoDel:
+		arr := make([]codelQueue, n)
+		return func(sim.NodeID, topology.LinkID) Queue {
+			q := &arr[i]
+			i++
+			q.cfg = cfg.Queue
+			return q
+		}
+	case RED:
+		arr := make([]redQueue, n)
+		return func(node sim.NodeID, link topology.LinkID) Queue {
+			q := &arr[i]
+			i++
+			q.cfg = cfg.Queue
+			q.r = *rng.New(cfg.Seed, rng.PurposeRED, uint64(uint32(node)), uint64(uint32(link)))
+			return q
+		}
+	default:
+		return func(node sim.NodeID, link topology.LinkID) Queue {
+			return newQueue(cfg.Queue, cfg.Seed, node, link)
+		}
+	}
+}
+
+// queueMemBytes reports the backing bytes of one queue record plus its
+// ring buffer(s), for Network.Mem.
+func queueMemBytes(q Queue) int64 {
+	itemSz := int64(unsafe.Sizeof(queueItem{}))
+	switch v := q.(type) {
+	case *dropTail:
+		return int64(unsafe.Sizeof(*v)) + int64(cap(v.items))*itemSz
+	case *redQueue:
+		return int64(unsafe.Sizeof(*v)) + int64(cap(v.items))*itemSz
+	case *codelQueue:
+		return int64(unsafe.Sizeof(*v)) + int64(cap(v.items))*itemSz
+	case *pfifoFast:
+		return int64(unsafe.Sizeof(*v)) +
+			int64(cap(v.bands[0].items))*itemSz + int64(cap(v.bands[1].items))*itemSz
+	default:
+		return 0
 	}
 }
 
@@ -184,8 +253,10 @@ func (q *dropTail) Len() int                           { return q.len() }
 // curve, plus DCTCP-style hard marking.
 type redQueue struct {
 	fifo
-	cfg   QueueConfig
-	r     *rng.Rand
+	cfg QueueConfig
+	// r is embedded by value so arena-allocated RED queues carry their rng
+	// stream inline instead of behind a pointer.
+	r     rng.Rand
 	avg   float64
 	count int // packets since last drop/mark
 }

@@ -60,13 +60,12 @@ type conn struct {
 
 type interval struct{ lo, hi uint32 } // [lo, hi)
 
-func newConn(s *Stack, f FlowSpec, sender bool) *conn {
-	c := &conn{
-		s:       s,
-		f:       f,
-		sender:  sender,
-		backoff: 1,
-	}
+// init prepares a zeroed (fresh or recycled) arena record for flow f.
+func (c *conn) init(s *Stack, f FlowSpec, sender bool) {
+	c.s = s
+	c.f = f
+	c.sender = sender
+	c.backoff = 1
 	if sender {
 		c.total = uint32(f.Bytes)
 		c.cwnd = s.cfg.InitCwnd * s.cfg.MSS
@@ -74,7 +73,27 @@ func newConn(s *Stack, f FlowSpec, sender bool) *conn {
 		c.alpha = 1 // DCTCP starts conservative
 	}
 	c.rtt.init(s.cfg)
-	return c
+}
+
+// recycle zeroes the record for reuse by a new flow while preserving what
+// must survive slot reuse: the timer generation counters stay monotonic so
+// closures armed by the previous occupant can never fire into the new one,
+// and the out-of-order buffer keeps its capacity.
+func (c *conn) recycle() {
+	tsq, asq := c.timerSq, c.ackTimerSq
+	ooo := c.ooo[:0]
+	*c = conn{}
+	c.timerSq, c.ackTimerSq = tsq, asq
+	c.ooo = ooo
+}
+
+// roleDone reports whether this endpoint's part in the flow is over and
+// its record can be recycled.
+func (c *conn) roleDone() bool {
+	if c.sender {
+		return c.done
+	}
+	return c.rcvDone
 }
 
 // Cwnd returns the congestion window in bytes.

@@ -76,9 +76,11 @@ func TestDelayedAckDCTCPStillMarksAndEchoes(t *testing.T) {
 		t.Fatal("no marks under DCTCP with delayed ACKs")
 	}
 	// The senders must have reacted to the echoes (cwnd clamped below the
-	// slow-start blowup a mark-blind sender would reach).
+	// slow-start blowup a mark-blind sender would reach). Each sender host
+	// ran exactly one flow, so its final state is still intact in arena
+	// slot 0 — recycled slots keep their content until reallocated.
 	for i := range flows {
-		c := h.stack.conns[flows[i].Src][flows[i].ID]
+		c := h.stack.hosts[flows[i].Src].arena.at(0)
 		if c.alpha == 1 && c.retrans == 0 && c.cwnd > 1<<20 {
 			t.Fatalf("flow %d: cwnd=%d alpha=%v — ECE echoes seem lost", i, c.cwnd, c.alpha)
 		}

@@ -98,15 +98,17 @@ type FlowSpec struct {
 }
 
 // Stack is the per-simulation transport instance: it owns the connection
-// tables of every host and registers itself as each host's packet handler.
+// stores of every host and registers itself as each host's packet handler.
 type Stack struct {
 	net *netdev.Network
 	cfg Config
 	mon *flowmon.Monitor
 
-	// conns[node] maps flow → connection endpoint at that node;
-	// owned by the node, mutated only from its events.
-	conns []map[packet.FlowID]*conn
+	// hosts[node] is the node's connection store (arena + flow table, see
+	// store.go); owned by the node, mutated only from its events. Records
+	// are recycled when an endpoint finishes its role, so the live
+	// footprint tracks concurrent flows, not total flows.
+	hosts []hostConns
 
 	// udpSinks holds per-host datagram consumers (see udp.go); populated
 	// at setup time only, read-only during the run.
@@ -118,9 +120,8 @@ func NewStack(net *netdev.Network, cfg Config, mon *flowmon.Monitor) *Stack {
 	if cfg.MSS <= 0 || cfg.InitCwnd <= 0 {
 		panic("tcp: invalid config")
 	}
-	s := &Stack{net: net, cfg: cfg, mon: mon, conns: make([]map[packet.FlowID]*conn, net.G.N())}
+	s := &Stack{net: net, cfg: cfg, mon: mon, hosts: make([]hostConns, net.G.N())}
 	for _, h := range net.G.Hosts() {
-		s.conns[h] = make(map[packet.FlowID]*conn)
 		host := h
 		net.SetHandler(host, func(ctx *sim.Ctx, p packet.Packet) { s.deliver(ctx, host, p) })
 	}
@@ -136,6 +137,56 @@ func (s *Stack) Attach(setup *sim.Setup, flows []FlowSpec) {
 	}
 }
 
+// FlowSource yields a workload one flow at a time in nondecreasing Start
+// order. traffic.Stream implements it; AttachStream consumes it.
+type FlowSource interface {
+	Next() (FlowSpec, bool)
+}
+
+// DefaultStreamWindow is AttachStream's release granularity: each pump
+// event hands the kernel the arrivals of the next window.
+const DefaultStreamWindow = 100 * sim.Microsecond
+
+// AttachStream wires a lazily generated workload into the run: instead of
+// materializing every flow as an init event (one closure per flow held
+// for the whole run), a chained global "pump" event walks the source as
+// virtual time advances and releases each window's arrivals just before
+// they are due.
+//
+// The pump runs as a global event (all workers quiescent), which is the
+// one context allowed to schedule directly onto any node without
+// violating the kernels' causality windows. Kernels that reject global
+// events (null-message, distributed) need the materialized Attach path.
+//
+// window <= 0 selects DefaultStreamWindow. The source must yield flows in
+// nondecreasing Start order (traffic.Stream guarantees this).
+func (s *Stack) AttachStream(setup *sim.Setup, src FlowSource, window sim.Time) {
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	pending, ok := src.Next()
+	if !ok {
+		return
+	}
+	var pump sim.Proc
+	pump = func(ctx *sim.Ctx) {
+		horizon := ctx.Now() + window
+		for ok && pending.Start < horizon {
+			f := pending
+			if f.Start < ctx.Now() {
+				panic(fmt.Sprintf("tcp: flow source went backwards: flow %d at %v before pump at %v",
+					f.ID, f.Start, ctx.Now()))
+			}
+			ctx.ScheduleAt(f.Start, f.Src, func(cx *sim.Ctx) { s.StartFlow(cx, f) })
+			pending, ok = src.Next()
+		}
+		if ok {
+			ctx.ScheduleGlobal(pending.Start, pump)
+		}
+	}
+	setup.Global(pending.Start, pump)
+}
+
 // StartFlow opens the connection for f and begins the handshake. It must
 // run on an event executing at f.Src.
 func (s *Stack) StartFlow(ctx *sim.Ctx, f FlowSpec) {
@@ -145,8 +196,10 @@ func (s *Stack) StartFlow(ctx *sim.Ctx, f FlowSpec) {
 	if s.net.G.Nodes[f.Dst].Kind != topology.Host {
 		panic(fmt.Sprintf("tcp: flow %d destination %d is not a host", f.ID, f.Dst))
 	}
-	c := newConn(s, f, true)
-	s.conns[f.Src][f.ID] = c
+	h := &s.hosts[f.Src]
+	c, idx := h.arena.alloc()
+	c.init(s, f, true)
+	h.tab.put(f.ID, idx)
 	s.mon.Sender(f.ID).Start(ctx.Now(), f.Src, f.Dst, f.Bytes)
 	c.sendSYN(ctx)
 }
@@ -158,25 +211,70 @@ func (s *Stack) deliver(ctx *sim.Ctx, host sim.NodeID, p packet.Packet) {
 		s.deliverUDP(ctx, host, p)
 		return
 	}
-	c := s.conns[host][p.Flow]
-	if c == nil {
+	h := &s.hosts[host]
+	idx, found := h.tab.get(p.Flow)
+	var c *conn
+	if found {
+		c = h.arena.at(idx)
+	} else {
 		if p.Flags&packet.FlagSYN != 0 && p.Flags&packet.FlagACK == 0 {
-			c = newConn(s, FlowSpec{ID: p.Flow, Src: p.Dst, Dst: p.Src}, false)
-			s.conns[host][p.Flow] = c
+			c, idx = h.arena.alloc()
+			c.init(s, FlowSpec{ID: p.Flow, Src: p.Dst, Dst: p.Src}, false)
+			h.tab.put(p.Flow, idx)
 		} else {
-			return // stray packet for a closed/unknown connection
+			// Stray packet for a closed/unknown connection. If this
+			// endpoint already finished receiving the flow, the peer lost
+			// our final ACK and is retransmitting data or FIN: answer
+			// statelessly from the monitor record (the TIME-WAIT analog;
+			// the record knows the exact cumulative ACK).
+			if (p.Payload > 0 || p.Flags&packet.FlagFIN != 0) && s.mon.Recv(p.Flow).Done {
+				s.sendClosedAck(ctx, host, &p)
+			}
+			return
 		}
 	}
 	c.receive(ctx, p)
+	// Recycle the record as soon as the endpoint's role is over: the
+	// sender when its FIN is acknowledged, the receiver when it has
+	// delivered the whole flow and emitted the final ACK. Late packets
+	// take the stateless path above; stale timers are disarmed by the
+	// generation counters recycle() preserves.
+	if c.roleDone() {
+		h.tab.delete(p.Flow)
+		h.arena.release(idx)
+	}
 }
 
-// Conn returns the endpoint of flow id at node n, or nil (testing).
+// sendClosedAck re-acknowledges a finished flow without connection state:
+// the cumulative ACK covers every byte plus the FIN, exactly what the
+// live receiver's final ACK carried.
+func (s *Stack) sendClosedAck(ctx *sim.Ctx, host sim.NodeID, p *packet.Packet) {
+	rec := s.mon.Recv(p.Flow)
+	ack := packet.Packet{
+		Flow: p.Flow, Src: host, Dst: p.Src, Proto: packet.TCP,
+		Flags: packet.FlagACK,
+		Ack:   uint32(rec.BytesRcvd) + 1, // all bytes + FIN
+	}
+	ack.SendTime = ctx.Now()
+	ack.EchoTime = p.SendTime
+	if buf := s.cfg.RcvBuf; buf > 0 {
+		ack.Wnd = uint32(buf)
+	}
+	if s.cfg.Variant == DCTCP && p.CE {
+		ack.Flags |= packet.FlagECE
+	}
+	s.net.Inject(ctx, ack)
+}
+
+// Conn returns the live endpoint of flow id at node n, or nil once the
+// endpoint finished and its record was recycled (testing).
 func (s *Stack) Conn(n sim.NodeID, id packet.FlowID) Endpoint {
-	c := s.conns[n][id]
-	if c == nil {
+	h := &s.hosts[n]
+	idx, ok := h.tab.get(id)
+	if !ok {
 		return nil
 	}
-	return c
+	return h.arena.at(idx)
 }
 
 // Endpoint exposes read-only connection state for tests and monitors.

@@ -5,6 +5,7 @@ import (
 
 	"unison/internal/packet"
 	"unison/internal/sim"
+	"unison/internal/topology"
 )
 
 // UDP support: fire-and-forget datagrams dispatched to per-host sinks.
@@ -17,7 +18,7 @@ type UDPSink func(ctx *sim.Ctx, p packet.Packet)
 // RegisterUDP installs the datagram sink of host h. It must be called
 // during model construction (before the simulation runs).
 func (s *Stack) RegisterUDP(h sim.NodeID, sink UDPSink) {
-	if s.conns[h] == nil {
+	if s.net.G.Nodes[h].Kind != topology.Host {
 		panic(fmt.Sprintf("tcp: RegisterUDP on non-host node %d", h))
 	}
 	if s.udpSinks == nil {

@@ -77,10 +77,22 @@ func FatTreeClusters(clusters, racks, hostsPerRack int, bandwidth int64, delay s
 func BuildFatTree(cfg FatTreeCfg) *FatTree {
 	if cfg.Clusters <= 0 || cfg.RacksPerPod <= 0 || cfg.HostsPerRack <= 0 ||
 		cfg.AggsPerPod <= 0 || cfg.Cores <= 0 {
-		panic("topology: fat-tree config has non-positive dimension")
+		panic(fmt.Sprintf("topology: fat-tree config has non-positive dimension: "+
+			"Clusters=%d RacksPerPod=%d HostsPerRack=%d AggsPerPod=%d Cores=%d",
+			cfg.Clusters, cfg.RacksPerPod, cfg.HostsPerRack, cfg.AggsPerPod, cfg.Cores))
 	}
 	if cfg.Cores%cfg.AggsPerPod != 0 {
-		panic("topology: Cores must be a multiple of AggsPerPod")
+		panic(fmt.Sprintf("topology: Cores (%d) must be a multiple of AggsPerPod (%d) "+
+			"so every aggregation switch uplinks to the same number of cores",
+			cfg.Cores, cfg.AggsPerPod))
+	}
+	if cfg.HostBandwidth <= 0 || cfg.CoreBandwidth <= 0 {
+		panic(fmt.Sprintf("topology: fat-tree bandwidth must be positive: host=%d core=%d",
+			cfg.HostBandwidth, cfg.CoreBandwidth))
+	}
+	if cfg.HostDelay <= 0 || cfg.FabricDelay <= 0 {
+		panic(fmt.Sprintf("topology: fat-tree link delay must be positive: host=%d fabric=%d",
+			cfg.HostDelay, cfg.FabricDelay))
 	}
 	ft := &FatTree{Graph: New(), Cfg: cfg}
 	// Core layer first so core IDs are stable across cluster counts.

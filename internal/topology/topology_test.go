@@ -104,6 +104,63 @@ func TestFatTreeKDimensions(t *testing.T) {
 	}
 }
 
+func TestFatTreeK16Dimensions(t *testing.T) {
+	// The k=16 scale-out topology: verify every count against the closed
+	// forms of a k-ary fat-tree — k³/4 hosts, 5k²/4 switches, 3k³/4 links.
+	const k = 16
+	ft := BuildFatTree(FatTreeK(k, 100e9, sim.Microsecond))
+	if got, want := len(ft.Hosts()), k*k*k/4; got != want {
+		t.Errorf("hosts=%d want %d", got, want)
+	}
+	if got, want := ft.N()-len(ft.Hosts()), 5*k*k/4; got != want {
+		t.Errorf("switches=%d want %d", got, want)
+	}
+	if got, want := ft.N(), k*k*k/4+5*k*k/4; got != want {
+		t.Errorf("nodes=%d want %d", got, want)
+	}
+	if got, want := len(ft.Links), 3*k*k*k/4; got != want {
+		t.Errorf("links=%d want %d", got, want)
+	}
+	if err := ft.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFatTreeKRejectsOddAndSmall(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FatTreeK(%d) did not panic", k)
+				}
+			}()
+			FatTreeK(k, 1e9, sim.Microsecond)
+		}()
+	}
+}
+
+func TestBuildFatTreeRejectsDegenerateCfg(t *testing.T) {
+	base := FatTreeK(4, 1e9, sim.Microsecond)
+	bad := []func(*FatTreeCfg){
+		func(c *FatTreeCfg) { c.HostsPerRack = 0 },
+		func(c *FatTreeCfg) { c.Cores = 3 }, // not a multiple of AggsPerPod=2
+		func(c *FatTreeCfg) { c.HostBandwidth = 0 },
+		func(c *FatTreeCfg) { c.FabricDelay = 0 },
+	}
+	for i, mut := range bad {
+		cfg := base
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: BuildFatTree did not panic", i)
+				}
+			}()
+			BuildFatTree(cfg)
+		}()
+	}
+}
+
 func TestFatTreeEveryHostReachable(t *testing.T) {
 	ft := BuildFatTree(FatTreeK(4, 1e9, sim.Microsecond))
 	if !connected(ft.Graph) {

@@ -1,0 +1,136 @@
+package traffic
+
+import (
+	"fmt"
+
+	"unison/internal/packet"
+	"unison/internal/rng"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+)
+
+// Stream synthesizes the workload of a Config lazily: each Next call draws
+// exactly the random variates Generate would have drawn for that flow, in
+// the same order from the same seeded stream, so draining a Stream is
+// bit-identical to the materialized flow list. This is what lets multi-
+// million-flow scenarios run without ever holding the full []FlowSpec:
+// the per-flow footprint of the generator is the rng state plus a cursor.
+//
+// A Stream is single-owner state: it must only be advanced from one
+// goroutine (in-kernel, from global events — see tcp.Stack.AttachStream).
+type Stream struct {
+	cfg       Config
+	r         *rng.Rand
+	perm      []int
+	victim    sim.NodeID
+	meanGapNS float64
+
+	t    sim.Time
+	id   packet.FlowID
+	n    int
+	done bool
+}
+
+// NewStream validates cfg and positions the iterator before the first
+// flow. The validation rules (and panics) match Generate exactly.
+func NewStream(cfg Config) *Stream {
+	if len(cfg.Hosts) < 2 {
+		panic("traffic: need at least two hosts")
+	}
+	if cfg.Sizes == nil {
+		panic("traffic: nil size CDF")
+	}
+	if err := cfg.Sizes.Validate(); err != nil {
+		panic(fmt.Sprintf("traffic: %v", err))
+	}
+	if cfg.End <= cfg.Start {
+		panic("traffic: empty arrival window")
+	}
+	victim := cfg.Victim
+	if victim == 0 && cfg.IncastRatio > 0 {
+		victim = cfg.Hosts[len(cfg.Hosts)-1]
+	}
+	r := rng.New(cfg.Seed, rng.PurposeTraffic)
+	meanBytes := cfg.Sizes.MeanValue()
+	if cfg.MinBytes > 0 && meanBytes < float64(cfg.MinBytes) {
+		meanBytes = float64(cfg.MinBytes)
+	}
+	// Offered load in flows/s across the whole fabric.
+	rate := cfg.Load * float64(cfg.BisectionBps) / (8 * meanBytes)
+	if rate <= 0 {
+		panic("traffic: non-positive arrival rate")
+	}
+	s := &Stream{
+		cfg:       cfg,
+		r:         r,
+		victim:    victim,
+		meanGapNS: 1e9 / rate,
+		t:         cfg.Start,
+		id:        cfg.FirstFlowID,
+	}
+	if cfg.Pattern == Permutation {
+		s.perm = r.Perm(len(cfg.Hosts))
+	}
+	return s
+}
+
+// Next returns the next flow of the workload, or ok=false once the
+// arrival process has left the [Start, End) window. After the first
+// false, every later call returns false.
+func (s *Stream) Next() (tcp.FlowSpec, bool) {
+	if s.done {
+		return tcp.FlowSpec{}, false
+	}
+	s.t += sim.Time(s.r.Exp(s.meanGapNS))
+	if s.t >= s.cfg.End {
+		s.done = true
+		return tcp.FlowSpec{}, false
+	}
+	cfg := &s.cfg
+	srcIdx := s.r.Intn(len(cfg.Hosts))
+	src := cfg.Hosts[srcIdx]
+	var dst sim.NodeID
+	if cfg.Pattern == Permutation {
+		dst = cfg.Hosts[s.perm[srcIdx]]
+	} else {
+		dst = cfg.Hosts[s.r.Intn(len(cfg.Hosts))]
+	}
+	if cfg.IncastRatio > 0 && s.r.Float64() < cfg.IncastRatio {
+		dst = s.victim
+	}
+	if dst == src {
+		dst = cfg.Hosts[(srcIdx+1)%len(cfg.Hosts)]
+	}
+	size := int64(cfg.Sizes.Sample(s.r.Float64()))
+	if size < cfg.MinBytes {
+		size = cfg.MinBytes
+	}
+	if cfg.MaxBytes > 0 && size > cfg.MaxBytes {
+		size = cfg.MaxBytes
+	}
+	if size < 1 {
+		size = 1
+	}
+	f := tcp.FlowSpec{ID: s.id, Src: src, Dst: dst, Bytes: size, Start: s.t}
+	s.id++
+	s.n++
+	return f, true
+}
+
+// Emitted returns how many flows the stream has yielded so far.
+func (s *Stream) Emitted() int { return s.n }
+
+// Count drains a fresh stream for cfg and returns the number of flows the
+// workload contains, without retaining any of them. Use it to size the
+// flow monitor for a streamed run; it costs one pass over the rng stream
+// and O(1) memory.
+func Count(cfg Config) int {
+	s := NewStream(cfg)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

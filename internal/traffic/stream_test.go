@@ -1,0 +1,92 @@
+package traffic
+
+import (
+	"testing"
+
+	"unison/internal/sim"
+)
+
+// streamVariants exercises every branch of the arrival process: patterns,
+// incast redirection, size clamping, and flow-ID offsets.
+func streamVariants() []Config {
+	cfgs := []Config{}
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		c := baseCfg(seed)
+		cfgs = append(cfgs, c)
+
+		p := baseCfg(seed)
+		p.Pattern = Permutation
+		cfgs = append(cfgs, p)
+
+		in := baseCfg(seed)
+		in.IncastRatio = 0.3
+		cfgs = append(cfgs, in)
+
+		cl := baseCfg(seed)
+		cl.MinBytes = 1000
+		cl.MaxBytes = 20000
+		cl.FirstFlowID = 7000
+		cl.End = 2 * sim.Millisecond
+		cfgs = append(cfgs, cl)
+	}
+	return cfgs
+}
+
+// TestStreamBitIdentical is the streaming-generator contract: draining a
+// Stream yields exactly the flow sequence Generate materializes for the
+// same config — same IDs, endpoints, sizes, and start times, in the same
+// order.
+func TestStreamBitIdentical(t *testing.T) {
+	for _, cfg := range streamVariants() {
+		want := Generate(cfg)
+		if len(want) == 0 {
+			t.Fatalf("degenerate config produced no flows: %+v", cfg)
+		}
+		s := NewStream(cfg)
+		for i, w := range want {
+			g, ok := s.Next()
+			if !ok {
+				t.Fatalf("stream ended at %d, want %d flows", i, len(want))
+			}
+			if g != w {
+				t.Fatalf("flow %d: stream %+v != generate %+v", i, g, w)
+			}
+		}
+		if f, ok := s.Next(); ok {
+			t.Fatalf("stream yields extra flow %+v beyond %d", f, len(want))
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatal("stream not sticky after exhaustion")
+		}
+		if s.Emitted() != len(want) {
+			t.Fatalf("Emitted() = %d, want %d", s.Emitted(), len(want))
+		}
+	}
+}
+
+// TestCountMatchesGenerate: Count must agree with the materialized length
+// without retaining the flows.
+func TestCountMatchesGenerate(t *testing.T) {
+	for _, cfg := range streamVariants() {
+		if got, want := Count(cfg), len(Generate(cfg)); got != want {
+			t.Fatalf("Count = %d, len(Generate) = %d", got, want)
+		}
+	}
+}
+
+// TestStreamStartsNondecreasing: AttachStream's windowed release relies on
+// arrivals being a nondecreasing time sequence.
+func TestStreamStartsNondecreasing(t *testing.T) {
+	s := NewStream(baseCfg(9))
+	last := sim.Time(-1)
+	for {
+		f, ok := s.Next()
+		if !ok {
+			break
+		}
+		if f.Start < last {
+			t.Fatalf("arrival time went backwards: %d after %d", f.Start, last)
+		}
+		last = f.Start
+	}
+}

@@ -2,14 +2,14 @@
 // published flow-size distributions at a target load, with the incast
 // skew knob the paper sweeps in §3.2/§6.1.
 //
-// Workloads are generated ahead of the run from a seeded stream, so every
-// kernel simulates the identical flow list — workload generation can never
-// be a source of cross-kernel nondeterminism.
+// Workloads are drawn from a seeded stream, so every kernel simulates the
+// identical flow list — workload generation can never be a source of
+// cross-kernel nondeterminism. Generate materializes the full list up
+// front; NewStream yields the same flows one at a time for scenarios too
+// large to hold in memory (see stream.go).
 package traffic
 
 import (
-	"fmt"
-
 	"unison/internal/packet"
 	"unison/internal/rng"
 	"unison/internal/sim"
@@ -76,78 +76,20 @@ type Config struct {
 	FirstFlowID packet.FlowID
 }
 
-// Generate produces the flow list for cfg.
+// Generate produces the materialized flow list for cfg. It is a drain of
+// NewStream(cfg), so the list is bit-identical to what a streamed run
+// sees — the streaming path in stream.go is the single source of truth
+// for the arrival process.
 func Generate(cfg Config) []tcp.FlowSpec {
-	if len(cfg.Hosts) < 2 {
-		panic("traffic: need at least two hosts")
-	}
-	if cfg.Sizes == nil {
-		panic("traffic: nil size CDF")
-	}
-	if err := cfg.Sizes.Validate(); err != nil {
-		panic(fmt.Sprintf("traffic: %v", err))
-	}
-	if cfg.End <= cfg.Start {
-		panic("traffic: empty arrival window")
-	}
-	victim := cfg.Victim
-	if victim == 0 && cfg.IncastRatio > 0 {
-		victim = cfg.Hosts[len(cfg.Hosts)-1]
-	}
-	r := rng.New(cfg.Seed, rng.PurposeTraffic)
-	meanBytes := cfg.Sizes.MeanValue()
-	if cfg.MinBytes > 0 && meanBytes < float64(cfg.MinBytes) {
-		meanBytes = float64(cfg.MinBytes)
-	}
-	// Offered load in flows/s across the whole fabric.
-	rate := cfg.Load * float64(cfg.BisectionBps) / (8 * meanBytes)
-	if rate <= 0 {
-		panic("traffic: non-positive arrival rate")
-	}
-	meanGapNS := 1e9 / rate
-
-	var perm []int
-	if cfg.Pattern == Permutation {
-		perm = r.Perm(len(cfg.Hosts))
-	}
-
+	s := NewStream(cfg)
 	var flows []tcp.FlowSpec
-	id := cfg.FirstFlowID
-	for t := cfg.Start; ; {
-		t += sim.Time(r.Exp(meanGapNS))
-		if t >= cfg.End {
-			break
+	for {
+		f, ok := s.Next()
+		if !ok {
+			return flows
 		}
-		srcIdx := r.Intn(len(cfg.Hosts))
-		src := cfg.Hosts[srcIdx]
-		var dst sim.NodeID
-		if cfg.Pattern == Permutation {
-			dst = cfg.Hosts[perm[srcIdx]]
-		} else {
-			dst = cfg.Hosts[r.Intn(len(cfg.Hosts))]
-		}
-		if cfg.IncastRatio > 0 && r.Float64() < cfg.IncastRatio {
-			dst = victim
-		}
-		if dst == src {
-			dst = cfg.Hosts[(srcIdx+1)%len(cfg.Hosts)]
-		}
-		size := int64(cfg.Sizes.Sample(r.Float64()))
-		if size < cfg.MinBytes {
-			size = cfg.MinBytes
-		}
-		if cfg.MaxBytes > 0 && size > cfg.MaxBytes {
-			size = cfg.MaxBytes
-		}
-		if size < 1 {
-			size = 1
-		}
-		flows = append(flows, tcp.FlowSpec{
-			ID: id, Src: src, Dst: dst, Bytes: size, Start: t,
-		})
-		id++
+		flows = append(flows, f)
 	}
-	return flows
 }
 
 // IncastBurst produces the classic synchronized incast: every sender

@@ -231,6 +231,13 @@ type (
 	FlowID = packet.FlowID
 	// TrafficConfig parameterizes workload generation.
 	TrafficConfig = traffic.Config
+	// TrafficStream yields workload flows one at a time — the streaming
+	// (O(window) memory) alternative to GenerateTraffic, bit-identical
+	// to it for the same config.
+	TrafficStream = traffic.Stream
+	// FlowSource is anything that yields flow specs in nondecreasing
+	// start order; ScenarioConfig.FlowSrc accepts one.
+	FlowSource = tcp.FlowSource
 	// OnOffSpec describes a UDP on/off (or CBR) source application.
 	OnOffSpec = tcp.OnOffSpec
 	// Monitor holds per-flow statistics of a run.
@@ -269,6 +276,27 @@ var (
 	IncastBurst     = traffic.IncastBurst
 	WebSearchCDF    = traffic.WebSearchCDF
 	GRPCCDF         = traffic.GRPCCDF
+	// NewTrafficStream returns the streaming generator for cfg; pair it
+	// with ScenarioConfig.FlowSrc and FlowCount: CountTraffic(cfg).
+	NewTrafficStream = traffic.NewStream
+	// CountTraffic returns how many flows cfg yields (drains a fresh
+	// stream; the materialized slice is never built).
+	CountTraffic = traffic.Count
+)
+
+// DefaultStreamWindow is the default pull-ahead horizon for streaming
+// workloads (ScenarioConfig.StreamWindow == 0).
+const DefaultStreamWindow = tcp.DefaultStreamWindow
+
+// --- Memory accounting ---
+
+type (
+	// StackMemStats is the transport's self-reported footprint (arena
+	// chunks, live/peak connections, lookup-table bytes).
+	StackMemStats = tcp.MemStats
+	// NetMemStats is the data plane's self-reported footprint (device
+	// array, queue buffers, per-node state).
+	NetMemStats = netdev.MemStats
 )
 
 // Traffic patterns.
