@@ -183,6 +183,10 @@ func main() {
 		scaleMaxK    = flag.Int("scale-max-k", 16, "largest fat-tree k to measure (8 for the CI smoke run)")
 		scaleThreads = flag.Int("scale-threads", 4, "Unison threads for the live scale runs")
 		scaleGate    = flag.Bool("scale-gate", false, "exit nonzero unless k=8 live bytes/flow is at least 4x below the pre-overhaul baseline")
+
+		ckptDir = flag.String("checkpoint", "", "run one Unison4 run (instead of the bench suite) writing crash-consistent snapshots into this directory")
+		ckptN   = flag.Uint64("checkpoint-every", 100, "snapshot cadence in synchronization rounds for -checkpoint")
+		restore = flag.String("restore", "", "run one Unison4 run (instead of the bench suite) resumed from this snapshot file")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -192,6 +196,13 @@ func main() {
 	if *scale {
 		if err := runScale(*scaleOut, *scaleMaxK, *scaleThreads, *scaleGate); err != nil {
 			fmt.Fprintf(os.Stderr, "unibench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckptDir != "" || *restore != "" {
+		if err := runCheckpointed(*ckptDir, *ckptN, *restore); err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: checkpoint: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -327,6 +338,45 @@ func gate(path string, pct float64, current map[string]sample) error {
 			return fmt.Errorf("Unison4 allocs/op grew %.1f%% (limit %.0f%%)", growth, pct)
 		}
 	}
+	return nil
+}
+
+// ckptProbe collects the per-snapshot telemetry EnableCheckpoints emits.
+type ckptProbe struct{ recs []unison.RoundRecord }
+
+func (p *ckptProbe) BeginRun(unison.RunMeta)         {}
+func (p *ckptProbe) OnRound(rec *unison.RoundRecord) { p.recs = append(p.recs, *rec) }
+func (p *ckptProbe) EndRun(*sim.RunStats)            {}
+
+// runCheckpointed runs the bench scenario once under Unison4, either
+// writing snapshots (dir != "") or resuming from one (restorePath != ""),
+// and prints the outcome — the fingerprint lets a resumed run be checked
+// against an uninterrupted one by eye.
+func runCheckpointed(dir string, every uint64, restorePath string) error {
+	sc := scenario(42)
+	m := sc.Model()
+	probe := &ckptProbe{}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		unison.EnableCheckpoints(m, sc.CkptTarget(), dir, every, 0, probe)
+	}
+	if restorePath != "" {
+		if err := unison.RestoreCheckpoint(m, sc.CkptTarget(), restorePath); err != nil {
+			return err
+		}
+	}
+	st, err := core.New(core.Config{Threads: 4}).Run(m)
+	if err != nil {
+		return err
+	}
+	for _, rec := range probe.recs {
+		fmt.Printf("checkpoint round %-6d  %8d B  %.2f ms  -> %s\n",
+			rec.Round, rec.CkptBytes, float64(rec.CkptNS)/1e6, unison.CheckpointPath(dir, rec.Round))
+	}
+	fmt.Printf("%s: %d events in %d rounds, %d flows completed, fingerprint %016x\n",
+		st.Kernel, st.Events, st.Rounds, sc.Mon.Completed(), sc.Mon.Fingerprint())
 	return nil
 }
 

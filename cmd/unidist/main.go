@@ -16,11 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
 	"time"
 
 	"unison"
+	"unison/internal/ckpt"
 	"unison/internal/dist"
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
@@ -52,6 +54,10 @@ func main() {
 		trace  = flag.String("trace", "", "write a Perfetto trace of this endpoint's rounds to this file")
 		artif  = flag.String("artifacts", "", "run-artifact bundle directory: pass to every process; hosts enable sampling/tracing, the coordinator writes the bundle")
 		debugA = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+
+		ckptDir = flag.String("checkpoint", "", "host role: write per-host snapshots ckpt-r<round>-h<id>.uckpt into this directory")
+		ckptN   = flag.Uint64("checkpoint-every", 100, "host role: snapshot cadence in window rounds")
+		restore = flag.String("restore", "", "host role: resume from this host's snapshot file; every host must restore the same round")
 	)
 	flag.Parse()
 	stop := sim.Time(stopD.Nanoseconds())
@@ -70,7 +76,8 @@ func main() {
 	case "coord":
 		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo, reg, *artif)
 	case "host":
-		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials, reg, *artif != "")
+		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials, reg, *artif != "",
+			*ckptDir, *ckptN, *restore)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -89,7 +96,7 @@ func main() {
 }
 
 // buildScenario reconstructs the deterministic scenario each process runs.
-func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model, *netdev.Network, *flowmon.Monitor, *topology.FatTree, int) {
+func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model, *netdev.Network, *tcp.Stack, *flowmon.Monitor, *topology.FatTree, int) {
 	ft := topology.BuildFatTree(topology.FatTreeK(k, 10*unison.Gbps, 3*sim.Microsecond))
 	flows := traffic.Generate(traffic.Config{
 		Seed: seed, Hosts: ft.Hosts(), Sizes: traffic.GRPCCDF(), Load: load,
@@ -102,11 +109,31 @@ func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model,
 	stack.Attach(s, flows)
 	s.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
 	m := &sim.Model{Nodes: ft.N(), Links: ft.LinkInfos, Init: s.Events(), StopAt: stop}
-	return m, network, mon, ft, len(flows)
+	return m, network, stack, mon, ft, len(flows)
+}
+
+// hostTarget assembles a host's checkpoint target. The config hash covers
+// every parameter the snapshot assumes was rebuilt identically, so a
+// restore with mismatched flags fails fast across processes too.
+func hostTarget(network *netdev.Network, stack *tcp.Stack, mon *flowmon.Monitor, hosts, k int, stop sim.Time, load float64, seed uint64) *ckpt.Target {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "unidist|hosts=%d|k=%d|stop=%d|load=%g|seed=%d", hosts, k, stop, load, seed)
+	t := &ckpt.Target{
+		ConfigHash: h.Sum64(),
+		Layers:     []ckpt.Checkpointer{network, stack, mon},
+		Decoders:   []ckpt.EventDecoder{network, stack},
+	}
+	if network.Tracer != nil {
+		t.Layers = append(t.Layers, network.Tracer)
+	}
+	if sam := network.Sampler(); sam != nil {
+		t.Layers = append(t.Layers, sam)
+	}
+	return t
 }
 
 func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, reg *obs.Registry, artifacts string) {
-	_, _, _, _, flows := buildScenario(k, stop, load, seed)
+	_, _, _, _, _, flows := buildScenario(k, stop, load, seed)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		fatal(err)
@@ -152,8 +179,8 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	}
 }
 
-func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int, reg *obs.Registry, observe bool) {
-	m, network, mon, ft, _ := buildScenario(k, stop, load, seed)
+func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int, reg *obs.Registry, observe bool, ckptDir string, ckptEvery uint64, restore string) {
+	m, network, stack, mon, ft, _ := buildScenario(k, stop, load, seed)
 	if observe {
 		// The coordinator assembles the bundle; this host only collects its
 		// own devices' records and ships them at gather.
@@ -161,10 +188,21 @@ func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, s
 		network.AttachSampler(netobs.NewSampler(netobs.SamplerConfig{}))
 	}
 	hostOf := pdes.FatTreeManual(ft, hosts)
-	st, err := dist.RunHost(dist.HostConfig{
+	cfg := dist.HostConfig{
 		ID: id, Addr: addr, HostOf: hostOf, StopAt: stop,
 		Timeout: tmo, DialAttempts: dials, Observe: reg,
-	}, m, network, mon)
+	}
+	if ckptDir != "" || restore != "" {
+		cfg.Ckpt = hostTarget(network, stack, mon, hosts, k, stop, load, seed)
+		cfg.RestoreFrom = restore
+	}
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+		cfg.CheckpointDir, cfg.CheckpointEvery = ckptDir, ckptEvery
+	}
+	st, err := dist.RunHost(cfg, m, network, mon)
 	if err != nil {
 		fatal(err)
 	}

@@ -44,6 +44,10 @@ func main() {
 		traceF  = flag.String("trace", "", "write a packet trace (UTR1 binary) to this file")
 		artif   = flag.String("artifacts", "", "write a run-artifact bundle to this directory")
 		stream  = flag.Bool("stream", false, "generate the workload lazily as virtual time advances (O(window) memory; needs a kernel that accepts global events, so not nullmsg/vnullmsg)")
+		ckptDir = flag.String("checkpoint", "", "write crash-consistent snapshots into this directory")
+		ckptN   = flag.Uint64("checkpoint-every", 100, "checkpoint cadence: synchronization rounds (events for the sequential kernel)")
+		ckptT   = flag.Duration("checkpoint-every-time", 0, "checkpoint cadence in simulated time (the null-message kernel's epoch length; ns when unitless)")
+		restore = flag.String("restore", "", "resume from this snapshot file instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -95,7 +99,22 @@ func main() {
 		_, sampler = sc.EnableNetObs(0, 0)
 	}
 
-	st, err := runKernel(*kernel, *threads, g, manual, sc.Model())
+	m := sc.Model()
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
+			os.Exit(1)
+		}
+		unison.EnableCheckpoints(m, sc.CkptTarget(), *ckptDir, *ckptN, sim.Time(ckptT.Nanoseconds()), nil)
+	}
+	if *restore != "" {
+		if err := unison.RestoreCheckpoint(m, sc.CkptTarget(), *restore); err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	st, err := runKernel(*kernel, *threads, g, manual, m)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,197 @@
+package unison_test
+
+import (
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"unison/internal/ckpt"
+	"unison/internal/des"
+	"unison/internal/dist"
+	"unison/internal/faults"
+	"unison/internal/flowmon"
+	"unison/internal/netdev"
+	"unison/internal/netobs"
+	"unison/internal/pdes"
+	"unison/internal/routing"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+	"unison/internal/topology"
+	"unison/internal/trace"
+	"unison/internal/traffic"
+)
+
+// This file is the distributed half of the checkpoint acceptance
+// criterion: kill a rank mid-run with an injected connection fault, then
+// restart the whole ensemble from the last round both ranks snapshotted.
+// The finished artifact bundle must be byte-identical to an uninterrupted
+// sequential run.
+
+const (
+	krSeed = 99
+	krStop = 1 * sim.Millisecond
+)
+
+// krPieces mirrors obsPieces but also returns the TCP stack, which the
+// per-host checkpoint target needs as a layer and event decoder.
+func krPieces() (*sim.Model, *netdev.Network, *tcp.Stack, *flowmon.Monitor, *topology.FatTree) {
+	ft := topology.BuildFatTree(topology.FatTreeK(4, 1_000_000_000, 3*sim.Microsecond))
+	flows := traffic.Generate(traffic.Config{
+		Seed: krSeed, Hosts: ft.Hosts(), Sizes: traffic.GRPCCDF(), Load: 0.4,
+		BisectionBps: ft.BisectionBandwidth(), Start: 0, End: krStop / 2,
+	})
+	mon := flowmon.NewMonitor(len(flows))
+	network := netdev.New(ft.Graph, routing.NewECMP(ft.Graph, routing.Hops, krSeed), netdev.DefaultConfig(krSeed))
+	stack := tcp.NewStack(network, tcp.DefaultConfig(), mon)
+	s := sim.NewSetup()
+	stack.Attach(s, flows)
+	s.Global(krStop, func(ctx *sim.Ctx) { ctx.Stop() })
+	m := &sim.Model{Nodes: ft.N(), Links: ft.LinkInfos, Init: s.Events(), StopAt: krStop}
+	network.Tracer = trace.NewCollector(ft.N(), 0)
+	network.AttachSampler(netobs.NewSampler(netobs.SamplerConfig{}))
+	return m, network, stack, mon, ft
+}
+
+// krTarget assembles a dist host's checkpoint target. The hash only has
+// to agree between the killed run and the restored run, which build
+// their pieces identically from krSeed.
+func krTarget(network *netdev.Network, stack *tcp.Stack, mon *flowmon.Monitor) *ckpt.Target {
+	return &ckpt.Target{
+		ConfigHash: krSeed,
+		Layers: []ckpt.Checkpointer{
+			network, stack, mon, network.Tracer, network.Sampler(),
+		},
+		Decoders: []ckpt.EventDecoder{network, stack},
+	}
+}
+
+// krEnsemble runs a 2-host distributed ensemble over ln. Each host
+// checkpoints every `every` rounds into dir and restores from
+// restore[h] when non-empty. Host errors are returned, not fataled: the
+// killed phase expects them.
+func krEnsemble(t *testing.T, ln net.Listener, dir string, every uint64, restore [2]string) (*flowmon.Monitor, *dist.NetData, error, [2]error) {
+	t.Helper()
+	_, _, _, monProbe, ft := krPieces()
+	hostOf := pdes.FatTreeManual(ft, 2)
+	netData := &dist.NetData{}
+
+	type coordOut struct {
+		mon *flowmon.Monitor
+		err error
+	}
+	coordCh := make(chan coordOut, 1)
+	go func() {
+		mon, _, err := dist.RunCoordinator(ln, dist.CoordConfig{
+			Hosts: 2, StopAt: krStop, Flows: monProbe.Flows(),
+			MaxRounds: 10_000_000, Timeout: 5 * time.Second, Net: netData,
+		})
+		coordCh <- coordOut{mon, err}
+	}()
+
+	var hostErrs [2]error
+	var wg sync.WaitGroup
+	for h := 0; h < 2; h++ {
+		wg.Add(1)
+		go func(h int32) {
+			defer wg.Done()
+			m, network, stack, mon, _ := krPieces()
+			_, hostErrs[h] = dist.RunHost(dist.HostConfig{
+				ID: h, Addr: ln.Addr().String(), HostOf: hostOf, StopAt: krStop,
+				Timeout: 5 * time.Second, DialAttempts: 3, DialBackoff: 20 * time.Millisecond,
+				Ckpt: krTarget(network, stack, mon), CheckpointDir: dir,
+				CheckpointEvery: every, RestoreFrom: restore[h],
+			}, m, network, mon)
+		}(int32(h))
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("distributed ensemble still alive after 120s")
+	}
+	out := <-coordCh
+	return out.mon, netData, out.err, hostErrs
+}
+
+// lastCommonCheckpoint returns the newest round for which BOTH hosts
+// wrote a snapshot — the consistent cut to restart from.
+func lastCommonCheckpoint(dir string, every uint64) (uint64, [2]string) {
+	var best uint64
+	var files [2]string
+	for r := every; ; r += every {
+		h0 := dist.CheckpointFile(dir, r, 0)
+		h1 := dist.CheckpointFile(dir, r, 1)
+		if _, err := os.Stat(h0); err != nil {
+			break
+		}
+		if _, err := os.Stat(h1); err != nil {
+			break
+		}
+		best, files = r, [2]string{h0, h1}
+	}
+	return best, files
+}
+
+func TestDistKillAndRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run in -short mode")
+	}
+
+	// Uninterrupted sequential reference bundle.
+	m, network, _, mon, _ := krPieces()
+	if _, err := des.New().Run(m); err != nil {
+		t.Fatal(err)
+	}
+	sampler := network.Sampler()
+	sampler.Flush()
+	base := renderArtifacts(t, sampler.Rows(), sampler.Interval(), network.Tracer.Merged(), mon)
+
+	// Phase 1: kill one rank's coordinator connection mid-run. The write
+	// budget lets ~30 window rounds complete before the connection dies,
+	// so several checkpoints exist on both hosts.
+	const every = 8
+	dir := t.TempDir()
+	lnBase, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnBase.Close()
+	ln := faults.WrapListener(lnBase, 0, faults.Plan{Action: faults.Close, After: 60})
+
+	_, _, coordErr, hostErrs := krEnsemble(t, ln, dir, every, [2]string{})
+	if coordErr == nil {
+		t.Fatal("coordinator survived the injected kill")
+	}
+	if hostErrs[0] == nil && hostErrs[1] == nil {
+		t.Fatal("no host observed the injected kill")
+	}
+	t.Logf("killed run: coord=%v hosts=%v", coordErr, hostErrs)
+
+	round, files := lastCommonCheckpoint(dir, every)
+	if round == 0 {
+		t.Fatal("the killed run left no common checkpoint round")
+	}
+	t.Logf("restarting both ranks from round %d", round)
+
+	// Phase 2: restart the whole ensemble from the consistent cut.
+	lnB2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB2.Close()
+	monM, netData, coordErr, hostErrs := krEnsemble(t, lnB2, "", 0, files)
+	if coordErr != nil {
+		t.Fatal(coordErr)
+	}
+	for h, err := range hostErrs {
+		if err != nil {
+			t.Fatalf("restored host %d: %v", h, err)
+		}
+	}
+	got := renderArtifacts(t, netData.Rows, netobs.DefaultInterval, netData.Trace, monM)
+	compareArtifacts(t, "dist(2) killed+restored", got, base)
+}

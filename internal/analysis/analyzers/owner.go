@@ -39,6 +39,13 @@ declared at the consuming call site with a mandatory reason:
 	buf = gather(k.out, lp, buf) //unison:owner transfer phase-3 read; the phase-2 barrier published every phase-1 write
 
 A bare //unison:owner transfer with no reason is itself a diagnostic.
+
+A third side, //unison:owner checkpoint, marks quiesced single-owner
+access points — Checkpointer.CkptSave/CkptLoad and friends, which run
+at a round barrier while no worker goroutine is active. Calls to
+checkpoint-side functions never conflict with either ring side, and
+the body of a checkpoint-side function may itself touch both ends.
+
 The annotation is package-local: sides are read from this package's
 syntax, so producer/consumer pairs must live in the package that
 declares the ring (true of the core mailbox and the obs rings). Test
@@ -52,6 +59,10 @@ const (
 	sideNone ownerSide = iota
 	sideProducer
 	sideConsumer
+	// sideCheckpoint marks a quiesced single-owner access point (a
+	// Checkpointer save/load running at a round barrier): exempt from
+	// mixing checks on both the call and declaration side.
+	sideCheckpoint
 )
 
 func runOwner(pass *analysis.Pass) error {
@@ -75,11 +86,13 @@ func runOwner(pass *analysis.Pass) error {
 						sides[fn] = sideProducer
 					case "consumer":
 						sides[fn] = sideConsumer
+					case "checkpoint":
+						sides[fn] = sideCheckpoint
 					default:
 						// Report on the declaration line, not the comment:
 						// a directive line cannot carry expectations or
 						// further annotations of its own.
-						pass.Reportf(fd.Name.Pos(), "//unison:owner on a declaration must say producer or consumer, got %q", dir.Args)
+						pass.Reportf(fd.Name.Pos(), "//unison:owner on a declaration must say producer, consumer or checkpoint, got %q", dir.Args)
 					}
 				}
 			}
@@ -96,6 +109,11 @@ func runOwner(pass *analysis.Pass) error {
 		}
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				// A checkpoint-side body runs quiesced and owns every
+				// ring outright; mixing inside it is the point.
+				if fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil && sides[fn] == sideCheckpoint {
+					continue
+				}
 				checkScope(pass, sides, fd.Body, nil)
 			}
 		}
@@ -123,7 +141,7 @@ func checkScope(pass *analysis.Pass, sides map[*types.Func]ownerSide, body ast.N
 				return true
 			}
 			side, ok := sides[fn]
-			if !ok || side == sideNone {
+			if !ok || side == sideNone || side == sideCheckpoint {
 				return true
 			}
 			key, okKey := receiverKey(pass, n)

@@ -16,7 +16,17 @@ func (r *ring) pop() int { v := r.buf[0]; r.buf = r.buf[1:]; return v }
 func drain(r *ring) []int { out := r.buf; r.buf = nil; return out }
 
 //unison:owner widget
-func (r *ring) reset() {} // want `must say producer or consumer`
+func (r *ring) reset() {} // want `must say producer, consumer or checkpoint`
+
+// save is a checkpoint-side access point: it runs at a round barrier
+// while the ring is quiesced, so it may touch both ends and never
+// conflicts with either side in a caller's scope.
+//
+//unison:owner checkpoint
+func (r *ring) save() int {
+	r.push(0)      // quiesced single owner: legal inside a checkpoint body
+	return r.pop() // legal for the same reason
+}
 
 func producerOnly(r *ring) {
 	r.push(1)
@@ -54,6 +64,18 @@ func transferNoReason(r *ring) int {
 	r.push(1)
 	//unison:owner transfer
 	return r.pop() // want `needs a reason string`
+}
+
+func checkpointAmidProducer(r *ring) {
+	r.push(1)
+	_ = r.save() // checkpoint side: no conflict with the producer calls
+	r.push(2)
+}
+
+func checkpointDoesNotExcuseMixing(r *ring) int {
+	r.push(1)
+	_ = r.save()
+	return r.pop() // want `may not hold both ends`
 }
 
 func distinctRings(a, b *ring) int {

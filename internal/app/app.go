@@ -31,6 +31,8 @@ type Scenario struct {
 	Flows  []tcp.FlowSpec
 	StopAt sim.Time
 
+	cfg       Config
+	flowSrc   tcp.FlowSource
 	finalized bool
 }
 
@@ -95,6 +97,9 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
 		Setup:  sim.NewSetup(),
 		Flows:  cfg.Flows,
 		StopAt: cfg.StopAt,
+
+		cfg:     cfg,
+		flowSrc: cfg.FlowSrc,
 	}
 	if cfg.FlowSrc != nil {
 		stack.AttachStream(s.Setup, cfg.FlowSrc, cfg.StreamWindow)
@@ -109,8 +114,8 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
 func (s *Scenario) Model() *sim.Model {
 	if !s.finalized {
 		s.finalized = true
-		stop := s.StopAt
-		s.Setup.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
+		e := &stopEvt{}
+		s.Setup.GlobalDesc(s.StopAt, func(ctx *sim.Ctx) { ctx.Stop() }, e)
 	}
 	m := &sim.Model{
 		Nodes:  s.G.N(),

@@ -1,0 +1,602 @@
+// Package ckpt implements whole-simulation checkpoint/restore: a
+// versioned, self-describing binary snapshot of every stateful layer,
+// taken deterministically at a quiescent kernel point (DESIGN.md §11).
+//
+// A checkpoint file is a sequence of named sections over a fixed header:
+//
+//	magic "UCKPT" | u16 version | u64 config hash
+//	repeat: u8 name length | name bytes | u32 payload length | payload
+//	section "end" with an empty payload
+//	u64 FNV-1a checksum of every preceding byte
+//
+// All integers are little-endian. The section names and payloads are
+// produced by the layers themselves through the Checkpointer interface;
+// the kernel-owned state (pending events, sequence counters, progress
+// counters) is the "kernel" section written by Target. Pending events
+// serialize through their sim.EvDesc descriptors; the kind tags are
+// allocated in ranges per layer:
+//
+//	0x01xx internal/netdev   0x02xx internal/tcp
+//	0x03xx internal/app      0x04xx reserved (dist reuses netdev's)
+//
+// The decoder is sticky-error and fully bounds-checked: a truncated or
+// garbled file of any content produces a descriptive error, never a
+// panic and never an unbounded allocation (the fuzz target in
+// ckpt_fuzz_test.go pins this).
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"unison/internal/sim"
+	"unison/internal/stats"
+)
+
+// Version is the current checkpoint format version. Readers reject any
+// other version outright: snapshots are short-lived crash-recovery
+// artifacts, not archival data, so there is no cross-version migration.
+const Version uint16 = 1
+
+var magic = [5]byte{'U', 'C', 'K', 'P', 'T'}
+
+// maxSection bounds any single section payload (and any single length
+// field the decoder trusts before reading), so a garbled length cannot
+// drive an unbounded allocation.
+const maxSection = 1 << 30
+
+// Checkpointer is one stateful layer's hook pair. Save must not mutate
+// the layer; Load fully overwrites the layer's dynamic state. Both run
+// in a serial section: the checkpoint machinery is the single owner of
+// every layer while a snapshot is taken or restored.
+type Checkpointer interface {
+	// CkptName is the layer's section name, unique within a Target.
+	CkptName() string
+	// CkptSave appends the layer's dynamic state.
+	CkptSave(e *Enc) error
+	// CkptLoad restores the layer's dynamic state.
+	CkptLoad(d *Dec) error
+}
+
+// EventDecoder re-materializes an event closure from its descriptor.
+// Layers that own descriptor kinds implement it; ok=false means the kind
+// belongs to some other layer.
+type EventDecoder interface {
+	DecodeEvent(kind uint16, d *Dec) (sim.Proc, sim.EvDesc, bool, error)
+}
+
+// --- Encoder ---
+
+// Enc is an append-only little-endian encoder.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Enc) U16(v uint16) { e.buf = append(e.buf, byte(v), byte(v>>8)) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) {
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// I64 appends a little-endian int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// I32 appends a little-endian int32.
+func (e *Enc) I32(v int32) { e.U32(uint32(v)) }
+
+// Time appends a sim.Time.
+func (e *Enc) Time(t sim.Time) { e.I64(int64(t)) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends a float64 by bits.
+func (e *Enc) F64(v float64) { e.U64(bitsOf(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Summary appends a stats.Summary (several layers carry one).
+func (e *Enc) Summary(s *stats.Summary) {
+	e.I64(int64(s.N))
+	e.F64(s.Sum)
+	e.F64(s.Min)
+	e.F64(s.Max)
+	e.F64(s.MeanAcc)
+	e.F64(s.M2Acc)
+}
+
+// SummaryBytes is the encoded size of one stats.Summary.
+const SummaryBytes = 8 * 6
+
+// --- Decoder ---
+
+// Dec is a sticky-error little-endian decoder over one section payload.
+// After the first failure every read returns zero values and Err()
+// reports the failure; callers only need one error check per section.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over buf.
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// AppendEnc returns an encoder that appends to buf — how sim.EvDesc
+// implementations reuse the ckpt primitives inside CkptEncode, whose
+// signature is raw-bytes-in/raw-bytes-out to keep sim free of a ckpt
+// dependency.
+func AppendEnc(buf []byte) *Enc { return &Enc{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *Dec) Len() int { return len(d.buf) - d.off }
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckpt: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *Dec) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) || d.off+n < d.off {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	b := d.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	b := d.take(2, "u16")
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// I64 reads a little-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// I32 reads a little-endian int32.
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+// Time reads a sim.Time.
+func (d *Dec) Time() sim.Time { return sim.Time(d.I64()) }
+
+// Bool reads a boolean.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// F64 reads a float64 by bits.
+func (d *Dec) F64() float64 { return floatOf(d.U64()) }
+
+// Summary reads a stats.Summary.
+func (d *Dec) Summary() stats.Summary {
+	return stats.Summary{
+		N:       int(d.I64()),
+		Sum:     d.F64(),
+		Min:     d.F64(),
+		Max:     d.F64(),
+		MeanAcc: d.F64(),
+		M2Acc:   d.F64(),
+	}
+}
+
+// Blob reads a length-prefixed byte slice (borrowed from the input).
+func (d *Dec) Blob() []byte {
+	n := int(d.U32())
+	return d.take(n, "blob")
+}
+
+// Count reads a u32 element count and validates it against the remaining
+// input, assuming each element occupies at least minBytes encoded bytes —
+// the guard that keeps a garbled count from driving a huge allocation.
+func (d *Dec) Count(minBytes int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n < 0 || n > d.Len()/minBytes {
+		d.fail("element count")
+		return 0
+	}
+	return n
+}
+
+// --- File format ---
+
+type section struct {
+	name    string
+	payload []byte
+}
+
+// Writer accumulates sections and writes the final file image.
+type Writer struct {
+	configHash uint64
+	sections   []section
+}
+
+// NewWriter returns a writer for a checkpoint with the given config hash.
+func NewWriter(configHash uint64) *Writer { return &Writer{configHash: configHash} }
+
+// Section adds one named section.
+func (w *Writer) Section(name string, payload []byte) error {
+	if len(name) == 0 || len(name) > 255 {
+		return fmt.Errorf("ckpt: bad section name %q", name)
+	}
+	if len(payload) > maxSection {
+		return fmt.Errorf("ckpt: section %q exceeds %d bytes", name, maxSection)
+	}
+	w.sections = append(w.sections, section{name, payload})
+	return nil
+}
+
+// Bytes assembles the complete file image, checksum included.
+func (w *Writer) Bytes() []byte {
+	var e Enc
+	e.buf = append(e.buf, magic[:]...)
+	e.U16(Version)
+	e.U64(w.configHash)
+	for _, s := range w.sections {
+		e.U8(uint8(len(s.name)))
+		e.buf = append(e.buf, s.name...)
+		e.U32(uint32(len(s.payload)))
+		e.buf = append(e.buf, s.payload...)
+	}
+	e.U8(3)
+	e.buf = append(e.buf, "end"...)
+	e.U32(0)
+	h := fnv.New64a()
+	h.Write(e.buf)
+	e.U64(h.Sum64())
+	return e.buf
+}
+
+// WriteFile writes the image atomically: a temp file in the target
+// directory, synced, then renamed over path — a crash mid-write leaves
+// either the old checkpoint or none, never a torn one.
+func (w *Writer) WriteFile(path string) (int64, error) {
+	img := w.Bytes()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".uckpt-*")
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("ckpt: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	return int64(len(img)), nil
+}
+
+// File is a parsed checkpoint image.
+type File struct {
+	ConfigHash uint64
+	sections   []section
+}
+
+// Parse validates the header, checksum and section framing of img.
+func Parse(img []byte) (*File, error) {
+	if len(img) < len(magic)+2+8+8 {
+		return nil, errors.New("ckpt: file too short")
+	}
+	body, sum := img[:len(img)-8], img[len(img)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	d := NewDec(sum)
+	if got := d.U64(); got != h.Sum64() {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (file %016x, computed %016x) — truncated or corrupted checkpoint", got, h.Sum64())
+	}
+	d = NewDec(body)
+	var m [5]byte
+	copy(m[:], d.take(len(magic), "magic"))
+	if d.Err() != nil || m != magic {
+		return nil, errors.New("ckpt: bad magic — not a checkpoint file")
+	}
+	if v := d.U16(); v != Version {
+		return nil, fmt.Errorf("ckpt: unsupported format version %d (this build reads %d)", v, Version)
+	}
+	f := &File{ConfigHash: d.U64()}
+	for {
+		nameLen := int(d.U8())
+		name := string(d.take(nameLen, "section name"))
+		payload := d.Blob()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if name == "end" {
+			if d.Len() != 0 {
+				return nil, errors.New("ckpt: trailing bytes after end section")
+			}
+			return f, nil
+		}
+		f.sections = append(f.sections, section{name, payload})
+	}
+}
+
+// ReadFile loads and parses path.
+func ReadFile(path string) (*File, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return Parse(img)
+}
+
+// Section returns the named section's payload.
+func (f *File) Section(name string) ([]byte, bool) {
+	for _, s := range f.sections {
+		if s.name == name {
+			return s.payload, true
+		}
+	}
+	return nil, false
+}
+
+// --- Target: one process's full snapshot ---
+
+// Target aggregates the stateful layers of one simulation process. The
+// same Target serves both directions: Save writes a file from a kernel
+// snapshot, Load reads one back into freshly built (identically
+// configured) layers.
+type Target struct {
+	// ConfigHash guards restores: it must hash everything the snapshot
+	// does NOT carry (topology, seeds, stop time, kernel choice), since a
+	// restore silently assumes the rebuilt static state matches.
+	ConfigHash uint64
+	// Layers are saved and restored in order; names must be unique.
+	Layers []Checkpointer
+	// Decoders re-materialize pending-event closures from descriptors,
+	// tried in order.
+	Decoders []EventDecoder
+}
+
+// Save writes the kernel snapshot plus every layer to path. It returns
+// the file size for observability accounting.
+func (t *Target) Save(path string, ks *sim.KernelState) (int64, error) {
+	w := NewWriter(t.ConfigHash)
+	var ke Enc
+	encodeKernel(&ke, ks)
+	if err := w.Section("kernel", ke.Bytes()); err != nil {
+		return 0, err
+	}
+	for _, l := range t.Layers {
+		var e Enc
+		if err := l.CkptSave(&e); err != nil {
+			return 0, fmt.Errorf("ckpt: saving %s: %w", l.CkptName(), err)
+		}
+		if err := w.Section(l.CkptName(), e.Bytes()); err != nil {
+			return 0, err
+		}
+	}
+	return w.WriteFile(path)
+}
+
+// Load reads path into the Target's layers and returns the kernel
+// snapshot with every pending event's closure re-materialized.
+func (t *Target) Load(path string) (*sim.KernelState, error) {
+	f, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return t.LoadFile(f)
+}
+
+// LoadFile is Load over an already parsed file.
+func (t *Target) LoadFile(f *File) (*sim.KernelState, error) {
+	if f.ConfigHash != t.ConfigHash {
+		return nil, fmt.Errorf("ckpt: config hash mismatch (file %016x, scenario %016x) — the checkpoint was taken from a differently configured run", f.ConfigHash, t.ConfigHash)
+	}
+	for _, l := range t.Layers {
+		payload, ok := f.Section(l.CkptName())
+		if !ok {
+			return nil, fmt.Errorf("ckpt: missing section %q", l.CkptName())
+		}
+		d := NewDec(payload)
+		if err := l.CkptLoad(d); err != nil {
+			return nil, fmt.Errorf("ckpt: loading %s: %w", l.CkptName(), err)
+		}
+		if d.Err() != nil {
+			return nil, fmt.Errorf("ckpt: loading %s: %w", l.CkptName(), d.Err())
+		}
+	}
+	payload, ok := f.Section("kernel")
+	if !ok {
+		return nil, errors.New("ckpt: missing kernel section")
+	}
+	d := NewDec(payload)
+	ks, err := t.decodeKernel(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("ckpt: loading kernel section: %w", d.Err())
+	}
+	return ks, nil
+}
+
+func encodeKernel(e *Enc, ks *sim.KernelState) {
+	e.U64(ks.Round)
+	e.U64(ks.Events)
+	e.Time(ks.Now)
+	e.Time(ks.EndTime)
+	e.U32(uint32(len(ks.Seqs)))
+	for _, s := range ks.Seqs {
+		e.U64(s)
+	}
+	e.U32(uint32(len(ks.Queue)))
+	for i := range ks.Queue {
+		ev := &ks.Queue[i]
+		e.Time(ev.Time)
+		e.I32(int32(ev.Src))
+		e.U64(ev.Seq)
+		e.I32(int32(ev.Node))
+		e.U16(ev.Desc.CkptKind())
+		var de Enc
+		de.buf = ev.Desc.CkptEncode(de.buf)
+		e.Blob(de.Bytes())
+	}
+}
+
+func (t *Target) decodeKernel(d *Dec) (*sim.KernelState, error) {
+	ks := &sim.KernelState{
+		Round:   d.U64(),
+		Events:  d.U64(),
+		Now:     d.Time(),
+		EndTime: d.Time(),
+	}
+	nSeq := d.Count(8)
+	ks.Seqs = make([]uint64, nSeq)
+	for i := range ks.Seqs {
+		ks.Seqs[i] = d.U64()
+	}
+	nEv := d.Count(8 + 4 + 8 + 4 + 2 + 4)
+	ks.Queue = make([]sim.Event, 0, nEv)
+	for i := 0; i < nEv; i++ {
+		ev := sim.Event{
+			Time: d.Time(),
+			Src:  sim.NodeID(d.I32()),
+			Seq:  d.U64(),
+			Node: sim.NodeID(d.I32()),
+		}
+		kind := d.U16()
+		payload := d.Blob()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		fn, desc, err := t.decodeEvent(kind, payload)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: pending event %d (t=%v node=%d kind=%#04x): %w", i, ev.Time, ev.Node, kind, err)
+		}
+		ev.Fn, ev.Desc = fn, desc
+		ks.Queue = append(ks.Queue, ev)
+	}
+	return ks, nil
+}
+
+func (t *Target) decodeEvent(kind uint16, payload []byte) (sim.Proc, sim.EvDesc, error) {
+	for _, dec := range t.Decoders {
+		pd := NewDec(payload)
+		fn, desc, ok, err := dec.DecodeEvent(kind, pd)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		if pd.Err() != nil {
+			return nil, nil, pd.Err()
+		}
+		return fn, desc, nil
+	}
+	return nil, nil, fmt.Errorf("no decoder for event kind %#04x", kind)
+}
+
+// SortQueue sorts pending events by the deterministic total order so the
+// encoded bytes of a snapshot are themselves deterministic.
+func SortQueue(evs []sim.Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Before(&evs[j]) })
+}
+
+// CheckQueue is the common prologue of every kernel's Save: it verifies
+// each pending event carries a descriptor and sorts the queue into the
+// deterministic total order so the snapshot bytes are reproducible.
+func CheckQueue(evs []sim.Event) error {
+	for i := range evs {
+		if evs[i].Desc == nil {
+			return NoDesc(&evs[i])
+		}
+	}
+	SortQueue(evs)
+	return nil
+}
+
+// NoDesc returns the error kernels and layers report when a pending
+// event cannot be serialized: the feature that scheduled it (dynamic
+// topology scripts, progress tickers, custom apps) does not support
+// checkpointing.
+func NoDesc(ev *sim.Event) error {
+	return fmt.Errorf("ckpt: pending event at %v on node %d has no descriptor — a model feature that does not support checkpointing scheduled it", ev.Time, ev.Node)
+}
+
+func bitsOf(f float64) uint64  { return math.Float64bits(f) }
+func floatOf(b uint64) float64 { return math.Float64frombits(b) }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unison/internal/ckpt"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
 	"unison/internal/obs"
@@ -154,11 +155,27 @@ func (k *HybridKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 			r.period = uint64(bits.Len(uint(part.Count - 1)))
 		}
 	}
-	for _, ev := range m.Init {
-		if ev.Node == sim.GlobalNode {
-			r.pub.Push(ev)
-		} else {
-			r.lps[lpOf[ev.Node]].fel.Push(ev)
+	if hook := m.Ckpt; hook != nil && hook.Restore != nil {
+		ks := hook.Restore
+		if len(ks.Seqs) != len(r.seqs) {
+			return nil, fmt.Errorf("core: checkpoint has %d sequence counters, model needs %d", len(ks.Seqs), len(r.seqs))
+		}
+		copy(r.seqs, ks.Seqs)
+		for _, ev := range ks.Queue {
+			if ev.Node == sim.GlobalNode {
+				r.pub.Push(ev)
+			} else {
+				r.lps[lpOf[ev.Node]].fel.Push(ev)
+			}
+		}
+		r.round, r.baseEvents, r.baseEnd = ks.Round, ks.Events, ks.EndTime
+	} else {
+		for _, ev := range m.Init {
+			if ev.Node == sim.GlobalNode {
+				r.pub.Push(ev)
+			} else {
+				r.lps[lpOf[ev.Node]].fel.Push(ev)
+			}
 		}
 	}
 	obs.Begin(k.cfg.Observe, obs.RunMeta{Kernel: k.Name(), Workers: workers, LPs: part.Count})
@@ -219,6 +236,11 @@ type hrt struct {
 	err          error
 	round        uint64
 	period       uint64
+
+	// baseEvents/baseEnd are the restored-from-checkpoint offsets, so a
+	// resumed run's RunStats match an uninterrupted one.
+	baseEvents uint64
+	baseEnd    sim.Time
 
 	workers []workerState
 }
@@ -405,6 +427,14 @@ func (r *hrt) phase4() {
 		r.err = errors.New("core: MaxRounds exceeded")
 	default:
 		r.lbts = eq2(allMin, pubNext, r.lookahead)
+		if hook := r.m.Ckpt; hook.SaveEvery(r.round) {
+			// Same quiescent point as the single-host kernel: the all-reduce
+			// serial section with every host's workers parked.
+			if err := r.saveCkpt(); err != nil {
+				r.err = err
+				r.done = true
+			}
+		}
 		if r.k.cfg.Metric != MetricNone && r.round%r.period == 0 {
 			for i := range r.lps {
 				lp := &r.lps[i]
@@ -427,6 +457,37 @@ func (r *hrt) phase4() {
 	}
 }
 
+// saveCkpt snapshots the merged FELs through the model's checkpoint
+// hook. Only called from the phase-4 serial section.
+func (r *hrt) saveCkpt() error {
+	var queue []sim.Event
+	for i := range r.lps {
+		queue = r.lps[i].fel.Snapshot(queue)
+	}
+	queue = r.pub.Snapshot(queue)
+	if err := ckpt.CheckQueue(queue); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	ks := &sim.KernelState{
+		Round:   r.round,
+		Now:     r.lbts,
+		EndTime: r.baseEnd,
+		Events:  r.baseEvents,
+		Seqs:    append([]uint64(nil), r.seqs...),
+		Queue:   queue,
+	}
+	for i := range r.workers {
+		ks.Events += r.workers[i].events
+		if t := r.workers[i].lastT; t > ks.EndTime {
+			ks.EndTime = t
+		}
+	}
+	if err := r.m.Ckpt.Save(ks); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
 func (r *hrt) stats(start time.Time) *sim.RunStats {
 	st := &sim.RunStats{
 		Kernel:  r.k.Name(),
@@ -435,6 +496,8 @@ func (r *hrt) stats(start time.Time) *sim.RunStats {
 		LPs:     r.part.Count,
 		Workers: make([]sim.WorkerStats, len(r.workers)),
 	}
+	st.Events = r.baseEvents
+	st.EndTime = r.baseEnd
 	for i := range r.workers {
 		w := &r.workers[i]
 		st.Events += w.events

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unison/internal/ckpt"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
 	"unison/internal/obs"
@@ -128,6 +129,11 @@ type rt struct {
 	round  uint64
 	period uint64
 
+	// baseEvents/baseEnd are the restored-from-checkpoint offsets, so a
+	// resumed run's RunStats match an uninterrupted one.
+	baseEvents uint64
+	baseEnd    sim.Time
+
 	cache *metrics.CacheModel
 	trace []sim.RoundSample
 
@@ -212,11 +218,27 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 			r.period = uint64(bits.Len(uint(n - 1))) // ⌈log₂ n⌉
 		}
 	}
-	for _, ev := range m.Init {
-		if ev.Node == sim.GlobalNode {
-			r.pub.Push(ev)
-		} else {
-			r.lps[part.LPOf[ev.Node]].fel.Push(ev)
+	if hook := m.Ckpt; hook != nil && hook.Restore != nil {
+		ks := hook.Restore
+		if len(ks.Seqs) != len(r.seqs) {
+			return nil, fmt.Errorf("core: checkpoint has %d sequence counters, model needs %d", len(ks.Seqs), len(r.seqs))
+		}
+		copy(r.seqs, ks.Seqs)
+		for _, ev := range ks.Queue {
+			if ev.Node == sim.GlobalNode {
+				r.pub.Push(ev)
+			} else {
+				r.lps[part.LPOf[ev.Node]].fel.Push(ev)
+			}
+		}
+		r.round, r.baseEvents, r.baseEnd = ks.Round, ks.Events, ks.EndTime
+	} else {
+		for _, ev := range m.Init {
+			if ev.Node == sim.GlobalNode {
+				r.pub.Push(ev)
+			} else {
+				r.lps[part.LPOf[ev.Node]].fel.Push(ev)
+			}
 		}
 	}
 
@@ -464,9 +486,49 @@ func (r *rt) phase4() {
 		r.err = errors.New("core: MaxRounds exceeded")
 	default:
 		r.lbts = eq2(allMin, pubNext, r.lookahead)
+		if hook := r.m.Ckpt; hook.SaveEvery(r.round) {
+			// The post-phase-3 serial section is the quiescent point: every
+			// worker is parked, every staged event has been delivered, and
+			// the new window has not started.
+			if err := r.saveCkpt(); err != nil {
+				r.err = err
+				r.done = true
+			}
+		}
 		r.reschedule()
 		r.cursor1.Store(0)
 	}
+}
+
+// saveCkpt snapshots the merged FELs through the model's checkpoint
+// hook. Only called from the phase-4 serial section.
+func (r *rt) saveCkpt() error {
+	var queue []sim.Event
+	for i := range r.lps {
+		queue = r.lps[i].fel.Snapshot(queue)
+	}
+	queue = r.pub.Snapshot(queue)
+	if err := ckpt.CheckQueue(queue); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	ks := &sim.KernelState{
+		Round:   r.round,
+		Now:     r.lbts,
+		EndTime: r.baseEnd,
+		Events:  r.baseEvents,
+		Seqs:    append([]uint64(nil), r.seqs...),
+		Queue:   queue,
+	}
+	for i := range r.workers {
+		ks.Events += r.workers[i].events
+		if t := r.workers[i].lastT; t > ks.EndTime {
+			ks.EndTime = t
+		}
+	}
+	if err := r.m.Ckpt.Save(ks); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
 }
 
 // reschedule re-sorts the LP order by the scheduling estimate every
@@ -497,6 +559,8 @@ func (r *rt) stats(start time.Time) *sim.RunStats {
 		Workers:    make([]sim.WorkerStats, len(r.workers)),
 		RoundTrace: r.trace,
 	}
+	st.Events = r.baseEvents
+	st.EndTime = r.baseEnd
 	for i := range r.workers {
 		w := &r.workers[i]
 		st.Events += w.events

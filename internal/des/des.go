@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"unison/internal/ckpt"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
 	"unison/internal/obs"
@@ -51,10 +52,23 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if k.UseCalendar {
 		fel = eventq.NewCalendar(1000)
 	}
-	for _, ev := range m.Init {
-		fel.Push(ev)
-	}
 	seqs := sim.NewSeqTable(m.Nodes)
+	hook := m.Ckpt
+	var events, round uint64
+	var now sim.Time
+	if hook != nil && hook.Restore != nil {
+		ks := hook.Restore
+		if len(ks.Seqs) != len(seqs) {
+			return nil, fmt.Errorf("des: checkpoint has %d sequence counters, model needs %d", len(ks.Seqs), len(seqs))
+		}
+		copy(seqs, ks.Seqs)
+		fel.PushBatch(ks.Queue)
+		events, round, now = ks.Events, ks.Round, ks.EndTime
+	} else {
+		for _, ev := range m.Init {
+			fel.Push(ev)
+		}
+	}
 	sink := &felSink{fel: fel}
 	ctx := sim.NewCtx(sink, 0)
 
@@ -64,9 +78,22 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 
 	obs.Begin(k.Observe, obs.RunMeta{Kernel: k.Name(), Workers: 1, LPs: 1})
-	var events uint64
-	var now sim.Time
+	// A periodic checkpoint is due every hook.Every executed events, but
+	// only fires at the next timestamp boundary (every pending event
+	// strictly after the last executed one), where zero-delay closures
+	// cannot be in flight (DESIGN.md §11).
+	nextCkpt := uint64(0)
+	if hook != nil && hook.Save != nil && hook.Every > 0 {
+		nextCkpt = events + hook.Every
+	}
 	for !fel.Empty() {
+		if nextCkpt > 0 && events >= nextCkpt && fel.NextTime() > now {
+			round++
+			if err := k.save(hook, fel, seqs, round, events, now); err != nil {
+				return nil, err
+			}
+			nextCkpt = events + hook.Every
+		}
 		ev := fel.Pop()
 		now = ev.Time
 		if cache != nil {
@@ -102,4 +129,24 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	obs.End(k.Observe, st)
 	return st, nil
+}
+
+// save snapshots the quiescent FEL through the model's checkpoint hook.
+func (k *Kernel) save(hook *sim.CkptHook, fel eventq.FEL, seqs sim.SeqTable, round, events uint64, now sim.Time) error {
+	queue := fel.Snapshot(nil)
+	if err := ckpt.CheckQueue(queue); err != nil {
+		return fmt.Errorf("des: %w", err)
+	}
+	ks := &sim.KernelState{
+		Round:   round,
+		Events:  events,
+		Now:     fel.NextTime(),
+		EndTime: now,
+		Seqs:    append([]uint64(nil), seqs...),
+		Queue:   queue,
+	}
+	if err := hook.Save(ks); err != nil {
+		return fmt.Errorf("des: checkpoint: %w", err)
+	}
+	return nil
 }

@@ -3,8 +3,10 @@ package dist
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
+	"unison/internal/ckpt"
 	"unison/internal/core"
 	"unison/internal/eventq"
 	"unison/internal/flowmon"
@@ -48,6 +50,25 @@ type HostConfig struct {
 	// broadcast, and Retries reports extra dial attempts on the first
 	// record.
 	Observe obs.Probe
+
+	// Ckpt, when non-nil, is this host's checkpoint target (its layers
+	// and event decoders). Required for CheckpointEvery or RestoreFrom.
+	Ckpt *ckpt.Target
+	// CheckpointDir, with CheckpointEvery > 0, makes the host write
+	// CheckpointFile(dir, round, ID) every CheckpointEvery windows. All
+	// hosts follow the same window sequence, so same-round files across
+	// hosts form a consistent global snapshot.
+	CheckpointDir   string
+	CheckpointEvery uint64
+	// RestoreFrom, when set, seeds the host from a snapshot file instead
+	// of Model.Init. Every host of the run must restore from the same
+	// round.
+	RestoreFrom string
+}
+
+// CheckpointFile names host id's snapshot for the given window round.
+func CheckpointFile(dir string, round uint64, id int32) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-r%09d-h%d.uckpt", round, id))
 }
 
 // dialCoordinator dials cfg.Addr with bounded retry, returning the
@@ -142,19 +163,46 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 		return true
 	}
 
-	for _, ev := range m.Init {
-		if ev.Node == sim.GlobalNode {
-			if ev.Time == m.StopAt {
-				continue // the stop event is replaced by the window protocol
-			}
-			return nil, fmt.Errorf("dist: global events other than stop are unsupported (use the in-process kernels)")
+	st := &sim.RunStats{Kernel: fmt.Sprintf("dist-host(%d)", cfg.ID), Workers: make([]sim.WorkerStats, 1)}
+	if cfg.RestoreFrom != "" {
+		if cfg.Ckpt == nil {
+			return nil, fmt.Errorf("dist: RestoreFrom requires HostConfig.Ckpt")
 		}
-		if cfg.HostOf[ev.Node] == cfg.ID {
+		ks, err := cfg.Ckpt.Load(cfg.RestoreFrom)
+		if err != nil {
+			return nil, fmt.Errorf("dist: restoring %s: %w", cfg.RestoreFrom, err)
+		}
+		if len(ks.Seqs) != len(seqs) {
+			return nil, fmt.Errorf("dist: checkpoint has %d sequence counters, model needs %d", len(ks.Seqs), len(seqs))
+		}
+		copy(seqs, ks.Seqs)
+		for _, ev := range ks.Queue {
+			if ev.Node == sim.GlobalNode {
+				if ev.Time == m.StopAt {
+					continue // the stop event is replaced by the window protocol
+				}
+				return nil, fmt.Errorf("dist: checkpoint holds an unsupported global event at %v", ev.Time)
+			}
+			if cfg.HostOf[ev.Node] != cfg.ID {
+				return nil, fmt.Errorf("dist: checkpoint holds an event for node %d, owned by host %d not %d", ev.Node, cfg.HostOf[ev.Node], cfg.ID)
+			}
 			fel.Push(ev)
+		}
+		st.Rounds, st.Events, st.EndTime = ks.Round, ks.Events, ks.EndTime
+	} else {
+		for _, ev := range m.Init {
+			if ev.Node == sim.GlobalNode {
+				if ev.Time == m.StopAt {
+					continue // the stop event is replaced by the window protocol
+				}
+				return nil, fmt.Errorf("dist: global events other than stop are unsupported (use the in-process kernels)")
+			}
+			if cfg.HostOf[ev.Node] == cfg.ID {
+				fel.Push(ev)
+			}
 		}
 	}
 
-	st := &sim.RunStats{Kernel: fmt.Sprintf("dist-host(%d)", cfg.ID), Workers: make([]sim.WorkerStats, 1)}
 	var sw metrics.Stopwatch
 	sw.Start()
 	for {
@@ -219,11 +267,34 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 				return nil, fmt.Errorf("dist: inbox: %w", err)
 			}
 			for _, rev := range in.Events {
-				rev := rev
+				fn, desc := network.DeliverEvent(rev.Node, rev.Pkt)
 				fel.Push(sim.Event{
 					Time: rev.Time, Src: rev.Src, Seq: rev.Seq, Node: rev.Node,
-					Fn: func(c *sim.Ctx) { network.Deliver(c, rev.Node, rev.Pkt) },
+					Fn: fn, Desc: desc,
 				})
+			}
+			var ckptNS int64
+			var ckptBytes uint64
+			if cfg.CheckpointEvery > 0 && cfg.Ckpt != nil && st.Rounds%cfg.CheckpointEvery == 0 {
+				// Quiescent point: this round's remote arrivals are in the
+				// FEL (all at or after lbts, by the cross-host lookahead) and
+				// every executed event is before it.
+				cs := time.Now()
+				queue := fel.Snapshot(nil)
+				if err := ckpt.CheckQueue(queue); err != nil {
+					return nil, fmt.Errorf("dist: %w", err)
+				}
+				ks := &sim.KernelState{
+					Round: st.Rounds, Events: st.Events, Now: lbts, EndTime: st.EndTime,
+					Seqs:  append([]uint64(nil), seqs...),
+					Queue: queue,
+				}
+				path := CheckpointFile(cfg.CheckpointDir, st.Rounds, cfg.ID)
+				n, err := cfg.Ckpt.Save(path, ks)
+				if err != nil {
+					return nil, fmt.Errorf("dist: checkpoint: %w", err)
+				}
+				ckptNS, ckptBytes = time.Since(cs).Nanoseconds(), uint64(n)
 			}
 			if probe != nil {
 				mNS := sw.Lap()
@@ -234,6 +305,7 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 					Sends: sends, SendBytes: sends * obs.EventBytes,
 					Recvs: uint64(len(in.Events)), FELDepth: uint64(fel.Len()),
 					AllReduceNS: sNS, Retries: pendingRetries,
+					CkptNS: ckptNS, CkptBytes: ckptBytes,
 				}
 				probe.OnRound(&rec)
 				pendingRetries = 0

@@ -137,6 +137,15 @@ func (c *Calendar) PopBefore(bound sim.Time) (sim.Event, bool) {
 	return c.Pop(), true
 }
 
+// Snapshot appends all pending events to dst in arbitrary order without
+// modifying the calendar.
+func (c *Calendar) Snapshot(dst []sim.Event) []sim.Event {
+	for _, bucket := range c.buckets {
+		dst = append(dst, bucket...)
+	}
+	return dst
+}
+
 // tuneWidth picks a day width from the current spread of pending events.
 func (c *Calendar) tuneWidth() sim.Time {
 	if c.n < 2 {

@@ -32,6 +32,9 @@ type FEL interface {
 	PushBatch(evs []sim.Event)
 	Pop() sim.Event
 	PopBefore(bound sim.Time) (sim.Event, bool)
+	// Snapshot appends every pending event to dst in arbitrary order
+	// without disturbing the queue — the read side of a checkpoint.
+	Snapshot(dst []sim.Event) []sim.Event
 }
 
 // entry is one heap node: the deterministic comparison key and the arena
@@ -57,6 +60,7 @@ func (e *entry) before(o *entry) bool {
 // slot holds the payload of one pending event.
 type slot struct {
 	fn   sim.Proc
+	desc sim.EvDesc
 	node sim.NodeID
 }
 
@@ -107,7 +111,7 @@ func (q *Queue) Peek() *sim.Event {
 	}
 	e := &q.h[0]
 	s := &q.arena[e.idx]
-	q.top = sim.Event{Time: e.time, Src: e.src, Seq: e.seq, Node: s.node, Fn: s.fn}
+	q.top = sim.Event{Time: e.time, Src: e.src, Seq: e.seq, Node: s.node, Fn: s.fn, Desc: s.desc}
 	return &q.top
 }
 
@@ -116,10 +120,10 @@ func (q *Queue) alloc(ev *sim.Event) int32 {
 	if n := len(q.free); n > 0 {
 		i := q.free[n-1]
 		q.free = q.free[:n-1]
-		q.arena[i] = slot{fn: ev.Fn, node: ev.Node}
+		q.arena[i] = slot{fn: ev.Fn, desc: ev.Desc, node: ev.Node}
 		return i
 	}
-	q.arena = append(q.arena, slot{fn: ev.Fn, node: ev.Node})
+	q.arena = append(q.arena, slot{fn: ev.Fn, desc: ev.Desc, node: ev.Node})
 	return int32(len(q.arena) - 1)
 }
 
@@ -168,8 +172,9 @@ func (q *Queue) Pop() sim.Event {
 		q.down(0)
 	}
 	s := &q.arena[top.idx]
-	ev := sim.Event{Time: top.time, Src: top.src, Seq: top.seq, Node: s.node, Fn: s.fn}
+	ev := sim.Event{Time: top.time, Src: top.src, Seq: top.seq, Node: s.node, Fn: s.fn, Desc: s.desc}
 	s.fn = nil // release the closure for GC
+	s.desc = nil
 	q.free = append(q.free, top.idx)
 	return ev
 }
@@ -231,11 +236,19 @@ func (q *Queue) down(i int) {
 
 // Drain appends all events to dst in arbitrary order and clears the queue.
 func (q *Queue) Drain(dst []sim.Event) []sim.Event {
+	dst = q.Snapshot(dst)
+	q.Clear()
+	return dst
+}
+
+// Snapshot appends all pending events to dst in arbitrary order without
+// modifying the queue. Checkpointing uses this to read a quiescent FEL;
+// callers sort the result by the deterministic total order themselves.
+func (q *Queue) Snapshot(dst []sim.Event) []sim.Event {
 	for i := range q.h {
 		e := &q.h[i]
 		s := &q.arena[e.idx]
-		dst = append(dst, sim.Event{Time: e.time, Src: e.src, Seq: e.seq, Node: s.node, Fn: s.fn})
+		dst = append(dst, sim.Event{Time: e.time, Src: e.src, Seq: e.seq, Node: s.node, Fn: s.fn, Desc: s.desc})
 	}
-	q.Clear()
 	return dst
 }

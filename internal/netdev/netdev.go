@@ -307,13 +307,13 @@ func (e *pktEvt) run(c *sim.Ctx) {
 func schedTxDone(ctx *sim.Ctx, delay sim.Time, d *Device, p packet.Packet) {
 	e := pktEvtPool.Get().(*pktEvt)
 	e.dev, e.kind, e.p = d, evtTxDone, p
-	ctx.Schedule(delay, d.node, e.fn)
+	ctx.ScheduleDesc(delay, d.node, e.fn, e)
 }
 
 func schedReceive(ctx *sim.Ctx, delay sim.Time, n *Network, at sim.NodeID, p packet.Packet) {
 	e := pktEvtPool.Get().(*pktEvt)
 	e.net, e.at, e.kind, e.p = n, at, evtReceive, p
-	ctx.Schedule(delay, at, e.fn)
+	ctx.ScheduleDesc(delay, at, e.fn, e)
 }
 
 // Device is one endpoint of a link: an output queue plus the transmitter.

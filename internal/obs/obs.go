@@ -86,6 +86,11 @@ type RoundRecord struct {
 	// distributed host's extra coordinator dial attempts, reported once
 	// on its first record).
 	Retries uint64 `json:"retries,omitempty"`
+	// CkptNS and CkptBytes report a checkpoint taken at the end of this
+	// round: wall time spent serializing and writing the snapshot, and
+	// the snapshot file size. Zero when no checkpoint was taken.
+	CkptNS    int64  `json:"ckpt_ns,omitempty"`
+	CkptBytes uint64 `json:"ckpt_bytes,omitempty"`
 }
 
 // Probe receives telemetry from a running kernel.

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"unison/internal/ckpt"
 	"unison/internal/core"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
@@ -64,9 +65,15 @@ type brt struct {
 	done      bool
 	err       error
 	round     uint64
-	cache     *metrics.CacheModel
-	trace     []sim.RoundSample
-	workers   []rankState
+
+	// baseEvents/baseEnd are the restored-from-checkpoint offsets, so a
+	// resumed run's RunStats match an uninterrupted one.
+	baseEvents uint64
+	baseEnd    sim.Time
+
+	cache   *metrics.CacheModel
+	trace   []sim.RoundSample
+	workers []rankState
 }
 
 type rankState struct {
@@ -141,11 +148,27 @@ func (k *BarrierKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if k.CacheWays > 0 {
 		r.cache = metrics.NewCacheModel(n, k.CacheWays)
 	}
-	for _, ev := range m.Init {
-		if ev.Node == sim.GlobalNode {
-			r.pub.Push(ev)
-		} else {
-			r.fels[part.LPOf[ev.Node]].Push(ev)
+	if hook := m.Ckpt; hook != nil && hook.Restore != nil {
+		ks := hook.Restore
+		if len(ks.Seqs) != len(r.seqs) {
+			return nil, fmt.Errorf("pdes: checkpoint has %d sequence counters, model needs %d", len(ks.Seqs), len(r.seqs))
+		}
+		copy(r.seqs, ks.Seqs)
+		for _, ev := range ks.Queue {
+			if ev.Node == sim.GlobalNode {
+				r.pub.Push(ev)
+			} else {
+				r.fels[part.LPOf[ev.Node]].Push(ev)
+			}
+		}
+		r.round, r.baseEvents, r.baseEnd = ks.Round, ks.Events, ks.EndTime
+	} else {
+		for _, ev := range m.Init {
+			if ev.Node == sim.GlobalNode {
+				r.pub.Push(ev)
+			} else {
+				r.fels[part.LPOf[ev.Node]].Push(ev)
+			}
 		}
 	}
 	allMin := sim.MaxTime
@@ -302,7 +325,46 @@ func (r *brt) advance() {
 		r.err = errors.New("pdes: MaxRounds exceeded")
 	default:
 		r.lbts = core.Eq2(allMin, pubNext, r.lookahead)
+		if hook := r.m.Ckpt; hook.SaveEvery(r.round) {
+			// The advance serial section is the quiescent point: all mail
+			// has been delivered and every rank is parked in the barrier.
+			if err := r.saveCkpt(); err != nil {
+				r.err = err
+				r.done = true
+			}
+		}
 	}
+}
+
+// saveCkpt snapshots the merged rank FELs through the model's checkpoint
+// hook. Only called from the advance serial section.
+func (r *brt) saveCkpt() error {
+	var queue []sim.Event
+	for _, f := range r.fels {
+		queue = f.Snapshot(queue)
+	}
+	queue = r.pub.Snapshot(queue)
+	if err := ckpt.CheckQueue(queue); err != nil {
+		return fmt.Errorf("pdes: %w", err)
+	}
+	ks := &sim.KernelState{
+		Round:   r.round,
+		Now:     r.lbts,
+		EndTime: r.baseEnd,
+		Events:  r.baseEvents,
+		Seqs:    append([]uint64(nil), r.seqs...),
+		Queue:   queue,
+	}
+	for i := range r.workers {
+		ks.Events += r.workers[i].events
+		if t := r.workers[i].lastT; t > ks.EndTime {
+			ks.EndTime = t
+		}
+	}
+	if err := r.m.Ckpt.Save(ks); err != nil {
+		return fmt.Errorf("pdes: checkpoint: %w", err)
+	}
+	return nil
 }
 
 func (r *brt) stats(start time.Time) *sim.RunStats {
@@ -314,6 +376,8 @@ func (r *brt) stats(start time.Time) *sim.RunStats {
 		Workers:    make([]sim.WorkerStats, len(r.workers)),
 		RoundTrace: r.trace,
 	}
+	st.Events = r.baseEvents
+	st.EndTime = r.baseEnd
 	for i := range r.workers {
 		w := &r.workers[i]
 		st.Events += w.events

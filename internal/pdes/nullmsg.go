@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"unison/internal/ckpt"
 	"unison/internal/core"
 	"unison/internal/eventq"
 	"unison/internal/metrics"
@@ -199,26 +200,86 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		cache = metrics.NewCacheModel(n, k.CacheWays)
 	}
 	seqs := sim.NewSeqTable(m.Nodes)
-	for _, ev := range m.Init {
-		if ev.Node == sim.GlobalNode {
-			if ev.Time == m.StopAt {
-				continue // the stop event is duplicated as StopAt per rank
-			}
-			return nil, errors.New("pdes: null message kernel cannot run models with global events (use Unison)")
+	hook := m.Ckpt
+	var baseEvents uint64
+	var baseEnd sim.Time
+	var epoch uint64
+	if hook != nil && hook.Restore != nil {
+		ks := hook.Restore
+		if len(ks.Seqs) != len(seqs) {
+			return nil, fmt.Errorf("pdes: checkpoint has %d sequence counters, model needs %d", len(ks.Seqs), len(seqs))
 		}
-		ranks[part.LPOf[ev.Node]].fel.Push(ev)
+		copy(seqs, ks.Seqs)
+		for _, ev := range ks.Queue {
+			if ev.Node == sim.GlobalNode {
+				if ev.Time == m.StopAt {
+					continue // the stop event is duplicated as StopAt per rank
+				}
+				return nil, errors.New("pdes: null message kernel cannot restore models with global events (use Unison)")
+			}
+			ranks[part.LPOf[ev.Node]].fel.Push(ev)
+		}
+		epoch, baseEvents, baseEnd = ks.Round, ks.Events, ks.EndTime
+	} else {
+		for _, ev := range m.Init {
+			if ev.Node == sim.GlobalNode {
+				if ev.Time == m.StopAt {
+					continue // the stop event is duplicated as StopAt per rank
+				}
+				return nil, errors.New("pdes: null message kernel cannot run models with global events (use Unison)")
+			}
+			ranks[part.LPOf[ev.Node]].fel.Push(ev)
+		}
+	}
+	ckptEvery := sim.Time(0)
+	if hook != nil && hook.Save != nil && hook.EveryTime > 0 {
+		ckptEvery = hook.EveryTime
 	}
 
 	obs.Begin(k.Observe, obs.RunMeta{Kernel: k.Name(), Workers: n, LPs: n})
-	var wg sync.WaitGroup
-	for _, r := range ranks {
-		wg.Add(1)
-		go func(r *nmRank) {
-			defer wg.Done()
-			k.rankLoop(r, ranks, part.LPOf, seqs, m.StopAt, cache)
-		}(r)
+	// The null-message kernel has no global rounds, so checkpoints use
+	// simulated-time epochs (CkptHook.EveryTime): the run is split into
+	// segments ending at epoch multiples, every rank quiesces at the
+	// segment boundary exactly as it would at StopAt, and the boundary is
+	// a sound snapshot point — a rank only terminates a segment once its
+	// EIT reaches the boundary, so channel promises guarantee every
+	// undelivered message holds only events at or after it.
+	for {
+		segEnd := m.StopAt
+		if ckptEvery > 0 {
+			if next := sim.Time(epoch+1) * ckptEvery; next < segEnd {
+				segEnd = next
+			}
+		}
+		var wg sync.WaitGroup
+		for _, r := range ranks {
+			wg.Add(1)
+			go func(r *nmRank) {
+				defer wg.Done()
+				k.rankLoop(r, ranks, part.LPOf, seqs, segEnd, cache)
+			}(r)
+		}
+		wg.Wait()
+		if segEnd >= m.StopAt {
+			break
+		}
+		epoch++
+		// Serial quiesce: deliver messages posted after their receiver
+		// terminated the segment (all bounded at or after segEnd).
+		var buf []nmMsg
+		for _, r := range ranks {
+			buf, _ = r.inbox.take(buf)
+			for _, msg := range buf {
+				r.fel.PushBatch(msg.events)
+				if msg.bound > r.clock[msg.from] {
+					r.clock[msg.from] = msg.bound
+				}
+			}
+		}
+		if err := k.saveCkpt(m, ranks, seqs, epoch, segEnd, baseEvents, baseEnd); err != nil {
+			return nil, err
+		}
 	}
-	wg.Wait()
 
 	st := &sim.RunStats{
 		Kernel:  "nullmsg",
@@ -226,6 +287,8 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		LPs:     n,
 		Workers: make([]sim.WorkerStats, n),
 	}
+	st.Events = baseEvents
+	st.EndTime = baseEnd
 	var nulls uint64
 	for i, r := range ranks {
 		st.Events += r.events
@@ -241,6 +304,48 @@ func (k *NullMessageKernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	obs.End(k.Observe, st)
 	return st, nil
+}
+
+// saveCkpt snapshots the quiesced rank FELs through the model's
+// checkpoint hook. The per-rank clocks and promises are deliberately NOT
+// serialized: they are lower bounds, so a restored run restarting them
+// at zero merely re-warms the channels with a few extra null messages —
+// the event trajectory is unchanged (RunStats.Rounds, the null-message
+// count, is the one scheduling-dependent statistic).
+func (k *NullMessageKernel) saveCkpt(m *sim.Model, ranks []*nmRank, seqs sim.SeqTable, epoch uint64, now sim.Time, baseEvents uint64, baseEnd sim.Time) error {
+	var queue []sim.Event
+	for _, r := range ranks {
+		queue = r.fel.Snapshot(queue)
+	}
+	for _, ev := range m.Init {
+		if ev.Node == sim.GlobalNode && ev.Time == m.StopAt {
+			// Keep the snapshot portable: kernels that schedule the stop
+			// globally need it back in the queue; this kernel skips it on
+			// restore just as it does at setup.
+			queue = append(queue, ev)
+		}
+	}
+	if err := ckpt.CheckQueue(queue); err != nil {
+		return fmt.Errorf("pdes: %w", err)
+	}
+	ks := &sim.KernelState{
+		Round:   epoch,
+		Now:     now,
+		Events:  baseEvents,
+		EndTime: baseEnd,
+		Seqs:    append([]uint64(nil), seqs...),
+		Queue:   queue,
+	}
+	for _, r := range ranks {
+		ks.Events += r.events
+		if r.lastT > ks.EndTime {
+			ks.EndTime = r.lastT
+		}
+	}
+	if err := m.Ckpt.Save(ks); err != nil {
+		return fmt.Errorf("pdes: checkpoint: %w", err)
+	}
+	return nil
 }
 
 func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, seqs sim.SeqTable, stopAt sim.Time, cache *metrics.CacheModel) {

@@ -61,6 +61,19 @@ func New(ids ...uint64) *Rand {
 	return r
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously obtained from State. An all-zero
+// state (e.g. from a corrupted checkpoint) is replaced by a fixed nonzero
+// one, since xoshiro must never enter it.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 random bits.

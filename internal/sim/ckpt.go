@@ -1,0 +1,112 @@
+package sim
+
+// Checkpoint substrate: the kernel side of crash-consistent snapshots.
+//
+// A checkpoint is taken at a quiescent point — a round barrier for the
+// windowed kernels, a timestamp boundary for the sequential kernel, an
+// epoch quiesce for the null-message kernel — where the only simulation
+// state a kernel owns is (a) the pending future event list, (b) the
+// per-node sequence counters, and (c) its progress counters. Everything
+// else (device queues, TCP connections, rng cursors, monitors) belongs
+// to the model layers and is serialized by internal/ckpt through their
+// own Save/Load hooks.
+//
+// Pending events hold Go closures, which cannot be serialized. Instead,
+// every event that can be pending at a quiescent point carries an EvDesc:
+// a small typed value owned by the layer that scheduled the event, from
+// which that layer re-materializes the closure on restore. Zero-delay
+// events (half-duplex kicks, link-down retries) never cross a timestamp
+// boundary, so they need no descriptors.
+
+// EvDesc describes a pending event in serializable form. Implementations
+// live in the layer that schedules the event (netdev, tcp, app, dist);
+// kind tags are globally unique across layers (see internal/ckpt for the
+// allocation ranges).
+type EvDesc interface {
+	// CkptKind returns the descriptor's registered kind tag.
+	CkptKind() uint16
+	// CkptEncode appends the descriptor payload to buf and returns it.
+	CkptEncode(buf []byte) []byte
+}
+
+// KernelState is the kernel-owned dynamic state at one quiescent point:
+// what a kernel must persist, and all it needs back, to continue a run
+// exactly where it left off.
+type KernelState struct {
+	// Round counts completed synchronization rounds (events-executed
+	// boundaries for the sequential kernel, epochs for null-message).
+	Round uint64
+	// Events is the number of events executed so far; restored runs add
+	// it to their own counts so RunStats.Events matches an uninterrupted
+	// run.
+	Events uint64
+	// Now is the quiescent boundary: every executed event is < Now and
+	// every pending event is >= Now.
+	Now Time
+	// EndTime is the maximum executed event timestamp.
+	EndTime Time
+	// Seqs is the per-node sequence counter table (Nodes+1 entries; the
+	// last is the global/setup counter), copied from sim.SeqTable.
+	Seqs []uint64
+	// Queue holds every pending event — worker FELs and the global queue
+	// merged — sorted by the deterministic total order. On save, each
+	// event's Desc is serialized; on restore, each event's Fn has been
+	// re-materialized from its descriptor before the kernel starts.
+	Queue []Event
+}
+
+// CkptHook connects a kernel run to a checkpoint writer. It lives on the
+// Model so every kernel sees the same request without per-kernel wiring.
+type CkptHook struct {
+	// Every requests a checkpoint every N synchronization rounds (or,
+	// for the sequential kernel, at the first timestamp boundary after
+	// every N executed events). Zero disables periodic checkpoints.
+	Every uint64
+	// EveryTime is the epoch length for kernels without global rounds
+	// (null-message): the run quiesces and checkpoints at multiples of
+	// EveryTime. Ignored by round-based kernels.
+	EveryTime Time
+	// Save persists one snapshot. It is called from a serial section with
+	// every worker parked; it must not retain ks or its slices. A Save
+	// error aborts the run.
+	Save func(ks *KernelState) error
+	// Restore, when non-nil, seeds the run from a snapshot: the kernel
+	// skips Model.Init, loads Queue and Seqs, and offsets its progress
+	// counters by Round/Events/EndTime.
+	Restore *KernelState
+}
+
+// SaveEvery reports whether a periodic save is due after round r.
+func (h *CkptHook) SaveEvery(r uint64) bool {
+	return h != nil && h.Save != nil && h.Every > 0 && r%h.Every == 0
+}
+
+// ScheduleDesc is Schedule with a descriptor attached to the event.
+func (c *Ctx) ScheduleDesc(d Time, node NodeID, fn Proc, desc EvDesc) {
+	c.ScheduleAtDesc(c.now+d, node, fn, desc)
+}
+
+// ScheduleAtDesc is ScheduleAt with a descriptor attached to the event.
+func (c *Ctx) ScheduleAtDesc(t Time, node NodeID, fn Proc, desc EvDesc) {
+	ev := c.stamp(t, node)
+	ev.Fn = fn
+	ev.Desc = desc
+	c.sink.Put(ev)
+}
+
+// ScheduleGlobalDesc is ScheduleGlobal with a descriptor attached.
+func (c *Ctx) ScheduleGlobalDesc(t Time, fn Proc, desc EvDesc) {
+	ev := c.stamp(t, GlobalNode)
+	ev.Fn = fn
+	ev.Desc = desc
+	c.sink.PutGlobal(ev)
+}
+
+// AtDesc is Setup.At with a descriptor attached to the initial event.
+func (s *Setup) AtDesc(t Time, node NodeID, fn Proc, desc EvDesc) {
+	s.events = append(s.events, Event{Time: t, Src: SetupSrc, Seq: s.seq, Node: node, Fn: fn, Desc: desc})
+	s.seq++
+}
+
+// GlobalDesc is Setup.Global with a descriptor attached.
+func (s *Setup) GlobalDesc(t Time, fn Proc, desc EvDesc) { s.AtDesc(t, GlobalNode, fn, desc) }

@@ -95,6 +95,14 @@ type Event struct {
 	Seq  uint64
 	Node NodeID
 	Fn   Proc
+
+	// Desc, when non-nil, is the serializable description of Fn: a typed
+	// value the owning layer can re-materialize after a checkpoint restore
+	// (Fn itself is a closure and cannot cross a process boundary). Events
+	// without a Desc cannot be checkpointed while pending; every event the
+	// built-in scenario layers leave pending across a round barrier carries
+	// one. See ckpt.go.
+	Desc EvDesc
 }
 
 // Before reports whether e must execute before o under the deterministic
@@ -233,6 +241,11 @@ type Model struct {
 
 	// StopAt, if nonzero, schedules a global stop event at that time.
 	StopAt Time
+
+	// Ckpt, when non-nil, connects the run to checkpoint/restore (see
+	// CkptHook). Kernels that cannot quiesce at a deterministic boundary
+	// (the virtual-time testbeds) reject a model with Ckpt set.
+	Ckpt *CkptHook
 }
 
 // Validate checks structural invariants of the model.

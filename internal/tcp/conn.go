@@ -12,7 +12,11 @@ const maxCwnd = 64 << 20
 // conn is one endpoint of a TCP connection. A conn is owned by the node it
 // lives on and is only touched from that node's events.
 type conn struct {
-	s      *Stack
+	s *Stack
+	// idx is the record's stable arena slot, set at alloc and preserved by
+	// recycle; timer descriptors reference connections by (host, idx, gen)
+	// so they survive checkpointing.
+	idx    int32
 	f      FlowSpec // Src is always this endpoint's node
 	sender bool
 
@@ -80,10 +84,10 @@ func (c *conn) init(s *Stack, f FlowSpec, sender bool) {
 // closures armed by the previous occupant can never fire into the new one,
 // and the out-of-order buffer keeps its capacity.
 func (c *conn) recycle() {
-	tsq, asq := c.timerSq, c.ackTimerSq
+	tsq, asq, idx := c.timerSq, c.ackTimerSq, c.idx
 	ooo := c.ooo[:0]
 	*c = conn{}
-	c.timerSq, c.ackTimerSq = tsq, asq
+	c.timerSq, c.ackTimerSq, c.idx = tsq, asq, idx
 	c.ooo = ooo
 }
 
@@ -407,8 +411,7 @@ func (c *conn) complete(ctx *sim.Ctx) {
 
 func (c *conn) armTimer(ctx *sim.Ctx) {
 	c.timerSq++
-	gen := c.timerSq
-	ctx.Schedule(c.RTO(), c.f.Src, func(cx *sim.Ctx) { c.onTimer(cx, gen) })
+	schedTimer(ctx, c.RTO(), c, tkRetrans, c.timerSq)
 }
 
 func (c *conn) onTimer(ctx *sim.Ctx, gen uint64) {
@@ -490,16 +493,19 @@ func (c *conn) receiveData(ctx *sim.Ctx, p *packet.Packet) {
 		return
 	}
 	c.ackTimerSq++
-	gen := c.ackTimerSq
 	delay := c.s.cfg.AckDelay
 	if delay <= 0 {
 		delay = 40 * sim.Microsecond
 	}
-	ctx.Schedule(delay, c.f.Src, func(cx *sim.Ctx) {
-		if gen == c.ackTimerSq && c.ackPending > 0 {
-			c.sendAck(cx)
-		}
-	})
+	schedTimer(ctx, delay, c, tkDelack, c.ackTimerSq)
+}
+
+// onAckTimer fires the delayed-ACK timer; a stale generation (the ACK was
+// sent, or the slot was recycled) makes it a no-op.
+func (c *conn) onAckTimer(ctx *sim.Ctx, gen uint64) {
+	if gen == c.ackTimerSq && c.ackPending > 0 {
+		c.sendAck(ctx)
+	}
 }
 
 // sendAck emits a cumulative ACK reflecting the current receive state and

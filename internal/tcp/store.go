@@ -62,7 +62,9 @@ func (a *connArena) alloc() (*conn, int32) {
 		a.chunks = append(a.chunks, make([]conn, arenaChunkSize))
 	}
 	a.bump()
-	return a.at(idx), idx
+	c := a.at(idx)
+	c.idx = idx
+	return c, idx
 }
 
 func (a *connArena) bump() {

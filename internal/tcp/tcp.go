@@ -113,6 +113,10 @@ type Stack struct {
 	// udpSinks holds per-host datagram consumers (see udp.go); populated
 	// at setup time only, read-only during the run.
 	udpSinks map[sim.NodeID]UDPSink
+
+	// pump is the streaming-workload cursor when AttachStream wired one;
+	// its (pending, ok) pair is part of the checkpointable state.
+	pump *streamPump
 }
 
 // NewStack wires the transport into net's hosts.
@@ -132,8 +136,9 @@ func NewStack(net *netdev.Network, cfg Config, mon *flowmon.Monitor) *Stack {
 // Flows must already be registered with the monitor.
 func (s *Stack) Attach(setup *sim.Setup, flows []FlowSpec) {
 	for _, f := range flows {
-		f := f
-		setup.At(f.Start, f.Src, func(ctx *sim.Ctx) { s.StartFlow(ctx, f) })
+		e := &flowStartEvt{s: s, f: f}
+		e.fn = e.run
+		setup.AtDesc(f.Start, f.Src, e.fn, e)
 	}
 }
 
@@ -164,27 +169,46 @@ func (s *Stack) AttachStream(setup *sim.Setup, src FlowSource, window sim.Time) 
 	if window <= 0 {
 		window = DefaultStreamWindow
 	}
-	pending, ok := src.Next()
-	if !ok {
+	p := &streamPump{s: s, src: src, window: window}
+	p.fn = p.run
+	p.pending, p.ok = src.Next()
+	s.pump = p
+	if !p.ok {
 		return
 	}
-	var pump sim.Proc
-	pump = func(ctx *sim.Ctx) {
-		horizon := ctx.Now() + window
-		for ok && pending.Start < horizon {
-			f := pending
-			if f.Start < ctx.Now() {
-				panic(fmt.Sprintf("tcp: flow source went backwards: flow %d at %v before pump at %v",
-					f.ID, f.Start, ctx.Now()))
-			}
-			ctx.ScheduleAt(f.Start, f.Src, func(cx *sim.Ctx) { s.StartFlow(cx, f) })
-			pending, ok = src.Next()
+	setup.GlobalDesc(p.pending.Start, p.fn, p)
+}
+
+// streamPump is the chained global event of AttachStream. Its cursor
+// state (the next flow to release and whether the source is exhausted)
+// lives on the struct instead of closure locals so a checkpoint can
+// persist it; the pump event itself serializes as an empty-payload
+// descriptor, with the cursor restored through the Stack's section.
+type streamPump struct {
+	s       *Stack
+	src     FlowSource
+	window  sim.Time
+	pending FlowSpec
+	ok      bool
+	fn      sim.Proc
+}
+
+func (p *streamPump) run(ctx *sim.Ctx) {
+	horizon := ctx.Now() + p.window
+	for p.ok && p.pending.Start < horizon {
+		f := p.pending
+		if f.Start < ctx.Now() {
+			panic(fmt.Sprintf("tcp: flow source went backwards: flow %d at %v before pump at %v",
+				f.ID, f.Start, ctx.Now()))
 		}
-		if ok {
-			ctx.ScheduleGlobal(pending.Start, pump)
-		}
+		e := &flowStartEvt{s: p.s, f: f}
+		e.fn = e.run
+		ctx.ScheduleAtDesc(f.Start, f.Src, e.fn, e)
+		p.pending, p.ok = p.src.Next()
 	}
-	setup.Global(pending.Start, pump)
+	if p.ok {
+		ctx.ScheduleGlobalDesc(p.pending.Start, p.fn, p)
+	}
 }
 
 // StartFlow opens the connection for f and begins the handshake. It must

@@ -1,0 +1,55 @@
+package traffic
+
+import (
+	"fmt"
+
+	"unison/internal/ckpt"
+	"unison/internal/packet"
+)
+
+// CkptName implements ckpt.Checkpointer.
+func (s *Stream) CkptName() string { return "traffic" }
+
+// CkptSave implements ckpt.Checkpointer: the stream's dynamic state is
+// the rng position plus the arrival cursor. The permutation table and the
+// derived rate are functions of the Config and the pre-advance rng draws,
+// so an identically configured NewStream rebuilds them.
+//
+//unison:owner checkpoint
+func (s *Stream) CkptSave(e *ckpt.Enc) error {
+	for _, w := range s.r.State() {
+		e.U64(w)
+	}
+	e.Time(s.t)
+	e.U32(uint32(s.id))
+	e.I64(int64(s.n))
+	e.Bool(s.done)
+	return nil
+}
+
+// CkptLoad implements ckpt.Checkpointer.
+//
+//unison:owner checkpoint
+func (s *Stream) CkptLoad(d *ckpt.Dec) error {
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.r.SetState(st)
+	s.t = d.Time()
+	s.id = packet.FlowID(d.U32())
+	s.n = int(d.I64())
+	s.done = d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if s.t < s.cfg.Start {
+		return fmt.Errorf("traffic: checkpoint cursor %v precedes the arrival window start %v", s.t, s.cfg.Start)
+	}
+	return nil
+}
+
+var _ ckpt.Checkpointer = (*Stream)(nil)

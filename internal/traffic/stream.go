@@ -47,7 +47,9 @@ func NewStream(cfg Config) *Stream {
 		panic("traffic: empty arrival window")
 	}
 	victim := cfg.Victim
-	if victim == 0 && cfg.IncastRatio > 0 {
+	if !cfg.HasVictim && victim == 0 && cfg.IncastRatio > 0 {
+		// Victim was never set: default to the last host. An explicit
+		// HasVictim keeps node 0 targetable (it is a valid victim).
 		victim = cfg.Hosts[len(cfg.Hosts)-1]
 	}
 	r := rng.New(cfg.Seed, rng.PurposeTraffic)

@@ -65,8 +65,12 @@ type Config struct {
 	// destination is redirected to the victim host (0 = balanced, 1 =
 	// fully incast).
 	IncastRatio float64
-	// Victim receives redirected flows; defaults to Hosts[len-1].
+	// Victim receives redirected flows; defaults to Hosts[len-1]. A zero
+	// Victim historically meant "unset", which made node 0 impossible to
+	// target; set HasVictim to use Victim verbatim, including node 0.
 	Victim sim.NodeID
+	// HasVictim marks Victim as explicitly chosen rather than defaulted.
+	HasVictim bool
 	// MinBytes floors sampled flow sizes.
 	MinBytes int64
 	// MaxBytes caps sampled flow sizes when positive (used to bound FCTs

@@ -1,0 +1,97 @@
+package traffic
+
+import (
+	"testing"
+
+	"unison/internal/sim"
+)
+
+// Regression tests for the incast victim sentinel: Victim == 0 used to
+// mean "unset", which made node 0 impossible to target. HasVictim marks
+// the field as explicitly chosen; the default path must stay bit-identical.
+
+func victimCfg(hasVictim bool, victim sim.NodeID) Config {
+	hosts := make([]sim.NodeID, 8)
+	for i := range hosts {
+		hosts[i] = sim.NodeID(i)
+	}
+	return Config{
+		Seed: 7, Hosts: hosts, Sizes: GRPCCDF(), Load: 0.5,
+		BisectionBps: 10_000_000_000, Start: 0, End: 2 * sim.Millisecond,
+		IncastRatio: 0.5, Victim: victim, HasVictim: hasVictim,
+	}
+}
+
+// TestVictimNodeZeroTargetable: with HasVictim set, node 0 receives the
+// redirected incast share even though it is the zero value of NodeID.
+func TestVictimNodeZeroTargetable(t *testing.T) {
+	flows := Generate(victimCfg(true, 0))
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	toZero, toLast := 0, 0
+	last := sim.NodeID(7)
+	for _, f := range flows {
+		if f.Dst == 0 {
+			toZero++
+		}
+		if f.Dst == last {
+			toLast++
+		}
+	}
+	// Half the flows are redirected to the victim; a uniform destination
+	// draw alone would send only ~1/8 to any one node. Require node 0 to
+	// receive well above uniform and the old default victim to receive
+	// roughly uniform share.
+	if frac := float64(toZero) / float64(len(flows)); frac < 0.3 {
+		t.Errorf("node 0 received %.0f%% of %d flows, want the ~50%% incast share — the sentinel still swallows node 0", 100*frac, len(flows))
+	}
+	if frac := float64(toLast) / float64(len(flows)); frac > 0.3 {
+		t.Errorf("last host received %.0f%% of flows despite an explicit victim of node 0", 100*frac)
+	}
+}
+
+// TestVictimDefaultUnchanged: leaving Victim unset must produce exactly
+// the flows an explicit last-host victim produces — the sentinel fix
+// cannot perturb existing configurations.
+func TestVictimDefaultUnchanged(t *testing.T) {
+	def := Generate(victimCfg(false, 0))
+	explicit := Generate(victimCfg(true, 7))
+	if len(def) != len(explicit) {
+		t.Fatalf("flow count changed: %d default vs %d explicit", len(def), len(explicit))
+	}
+	for i := range def {
+		if def[i] != explicit[i] {
+			t.Fatalf("flow %d: default %+v != explicit last-host victim %+v", i, def[i], explicit[i])
+		}
+	}
+	toLast := 0
+	for _, f := range def {
+		if f.Dst == 7 {
+			toLast++
+		}
+	}
+	if frac := float64(toLast) / float64(len(def)); frac < 0.3 {
+		t.Errorf("default victim received %.0f%% of flows, want the ~50%% incast share", 100*frac)
+	}
+}
+
+// TestVictimStreamMatchesGenerate extends the stream/materialized
+// bit-identity to explicit victims.
+func TestVictimStreamMatchesGenerate(t *testing.T) {
+	cfg := victimCfg(true, 0)
+	want := Generate(cfg)
+	s := NewStream(cfg)
+	for i, w := range want {
+		got, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d/%d flows", i, len(want))
+		}
+		if got != w {
+			t.Fatalf("flow %d: stream %+v != generate %+v", i, got, w)
+		}
+	}
+	if f, ok := s.Next(); ok {
+		t.Fatalf("stream yields extra flow %+v", f)
+	}
+}

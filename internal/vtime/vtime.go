@@ -98,6 +98,12 @@ func Run(m *sim.Model, cfg Config) (*sim.RunStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("vtime: %w", err)
 	}
+	if m.Ckpt != nil {
+		// The testbed models wall clocks, not real ones, and replays whole
+		// runs cheaply — snapshotting it would pin modeled clock state the
+		// format deliberately excludes.
+		return nil, errors.New("vtime: the virtual testbed does not support checkpoint/restore")
+	}
 	cfg.Cost.fillDefaults()
 	start := time.Now() //unison:wallclock-ok wall-clock run timing for RunStats.WallNS
 	var st *sim.RunStats

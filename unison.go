@@ -23,6 +23,7 @@ package unison
 
 import (
 	"unison/internal/app"
+	"unison/internal/ckpt"
 	"unison/internal/core"
 	"unison/internal/des"
 	"unison/internal/flowmon"
@@ -287,6 +288,30 @@ var (
 // DefaultStreamWindow is the default pull-ahead horizon for streaming
 // workloads (ScenarioConfig.StreamWindow == 0).
 const DefaultStreamWindow = tcp.DefaultStreamWindow
+
+// --- Checkpoint/restore ---
+//
+// Long runs can write crash-consistent snapshots at deterministic round
+// barriers and resume from them with bit-identical results (DESIGN.md
+// §11). Scenario.CkptTarget assembles the target; the virtual-time
+// testbeds reject checkpointed models.
+
+// CkptTarget binds a scenario's stateful layers and event decoders for
+// whole-simulation checkpoint/restore.
+type CkptTarget = ckpt.Target
+
+var (
+	// EnableCheckpoints arms periodic snapshots on a model: every `every`
+	// synchronization rounds (or every `everyTime` of simulated time for
+	// the null-message kernel) the kernel quiesces and writes
+	// dir/ckpt-r<round>.uckpt atomically.
+	EnableCheckpoints = app.EnableCheckpoints
+	// RestoreCheckpoint loads a snapshot into the target's layers and arms
+	// the model to resume from it instead of its initial events.
+	RestoreCheckpoint = app.Restore
+	// CheckpointPath names the snapshot file for a round in a directory.
+	CheckpointPath = app.CheckpointPath
+)
 
 // --- Memory accounting ---
 
