@@ -67,7 +67,7 @@ func BenchmarkFig13LoadHeatmap(b *testing.B)       { benchExperiment(b, "fig13")
 
 // --- Kernel micro-benchmarks: events/sec on a fixed fat-tree workload ---
 
-func benchScenario(seed uint64) *unison.Scenario {
+func benchScenario(seed uint64) *unison.Sim {
 	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
 	stop := sim.Time(2 * unison.Millisecond)
 	flows := unison.GenerateTraffic(unison.TrafficConfig{
@@ -79,7 +79,7 @@ func benchScenario(seed uint64) *unison.Scenario {
 		Start:        0,
 		End:          stop / 2,
 	})
-	return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+	return unison.NewSim(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.SimConfig{
 		Seed:   seed,
 		NetCfg: unison.DefaultNetConfig(seed),
 		TCPCfg: unison.DefaultTCP(),

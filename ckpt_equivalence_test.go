@@ -31,7 +31,7 @@ const (
 // ckptScenario builds the deterministic k=4 fat-tree scenario with the
 // full observability stack attached. Every call is bit-identical: that is
 // what lets a restore rebuild the static state and overlay the snapshot.
-func ckptScenario(t *testing.T) *app.Scenario {
+func ckptScenario(t *testing.T) *app.Sim {
 	t.Helper()
 	ft := topology.BuildFatTree(topology.FatTreeK(4, 1_000_000_000, 3*sim.Microsecond))
 	flows := traffic.Generate(traffic.Config{

@@ -84,41 +84,50 @@ type report struct {
 // kernelOrder fixes the iteration and report order.
 var kernelOrder = []string{"Sequential", "Unison1", "Unison4", "Barrier", "NullMessage", "Hybrid"}
 
-func scenario(seed uint64) *unison.Scenario {
-	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
-	stop := sim.Time(2 * unison.Millisecond)
-	flows := unison.GenerateTraffic(unison.TrafficConfig{
-		Seed:         seed,
-		Hosts:        ft.Hosts(),
-		Sizes:        unison.GRPCCDF(),
-		Load:         0.3,
-		BisectionBps: ft.BisectionBandwidth(),
-		Start:        0,
-		End:          stop / 2,
-	})
-	return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
-		Seed:   seed,
-		NetCfg: unison.DefaultNetConfig(seed),
-		TCPCfg: unison.DefaultTCP(),
-		StopAt: stop,
-		Flows:  flows,
-	})
+// benchScenario is the workload every measurement builds: the historical
+// fixed fat-tree k=4 suite by default, or the file passed via -scenario.
+// A fresh Sim is built per iteration (Build never mutates the scenario).
+var benchScenario *unison.Scenario
+
+func defaultBenchScenario() *unison.Scenario {
+	sc := unison.DefaultScenario()
+	// The bench workload ends arrivals at stop/2 (not the schema's 3/4
+	// default) to stay comparable with the embedded seed baselines.
+	sc.Traffic.End = unison.ScenarioDuration(sc.Stop) / 2
+	return sc
+}
+
+func scenario(seed uint64) *unison.Sim {
+	sc := *benchScenario
+	sc.Seed = seed
+	b, err := sc.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unibench: %v\n", err)
+		os.Exit(1)
+	}
+	return b.Sim
 }
 
 func kernels() map[string]func() sim.Kernel {
-	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
-	manual4 := pdes.FatTreeManual(ft, 4)
-	manual2 := pdes.FatTreeManual(ft, 2)
-	return map[string]func() sim.Kernel{
-		"Sequential":  func() sim.Kernel { return des.New() },
-		"Unison1":     func() sim.Kernel { return core.New(core.Config{Threads: 1}) },
-		"Unison4":     func() sim.Kernel { return core.New(core.Config{Threads: 4}) },
-		"Barrier":     func() sim.Kernel { return &pdes.BarrierKernel{LPOf: manual4} },
-		"NullMessage": func() sim.Kernel { return &pdes.NullMessageKernel{LPOf: manual4} },
-		"Hybrid": func() sim.Kernel {
-			return core.NewHybrid(core.HybridConfig{HostOf: manual2, ThreadsPerHost: 2})
-		},
+	b, err := benchScenario.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unibench: %v\n", err)
+		os.Exit(1)
 	}
+	ks := map[string]func() sim.Kernel{
+		"Sequential": func() sim.Kernel { return des.New() },
+		"Unison1":    func() sim.Kernel { return core.New(core.Config{Threads: 1}) },
+		"Unison4":    func() sim.Kernel { return core.New(core.Config{Threads: 4}) },
+	}
+	if b.ManualFor != nil {
+		manual4, manual2 := b.ManualFor(4), b.ManualFor(2)
+		ks["Barrier"] = func() sim.Kernel { return &pdes.BarrierKernel{LPOf: manual4} }
+		ks["NullMessage"] = func() sim.Kernel { return &pdes.NullMessageKernel{LPOf: manual4} }
+		ks["Hybrid"] = func() sim.Kernel {
+			return core.NewHybrid(core.HybridConfig{HostOf: manual2, ThreadsPerHost: 2})
+		}
+	}
+	return ks
 }
 
 // measure runs the kernel n times and reports per-op figures using the
@@ -128,7 +137,7 @@ func kernels() map[string]func() sim.Kernel {
 func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, fidelity, error) {
 	// One warm-up run so one-time costs (pools, route caches) don't skew
 	// the per-op figures, mirroring testing.B's calibration runs.
-	if _, err := mk().Run(scenario(42).Model()); err != nil {
+	if _, err := mk().Run(scenario(benchScenario.Seed).Model()); err != nil {
 		return sample{}, nil, fidelity{}, err
 	}
 	runtime.GC()
@@ -137,9 +146,9 @@ func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, fidelity, erro
 	start := time.Now()
 	var events uint64
 	var last *sim.RunStats
-	var lastSc *unison.Scenario
+	var lastSc *unison.Sim
 	for i := 0; i < n; i++ {
-		sc := scenario(42)
+		sc := scenario(benchScenario.Seed)
 		st, err := mk().Run(sc.Model())
 		if err != nil {
 			return sample{}, nil, fidelity{}, err
@@ -170,6 +179,7 @@ func measure(n int, mk func() sim.Kernel) (sample, *sim.RunStats, fidelity, erro
 func main() {
 	var (
 		n         = flag.Int("n", 15, "iterations per kernel")
+		scFile    = flag.String("scenario", "", "declarative scenario file to benchmark instead of the fixed fat-tree workload (JSON, or TOML by extension)")
 		seedPath  = flag.String("seed", "docs/bench_seed.json", "seed baseline to embed ('' to skip)")
 		out       = flag.String("o", "BENCH_hotpath.json", "output report path")
 		traceOut  = flag.String("trace", "", "write a Perfetto trace of one probed Unison4 run to this file")
@@ -192,6 +202,15 @@ func main() {
 	if *n < 1 {
 		fmt.Fprintln(os.Stderr, "unibench: -n must be at least 1")
 		os.Exit(2)
+	}
+	benchScenario = defaultBenchScenario()
+	if *scFile != "" {
+		sc, err := unison.LoadScenario(*scFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: %v\n", err)
+			os.Exit(2)
+		}
+		benchScenario = sc
 	}
 	if *scale {
 		if err := runScale(*scaleOut, *scaleMaxK, *scaleThreads, *scaleGate); err != nil {
@@ -244,6 +263,9 @@ func main() {
 	rep.RunStats = make(map[string]*sim.RunStats, len(kernelOrder))
 	rep.Fidelity = make(map[string]fidelity, len(kernelOrder))
 	for _, name := range kernelOrder {
+		if mks[name] == nil {
+			continue // no manual-partition recipe for this scenario's topology
+		}
 		s, st, fid, err := measure(*n, mks[name])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unibench: %s: %v\n", name, err)
@@ -353,7 +375,7 @@ func (p *ckptProbe) EndRun(*sim.RunStats)            {}
 // and prints the outcome — the fingerprint lets a resumed run be checked
 // against an uninterrupted one by eye.
 func runCheckpointed(dir string, every uint64, restorePath string) error {
-	sc := scenario(42)
+	sc := scenario(benchScenario.Seed)
 	m := sc.Model()
 	probe := &ckptProbe{}
 	if dir != "" {
@@ -384,7 +406,7 @@ func runCheckpointed(dir string, every uint64, restorePath string) error {
 // attached and materializes the run-artifact bundle. Like writeTrace, the
 // observed run happens outside the measured loop.
 func writeArtifacts(dir string) error {
-	sc := scenario(42)
+	sc := scenario(benchScenario.Seed)
 	tracer, sampler := sc.EnableNetObs(0, 0)
 	reg := obs.NewRegistry(0)
 	st, err := core.New(core.Config{Threads: 4, Observe: reg}).Run(sc.Model())
@@ -392,20 +414,27 @@ func writeArtifacts(dir string) error {
 		return err
 	}
 	sampler.Flush()
+	bw := benchScenario.Topology.BwGbps
+	if bw <= 0 {
+		bw = 10
+	}
 	b := &netobs.Bundle{
 		Meta: netobs.Meta{
-			Tool: "unibench", Kernel: st.Kernel, Topology: "fat-tree k=4",
-			Seed: 42, Workers: 4, StopNS: int64(2 * unison.Millisecond),
+			Tool: "unibench", Kernel: st.Kernel, Topology: benchScenario.Topology.Kind,
+			Seed: benchScenario.Seed, Workers: 4, StopNS: int64(benchScenario.Stop),
 			Flows: sc.Mon.Flows(),
 		},
 		Stats:        st,
 		Mon:          sc.Mon,
-		RefBandwidth: 10 * unison.Gbps,
+		RefBandwidth: int64(bw * 1e9),
 		Rows:         sampler.Rows(),
 		Interval:     sampler.Interval(),
 		Trace:        tracer.Merged(),
 		KernelMeta:   reg.Meta(),
 		KernelRecs:   reg.Records(),
+	}
+	if cr := sc.CollReport(sc.Mon); cr != nil {
+		b.Coll = cr
 	}
 	files, err := b.Write(dir)
 	if err != nil {
@@ -422,7 +451,7 @@ func writeArtifacts(dir string) error {
 func writeTrace(path string) error {
 	reg := obs.NewRegistry(0)
 	reg.Publish("unison_last_run")
-	if _, err := core.New(core.Config{Threads: 4, Observe: reg}).Run(scenario(42).Model()); err != nil {
+	if _, err := core.New(core.Config{Threads: 4, Observe: reg}).Run(scenario(benchScenario.Seed).Model()); err != nil {
 		return err
 	}
 	f, err := os.Create(path)

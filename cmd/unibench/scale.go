@@ -119,27 +119,21 @@ const (
 // scaleScenario assembles the k-ary streaming scenario used by every
 // scale measurement: 1 Gbps links, GRPC flow sizes at load 0.3, flows
 // pulled on demand (nothing materialized).
-func scaleScenario(k int) (*unison.Scenario, int) {
-	ft := unison.BuildFatTree(unison.FatTreeK(k, unison.Gbps, 3*unison.Microsecond))
-	tc := unison.TrafficConfig{
-		Seed:         scaleSeed,
-		Hosts:        ft.Hosts(),
-		Sizes:        unison.GRPCCDF(),
-		Load:         scaleLoad,
-		BisectionBps: ft.BisectionBandwidth(),
-		Start:        0,
-		End:          scaleStop / 2,
+func scaleScenario(k int) (*unison.Sim, int) {
+	sc := unison.DefaultScenario()
+	sc.Seed = scaleSeed
+	sc.Stop = unison.ScenarioDuration(scaleStop)
+	sc.Topology.K = k
+	sc.Topology.BwGbps = 1
+	sc.Traffic.Load = scaleLoad
+	sc.Traffic.End = unison.ScenarioDuration(scaleStop / 2)
+	sc.Traffic.Stream = true
+	b, err := sc.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unibench: scale: %v\n", err)
+		os.Exit(1)
 	}
-	count := unison.CountTraffic(tc)
-	sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, scaleSeed), unison.ScenarioConfig{
-		Seed:      scaleSeed,
-		NetCfg:    unison.DefaultNetConfig(scaleSeed),
-		TCPCfg:    unison.DefaultTCP(),
-		StopAt:    scaleStop,
-		FlowSrc:   unison.NewTrafficStream(tc),
-		FlowCount: count,
-	})
-	return sc, count
+	return b.Sim, b.Flows
 }
 
 func liveHeap() int64 {

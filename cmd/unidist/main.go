@@ -9,33 +9,25 @@
 //	unidist -role host -id 0 -hosts 2 -addr 127.0.0.1:9123
 //	unidist -role host -id 1 -hosts 2 -addr 127.0.0.1:9123
 //
-// All processes must use the same -seed, -k, -stop and -hosts values; the
-// scenario is reconstructed deterministically in every process.
+// All processes must use the same -scenario file (or the same -seed, -k,
+// -stop and -load values) and the same -hosts count; the scenario is
+// reconstructed deterministically in every process.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"os"
 	"time"
 
 	"unison"
-	"unison/internal/ckpt"
 	"unison/internal/dist"
-	"unison/internal/flowmon"
-	"unison/internal/netdev"
 	"unison/internal/netobs"
 	"unison/internal/obs"
 	"unison/internal/obs/obshttp"
-	"unison/internal/pdes"
-	"unison/internal/routing"
 	"unison/internal/sim"
-	"unison/internal/tcp"
-	"unison/internal/topology"
 	utrace "unison/internal/trace"
-	"unison/internal/traffic"
 )
 
 func main() {
@@ -45,6 +37,7 @@ func main() {
 		hosts  = flag.Int("hosts", 2, "number of simulation hosts")
 		listen = flag.String("listen", ":9123", "coordinator listen address")
 		addr   = flag.String("addr", "127.0.0.1:9123", "coordinator address (host role)")
+		scFile = flag.String("scenario", "", "declarative scenario file (JSON, or TOML by extension); must be identical across all processes; other flags override it")
 		k      = flag.Int("k", 4, "fat-tree arity")
 		stopD  = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
 		load   = flag.Float64("load", 0.4, "offered load")
@@ -60,7 +53,35 @@ func main() {
 		restore = flag.String("restore", "", "host role: resume from this host's snapshot file; every host must restore the same round")
 	)
 	flag.Parse()
-	stop := sim.Time(stopD.Nanoseconds())
+
+	sc := defaultScenario()
+	if *scFile != "" {
+		var err error
+		if sc, err = unison.LoadScenario(*scFile); err != nil {
+			fatal(err)
+		}
+	}
+	ov := &unison.ScenarioOverrides{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			ov.Seed = seed
+		case "k":
+			ov.K = k
+		case "stop":
+			t := sim.Time(stopD.Nanoseconds())
+			ov.Stop = &t
+		case "load":
+			ov.Load = load
+		}
+	})
+	sc.Override(ov)
+	// The distributed runtime owns the partitioning; the scenario's kernel
+	// section only contributes defaults elsewhere and streaming is
+	// impossible here (the pump needs runtime globals).
+	if sc.Traffic != nil && sc.Traffic.Stream {
+		fatal(fmt.Errorf("scenario: traffic.stream is not supported by the distributed runtime (it needs runtime global events)"))
+	}
 
 	if *debugA != "" {
 		bound, err := obshttp.Serve(*debugA)
@@ -74,9 +95,9 @@ func main() {
 
 	switch *role {
 	case "coord":
-		runCoord(*listen, *hosts, *k, stop, *load, *seed, *tmo, reg, *artif)
+		runCoord(*listen, *hosts, sc, *tmo, reg, *artif)
 	case "host":
-		runHost(int32(*id), *addr, *hosts, *k, stop, *load, *seed, *tmo, *dials, reg, *artif != "",
+		runHost(int32(*id), *addr, *hosts, sc, *tmo, *dials, reg, *artif != "",
 			*ckptDir, *ckptN, *restore)
 	default:
 		flag.Usage()
@@ -95,53 +116,41 @@ func main() {
 	}
 }
 
-// buildScenario reconstructs the deterministic scenario each process runs.
-func buildScenario(k int, stop sim.Time, load float64, seed uint64) (*sim.Model, *netdev.Network, *tcp.Stack, *flowmon.Monitor, *topology.FatTree, int) {
-	ft := topology.BuildFatTree(topology.FatTreeK(k, 10*unison.Gbps, 3*sim.Microsecond))
-	flows := traffic.Generate(traffic.Config{
-		Seed: seed, Hosts: ft.Hosts(), Sizes: traffic.GRPCCDF(), Load: load,
-		BisectionBps: ft.BisectionBandwidth(), Start: 0, End: stop / 2,
-	})
-	mon := flowmon.NewMonitor(len(flows))
-	network := netdev.New(ft.Graph, routing.NewECMP(ft.Graph, routing.Hops, seed), netdev.DefaultConfig(seed))
-	stack := tcp.NewStack(network, tcp.DefaultConfig(), mon)
-	s := sim.NewSetup()
-	stack.Attach(s, flows)
-	s.Global(stop, func(ctx *sim.Ctx) { ctx.Stop() })
-	m := &sim.Model{Nodes: ft.N(), Links: ft.LinkInfos, Init: s.Events(), StopAt: stop}
-	return m, network, stack, mon, ft, len(flows)
+// defaultScenario mirrors the historical unidist flag defaults: a k=4
+// fat-tree under 40% gRPC load with arrivals over the first half of the
+// run.
+func defaultScenario() *unison.Scenario {
+	sc := unison.DefaultScenario()
+	sc.Traffic.Load = 0.4
+	sc.Traffic.End = unison.ScenarioDuration(sc.Stop) / 2
+	return sc
 }
 
-// hostTarget assembles a host's checkpoint target. The config hash covers
-// every parameter the snapshot assumes was rebuilt identically, so a
-// restore with mismatched flags fails fast across processes too.
-func hostTarget(network *netdev.Network, stack *tcp.Stack, mon *flowmon.Monitor, hosts, k int, stop sim.Time, load float64, seed uint64) *ckpt.Target {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "unidist|hosts=%d|k=%d|stop=%d|load=%g|seed=%d", hosts, k, stop, load, seed)
-	t := &ckpt.Target{
-		ConfigHash: h.Sum64(),
-		Layers:     []ckpt.Checkpointer{network, stack, mon},
-		Decoders:   []ckpt.EventDecoder{network, stack},
+// build resolves the scenario every process reconstructs. Each process
+// builds the full model deterministically; a host executes only its own
+// nodes' events.
+func build(sc *unison.Scenario) *unison.BuiltScenario {
+	b, err := sc.Build()
+	if err != nil {
+		fatal(err)
 	}
-	if network.Tracer != nil {
-		t.Layers = append(t.Layers, network.Tracer)
+	if b.ManualFor == nil {
+		fatal(fmt.Errorf("topology %q has no manual-partition recipe; the distributed runtime needs one", sc.Topology.Kind))
 	}
-	if sam := network.Sampler(); sam != nil {
-		t.Layers = append(t.Layers, sam)
-	}
-	return t
+	return b
 }
 
-func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, reg *obs.Registry, artifacts string) {
-	_, _, _, _, _, flows := buildScenario(k, stop, load, seed)
+func runCoord(listen string, hosts int, sc *unison.Scenario, tmo time.Duration, reg *obs.Registry, artifacts string) {
+	b := build(sc)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("coordinator listening on %s for %d hosts (%d flows, stop %v)\n",
-		ln.Addr(), hosts, flows, stop)
+		ln.Addr(), hosts, b.Sim.Mon.Flows(), sim.Time(sc.Stop))
 	cfg := dist.CoordConfig{
-		Hosts: hosts, StopAt: stop, Flows: flows, Timeout: tmo, Observe: reg,
+		Hosts: hosts, StopAt: sim.Time(sc.Stop), Flows: b.Sim.Mon.Flows(),
+		Timeout: tmo, Observe: reg,
 	}
 	if artifacts != "" {
 		cfg.Net = &dist.NetData{}
@@ -155,23 +164,43 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	fmt.Printf("mean FCT         %.3f ms\n", mon.MeanFCTms())
 	fmt.Printf("mean RTT         %.3f ms\n", mon.MeanRTTms())
 	fmt.Printf("result hash      %016x\n", mon.Fingerprint())
+	// The collective report is a pure function of (pattern, base, monitor),
+	// so recomputing it over the merged monitor yields the byte-identical
+	// section a single-process run writes.
+	collReport := b.Sim.CollReport(mon)
+	if collReport != nil {
+		if collReport.CompletionNS >= 0 {
+			fmt.Printf("collective       %s: %d/%d flows, completed in %.3f ms\n",
+				collReport.Pattern, collReport.Completed, collReport.Flows, float64(collReport.CompletionNS)/1e6)
+		} else {
+			fmt.Printf("collective       %s: %d/%d flows (incomplete at stop)\n",
+				collReport.Pattern, collReport.Completed, collReport.Flows)
+		}
+	}
 	if artifacts != "" {
-		b := &netobs.Bundle{
+		bw := sc.Topology.BwGbps
+		if bw <= 0 {
+			bw = 10
+		}
+		bundle := &netobs.Bundle{
 			Meta: netobs.Meta{
 				Tool: "unidist", Kernel: fmt.Sprintf("dist(%d)", hosts),
-				Topology: fmt.Sprintf("fat-tree k=%d", k),
-				Seed:     seed, Workers: hosts, StopNS: int64(stop),
+				Topology: sc.Topology.Kind,
+				Seed:     sc.Seed, Workers: hosts, StopNS: int64(sc.Stop),
 				Flows: mon.Flows(),
 			},
 			Mon:          mon,
-			RefBandwidth: 10 * unison.Gbps,
+			RefBandwidth: int64(bw * 1e9),
 			Rows:         cfg.Net.Rows,
 			Interval:     netobs.DefaultInterval,
 			Trace:        cfg.Net.Trace,
 			KernelMeta:   reg.Meta(),
 			KernelRecs:   reg.Records(),
 		}
-		files, err := b.Write(artifacts)
+		if collReport != nil {
+			bundle.Coll = collReport
+		}
+		files, err := bundle.Write(artifacts)
 		if err != nil {
 			fatal(err)
 		}
@@ -179,21 +208,24 @@ func runCoord(listen string, hosts, k int, stop sim.Time, load float64, seed uin
 	}
 }
 
-func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, seed uint64, tmo time.Duration, dials int, reg *obs.Registry, observe bool, ckptDir string, ckptEvery uint64, restore string) {
-	m, network, stack, mon, ft, _ := buildScenario(k, stop, load, seed)
+func runHost(id int32, addr string, hosts int, sc *unison.Scenario, tmo time.Duration, dials int, reg *obs.Registry, observe bool, ckptDir string, ckptEvery uint64, restore string) {
+	b := build(sc)
 	if observe {
 		// The coordinator assembles the bundle; this host only collects its
 		// own devices' records and ships them at gather.
-		network.Tracer = utrace.NewCollector(ft.N(), 0)
-		network.AttachSampler(netobs.NewSampler(netobs.SamplerConfig{}))
+		b.Sim.Net.Tracer = utrace.NewCollector(b.G.N(), 0)
+		b.Sim.Net.AttachSampler(netobs.NewSampler(netobs.SamplerConfig{}))
 	}
-	hostOf := pdes.FatTreeManual(ft, hosts)
+	m := b.Sim.Model()
 	cfg := dist.HostConfig{
-		ID: id, Addr: addr, HostOf: hostOf, StopAt: stop,
+		ID: id, Addr: addr, HostOf: b.ManualFor(hosts), StopAt: sim.Time(sc.Stop),
 		Timeout: tmo, DialAttempts: dials, Observe: reg,
 	}
 	if ckptDir != "" || restore != "" {
-		cfg.Ckpt = hostTarget(network, stack, mon, hosts, k, stop, load, seed)
+		// Sim.CkptTarget covers every wired layer (net, tcp, the collective
+		// engine, flowmon, tracer/sampler) and hashes the scenario config,
+		// so mismatched flags across processes fail fast on restore.
+		cfg.Ckpt = b.Sim.CkptTarget()
 		cfg.RestoreFrom = restore
 	}
 	if ckptDir != "" {
@@ -202,7 +234,7 @@ func runHost(id int32, addr string, hosts, k int, stop sim.Time, load float64, s
 		}
 		cfg.CheckpointDir, cfg.CheckpointEvery = ckptDir, ckptEvery
 	}
-	st, err := dist.RunHost(cfg, m, network, mon)
+	st, err := dist.RunHost(cfg, m, b.Sim.Net, b.Sim.Mon)
 	if err != nil {
 		fatal(err)
 	}

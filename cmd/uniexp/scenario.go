@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"unison"
+	"unison/internal/experiments"
+)
+
+// runScenario is the -scenario mode: it runs one declarative scenario
+// across the whole kernel set and checks that every kernel produces the
+// same result fingerprint — a parallel-efficiency experiment for an
+// arbitrary user workload rather than a canned one.
+func runScenario(path string, seed uint64, seedSet bool) error {
+	base, err := unison.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	if seedSet {
+		base.Seed = seed
+	}
+
+	type kspec struct {
+		name    string
+		kind    string
+		threads int
+	}
+	probe, err := base.Build()
+	if err != nil {
+		return err
+	}
+	ks := []kspec{
+		{"sequential", "sequential", 1},
+		{"unison-2", "unison", 2},
+		{"unison-4", "unison", 4},
+	}
+	if probe.ManualFor != nil {
+		ks = append(ks, kspec{"hybrid-4", "hybrid", 4}, kspec{"barrier", "barrier", 1})
+		if base.Traffic == nil || !base.Traffic.Stream {
+			// Streaming workloads need a kernel that accepts global
+			// events, which the null-message kernel does not.
+			ks = append(ks, kspec{"nullmsg", "nullmsg", 1})
+		}
+	}
+
+	tab := &experiments.Table{
+		ID:      "scenario",
+		Title:   fmt.Sprintf("%s across kernels (seed %d)", path, base.Seed),
+		Columns: []string{"kernel", "wall s", "speedup", "events", "fingerprint", "collective"},
+	}
+	var seqWall float64
+	var refFP uint64
+	refSet, agree := false, true
+	for _, k := range ks {
+		sc := *base
+		sc.Kernel = unison.KernelSpec{Kind: k.kind, Threads: k.threads}
+		b, err := sc.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.name, err)
+		}
+		start := time.Now()
+		st, err := b.RunKernel(b.Sim.Model())
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.name, err)
+		}
+		wall := time.Since(start).Seconds()
+		fp := b.Sim.Mon.Fingerprint()
+		if !refSet {
+			refFP, refSet = fp, true
+		} else if fp != refFP {
+			agree = false
+		}
+		speedup := "-"
+		if k.name == "sequential" {
+			seqWall = wall
+		} else if seqWall > 0 && wall > 0 {
+			speedup = fmt.Sprintf("%.2fx", seqWall/wall)
+		}
+		collCell := "-"
+		if cr := b.Sim.CollReport(b.Sim.Mon); cr != nil {
+			if cr.CompletionNS >= 0 {
+				collCell = fmt.Sprintf("%s %.3f ms", cr.Pattern, float64(cr.CompletionNS)/1e6)
+			} else {
+				collCell = fmt.Sprintf("%s incomplete", cr.Pattern)
+			}
+		}
+		tab.AddRow(k.name, fmt.Sprintf("%.3f", wall), speedup,
+			fmt.Sprint(st.Events), fmt.Sprintf("%016x", fp), collCell)
+	}
+	if agree {
+		tab.Note("all kernels agree on result fingerprint %016x", refFP)
+	} else {
+		tab.Note("FINGERPRINT MISMATCH: kernels disagree — determinism bug")
+	}
+	tab.Render(os.Stdout)
+	if !agree {
+		return fmt.Errorf("kernels disagree on the result fingerprint")
+	}
+	return nil
+}

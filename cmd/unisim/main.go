@@ -1,32 +1,32 @@
-// Command unisim runs one network simulation from command-line flags and
-// prints flow statistics — the quick way to exercise any kernel on any of
-// the built-in topologies.
+// Command unisim runs one network simulation and prints flow statistics —
+// the quick way to exercise any kernel on any of the built-in topologies.
+//
+// The run is described by a declarative scenario (-scenario FILE, JSON or
+// TOML); without one, the built-in default scenario applies (k=4 fat-tree,
+// 30% gRPC load, Unison kernel). Explicitly passed flags override the
+// scenario in either case.
 //
 // Usage examples:
 //
+//	unisim -scenario examples/allreduce/ring.scenario.json
+//	unisim -scenario wan.scenario.toml -kernel sequential -seed 7
 //	unisim -topo fattree -k 4 -kernel unison -threads 8 -stop 2ms
-//	unisim -topo torus -rows 8 -cols 8 -kernel sequential -load 0.3
 //	unisim -topo dumbbell -n 8 -kernel barrier
-//	unisim -topo fattree -k 4 -kernel vunison -threads 24   (virtual testbed)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"unison"
-	"unison/internal/netobs"
-	"unison/internal/pdes"
 	"unison/internal/sim"
-	"unison/internal/topology"
 	"unison/internal/trace"
-	"unison/internal/vtime"
 )
 
 func main() {
 	var (
+		scFile  = flag.String("scenario", "", "declarative scenario file (JSON, or TOML by extension); other flags override it")
 		topo    = flag.String("topo", "fattree", "topology: fattree | torus | bcube | spineleaf | dumbbell | geant | chinanet")
 		k       = flag.Int("k", 4, "fat-tree arity")
 		rows    = flag.Int("rows", 6, "torus rows")
@@ -39,6 +39,7 @@ func main() {
 		stop    = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
 		load    = flag.Float64("load", 0.3, "offered load as a fraction of bisection bandwidth")
 		incast  = flag.Float64("incast", 0, "incast traffic ratio [0,1]")
+		victim  = flag.Int("victim", -1, "incast victim host index (-1: generator default, the last host)")
 		seed    = flag.Uint64("seed", 42, "random seed")
 		web     = flag.Bool("websearch", false, "use the web-search flow size CDF (default: gRPC)")
 		traceF  = flag.String("trace", "", "write a packet trace (UTR1 binary) to this file")
@@ -51,78 +52,100 @@ func main() {
 	)
 	flag.Parse()
 
-	g, hosts, manual := buildTopology(*topo, *k, *rows, *cols, *n,
-		int64(*bwGbps*1e9), sim.Time(delay.Nanoseconds()))
-
-	sizes := unison.GRPCCDF()
-	if *web {
-		sizes = unison.WebSearchCDF()
-	}
-	stopAt := sim.Time(stop.Nanoseconds())
-	tc := unison.TrafficConfig{
-		Seed:         *seed,
-		Hosts:        hosts,
-		Sizes:        sizes,
-		Load:         *load,
-		BisectionBps: g.BisectionBandwidth(),
-		Start:        0,
-		End:          stopAt * 3 / 4,
-		IncastRatio:  *incast,
-	}
-	scCfg := unison.ScenarioConfig{
-		Seed:   *seed,
-		NetCfg: unison.DefaultNetConfig(*seed),
-		TCPCfg: unison.DefaultTCP(),
-		StopAt: stopAt,
-	}
-	var nflows int
-	if *stream {
-		switch strings.ToLower(*kernel) {
-		case "nullmsg", "vnullmsg":
-			fmt.Fprintf(os.Stderr, "unisim: -stream needs a kernel that accepts global events; %s does not (drop -stream for the materialized workload)\n", *kernel)
+	sc := unison.DefaultScenario()
+	if *scFile != "" {
+		var err error
+		if sc, err = unison.LoadScenario(*scFile); err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 			os.Exit(2)
 		}
-		scCfg.FlowSrc = unison.NewTrafficStream(tc)
-		scCfg.FlowCount = unison.CountTraffic(tc)
-		nflows = scCfg.FlowCount
-	} else {
-		flows := unison.GenerateTraffic(tc)
-		scCfg.Flows = flows
-		nflows = len(flows)
 	}
-	sc := unison.NewScenario(g, unison.NewECMP(g, unison.Hops, *seed), scCfg)
+	ov := &unison.ScenarioOverrides{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			ov.Seed = seed
+		case "stop":
+			t := sim.Time(stop.Nanoseconds())
+			ov.Stop = &t
+		case "kernel":
+			ov.Kernel = kernel
+		case "threads":
+			ov.Threads = threads
+		case "topo":
+			ov.Topo = topo
+		case "k":
+			ov.K = k
+		case "rows":
+			ov.Rows = rows
+		case "cols":
+			ov.Cols = cols
+		case "n":
+			ov.N = n
+		case "bw":
+			ov.BwGbps = bwGbps
+		case "delay":
+			d := sim.Time(delay.Nanoseconds())
+			ov.Delay = &d
+		case "load":
+			ov.Load = load
+		case "incast":
+			ov.Incast = incast
+		case "victim":
+			if *victim >= 0 {
+				ov.Victim = victim
+			}
+		case "websearch":
+			sizes := "grpc"
+			if *web {
+				sizes = "websearch"
+			}
+			ov.Sizes = &sizes
+		case "stream":
+			ov.Stream = stream
+		case "artifacts":
+			ov.ArtifactsDir = artif
+		}
+	})
+	sc.Override(ov)
+
+	b, err := sc.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
+		os.Exit(2)
+	}
 	if *traceF != "" {
-		sc.Net.Tracer = trace.NewCollector(g.N(), 0)
+		b.Sim.Net.Tracer = trace.NewCollector(b.G.N(), 0)
 	}
-	var sampler *netobs.Sampler
-	if *artif != "" {
-		_, sampler = sc.EnableNetObs(0, 0)
+	var sampler *unison.NetSampler
+	if sc.Artifacts.Dir != "" {
+		_, sampler = b.Sim.EnableNetObs(sc.Artifacts.Interval.T(), 0)
 	}
 
-	m := sc.Model()
+	m := b.Sim.Model()
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 			os.Exit(1)
 		}
-		unison.EnableCheckpoints(m, sc.CkptTarget(), *ckptDir, *ckptN, sim.Time(ckptT.Nanoseconds()), nil)
+		unison.EnableCheckpoints(m, b.Sim.CkptTarget(), *ckptDir, *ckptN, sim.Time(ckptT.Nanoseconds()), nil)
 	}
 	if *restore != "" {
-		if err := unison.RestoreCheckpoint(m, sc.CkptTarget(), *restore); err != nil {
+		if err := unison.RestoreCheckpoint(m, b.Sim.CkptTarget(), *restore); err != nil {
 			fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
-	st, err := runKernel(*kernel, *threads, g, manual, m)
+	st, err := b.RunKernel(m)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("kernel      %s\n", st.Kernel)
-	fmt.Printf("nodes       %d (%d hosts), %d LPs\n", g.N(), len(hosts), st.LPs)
-	fmt.Printf("flows       %d generated, %d completed\n", nflows, sc.Mon.Completed())
+	fmt.Printf("nodes       %d (%d hosts), %d LPs\n", b.G.N(), len(b.Hosts), st.LPs)
+	fmt.Printf("flows       %d generated, %d completed\n", b.Flows, b.Sim.Mon.Completed())
 	fmt.Printf("events      %d in %d rounds\n", st.Events, st.Rounds)
 	fmt.Printf("sim time    %v reached\n", st.EndTime)
 	fmt.Printf("wall time   %.3fs", float64(st.WallNS)/1e9)
@@ -132,13 +155,22 @@ func main() {
 	fmt.Println()
 	fmt.Printf("P/S/M       %.1f%% / %.1f%% / %.1f%%\n",
 		ratio(st.TotalP(), st), ratio(st.TotalS(), st), ratio(st.TotalM(), st))
-	if sc.Mon.Completed() > 0 {
-		fmt.Printf("mean FCT    %.3f ms\n", sc.Mon.MeanFCTms())
-		fmt.Printf("mean RTT    %.3f ms\n", sc.Mon.MeanRTTms())
-		fmt.Printf("goodput     %.1f Mbps per flow\n", sc.Mon.MeanGoodputMbps())
+	if b.Sim.Mon.Completed() > 0 {
+		fmt.Printf("mean FCT    %.3f ms\n", b.Sim.Mon.MeanFCTms())
+		fmt.Printf("mean RTT    %.3f ms\n", b.Sim.Mon.MeanRTTms())
+		fmt.Printf("goodput     %.1f Mbps per flow\n", b.Sim.Mon.MeanGoodputMbps())
 	}
-	fmt.Printf("retransmits %d, drops %d\n", sc.Mon.TotalRetransmits(), sc.Net.Drops())
-	fmt.Printf("result hash %016x\n", sc.Mon.Fingerprint())
+	if cr := b.Sim.CollReport(b.Sim.Mon); cr != nil {
+		if cr.CompletionNS >= 0 {
+			fmt.Printf("collective  %s over %d hosts: %d/%d flows, completed in %.3f ms\n",
+				cr.Pattern, cr.Participants, cr.Completed, cr.Flows, float64(cr.CompletionNS)/1e6)
+		} else {
+			fmt.Printf("collective  %s over %d hosts: %d/%d flows (incomplete at stop)\n",
+				cr.Pattern, cr.Participants, cr.Completed, cr.Flows)
+		}
+	}
+	fmt.Printf("retransmits %d, drops %d\n", b.Sim.Mon.TotalRetransmits(), b.Sim.Net.Drops())
+	fmt.Printf("result hash %016x\n", b.Sim.Mon.Fingerprint())
 	if *traceF != "" {
 		f, err := os.Create(*traceF)
 		if err != nil {
@@ -146,33 +178,20 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if _, err := sc.Net.Tracer.WriteTo(f); err != nil {
+		if _, err := b.Sim.Net.Tracer.WriteTo(f); err != nil {
 			fmt.Fprintf(os.Stderr, "unisim: writing trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace       %d records -> %s\n", sc.Net.Tracer.Count(), *traceF)
+		fmt.Printf("trace       %d records -> %s\n", b.Sim.Net.Tracer.Count(), *traceF)
 	}
-	if *artif != "" {
-		sampler.Flush()
-		b := &netobs.Bundle{
-			Meta: netobs.Meta{
-				Tool: "unisim", Kernel: st.Kernel, Topology: *topo,
-				Seed: *seed, Workers: *threads, StopNS: int64(stopAt),
-				Flows: sc.Mon.Flows(),
-			},
-			Stats:        st,
-			Mon:          sc.Mon,
-			RefBandwidth: int64(*bwGbps * 1e9),
-			Rows:         sampler.Rows(),
-			Interval:     sampler.Interval(),
-			Trace:        sc.Net.Tracer.Merged(),
-		}
-		files, err := b.Write(*artif)
+	if sc.Artifacts.Dir != "" {
+		bundle := b.Bundle("unisim", st, sampler)
+		files, err := bundle.Write(sc.Artifacts.Dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "unisim: artifacts: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("artifacts   %s (%v)\n", *artif, files)
+		fmt.Printf("artifacts   %s (%v)\n", sc.Artifacts.Dir, files)
 	}
 }
 
@@ -182,68 +201,4 @@ func ratio(v int64, st *sim.RunStats) float64 {
 		return 0
 	}
 	return 100 * float64(v) / float64(tot)
-}
-
-func buildTopology(name string, k, rows, cols, n int, bw int64, delay sim.Time) (*topology.Graph, []sim.NodeID, []int32) {
-	switch strings.ToLower(name) {
-	case "fattree":
-		ft := topology.BuildFatTree(topology.FatTreeK(k, bw, delay))
-		return ft.Graph, ft.Hosts(), pdes.FatTreeManual(ft, k)
-	case "torus":
-		tr := topology.BuildTorus2D(rows, cols, bw, delay)
-		return tr.Graph, tr.Hosts(), pdes.TorusManual(tr, 4)
-	case "bcube":
-		b := topology.BuildBCube(n, 1, bw, delay)
-		return b.Graph, b.Hosts(), pdes.BCubeManual(b, len(b.BCube0))
-	case "spineleaf":
-		s := topology.BuildSpineLeaf(2, 4, n, bw, delay)
-		return s.Graph, s.Hosts(), pdes.SpineLeafManual(s, 4)
-	case "dumbbell":
-		d := topology.BuildDumbbell(n, bw, bw, delay, 5*delay)
-		return d.Graph, d.Hosts(), pdes.DumbbellManual(d)
-	case "geant":
-		w := topology.Geant()
-		return w.Graph, w.Hosts(), nil
-	case "chinanet":
-		w := topology.ChinaNet()
-		return w.Graph, w.Hosts(), nil
-	default:
-		fmt.Fprintf(os.Stderr, "unisim: unknown topology %q\n", name)
-		os.Exit(2)
-		return nil, nil, nil
-	}
-}
-
-func runKernel(name string, threads int, g *topology.Graph, manual []int32, m *sim.Model) (*sim.RunStats, error) {
-	switch strings.ToLower(name) {
-	case "sequential", "seq":
-		return unison.NewSequential().Run(m)
-	case "unison":
-		return unison.NewUnison(unison.UnisonConfig{Threads: threads}).Run(m)
-	case "hybrid":
-		if manual == nil {
-			return nil, fmt.Errorf("hybrid kernel needs a host partition; topology %q has none", name)
-		}
-		return unison.NewHybrid(unison.HybridConfig{HostOf: manual, ThreadsPerHost: threads}).Run(m)
-	case "barrier":
-		if manual == nil {
-			return nil, fmt.Errorf("the barrier kernel needs a manual partition; this topology has no recipe (use unison)")
-		}
-		return unison.NewBarrier(unison.ManualPartition(g, manual)).Run(m)
-	case "nullmsg":
-		if manual == nil {
-			return nil, fmt.Errorf("the null message kernel needs a manual partition; this topology has no recipe (use unison)")
-		}
-		return unison.NewNullMessage(unison.ManualPartition(g, manual)).Run(m)
-	case "vseq":
-		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Sequential})
-	case "vbarrier":
-		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Barrier, LPOf: manual})
-	case "vnullmsg":
-		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.NullMessage, LPOf: manual})
-	case "vunison":
-		return unison.VirtualRun(m, unison.VirtualConfig{Algo: vtime.Unison, Cores: threads})
-	default:
-		return nil, fmt.Errorf("unknown kernel %q", name)
-	}
 }

@@ -1,0 +1,250 @@
+package unison_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"unison"
+	"unison/internal/app"
+	"unison/internal/dist"
+	"unison/internal/flowmon"
+	"unison/internal/sim"
+)
+
+// This file is the collective-workload acceptance test: the flow DAG
+// (ring/tree all-reduce, all-to-all, parameter server) is released
+// through the transport's OnFlowDone hook, so its completion order — and
+// therefore coll_report.json — must be bit-identical under every kernel,
+// across a 2-rank distributed run, and through a kill/restore cycle.
+
+// collTestScenario builds the declarative description both the
+// single-process kernels and the distributed ranks reconstruct.
+func collTestScenario(pattern string) *unison.Scenario {
+	sc := unison.DefaultScenario()
+	sc.Name = "coll-equivalence-" + pattern
+	sc.Stop = unison.ScenarioDuration(4 * sim.Millisecond)
+	sc.Traffic = nil
+	sc.Collective = &unison.CollectiveSpec{
+		Pattern:      pattern,
+		MessageBytes: 256 << 10,
+		ChunkBytes:   64 << 10,
+	}
+	if pattern == "paramserver" {
+		// Incast at rank 0 with two chained training iterations — the
+		// deepest dependency structure the engine releases. The incast
+		// serializes on the server's access link, so it needs more time.
+		sc.Stop = unison.ScenarioDuration(12 * sim.Millisecond)
+		sc.Collective.Participants = 9
+		sc.Collective.MessageBytes = 128 << 10
+		sc.Collective.Iters = 2
+	}
+	return sc
+}
+
+// collArtifacts is the byte-comparable result of one run.
+type collArtifacts struct {
+	coll   []byte
+	report []byte
+	fp     uint64
+}
+
+func renderCollArtifacts(t *testing.T, b *unison.BuiltScenario, mon *flowmon.Monitor) collArtifacts {
+	t.Helper()
+	cr := b.Sim.CollReport(mon)
+	if cr == nil {
+		t.Fatal("no collective report produced")
+	}
+	if cr.CompletionNS < 0 {
+		t.Fatalf("collective incomplete at stop: %d/%d flows", cr.Completed, cr.Flows)
+	}
+	cj, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	if err := mon.Report(flowmon.ReportConfig{RefBandwidthBps: 10_000_000_000}).WriteJSON(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return collArtifacts{cj, rep.Bytes(), mon.Fingerprint()}
+}
+
+// collRun executes the scenario under one kernel, optionally writing
+// checkpoints or restoring from one, and renders the artifacts.
+func collRun(t *testing.T, pattern string, kernel unison.KernelSpec, ckptDir string, every uint64, restoreFrom string) collArtifacts {
+	t.Helper()
+	sc := collTestScenario(pattern)
+	sc.Kernel = kernel
+	b, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := b.Sim.Model()
+	if ckptDir != "" {
+		app.EnableCheckpoints(m, b.Sim.CkptTarget(), ckptDir, every, 0, nil)
+	}
+	if restoreFrom != "" {
+		if err := app.Restore(m, b.Sim.CkptTarget(), restoreFrom); err != nil {
+			t.Fatalf("restore %s: %v", restoreFrom, err)
+		}
+	}
+	if _, err := b.RunKernel(m); err != nil {
+		t.Fatalf("%s: %v", kernel.Kind, err)
+	}
+	return renderCollArtifacts(t, b, b.Sim.Mon)
+}
+
+func compareCollArtifacts(t *testing.T, name string, got, want collArtifacts) {
+	t.Helper()
+	if got.fp != want.fp {
+		t.Errorf("%s: fingerprint %x != %x", name, got.fp, want.fp)
+	}
+	if !bytes.Equal(got.coll, want.coll) {
+		t.Errorf("%s: coll_report.json differs (%d vs %d bytes)", name, len(got.coll), len(want.coll))
+	}
+	if !bytes.Equal(got.report, want.report) {
+		t.Errorf("%s: flow_report.json differs (%d vs %d bytes)", name, len(got.report), len(want.report))
+	}
+}
+
+// TestCollectiveIdenticalAcrossKernels: the DAG's release order is
+// observed per-node (every edge fires at the successor's source), so any
+// kernel — automatic, hybrid, or conservative-baseline — must produce the
+// identical collective timeline.
+func TestCollectiveIdenticalAcrossKernels(t *testing.T) {
+	kernels := []unison.KernelSpec{
+		{Kind: "unison", Threads: 2},
+		{Kind: "unison", Threads: 4},
+		{Kind: "hybrid", Threads: 2},
+		{Kind: "barrier"},
+		{Kind: "nullmsg"},
+	}
+	for _, pattern := range []string{"ring-allreduce", "paramserver"} {
+		pattern := pattern
+		t.Run(pattern, func(t *testing.T) {
+			base := collRun(t, pattern, unison.KernelSpec{Kind: "sequential"}, "", 0, "")
+			if base.fp == 0 {
+				t.Fatal("degenerate baseline fingerprint")
+			}
+			for _, k := range kernels {
+				name := k.Kind
+				if k.Threads > 0 {
+					name = name + "-" + string(rune('0'+k.Threads))
+				}
+				compareCollArtifacts(t, name, collRun(t, pattern, k, "", 0, ""), base)
+			}
+		})
+	}
+}
+
+// runCollDistributed runs the scenario on a 2-rank loopback cluster and
+// renders the coordinator's view: the collective report is recomputed as
+// a pure function of (pattern, base flow ID, merged monitor).
+func runCollDistributed(t *testing.T, pattern string, hosts int) collArtifacts {
+	t.Helper()
+	probe, err := collTestScenario(pattern).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostOf := probe.ManualFor(hosts)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type coordOut struct {
+		mon *flowmon.Monitor
+		err error
+	}
+	coordCh := make(chan coordOut, 1)
+	go func() {
+		mon, _, err := dist.RunCoordinator(ln, dist.CoordConfig{
+			Hosts: hosts, StopAt: sim.Time(probe.Scenario.Stop), Flows: probe.Sim.Mon.Flows(),
+			MaxRounds: 10_000_000, Timeout: 30 * time.Second,
+		})
+		coordCh <- coordOut{mon, err}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, hosts)
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int32) {
+			defer wg.Done()
+			b, err := collTestScenario(pattern).Build()
+			if err != nil {
+				errs <- err
+				return
+			}
+			_, err = dist.RunHost(dist.HostConfig{
+				ID: h, Addr: ln.Addr().String(), HostOf: hostOf,
+				StopAt: sim.Time(b.Scenario.Stop),
+				Timeout: 30 * time.Second, DialAttempts: 3,
+			}, b.Sim.Model(), b.Sim.Net, b.Sim.Mon)
+			if err != nil {
+				errs <- err
+			}
+		}(int32(h))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	out := <-coordCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	return renderCollArtifacts(t, probe, out.mon)
+}
+
+// TestCollectiveIdenticalDistributed extends the bit-identity to real
+// process-style distribution: both ranks own disjoint halves of the DAG's
+// endpoints, and the merged monitor must reproduce the single-process
+// collective report byte for byte.
+func TestCollectiveIdenticalDistributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run in -short mode")
+	}
+	for _, pattern := range []string{"ring-allreduce", "paramserver"} {
+		pattern := pattern
+		t.Run(pattern, func(t *testing.T) {
+			base := collRun(t, pattern, unison.KernelSpec{Kind: "sequential"}, "", 0, "")
+			compareCollArtifacts(t, "dist(2)", runCollDistributed(t, pattern, 2), base)
+		})
+	}
+}
+
+// TestCollectiveCheckpointRestore: the engine's only dynamic state is the
+// per-flow predecessor wait counters, snapshotted with everything else.
+// A run killed at any snapshot and restored must re-release the remaining
+// DAG in the identical order.
+func TestCollectiveCheckpointRestore(t *testing.T) {
+	for _, pattern := range []string{"ring-allreduce", "paramserver"} {
+		pattern := pattern
+		t.Run(pattern, func(t *testing.T) {
+			base := collRun(t, pattern, unison.KernelSpec{Kind: "sequential"}, "", 0, "")
+			kernel := unison.KernelSpec{Kind: "unison", Threads: 4}
+			dir := t.TempDir()
+			got := collRun(t, pattern, kernel, dir, 200, "")
+			compareCollArtifacts(t, "checkpointing run", got, base)
+			files := ckptFiles(t, dir)
+			if len(files) == 0 {
+				t.Fatal("run wrote no checkpoints")
+			}
+			// Restore from an early, a middle, and the last snapshot.
+			picks := []int{0, len(files) / 2, len(files) - 1}
+			for _, i := range picks {
+				f := files[i]
+				restored := collRun(t, pattern, kernel, "", 0, f)
+				compareCollArtifacts(t, "restored from "+filepath.Base(f), restored, base)
+			}
+		})
+	}
+}

@@ -19,7 +19,7 @@ import (
 // randomScenario builds a random connected topology with random link
 // parameters and random TCP flows — all derived from one seed, so every
 // kernel can reconstruct the identical instance.
-func randomScenario(seed uint64) *app.Scenario {
+func randomScenario(seed uint64) *app.Sim {
 	r := rng.New(seed, 0xfade)
 	nHosts := 4 + r.Intn(8)
 	nSwitches := 2 + r.Intn(6)

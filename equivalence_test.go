@@ -17,7 +17,7 @@ import (
 // buildFatTreeScenario constructs a fresh, deterministic k=4 fat-tree
 // scenario. Every call with the same seed yields an identical workload,
 // so each kernel can run its own instance and results can be compared.
-func buildFatTreeScenario(seed uint64, incast float64, stop sim.Time) (*app.Scenario, *topology.FatTree) {
+func buildFatTreeScenario(seed uint64, incast float64, stop sim.Time) (*app.Sim, *topology.FatTree) {
 	ft := topology.BuildFatTree(topology.FatTreeK(4, 1_000_000_000, 3*sim.Microsecond))
 	flows := traffic.Generate(traffic.Config{
 		Seed:         seed,

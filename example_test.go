@@ -10,7 +10,7 @@ import (
 // kernels, identical results.
 func Example() {
 	const seed = 2026
-	build := func() *unison.Scenario {
+	build := func() *unison.Sim {
 		ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
 		flows := unison.GenerateTraffic(unison.TrafficConfig{
 			Seed:         seed,
@@ -21,7 +21,7 @@ func Example() {
 			Start:        0,
 			End:          500 * unison.Microsecond,
 		})
-		return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		return unison.NewSim(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.SimConfig{
 			Seed:   seed,
 			NetCfg: unison.DefaultNetConfig(seed),
 			TCPCfg: unison.DefaultTCP(),
@@ -56,13 +56,13 @@ func ExampleFineGrainedPartition() {
 // virtual testbed.
 func ExampleVirtualRun() {
 	const seed = 7
-	build := func() *unison.Scenario {
+	build := func() *unison.Sim {
 		ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
 		flows := unison.GenerateTraffic(unison.TrafficConfig{
 			Seed: seed, Hosts: ft.Hosts(), Sizes: unison.GRPCCDF(), Load: 0.3,
 			BisectionBps: ft.BisectionBandwidth(), Start: 0, End: unison.Time(unison.Millisecond),
 		})
-		return unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		return unison.NewSim(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.SimConfig{
 			Seed: seed, NetCfg: unison.DefaultNetConfig(seed), TCPCfg: unison.DefaultTCP(),
 			StopAt: 2 * unison.Millisecond, Flows: flows,
 		})

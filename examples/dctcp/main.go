@@ -20,7 +20,7 @@ const (
 	seed  = 31
 )
 
-func build(dctcp bool) *unison.Scenario {
+func build(dctcp bool) *unison.Sim {
 	d := unison.BuildDumbbell(pairs, 10*unison.Gbps, 10*unison.Gbps,
 		20*unison.Microsecond, 50*unison.Microsecond)
 	tcpCfg := unison.DefaultTCP()
@@ -39,7 +39,7 @@ func build(dctcp bool) *unison.Scenario {
 	}
 	netCfg := unison.DefaultNetConfig(seed)
 	netCfg.Queue = queue
-	return unison.NewScenario(d.Graph, unison.NewECMP(d.Graph, unison.Hops, seed), unison.ScenarioConfig{
+	return unison.NewSim(d.Graph, unison.NewECMP(d.Graph, unison.Hops, seed), unison.SimConfig{
 		Seed: seed, NetCfg: netCfg, TCPCfg: tcpCfg,
 		StopAt: 100 * unison.Millisecond, Flows: flows,
 	})

@@ -21,20 +21,26 @@ import (
 
 const seed = 7
 
-func buildScenario(incast float64) (*unison.Scenario, []int32) {
+func buildScenario(incast float64) (*unison.Sim, []int32) {
 	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
+	hosts := ft.Hosts()
 	stop := 2 * unison.Millisecond
 	flows := unison.GenerateTraffic(unison.TrafficConfig{
 		Seed:         seed,
-		Hosts:        ft.Hosts(),
+		Hosts:        hosts,
 		Sizes:        unison.GRPCCDF(),
 		Load:         0.4,
 		BisectionBps: ft.BisectionBandwidth(),
 		Start:        0,
 		End:          stop / 2,
 		IncastRatio:  incast,
+		// Select the victim explicitly: HasVictim uses Victim verbatim,
+		// so any host — including node 0 — is targetable. The last host
+		// matches the historical default bit-for-bit.
+		Victim:    hosts[len(hosts)-1],
+		HasVictim: true,
 	})
-	sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+	sc := unison.NewSim(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.SimConfig{
 		Seed:   seed,
 		NetCfg: unison.DefaultNetConfig(seed),
 		TCPCfg: unison.DefaultTCP(),

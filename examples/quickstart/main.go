@@ -36,9 +36,9 @@ func main() {
 
 	// The scenario binds topology + routing + data plane + transport.
 	// Note what is absent: no partitioning, no rank maps, no LP setup.
-	build := func() *unison.Scenario {
+	build := func() *unison.Sim {
 		f := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
-		return unison.NewScenario(f.Graph, unison.NewECMP(f.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		return unison.NewSim(f.Graph, unison.NewECMP(f.Graph, unison.Hops, seed), unison.SimConfig{
 			Seed:   seed,
 			NetCfg: unison.DefaultNetConfig(seed),
 			TCPCfg: unison.DefaultTCP(),

@@ -30,7 +30,7 @@ func run(interval unison.Time) (events uint64, wallMS float64, completed, flows 
 		End:          stop * 3 / 4,
 	})
 	router := unison.NewECMP(ft.Graph, unison.Hops, seed)
-	sc := unison.NewScenario(ft.Graph, router, unison.ScenarioConfig{
+	sc := unison.NewSim(ft.Graph, router, unison.SimConfig{
 		Seed:   seed,
 		NetCfg: unison.DefaultNetConfig(seed),
 		TCPCfg: unison.DefaultTCP(),

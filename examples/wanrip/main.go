@@ -36,7 +36,7 @@ func main() {
 		MaxBytes:     2_000_000,
 	})
 
-	sc := unison.NewScenario(wan.Graph, rip, unison.ScenarioConfig{
+	sc := unison.NewSim(wan.Graph, rip, unison.SimConfig{
 		Seed:   seed,
 		NetCfg: unison.DefaultNetConfig(seed),
 		TCPCfg: unison.WANTCP(),

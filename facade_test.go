@@ -11,7 +11,7 @@ import (
 // UDP background stream, and run under several kernels.
 func TestFacadeEndToEnd(t *testing.T) {
 	const seed = 99
-	build := func() *unison.Scenario {
+	build := func() *unison.Sim {
 		ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
 		stop := unison.Time(2 * unison.Millisecond)
 		flows := unison.GenerateTraffic(unison.TrafficConfig{
@@ -23,7 +23,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 			Start:        0,
 			End:          stop / 2,
 		})
-		sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		sc := unison.NewSim(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.SimConfig{
 			Seed:           seed,
 			NetCfg:         unison.DefaultNetConfig(seed),
 			TCPCfg:         unison.DefaultTCP(),
@@ -114,9 +114,9 @@ func TestFacadeHybridKernel(t *testing.T) {
 		Seed: seed, Hosts: ft.Hosts(), Sizes: unison.GRPCCDF(), Load: 0.3,
 		BisectionBps: ft.BisectionBandwidth(), Start: 0, End: stop / 2,
 	})
-	mk := func() *unison.Scenario {
+	mk := func() *unison.Sim {
 		f := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
-		return unison.NewScenario(f.Graph, unison.NewECMP(f.Graph, unison.Hops, seed), unison.ScenarioConfig{
+		return unison.NewSim(f.Graph, unison.NewECMP(f.Graph, unison.Hops, seed), unison.SimConfig{
 			Seed: seed, NetCfg: unison.DefaultNetConfig(seed), TCPCfg: unison.DefaultTCP(),
 			StopAt: stop, Flows: flows,
 		})

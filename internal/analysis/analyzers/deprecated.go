@@ -2,12 +2,12 @@ package analyzers
 
 import (
 	"go/ast"
-	"go/types"
+	"strings"
 
 	"unison/internal/analysis"
 )
 
-// deprecatedFuncs maps package path -> function name -> replacement hint.
+// deprecatedFuncs maps package path -> object name -> replacement hint.
 // It covers the typed-partition migration: the Manual constructors exist
 // only for external callers holding a raw []int32; in-repo code must pass
 // a *core.Partition so lookahead and LP counts travel together.
@@ -18,24 +18,43 @@ var deprecatedFuncs = map[string]map[string]string{
 	},
 }
 
+// cmdDeprecatedFuncs is the same shape, enforced only inside the CLIs
+// (import path prefix unison/cmd/). The scenario migration: every CLI
+// resolves its workload through Scenario.Build, so hand-wiring the
+// traffic generator there bypasses the one shared resolver. Library and
+// example code may keep calling the generator directly.
+var cmdDeprecatedFuncs = map[string]map[string]string{
+	"unison": {
+		"GenerateTraffic": "a Scenario traffic section resolved by Scenario.Build",
+	},
+	"unison/internal/traffic": {
+		"Generate": "a Scenario traffic section resolved by Scenario.Build",
+	},
+}
+
 // Deprecated flags references to constructors kept only for external
-// compatibility. It replaces the CI shell grep that used to police the
-// same names: unlike the grep, it resolves identifiers through the type
-// checker, so mentioning a name in a string or comment is fine while
-// calling it — or capturing it as a function value — is not.
+// compatibility, plus CLI references to entry points the scenario
+// resolver replaced. It supersedes the CI shell grep that used to police
+// the same names: unlike the grep, it resolves identifiers through the
+// type checker, so mentioning a name in a string or comment is fine while
+// calling it — or capturing it as a function or var value — is not.
 var Deprecated = &analysis.Analyzer{
 	Name: "deprecated",
-	Doc: `forbid in-repo references to compatibility-only constructors
+	Doc: `forbid in-repo references to compatibility-only entry points
 
 unison.NewBarrierManual and unison.NewNullMessageManual survive for
 external callers; repository code must use the typed-partition
-constructors. Any type-resolved reference (call or function value) is a
-diagnostic; string literals and comments naming them are not. Checked in
-test files too — only the declaring package itself is exempt.`,
+constructors. Inside unison/cmd/ additionally, traffic.Generate and its
+facade alias unison.GenerateTraffic are banned: the CLIs must route
+workloads through the shared Scenario resolver so one file means one run
+everywhere. Any type-resolved reference (call, function value, or var
+alias) is a diagnostic; string literals and comments naming them are not.
+Checked in test files too — only the declaring package itself is exempt.`,
 	Run: runDeprecated,
 }
 
 func runDeprecated(pass *analysis.Pass) error {
+	inCmd := strings.HasPrefix(pass.Pkg.Path(), "unison/cmd/")
 	pass.Inspect(func(n ast.Node) bool {
 		// Idents alone suffice: a qualified reference's Sel is visited as
 		// an ident child, and handling the SelectorExpr too would report
@@ -44,12 +63,26 @@ func runDeprecated(pass *analysis.Pass) error {
 		if !ok {
 			return true
 		}
-		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
+		// Any package-level object counts — *types.Func for direct
+		// functions, *types.Var for aliases like the facade's
+		// `var GenerateTraffic = traffic.Generate`. The package-scope
+		// check keeps same-named methods and struct fields out.
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() == pass.Pkg.Path() {
 			return true
 		}
-		if hint, ok := deprecatedFuncs[fn.Pkg().Path()][fn.Name()]; ok {
-			pass.Reportf(id.Pos(), "%s.%s is a compatibility-only constructor; use %s", fn.Pkg().Name(), fn.Name(), hint)
+		if obj.Parent() != obj.Pkg().Scope() {
+			return true
+		}
+		if hint, ok := deprecatedFuncs[obj.Pkg().Path()][obj.Name()]; ok {
+			pass.Reportf(id.Pos(), "%s.%s is a compatibility-only constructor; use %s", obj.Pkg().Name(), obj.Name(), hint)
+			return true
+		}
+		if !inCmd {
+			return true
+		}
+		if hint, ok := cmdDeprecatedFuncs[obj.Pkg().Path()][obj.Name()]; ok {
+			pass.Reportf(id.Pos(), "%s.%s is deprecated inside cmd/; use %s", obj.Pkg().Name(), obj.Name(), hint)
 		}
 		return true
 	})

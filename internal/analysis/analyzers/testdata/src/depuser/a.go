@@ -12,5 +12,9 @@ var ctor = unison.NewNullMessageManual // want `compatibility-only constructor`
 
 func fine() unison.Kernel { return unison.NewBarrier() }
 
+// The traffic ban is cmd/-scoped: outside unison/cmd/, both the facade
+// alias and direct generation stay legal.
+var flows = unison.GenerateTraffic(2)
+
 // Naming one in a string or comment is not a reference: NewBarrierManual.
 const doc = "NewBarrierManual("

@@ -1,0 +1,9 @@
+// Fixture: a stand-in for the traffic generator package; Generate is
+// banned inside unison/cmd/ (CLIs must route through the scenario
+// resolver) and allowed everywhere else.
+package traffic
+
+type Flow struct{ Bytes int64 }
+
+// Generate materializes a flow list.
+func Generate(n int) []Flow { return make([]Flow, n) }

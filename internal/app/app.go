@@ -2,7 +2,7 @@
 // + data plane + transport + workload + model. It is the layer example
 // programs and the experiment harness build on.
 //
-// The central user-transparency property: a Scenario is constructed once,
+// The central user-transparency property: a Sim is constructed once,
 // with zero partitioning or parallelism configuration, and the resulting
 // sim.Model runs unmodified under any kernel.
 package app
@@ -10,9 +10,11 @@ package app
 import (
 	"fmt"
 
+	"unison/internal/coll"
 	"unison/internal/flowmon"
 	"unison/internal/netdev"
 	"unison/internal/netobs"
+	"unison/internal/packet"
 	"unison/internal/routing"
 	"unison/internal/sim"
 	"unison/internal/tcp"
@@ -20,8 +22,8 @@ import (
 	"unison/internal/trace"
 )
 
-// Scenario binds the pieces of one simulation.
-type Scenario struct {
+// Sim binds the pieces of one simulation.
+type Sim struct {
 	G      *topology.Graph
 	Router routing.Router
 	Net    *netdev.Network
@@ -30,6 +32,11 @@ type Scenario struct {
 	Setup  *sim.Setup
 	Flows  []tcp.FlowSpec
 	StopAt sim.Time
+
+	// Coll is the collective-communication engine when Config.Coll asked
+	// for one; nil otherwise. Its flows are numbered CollBase onward.
+	Coll     *coll.Engine
+	CollBase packet.FlowID
 
 	cfg       Config
 	flowSrc   tcp.FlowSource
@@ -62,10 +69,15 @@ type Config struct {
 	// StreamWindow is the pull-ahead horizon for FlowSrc (0 uses
 	// tcp.DefaultStreamWindow).
 	StreamWindow sim.Time
+
+	// Coll, when set, adds a collective-communication workload (see
+	// internal/coll) on top of Flows/FlowSrc. Its flows are numbered
+	// after the traffic flows, before ExtraFlowSlots.
+	Coll *coll.Config
 }
 
 // New assembles a scenario over g with the given router.
-func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
+func New(g *topology.Graph, router routing.Router, cfg Config) *Sim {
 	if err := g.Validate(); err != nil {
 		panic(fmt.Sprintf("app: %v", err))
 	}
@@ -85,10 +97,21 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
 		}
 		slots = maxID + 1
 	}
-	mon := flowmon.NewMonitor(slots + cfg.ExtraFlowSlots)
+	var pat *coll.Pattern
+	if cfg.Coll != nil {
+		var err error
+		if pat, err = coll.New(*cfg.Coll); err != nil {
+			panic(fmt.Sprintf("app: %v", err))
+		}
+	}
+	collFlows := 0
+	if pat != nil {
+		collFlows = pat.Flows
+	}
+	mon := flowmon.NewMonitor(slots + collFlows + cfg.ExtraFlowSlots)
 	net := netdev.New(g, router, cfg.NetCfg)
 	stack := tcp.NewStack(net, cfg.TCPCfg, mon)
-	s := &Scenario{
+	s := &Sim{
 		G:      g,
 		Router: router,
 		Net:    net,
@@ -106,12 +129,27 @@ func New(g *topology.Graph, router routing.Router, cfg Config) *Scenario {
 	} else {
 		stack.Attach(s.Setup, cfg.Flows)
 	}
+	if pat != nil {
+		s.CollBase = packet.FlowID(slots)
+		s.Coll = coll.NewEngine(pat, stack, s.CollBase)
+		s.Coll.Install(s.Setup)
+	}
 	return s
+}
+
+// CollReport computes the collective completion report from the run's
+// monitor, or nil when the Sim has no collective workload. Pass a merged
+// monitor to build the distributed coordinator's identical section.
+func (s *Sim) CollReport(mon *flowmon.Monitor) *coll.Report {
+	if s.Coll == nil {
+		return nil
+	}
+	return coll.BuildReport(s.Coll.Pattern(), s.CollBase, mon)
 }
 
 // Model finalizes the scenario (adding the global stop event) and returns
 // the kernel-agnostic model. Call at most once.
-func (s *Scenario) Model() *sim.Model {
+func (s *Sim) Model() *sim.Model {
 	if !s.finalized {
 		s.finalized = true
 		e := &stopEvt{}
@@ -135,7 +173,7 @@ func (s *Scenario) Model() *sim.Model {
 // netobs.DefaultInterval). Call before Model; both collectors ride the
 // deterministic event stream, so their merged output is identical across
 // kernels. Returns the collector and sampler for post-run export.
-func (s *Scenario) EnableNetObs(interval sim.Time, perNodeCap int) (*trace.Collector, *netobs.Sampler) {
+func (s *Sim) EnableNetObs(interval sim.Time, perNodeCap int) (*trace.Collector, *netobs.Sampler) {
 	if s.Net.Tracer == nil {
 		s.Net.Tracer = trace.NewCollector(s.G.N(), perNodeCap)
 	}
@@ -150,7 +188,7 @@ func (s *Scenario) EnableNetObs(interval sim.Time, perNodeCap int) (*trace.Colle
 // ScheduleTopoChange registers a global event at t that applies mutate to
 // the topology and refreshes routing — the reconfigurable-DCN primitive.
 // Kernels observe the topology version change and recompute lookahead.
-func (s *Scenario) ScheduleTopoChange(t sim.Time, mutate func()) {
+func (s *Sim) ScheduleTopoChange(t sim.Time, mutate func()) {
 	s.Setup.Global(t, func(ctx *sim.Ctx) {
 		mutate()
 		s.Router.Recompute()
@@ -161,7 +199,7 @@ func (s *Scenario) ScheduleTopoChange(t sim.Time, mutate func()) {
 // interval — the paper's third global-event use case ("printing the
 // simulation progress", §4.2). fn runs on the public LP with all workers
 // quiescent.
-func (s *Scenario) EnableProgress(interval sim.Time, fn func(now sim.Time)) {
+func (s *Sim) EnableProgress(interval sim.Time, fn func(now sim.Time)) {
 	if interval <= 0 {
 		panic("app: progress interval must be positive")
 	}

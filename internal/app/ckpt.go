@@ -26,7 +26,7 @@ func (stopEvt) CkptEncode(buf []byte) []byte { return buf }
 // kinds. Globals scheduled by EnableProgress and ScheduleTopoChange carry
 // no descriptors — a run using them cannot be checkpointed and the save
 // reports ckpt.NoDesc (DESIGN.md §11 lists the exclusions).
-func (s *Scenario) DecodeEvent(kind uint16, d *ckpt.Dec) (sim.Proc, sim.EvDesc, bool, error) {
+func (s *Sim) DecodeEvent(kind uint16, d *ckpt.Dec) (sim.Proc, sim.EvDesc, bool, error) {
 	if kind != kindStop {
 		return nil, nil, false, nil
 	}
@@ -40,13 +40,16 @@ func (s *Scenario) DecodeEvent(kind uint16, d *ckpt.Dec) (sim.Proc, sim.EvDesc, 
 // one build of the simulator (checkpoints are crash-recovery artifacts,
 // not archival data), so it digests the printed form of the plain-data
 // config structs.
-func (s *Scenario) ConfigHash() uint64 {
+func (s *Sim) ConfigHash() uint64 {
 	h := fnv.New64a()
 	cfg := &s.cfg
 	fmt.Fprintf(h, "nodes=%d links=%d seed=%d stop=%d extra=%d count=%d win=%d stream=%t",
 		s.G.N(), len(s.G.LinkInfos()), cfg.Seed, cfg.StopAt,
 		cfg.ExtraFlowSlots, cfg.FlowCount, cfg.StreamWindow, cfg.FlowSrc != nil)
 	fmt.Fprintf(h, "|net=%+v|tcp=%+v", cfg.NetCfg, cfg.TCPCfg)
+	if cfg.Coll != nil {
+		fmt.Fprintf(h, "|coll=%+v", *cfg.Coll)
+	}
 	for i := range cfg.Flows {
 		f := &cfg.Flows[i]
 		fmt.Fprintf(h, "|%d:%d>%d:%d@%d", f.ID, f.Src, f.Dst, f.Bytes, f.Start)
@@ -58,13 +61,16 @@ func (s *Scenario) ConfigHash() uint64 {
 // layers. Call it on the original run (to save) or on a freshly built,
 // identically configured scenario (to restore into). The layer list is
 // ordered and must stay stable across both sides: netdev, tcp, the
-// workload stream (when streaming), flowmon, then the optional
-// observability collectors.
-func (s *Scenario) CkptTarget() *ckpt.Target {
+// collective engine (when configured), the workload stream (when
+// streaming), flowmon, then the optional observability collectors.
+func (s *Sim) CkptTarget() *ckpt.Target {
 	t := &ckpt.Target{
 		ConfigHash: s.ConfigHash(),
 		Layers:     []ckpt.Checkpointer{s.Net, s.Stack},
 		Decoders:   []ckpt.EventDecoder{s.Net, s.Stack, s},
+	}
+	if s.Coll != nil {
+		t.Layers = append(t.Layers, s.Coll)
 	}
 	if c, ok := s.flowSrc.(ckpt.Checkpointer); ok {
 		t.Layers = append(t.Layers, c)
@@ -130,5 +136,5 @@ func Restore(m *sim.Model, t *ckpt.Target, path string) error {
 
 var (
 	_ sim.EvDesc        = stopEvt{}
-	_ ckpt.EventDecoder = (*Scenario)(nil)
+	_ ckpt.EventDecoder = (*Sim)(nil)
 )

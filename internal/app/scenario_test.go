@@ -1,0 +1,308 @@
+package app
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unison/internal/packet"
+	"unison/internal/sim"
+)
+
+// TestScenarioMarshalStable: Marshal is canonical — parsing a marshaled
+// scenario and marshaling again reproduces the bytes. This is what makes
+// scenario files diffable and lets tooling rewrite them without churn.
+func TestScenarioMarshalStable(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Collective = &CollectiveSpec{Pattern: "ring-allreduce", MessageBytes: 1 << 20, ChunkBytes: 64 << 10}
+	first, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseScenario(first, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := re.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("marshal not stable:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestScenarioExampleFilesRoundTrip loads every shipped scenario file,
+// requires it to build, and requires the canonical marshal of its parse
+// to be a fixed point.
+func TestScenarioExampleFilesRoundTrip(t *testing.T) {
+	root := filepath.Join("..", "..", "examples")
+	var found int
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if !strings.HasSuffix(p, ".scenario.json") && !strings.HasSuffix(p, ".scenario.toml") {
+			return nil
+		}
+		found++
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			sc, err := LoadScenario(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sc.Build(); err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			out, err := sc.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := ParseScenario(out, "json")
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			out2, err := re.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, out2) {
+				t.Fatal("canonical marshal is not a fixed point")
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found < 10 {
+		t.Fatalf("expected the shipped scenario files under examples/, found %d", found)
+	}
+}
+
+// TestScenarioUnknownKeyPath: unknown keys are rejected with the full
+// dotted path of the offending key, at any nesting depth.
+func TestScenarioUnknownKeyPath(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`{"version":1,"stop":"2ms","topologgy":{}}`, "topologgy"},
+		{`{"version":1,"stop":"2ms","topology":{"kind":"fattree","bwgbps":10}}`, "topology.bwgbps"},
+		{`{"version":1,"stop":"2ms","topology":{"kind":"fattree"},"protocol":{"tcp":{"min_rt0":"1ms"}}}`, "protocol.tcp.min_rt0"},
+		{`{"version":1,"stop":"2ms","topology":{"kind":"fattree"},"collective":{"pattern":"alltoall","message_byte":1}}`, "collective.message_byte"},
+	}
+	for _, tc := range cases {
+		_, err := ParseScenario([]byte(tc.src), "json")
+		if err == nil {
+			t.Errorf("%s: no error", tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown key "+tc.want) {
+			t.Errorf("error %q does not name path %q", err, tc.want)
+		}
+	}
+}
+
+// TestScenarioVersionGate: the version key is required and must equal
+// SchemaVersion exactly; forward compatibility is by adding optional
+// keys, never by silently accepting a different version.
+func TestScenarioVersionGate(t *testing.T) {
+	for _, src := range []string{
+		`{"stop":"2ms","topology":{"kind":"fattree"},"traffic":{"load":0.3}}`,
+		`{"version":2,"stop":"2ms","topology":{"kind":"fattree"},"traffic":{"load":0.3}}`,
+	} {
+		if _, err := ParseScenario([]byte(src), "json"); err == nil {
+			t.Errorf("accepted scenario with bad version: %s", src)
+		} else if !strings.Contains(err.Error(), "version") {
+			t.Errorf("error %q does not mention the version", err)
+		}
+	}
+}
+
+// TestScenarioTOMLEquivalent: the TOML form decodes to the same scenario
+// as the JSON form, including duration strings and nested sections.
+func TestScenarioTOMLEquivalent(t *testing.T) {
+	jsonSrc := `{
+  "version": 1, "name": "t", "seed": 7, "stop": "2ms",
+  "topology": {"kind": "fattree", "k": 8, "bw_gbps": 25, "delay": "1us"},
+  "protocol": {"tcp": {"variant": "dctcp", "delayed_ack": true}, "queue": {"kind": "dctcp", "ecn_k": 65}},
+  "traffic": {"load": 0.5, "sizes": "websearch", "end": "1ms"},
+  "kernel": {"kind": "unison", "threads": 8}
+}`
+	tomlSrc := `
+version = 1
+name = "t"
+seed = 7
+stop = "2ms"
+
+[topology]
+kind = "fattree"
+k = 8
+bw_gbps = 25
+delay = "1us"
+
+[protocol.tcp]
+variant = "dctcp"
+delayed_ack = true
+
+[protocol.queue]
+kind = "dctcp"
+ecn_k = 65
+
+[traffic]
+load = 0.5
+sizes = "websearch"
+end = "1ms"
+
+[kernel]
+kind = "unison"
+threads = 8
+`
+	fromJSON, err := ParseScenario([]byte(jsonSrc), "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTOML, err := ParseScenario([]byte(tomlSrc), "toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fromJSON.Marshal()
+	b, _ := fromTOML.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("TOML and JSON decode differently:\n--- json ---\n%s\n--- toml ---\n%s", a, b)
+	}
+}
+
+// TestScenarioTOMLUnknownKey: the unknown-key walk runs on the TOML path
+// too, with the same dotted-path error.
+func TestScenarioTOMLUnknownKey(t *testing.T) {
+	src := "version = 1\nstop = \"2ms\"\n\n[topology]\nkind = \"fattree\"\nbwgbps = 10\n\n[traffic]\nload = 0.3\n"
+	_, err := ParseScenario([]byte(src), "toml")
+	if err == nil || !strings.Contains(err.Error(), "unknown key topology.bwgbps") {
+		t.Fatalf("want topology.bwgbps unknown-key error, got %v", err)
+	}
+}
+
+// TestScenarioOverridePrecedence: explicitly passed flags override the
+// file; everything else keeps the file's values.
+func TestScenarioOverridePrecedence(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+  "version": 1, "seed": 7, "stop": "2ms",
+  "topology": {"kind": "fattree", "k": 8},
+  "traffic": {"load": 0.5},
+  "kernel": {"kind": "barrier"}
+}`), "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(99)
+	kern := "unison"
+	threads := 8
+	sc.Override(&Overrides{Seed: &seed, Kernel: &kern, Threads: &threads})
+	if sc.Seed != 99 || sc.Kernel.Kind != "unison" || sc.Kernel.Threads != 8 {
+		t.Fatalf("overrides not applied: %+v", sc)
+	}
+	if sc.Topology.K != 8 || sc.Traffic.Load != 0.5 || sim.Time(sc.Stop) != 2*sim.Millisecond {
+		t.Fatalf("untouched fields perturbed: %+v", sc)
+	}
+}
+
+// TestScenarioOverrideCreatesTraffic: workload overrides on a
+// collective-only scenario create the traffic section rather than
+// panicking on nil.
+func TestScenarioOverrideCreatesTraffic(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Traffic = nil
+	sc.Collective = &CollectiveSpec{Pattern: "alltoall", MessageBytes: 1 << 20}
+	load := 0.4
+	sc.Override(&Overrides{Load: &load})
+	if sc.Traffic == nil || sc.Traffic.Load != 0.4 {
+		t.Fatalf("load override did not create the traffic section: %+v", sc.Traffic)
+	}
+}
+
+// TestScenarioValidation covers the load-time rejections that would
+// otherwise surface as confusing assembly failures.
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"no workload", func(sc *Scenario) { sc.Traffic = nil }, "traffic"},
+		{"zero stop", func(sc *Scenario) { sc.Stop = 0 }, "stop"},
+		{"bad topology", func(sc *Scenario) { sc.Topology.Kind = "hypercube" }, "topology"},
+		{"bad kernel", func(sc *Scenario) { sc.Kernel.Kind = "warp" }, "kernel"},
+		{"bad incast", func(sc *Scenario) { sc.Traffic.Incast = 1.5 }, "incast"},
+		{"negative victim", func(sc *Scenario) { v := -1; sc.Traffic.Victim = &v }, "victim"},
+		{"stream nullmsg", func(sc *Scenario) { sc.Traffic.Stream = true; sc.Kernel.Kind = "nullmsg" }, "stream"},
+		{"bad collective", func(sc *Scenario) {
+			sc.Collective = &CollectiveSpec{Pattern: "broadcast", MessageBytes: 1}
+		}, "pattern"},
+	}
+	for _, tc := range cases {
+		sc := DefaultScenario()
+		tc.mutate(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDurationForms: durations unmarshal from strings and bare
+// nanosecond integers, and marshal back as strings.
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"250us"`)); err != nil || sim.Time(d) != 250*sim.Microsecond {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`2000000`)); err != nil || sim.Time(d) != 2*sim.Millisecond {
+		t.Fatalf("int form: %v %v", d, err)
+	}
+	out, err := Duration(2 * sim.Millisecond).MarshalJSON()
+	if err != nil || string(out) != `"2ms"` {
+		t.Fatalf("marshal: %s %v", out, err)
+	}
+}
+
+// TestScenarioVictimReachesGenerator: the victim index is resolved to a
+// host NodeID with HasVictim set, so host 0 is a legal target.
+func TestScenarioVictimReachesGenerator(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Traffic.Incast = 0.5
+	sc.Kernel.Kind = "sequential"
+	v := 0
+	sc.Traffic.Victim = &v
+	b, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RunKernel(b.Sim.Model()); err != nil {
+		t.Fatal(err)
+	}
+	// Host 0's node must terminate a meaningful share of flows; with the
+	// generator default (last host) it would receive almost none.
+	target := b.Hosts[0]
+	var at, total int
+	for i := 0; i < b.Sim.Mon.Flows(); i++ {
+		rec := b.Sim.Mon.Sender(packet.FlowID(i))
+		if rec.Bytes == 0 {
+			continue // never started before stop
+		}
+		total++
+		if rec.Dst == target {
+			at++
+		}
+	}
+	if total == 0 || at*3 < total {
+		t.Fatalf("victim host 0 received %d/%d flows; incast redirect not applied", at, total)
+	}
+}

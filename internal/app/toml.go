@@ -1,0 +1,176 @@
+package app
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseTOML reads the TOML subset scenario files use into nested
+// map[string]any, mirroring the shape json.Unmarshal produces so one
+// schema walk (checkUnknownKeys) and one decode path serve both formats.
+//
+// Supported: [a.b] table headers, key = value pairs with bare or quoted
+// keys, basic strings, integers, floats, booleans, single-line arrays,
+// and # comments. Deliberately out of scope (scenario files don't need
+// them): multi-line strings/arrays, inline tables, arrays of tables,
+// dates, and dotted keys on the left of =.
+func parseTOML(data []byte) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	for ln, line := range strings.Split(string(data), "\n") {
+		s := strings.TrimSpace(stripTOMLComment(line))
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "[") {
+			if !strings.HasSuffix(s, "]") || strings.HasPrefix(s, "[[") {
+				return nil, fmt.Errorf("toml line %d: malformed table header %q", ln+1, s)
+			}
+			path := strings.TrimSpace(s[1 : len(s)-1])
+			if path == "" {
+				return nil, fmt.Errorf("toml line %d: empty table header", ln+1)
+			}
+			t := root
+			for _, part := range strings.Split(path, ".") {
+				key, err := tomlKey(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("toml line %d: %v", ln+1, err)
+				}
+				child, ok := t[key]
+				if !ok {
+					m := map[string]any{}
+					t[key] = m
+					t = m
+					continue
+				}
+				m, ok := child.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("toml line %d: %q redefines a value as a table", ln+1, path)
+				}
+				t = m
+			}
+			cur = t
+			continue
+		}
+		k, v, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("toml line %d: expected key = value, got %q", ln+1, s)
+		}
+		key, err := tomlKey(strings.TrimSpace(k))
+		if err != nil {
+			return nil, fmt.Errorf("toml line %d: %v", ln+1, err)
+		}
+		val, err := tomlValue(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("toml line %d: %v", ln+1, err)
+		}
+		if _, dup := cur[key]; dup {
+			return nil, fmt.Errorf("toml line %d: duplicate key %q", ln+1, key)
+		}
+		cur[key] = val
+	}
+	return root, nil
+}
+
+// stripTOMLComment removes a trailing # comment, respecting quotes.
+func stripTOMLComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inStr || i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func tomlKey(s string) (string, error) {
+	if s == "" {
+		return "", fmt.Errorf("empty key")
+	}
+	if s[0] == '"' {
+		return strconv.Unquote(s)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '-' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return "", fmt.Errorf("bad bare key %q", s)
+		}
+	}
+	return s, nil
+}
+
+func tomlValue(s string) (any, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("missing value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		return strconv.Unquote(s)
+	case s[0] == '[':
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated array %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range splitTOMLArray(inner) {
+			v, err := tomlValue(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if n, err := strconv.ParseInt(strings.ReplaceAll(s, "_", ""), 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("bad value %q (strings must be quoted)", s)
+}
+
+// splitTOMLArray splits on commas outside quotes and nested brackets.
+func splitTOMLArray(s string) []string {
+	var parts []string
+	depth, inStr, last := 0, false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inStr || i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				parts = append(parts, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}

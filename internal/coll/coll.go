@@ -1,0 +1,130 @@
+// Package coll generates collective-communication workloads — the
+// traffic shape of distributed ML training — as a dependency DAG over
+// TCP flows. A collective (ring or tree all-reduce, all-to-all, or a
+// parameter-server incast) is compiled from (participants, message size,
+// chunk size) into a fixed set of chunk-sized flows plus a compact
+// predecessor/successor table; at run time a flow is released the moment
+// its last predecessor completes, observed through the transport's
+// single-owner OnFlowDone hook.
+//
+// The construction discipline that keeps this kernel-transparent: every
+// dependency edge is observed at the node that sources the successor
+// flow. An edge fires either when the predecessor's *sender* finishes
+// (successor shares the predecessor's source — per-sender serialization,
+// as in all-to-all) or when its *receiver* finishes (successor sources at
+// the predecessor's destination — data forwarding, as in ring/tree
+// steps). In both cases the completion event already executes on the
+// successor's source node, so releasing the flow is plain same-node
+// scheduling — legal at zero lookahead under every kernel, including
+// null-message and the distributed runtime, and therefore bit-identical
+// everywhere.
+//
+// State is a handful of dense int32 arrays (no materialized
+// []tcp.FlowSpec, no per-flow closures): flow specs are recomputed
+// arithmetically on release and enter the transport's arena machinery one
+// at a time, so workload memory is O(flows) small integers.
+package coll
+
+import (
+	"fmt"
+
+	"unison/internal/sim"
+)
+
+// Pattern kind names, as used in Config.Pattern and scenario files.
+const (
+	KindRingAllReduce = "ring-allreduce"
+	KindTreeAllReduce = "tree-allreduce"
+	KindAllToAll      = "alltoall"
+	KindParamServer   = "paramserver"
+)
+
+// Config describes one collective operation over a set of participant
+// hosts. It is plain data: scenario files embed it, ConfigHash digests
+// it, and New compiles it into a Pattern.
+type Config struct {
+	// Pattern is one of the Kind* names.
+	Pattern string
+	// Nodes are the participant hosts in rank order (>= 2, distinct).
+	// Rank 0 is the parameter server for KindParamServer and the tree
+	// root for KindTreeAllReduce.
+	Nodes []sim.NodeID
+	// MessageBytes is each participant's message size M.
+	MessageBytes int64
+	// ChunkBytes caps the per-flow transfer size; a transfer larger than
+	// this is split into pipelined chunks. 0 disables chunking.
+	ChunkBytes int64
+	// Start is the release time of the DAG's root flows.
+	Start sim.Time
+	// StepDelay, when positive, delays every released flow by this much
+	// after its last predecessor completed (models framework launch
+	// overhead between steps).
+	StepDelay sim.Time
+	// Iters repeats the parameter-server push/pull cycle (training
+	// iterations); 0 means 1. Ignored by the other patterns.
+	Iters int
+}
+
+// RingAllReduce returns the ring all-reduce collective: each message is
+// cut into one segment per participant, segments circulate the ring for
+// 2(P-1) steps (reduce-scatter then all-gather), and chunking pipelines
+// independent rings.
+func RingAllReduce(nodes []sim.NodeID, messageBytes, chunkBytes int64) Config {
+	return Config{Pattern: KindRingAllReduce, Nodes: nodes, MessageBytes: messageBytes, ChunkBytes: chunkBytes}
+}
+
+// TreeAllReduce returns the binary-tree all-reduce: chunks reduce up the
+// tree (each parent waits for all children) and broadcast back down.
+func TreeAllReduce(nodes []sim.NodeID, messageBytes, chunkBytes int64) Config {
+	return Config{Pattern: KindTreeAllReduce, Nodes: nodes, MessageBytes: messageBytes, ChunkBytes: chunkBytes}
+}
+
+// AllToAll returns the all-to-all personalized exchange: each participant
+// sends a distinct 1/P slice of its message to every other participant,
+// one peer per step, serialized per sender.
+func AllToAll(nodes []sim.NodeID, messageBytes, chunkBytes int64) Config {
+	return Config{Pattern: KindAllToAll, Nodes: nodes, MessageBytes: messageBytes, ChunkBytes: chunkBytes}
+}
+
+// ParamServer returns the parameter-server pattern: workers (ranks 1..)
+// push their message to the server (rank 0, the incast), which broadcasts
+// the aggregate back once every worker's matching chunk arrived; iters
+// chains training iterations back to back.
+func ParamServer(nodes []sim.NodeID, messageBytes, chunkBytes int64, iters int) Config {
+	return Config{Pattern: KindParamServer, Nodes: nodes, MessageBytes: messageBytes, ChunkBytes: chunkBytes, Iters: iters}
+}
+
+// Validate checks the config is structurally sound (known pattern, >= 2
+// distinct participants, positive message). New calls it; the scenario
+// resolver calls it early to report errors before assembly.
+func (c *Config) Validate() error {
+	switch c.Pattern {
+	case KindRingAllReduce, KindTreeAllReduce, KindAllToAll, KindParamServer:
+	default:
+		return fmt.Errorf("coll: unknown pattern %q (want %s, %s, %s or %s)",
+			c.Pattern, KindRingAllReduce, KindTreeAllReduce, KindAllToAll, KindParamServer)
+	}
+	if len(c.Nodes) < 2 {
+		return fmt.Errorf("coll: %s needs at least 2 participants, got %d", c.Pattern, len(c.Nodes))
+	}
+	seen := make(map[sim.NodeID]bool, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if seen[n] {
+			return fmt.Errorf("coll: participant %d listed twice", n)
+		}
+		seen[n] = true
+	}
+	if c.MessageBytes <= 0 {
+		return fmt.Errorf("coll: MessageBytes must be positive, got %d", c.MessageBytes)
+	}
+	if c.ChunkBytes < 0 {
+		return fmt.Errorf("coll: ChunkBytes must be >= 0, got %d", c.ChunkBytes)
+	}
+	if c.Iters < 0 {
+		return fmt.Errorf("coll: Iters must be >= 0, got %d", c.Iters)
+	}
+	if c.Iters > 1 && c.Pattern != KindParamServer {
+		return fmt.Errorf("coll: Iters applies to %s only", KindParamServer)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package coll
+
+import (
+	"testing"
+
+	"unison/internal/sim"
+)
+
+func nodes(n int) []sim.NodeID {
+	ns := make([]sim.NodeID, n)
+	for i := range ns {
+		ns[i] = sim.NodeID(10 + i) // offset: rank != node id
+	}
+	return ns
+}
+
+func mustNew(t *testing.T, cfg Config) *Pattern {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestRingShape(t *testing.T) {
+	p := mustNew(t, RingAllReduce(nodes(4), 4000, 0))
+	if p.Flows != 2*3*4 || p.Steps != 6 {
+		t.Fatalf("ring P=4: flows=%d steps=%d, want 24/6", p.Flows, p.Steps)
+	}
+	if p.Chunk != 1000 {
+		t.Fatalf("ring segment bytes = %d, want 1000", p.Chunk)
+	}
+	if p.Roots() != 4 {
+		t.Fatalf("ring roots = %d, want 4 (one per rank)", p.Roots())
+	}
+	// Chunked: 1000-byte segments at 300-byte chunks -> 4 chunks of 250.
+	p = mustNew(t, RingAllReduce(nodes(4), 4000, 300))
+	if p.Flows != 24*4 || p.Chunk != 250 {
+		t.Fatalf("chunked ring: flows=%d chunk=%d, want 96/250", p.Flows, p.Chunk)
+	}
+	// Every non-root waits for exactly one upstream flow.
+	for i, w := range p.waits0 {
+		if w != 0 && w != 1 {
+			t.Fatalf("ring flow %d has %d predecessors", i, w)
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	p := mustNew(t, TreeAllReduce(nodes(5), 9000, 0))
+	// P=5: ranks 2,3,4 are leaves; maxDepth(rank 4)=2 -> 4 steps.
+	if p.Flows != 2*4 || p.Steps != 4 {
+		t.Fatalf("tree P=5: flows=%d steps=%d, want 8/4", p.Flows, p.Steps)
+	}
+	if p.Roots() != 3 {
+		t.Fatalf("tree roots = %d, want 3 (leaf up-flows)", p.Roots())
+	}
+	// Rank 0's up slot does not exist; rank 1's up-flow waits for both
+	// children (3, 4); root's down-flows wait for both its children.
+	if p.waits0[0] != 2 { // up(1, c=0)
+		t.Fatalf("up(1) waits = %d, want 2", p.waits0[0])
+	}
+}
+
+func TestAllToAllShape(t *testing.T) {
+	p := mustNew(t, AllToAll(nodes(4), 4000, 0))
+	if p.Flows != 3*4 || p.Steps != 3 || p.Chunk != 1000 {
+		t.Fatalf("alltoall P=4: flows=%d steps=%d chunk=%d, want 12/3/1000", p.Flows, p.Steps, p.Chunk)
+	}
+	if p.Roots() != 4 {
+		t.Fatalf("alltoall roots = %d, want 4", p.Roots())
+	}
+}
+
+func TestParamServerShape(t *testing.T) {
+	p := mustNew(t, ParamServer(nodes(3), 2000, 1000, 2))
+	// W=2 workers, K=2 chunks, T=2 iterations.
+	if p.Flows != 16 || p.Steps != 4 {
+		t.Fatalf("paramserver: flows=%d steps=%d, want 16/4", p.Flows, p.Steps)
+	}
+	if p.Roots() != 4 {
+		t.Fatalf("paramserver roots = %d, want 4 (iteration-0 pushes)", p.Roots())
+	}
+	// Each pull chunk waits for the matching chunk from every worker.
+	for i := 0; i < p.Flows; i++ {
+		if p.src[i] == 0 && p.waits0[i] != 2 {
+			t.Fatalf("pull flow %d waits = %d, want 2", i, p.waits0[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Pattern: "rng-allreduce", Nodes: nodes(4), MessageBytes: 100},
+		RingAllReduce(nodes(1), 100, 0),
+		RingAllReduce([]sim.NodeID{3, 3}, 100, 0),
+		RingAllReduce(nodes(4), 0, 0),
+		{Pattern: KindRingAllReduce, Nodes: nodes(4), MessageBytes: 100, Iters: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := New(ParamServer(nodes(3), 100, 0, 3)); err != nil {
+		t.Errorf("paramserver iters rejected: %v", err)
+	}
+}
+
+// TestEdgeLocality re-checks the structural invariant on a spread of
+// sizes: every dependency edge must be observable at the successor's
+// source (Pattern.check enforces it; this guards the builders as P and
+// chunking vary, including non-power-of-two trees).
+func TestEdgeLocality(t *testing.T) {
+	for _, P := range []int{2, 3, 4, 5, 7, 8, 16} {
+		for _, C := range []int64{0, 333} {
+			for _, mk := range []func([]sim.NodeID, int64, int64) Config{RingAllReduce, TreeAllReduce, AllToAll} {
+				cfg := mk(nodes(P), 10000, C)
+				if _, err := New(cfg); err != nil {
+					t.Fatalf("P=%d C=%d %s: %v", P, C, cfg.Pattern, err)
+				}
+			}
+			if _, err := New(ParamServer(nodes(P), 10000, C, 3)); err != nil {
+				t.Fatalf("P=%d C=%d paramserver: %v", P, C, err)
+			}
+		}
+	}
+}

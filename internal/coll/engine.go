@@ -1,0 +1,144 @@
+package coll
+
+import (
+	"fmt"
+
+	"unison/internal/ckpt"
+	"unison/internal/packet"
+	"unison/internal/sim"
+	"unison/internal/tcp"
+)
+
+// released marks a flow whose start event has been scheduled; a
+// non-negative waits entry is the remaining predecessor count.
+const released int32 = -1
+
+// Engine drives one Pattern at run time. Its only mutable state is the
+// dense waits array — decremented by completion events, each of which
+// executes on the node that sources every flow it can release, so the
+// engine needs no synchronization under any kernel. Under the distributed
+// runtime every rank holds the full waits array but only the events of
+// its own nodes decrement entries there, exactly like all other
+// ghost-node state.
+type Engine struct {
+	pat   *Pattern
+	stack *tcp.Stack
+	base  packet.FlowID
+	waits []int32
+}
+
+// NewEngine binds p to a transport, numbering the collective's flows
+// base..base+p.Flows-1 (the monitor must have been sized to cover them).
+func NewEngine(p *Pattern, stack *tcp.Stack, base packet.FlowID) *Engine {
+	return &Engine{
+		pat:   p,
+		stack: stack,
+		base:  base,
+		waits: append([]int32(nil), p.waits0...),
+	}
+}
+
+// Pattern returns the compiled collective the engine runs.
+func (e *Engine) Pattern() *Pattern { return e.pat }
+
+// Base returns the first flow ID of the collective.
+func (e *Engine) Base() packet.FlowID { return e.base }
+
+// Install wires the engine into a run: it claims the transport's
+// single-owner completion hook and attaches the DAG's root flows as
+// ordinary setup events at Cfg.Start. Call once, at setup time.
+func (e *Engine) Install(setup *sim.Setup) {
+	e.stack.OnFlowDone(e.flowDone)
+	var roots []tcp.FlowSpec
+	for i := range e.waits {
+		if e.waits[i] == 0 {
+			e.waits[i] = released
+			f := e.pat.SpecAt(i, e.base)
+			f.Start = e.pat.Cfg.Start
+			roots = append(roots, f)
+		}
+	}
+	e.stack.Attach(setup, roots)
+}
+
+// flowDone is the transport completion hook: on each endpoint completion
+// it decrements the waits of the finished flow's successors that source
+// at this node, scheduling those that reach zero. Pattern.check
+// guarantees each dependency edge matches exactly one (completion, node)
+// pair, so every edge is consumed exactly once.
+func (e *Engine) flowDone(ctx *sim.Ctx, id packet.FlowID, sender bool) {
+	i := int64(id) - int64(e.base)
+	if i < 0 || i >= int64(e.pat.Flows) {
+		return // background-traffic flow
+	}
+	_ = sender // the node filter below is equivalent to the side split
+	node := ctx.Node()
+	p := e.pat
+	for _, s := range p.succList[p.succOff[i]:p.succOff[i+1]] {
+		if p.Cfg.Nodes[p.src[s]] != node {
+			continue
+		}
+		if e.waits[s] <= 0 {
+			panic(fmt.Sprintf("coll: flow %d released twice (waits=%d)", s, e.waits[s]))
+		}
+		e.waits[s]--
+		if e.waits[s] == 0 {
+			e.waits[s] = released
+			f := p.SpecAt(int(s), e.base)
+			f.Start = ctx.Now() + p.Cfg.StepDelay
+			e.stack.ScheduleFlow(ctx, f)
+		}
+	}
+}
+
+// Pending returns the number of flows still waiting on predecessors
+// (testing/progress; meaningful on a quiesced engine).
+func (e *Engine) Pending() int {
+	n := 0
+	for _, w := range e.waits {
+		if w >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Checkpoint support ---
+//
+// The engine's only run-time state is the waits array. Flows released
+// but not yet started are pending flowStartEvt events carrying their own
+// descriptors through the transport's decoder, so a snapshot needs
+// nothing beyond the counters.
+
+// CkptName implements ckpt.Checkpointer.
+func (e *Engine) CkptName() string { return "coll" }
+
+// CkptSave implements ckpt.Checkpointer.
+//
+//unison:owner checkpoint
+func (e *Engine) CkptSave(enc *ckpt.Enc) error {
+	enc.U32(uint32(len(e.waits)))
+	for _, w := range e.waits {
+		enc.I32(w)
+	}
+	return nil
+}
+
+// CkptLoad implements ckpt.Checkpointer over a freshly built engine of
+// the identical pattern.
+//
+//unison:owner checkpoint
+func (e *Engine) CkptLoad(d *ckpt.Dec) error {
+	if n := d.Count(4); n != len(e.waits) {
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("coll: checkpoint has %d flows, pattern has %d", n, len(e.waits))
+	}
+	for i := range e.waits {
+		e.waits[i] = d.I32()
+	}
+	return d.Err()
+}
+
+var _ ckpt.Checkpointer = (*Engine)(nil)

@@ -1,0 +1,284 @@
+package coll
+
+import (
+	"fmt"
+	"sort"
+
+	"unison/internal/packet"
+	"unison/internal/tcp"
+)
+
+// Pattern is a compiled collective: the flow set in struct-of-arrays form
+// plus the dependency DAG as a CSR successor table. Everything here is
+// immutable after New — the mutable run state lives in the Engine.
+type Pattern struct {
+	Cfg Config
+	// Flows is the total flow count F; flow indices are 0..F-1.
+	Flows int
+	// Steps is the number of algorithm steps (step indices label flows
+	// for the per-step report; they impose no barrier at run time).
+	Steps int
+	// Chunk is the byte size of every flow (collectives are uniform:
+	// chunking rounds the message up to a whole number of equal chunks).
+	Chunk int64
+
+	// src/dst/step are per-flow participant ranks (indices into
+	// Cfg.Nodes) and step labels.
+	src, dst, step []int32
+	// waits0[i] is flow i's predecessor count; 0 marks a DAG root.
+	waits0 []int32
+	// succOff/succList is the CSR successor table: flow i's successors
+	// are succList[succOff[i]:succOff[i+1]], sorted ascending.
+	succOff  []int32
+	succList []int32
+}
+
+// New validates cfg and compiles it into a Pattern.
+func New(cfg Config) (*Pattern, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pattern{Cfg: cfg}
+	var edges [][2]int32
+	add := func(pred, succ int32) { edges = append(edges, [2]int32{pred, succ}) }
+	switch cfg.Pattern {
+	case KindRingAllReduce:
+		p.buildRing(add)
+	case KindTreeAllReduce:
+		p.buildTree(add)
+	case KindAllToAll:
+		p.buildAllToAll(add)
+	case KindParamServer:
+		p.buildParamServer(add)
+	}
+	p.buildCSR(edges)
+	if err := p.check(edges); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// chunksOf splits bytes into equal pipelined chunks no larger than the
+// configured chunk size: (chunk count, chunk bytes).
+func (c *Config) chunksOf(bytes int64) (int, int64) {
+	if c.ChunkBytes <= 0 || bytes <= c.ChunkBytes {
+		return 1, bytes
+	}
+	k := (bytes + c.ChunkBytes - 1) / c.ChunkBytes
+	return int(k), (bytes + k - 1) / k
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func (p *Pattern) alloc(flows, steps int) {
+	p.Flows, p.Steps = flows, steps
+	p.src = make([]int32, flows)
+	p.dst = make([]int32, flows)
+	p.step = make([]int32, flows)
+}
+
+// buildRing: message cut into P segments; at step s (of 2(P-1)) rank r
+// sends segment (r-s) mod P to rank r+1. Each segment pipeline subdivides
+// into K chunks, giving K independent rings. Flow (s,r,c) waits for
+// (s-1, r-1, c): the same segment chunk arriving from upstream.
+func (p *Pattern) buildRing(add func(pred, succ int32)) {
+	P := len(p.Cfg.Nodes)
+	K, chunk := p.Cfg.chunksOf(ceilDiv(p.Cfg.MessageBytes, int64(P)))
+	p.Chunk = chunk
+	steps := 2 * (P - 1)
+	p.alloc(steps*P*K, steps)
+	idx := func(s, r, c int) int32 { return int32((s*P+r)*K + c) }
+	for s := 0; s < steps; s++ {
+		for r := 0; r < P; r++ {
+			for c := 0; c < K; c++ {
+				i := idx(s, r, c)
+				p.src[i], p.dst[i], p.step[i] = int32(r), int32((r+1)%P), int32(s)
+				if s > 0 {
+					add(idx(s-1, (r-1+P)%P, c), i)
+				}
+			}
+		}
+	}
+}
+
+// treeDepth returns rank r's depth in the binary heap layout
+// (parent(r) = (r-1)/2, root at depth 0).
+func treeDepth(r int) int {
+	d := 0
+	for r > 0 {
+		r = (r - 1) / 2
+		d++
+	}
+	return d
+}
+
+// buildTree: chunks reduce up the binary tree — each non-root rank sends
+// chunk c to its parent once the same chunk arrived from all its children
+// — then broadcast back down. Up-flows of rank r carry step
+// maxDepth-depth(r) (deepest leaves first); down-flows into r carry
+// maxDepth+depth(r)-1.
+func (p *Pattern) buildTree(add func(pred, succ int32)) {
+	P := len(p.Cfg.Nodes)
+	K, chunk := p.Cfg.chunksOf(p.Cfg.MessageBytes)
+	p.Chunk = chunk
+	maxDepth := treeDepth(P - 1)
+	p.alloc(2*(P-1)*K, 2*maxDepth)
+	up := func(r, c int) int32 { return int32((r-1)*K + c) }
+	down := func(r, c int) int32 { return int32((P-1)*K + (r-1)*K + c) }
+	for r := 1; r < P; r++ {
+		parent := (r - 1) / 2
+		d := treeDepth(r)
+		for c := 0; c < K; c++ {
+			u := up(r, c)
+			p.src[u], p.dst[u], p.step[u] = int32(r), int32(parent), int32(maxDepth-d)
+			dn := down(r, c)
+			p.src[dn], p.dst[dn], p.step[dn] = int32(parent), int32(r), int32(maxDepth+d-1)
+			if parent != 0 {
+				// Parent forwards the reduced chunk one level up.
+				add(u, up(parent, c))
+			} else {
+				// Root has chunk c fully reduced: release its broadcast.
+				for _, ch := range []int{1, 2} {
+					if ch < P {
+						add(u, down(ch, c))
+					}
+				}
+			}
+			// r forwards the broadcast to its own children.
+			for _, ch := range []int{2*r + 1, 2*r + 2} {
+				if ch < P {
+					add(dn, down(ch, c))
+				}
+			}
+		}
+	}
+}
+
+// buildAllToAll: each rank sends a distinct 1/P message slice to peer
+// (r+1+s) mod P at step s, chunked; steps are serialized per sender
+// (flow (s,r,c) waits for the sender's own (s-1,r,c)), chunks and
+// senders run in parallel.
+func (p *Pattern) buildAllToAll(add func(pred, succ int32)) {
+	P := len(p.Cfg.Nodes)
+	K, chunk := p.Cfg.chunksOf(ceilDiv(p.Cfg.MessageBytes, int64(P)))
+	p.Chunk = chunk
+	steps := P - 1
+	p.alloc(steps*P*K, steps)
+	idx := func(s, r, c int) int32 { return int32((s*P+r)*K + c) }
+	for s := 0; s < steps; s++ {
+		for r := 0; r < P; r++ {
+			for c := 0; c < K; c++ {
+				i := idx(s, r, c)
+				p.src[i], p.dst[i], p.step[i] = int32(r), int32((r+1+s)%P), int32(s)
+				if s > 0 {
+					add(idx(s-1, r, c), i)
+				}
+			}
+		}
+	}
+}
+
+// buildParamServer: per iteration, all workers push their chunked message
+// to rank 0 (the incast), and the server broadcasts chunk c back once
+// that chunk arrived from every worker; iteration t+1's push waits for
+// the worker's own pull of iteration t.
+func (p *Pattern) buildParamServer(add func(pred, succ int32)) {
+	P := len(p.Cfg.Nodes)
+	W := P - 1
+	T := p.Cfg.Iters
+	if T < 1 {
+		T = 1
+	}
+	K, chunk := p.Cfg.chunksOf(p.Cfg.MessageBytes)
+	p.Chunk = chunk
+	p.alloc(2*W*K*T, 2*T)
+	push := func(t, w, c int) int32 { return int32(t*2*W*K + (w-1)*K + c) }
+	pull := func(t, w, c int) int32 { return int32(t*2*W*K + W*K + (w-1)*K + c) }
+	for t := 0; t < T; t++ {
+		for w := 1; w < P; w++ {
+			for c := 0; c < K; c++ {
+				ps := push(t, w, c)
+				p.src[ps], p.dst[ps], p.step[ps] = int32(w), 0, int32(2*t)
+				pl := pull(t, w, c)
+				p.src[pl], p.dst[pl], p.step[pl] = 0, int32(w), int32(2*t+1)
+				if t > 0 {
+					add(pull(t-1, w, c), ps)
+				}
+				for w2 := 1; w2 < P; w2++ {
+					add(push(t, w2, c), pl)
+				}
+			}
+		}
+	}
+}
+
+// buildCSR folds the edge list into waits0 and the successor table.
+func (p *Pattern) buildCSR(edges [][2]int32) {
+	p.waits0 = make([]int32, p.Flows)
+	p.succOff = make([]int32, p.Flows+1)
+	for _, e := range edges {
+		p.waits0[e[1]]++
+		p.succOff[e[0]+1]++
+	}
+	for i := 0; i < p.Flows; i++ {
+		p.succOff[i+1] += p.succOff[i]
+	}
+	p.succList = make([]int32, len(edges))
+	fill := append([]int32(nil), p.succOff[:p.Flows]...)
+	for _, e := range edges {
+		p.succList[fill[e[0]]] = e[1]
+		fill[e[0]]++
+	}
+	for i := 0; i < p.Flows; i++ {
+		s := p.succList[p.succOff[i]:p.succOff[i+1]]
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	}
+}
+
+// check enforces the two structural invariants the Engine relies on:
+// edges only advance the step label (the DAG is acyclic by construction),
+// and every successor sources at a node where its predecessor's
+// completion is observable (same source: sender-side; predecessor's
+// destination: receiver-side). A violation is a pattern-builder bug.
+func (p *Pattern) check(edges [][2]int32) error {
+	for i := 0; i < p.Flows; i++ {
+		if p.src[i] == p.dst[i] {
+			return fmt.Errorf("coll: flow %d is a self-loop at rank %d", i, p.src[i])
+		}
+	}
+	for _, e := range edges {
+		pred, succ := e[0], e[1]
+		if p.step[succ] <= p.step[pred] {
+			return fmt.Errorf("coll: edge %d->%d does not advance the step (%d -> %d)",
+				pred, succ, p.step[pred], p.step[succ])
+		}
+		if p.src[succ] != p.src[pred] && p.src[succ] != p.dst[pred] {
+			return fmt.Errorf("coll: edge %d->%d releases at rank %d, unobservable from flow %d->%d",
+				pred, succ, p.src[succ], p.src[pred], p.dst[pred])
+		}
+	}
+	return nil
+}
+
+// SpecAt returns flow i's transport spec under the given base flow ID.
+// Start is zero: the caller fills it (Cfg.Start for roots, the release
+// time for dependent flows).
+func (p *Pattern) SpecAt(i int, base packet.FlowID) tcp.FlowSpec {
+	return tcp.FlowSpec{
+		ID:    base + packet.FlowID(i),
+		Src:   p.Cfg.Nodes[p.src[i]],
+		Dst:   p.Cfg.Nodes[p.dst[i]],
+		Bytes: p.Chunk,
+	}
+}
+
+// Roots returns the number of zero-predecessor flows (testing/reporting).
+func (p *Pattern) Roots() int {
+	n := 0
+	for _, w := range p.waits0 {
+		if w == 0 {
+			n++
+		}
+	}
+	return n
+}

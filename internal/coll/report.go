@@ -1,0 +1,129 @@
+package coll
+
+import (
+	"unison/internal/flowmon"
+	"unison/internal/packet"
+)
+
+// Report is the collective's completion summary, written into the run
+// artifact bundle as coll_report.json. It is a pure function of
+// (pattern, base flow ID, flow monitor), so the distributed coordinator
+// recomputes it from the merged monitor and gets the byte-identical
+// section the single-process kernels produce.
+type Report struct {
+	Pattern      string `json:"pattern"`
+	Participants int    `json:"participants"`
+	MessageBytes int64  `json:"message_bytes"`
+	ChunkBytes   int64  `json:"chunk_bytes"`
+	Iters        int    `json:"iters,omitempty"`
+	Flows        int    `json:"flows"`
+	Completed    int    `json:"completed"`
+	// StartNS/DoneNS bracket the whole collective (first sender start to
+	// last receiver completion); CompletionNS is their difference, or -1
+	// while any flow is unfinished.
+	StartNS      int64        `json:"start_ns"`
+	DoneNS       int64        `json:"done_ns"`
+	CompletionNS int64        `json:"completion_ns"`
+	Steps        []StepReport `json:"steps"`
+}
+
+// StepReport is the per-step straggler breakdown: which algorithm step
+// the collective spent its time in, and which flow held each step up.
+type StepReport struct {
+	Step      int   `json:"step"`
+	Flows     int   `json:"flows"`
+	Completed int   `json:"completed"`
+	StartNS   int64 `json:"start_ns"`
+	DoneNS    int64 `json:"done_ns"`
+	// StragglerSpanNS is the spread between the step's first and last
+	// flow completion — the straggler penalty of that step.
+	StragglerSpanNS int64 `json:"straggler_span_ns"`
+	MeanFCTNS       int64 `json:"mean_fct_ns"`
+	MaxFCTNS        int64 `json:"max_fct_ns"`
+	// StragglerFlow is the step's last-finishing flow (lowest ID on
+	// ties) with its endpoints.
+	StragglerFlow int64 `json:"straggler_flow"`
+	StragglerSrc  int64 `json:"straggler_src"`
+	StragglerDst  int64 `json:"straggler_dst"`
+}
+
+// BuildReport computes the Report for p's flows base..base+Flows-1 from
+// the (possibly merged) monitor.
+func BuildReport(p *Pattern, base packet.FlowID, mon *flowmon.Monitor) *Report {
+	r := &Report{
+		Pattern:      p.Cfg.Pattern,
+		Participants: len(p.Cfg.Nodes),
+		MessageBytes: p.Cfg.MessageBytes,
+		ChunkBytes:   p.Chunk,
+		Flows:        p.Flows,
+		StartNS:      -1,
+		DoneNS:       -1,
+		CompletionNS: -1,
+	}
+	if p.Cfg.Pattern == KindParamServer {
+		r.Iters = p.Cfg.Iters
+		if r.Iters < 1 {
+			r.Iters = 1
+		}
+	}
+	steps := make([]StepReport, p.Steps)
+	for s := range steps {
+		steps[s] = StepReport{Step: s, StartNS: -1, DoneNS: -1, StragglerFlow: -1, StragglerSrc: -1, StragglerDst: -1}
+	}
+	var fctSum = make([]int64, p.Steps)
+	var firstDone = make([]int64, p.Steps)
+	for s := range firstDone {
+		firstDone[s] = -1
+	}
+	for i := 0; i < p.Flows; i++ {
+		id := base + packet.FlowID(i)
+		snd := mon.Sender(id)
+		rcv := mon.Recv(id)
+		st := &steps[p.step[i]]
+		st.Flows++
+		if snd.Bytes > 0 { // Start() ran: the flow was released
+			startNS := int64(snd.StartT)
+			if st.StartNS < 0 || startNS < st.StartNS {
+				st.StartNS = startNS
+			}
+			if r.StartNS < 0 || startNS < r.StartNS {
+				r.StartNS = startNS
+			}
+		}
+		if !rcv.Done {
+			continue
+		}
+		st.Completed++
+		r.Completed++
+		doneNS := int64(rcv.DoneT)
+		fct := doneNS - int64(snd.StartT)
+		fctSum[p.step[i]] += fct
+		if fct > st.MaxFCTNS {
+			st.MaxFCTNS = fct
+		}
+		if doneNS > st.DoneNS {
+			st.DoneNS = doneNS
+			st.StragglerFlow = int64(id)
+			st.StragglerSrc = int64(snd.Src)
+			st.StragglerDst = int64(snd.Dst)
+		}
+		if firstDone[p.step[i]] < 0 || doneNS < firstDone[p.step[i]] {
+			firstDone[p.step[i]] = doneNS
+		}
+		if doneNS > r.DoneNS {
+			r.DoneNS = doneNS
+		}
+	}
+	for s := range steps {
+		st := &steps[s]
+		if st.Completed > 0 {
+			st.MeanFCTNS = fctSum[s] / int64(st.Completed)
+			st.StragglerSpanNS = st.DoneNS - firstDone[s]
+		}
+	}
+	r.Steps = steps
+	if r.Completed == p.Flows && r.StartNS >= 0 {
+		r.CompletionNS = r.DoneNS - r.StartNS
+	}
+	return r
+}

@@ -94,7 +94,7 @@ func mimicFatTree(seed uint64, clusters int, stop sim.Time) *scenarioSpec {
 }
 
 // monitorRow extracts Table 2's three metrics from a finished scenario.
-func monitorRow(sc *app.Scenario) (fct, rtt, thr float64) {
+func monitorRow(sc *app.Sim) (fct, rtt, thr float64) {
 	return sc.Mon.MeanFCTms(), sc.Mon.MeanRTTms(), sc.Mon.MeanGoodputMbps()
 }
 

@@ -18,9 +18,13 @@ import (
 // scenarioSpec describes a reproducible scenario; build() constructs a
 // fresh instance so every kernel runs an identical, independent copy.
 type scenarioSpec struct {
-	seed    uint64
-	stop    sim.Time
-	incast  float64
+	seed   uint64
+	stop   sim.Time
+	incast float64
+	// victim, when set, is the incast victim's host index (HasVictim
+	// end-to-end: index 0 is a valid target). Nil keeps the generator
+	// default (the last host).
+	victim  *int
 	load    float64
 	sizes   *stats.CDF
 	pattern traffic.Pattern
@@ -35,7 +39,7 @@ type scenarioSpec struct {
 	ripPeriod sim.Time
 	// mutate, when set, is called with the built scenario to install
 	// topology-change global events (the reconfigurable-DCN scenario).
-	mutate func(sc *app.Scenario)
+	mutate func(sc *app.Sim)
 
 	topo func() (*topology.Graph, []sim.NodeID)
 }
@@ -56,12 +60,12 @@ func (s *scenarioSpec) defaults() {
 }
 
 // build constructs a fresh scenario instance.
-func (s *scenarioSpec) build() *app.Scenario {
+func (s *scenarioSpec) build() *app.Sim {
 	s.defaults()
 	g, hosts := s.topo()
 	flows := s.flows
 	if flows == nil {
-		flows = traffic.Generate(traffic.Config{
+		tc := traffic.Config{
 			Seed:         s.seed,
 			Hosts:        hosts,
 			Sizes:        s.sizes,
@@ -71,7 +75,14 @@ func (s *scenarioSpec) build() *app.Scenario {
 			End:          s.stop * 3 / 4,
 			Pattern:      s.pattern,
 			IncastRatio:  s.incast,
-		})
+		}
+		if s.victim != nil {
+			if *s.victim < 0 || *s.victim >= len(hosts) {
+				panic(fmt.Sprintf("experiments: victim index %d out of range [0,%d)", *s.victim, len(hosts)))
+			}
+			tc.Victim, tc.HasVictim = hosts[*s.victim], true
+		}
+		flows = traffic.Generate(tc)
 	}
 	var router routing.Router
 	var rip *routing.RIP
@@ -112,7 +123,7 @@ func fatTreeSpec(seed uint64, k int, bw int64, delay, stop sim.Time, incast floa
 
 // vrun builds a fresh scenario from spec and executes it on the virtual
 // testbed.
-func vrun(spec *scenarioSpec, cfg vtime.Config) (*sim.RunStats, *app.Scenario, error) {
+func vrun(spec *scenarioSpec, cfg vtime.Config) (*sim.RunStats, *app.Sim, error) {
 	sc := spec.build()
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 50_000_000

@@ -189,7 +189,7 @@ func fig10d(cfg Config) (*Table, error) {
 		iv := iv
 		mkSpec := func() *scenarioSpec {
 			spec := fatTreeSpec(cfg.Seed, 4, 10_000_000_000, 3*sim.Microsecond, stop, 0)
-			spec.mutate = func(sc *app.Scenario) {
+			spec.mutate = func(sc *app.Sim) {
 				ft := topology.BuildFatTree(topology.FatTreeK(4, 10_000_000_000, 3*sim.Microsecond))
 				// Identify the agg-core links by index in the freshly built
 				// twin (builders are deterministic, so link IDs coincide).

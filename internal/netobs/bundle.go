@@ -74,6 +74,11 @@ type Bundle struct {
 	// Trace yields trace.pcapng (records in merged order).
 	Trace []trace.Record
 
+	// Coll yields coll_report.json — the collective-communication
+	// completion summary (a *coll.Report; typed as any because netobs
+	// sits below the workload layer in the import graph).
+	Coll any
+
 	// KernelMeta + KernelRecs add the kernel worker lanes to the Perfetto
 	// trace (from obs.Registry).
 	KernelMeta obs.RunMeta
@@ -137,6 +142,13 @@ func (b *Bundle) Write(dir string) ([]string, error) {
 			return fail("flow_report.json", err)
 		}
 		files = append(files, "flow_report.json")
+	}
+
+	if b.Coll != nil {
+		if err := writeJSON(filepath.Join(dir, "coll_report.json"), b.Coll); err != nil {
+			return fail("coll_report.json", err)
+		}
+		files = append(files, "coll_report.json")
 	}
 
 	if len(b.Rows) > 0 {

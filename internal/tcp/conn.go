@@ -405,6 +405,7 @@ func (c *conn) complete(ctx *sim.Ctx) {
 	rec.Done = true
 	rec.DoneT = ctx.Now()
 	rec.RTT.Merge(&c.rtt.samples)
+	c.s.notifyFlowDone(ctx, c.f.ID, true)
 }
 
 // --- Retransmission timer ---
@@ -471,6 +472,7 @@ func (c *conn) receiveData(ctx *sim.Ctx, p *packet.Packet) {
 		c.rcvDone = true
 		rec.Done = true
 		rec.DoneT = ctx.Now()
+		c.s.notifyFlowDone(ctx, c.f.ID, false)
 	}
 	if p.CE {
 		c.ceSeen = true

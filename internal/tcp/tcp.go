@@ -117,7 +117,25 @@ type Stack struct {
 	// pump is the streaming-workload cursor when AttachStream wired one;
 	// its (pending, ok) pair is part of the checkpointable state.
 	pump *streamPump
+
+	// flowDone is the completion hook registered by OnFlowDone; nil when
+	// nothing listens. Written once at setup time, read-only during the
+	// run, invoked from the completing endpoint's own events.
+	flowDone FlowDoneFunc
 }
+
+// FlowDoneFunc observes flow-endpoint completion. It is called once per
+// endpoint role: with sender=true from the event (at the flow's Src) that
+// acknowledges the sender's FIN, and with sender=false from the event (at
+// the flow's Dst) that delivers the last byte plus FIN. The monitor
+// record of the finished side is final when the hook runs.
+//
+// The hook executes inside a node event, so it may only touch state owned
+// by ctx.Node() and start new flows originating there (StartFlow or
+// ScheduleFlow with Src == ctx.Node()) — the same causality contract
+// every other event obeys, which is what keeps hook-driven workloads
+// bit-identical under the conservative and distributed kernels.
+type FlowDoneFunc func(ctx *sim.Ctx, id packet.FlowID, sender bool)
 
 // NewStack wires the transport into net's hosts.
 func NewStack(net *netdev.Network, cfg Config, mon *flowmon.Monitor) *Stack {
@@ -209,6 +227,48 @@ func (p *streamPump) run(ctx *sim.Ctx) {
 	if p.ok {
 		ctx.ScheduleGlobalDesc(p.pending.Start, p.fn, p)
 	}
+}
+
+// OnFlowDone registers the stack's single completion hook (the collective
+// DAG engine's release driver, internal/coll). One owner only: a second
+// registration panics, so two subsystems cannot silently race for the
+// same callback slot. Call at setup time, before the run starts.
+//
+//unison:owner producer
+func (s *Stack) OnFlowDone(fn FlowDoneFunc) {
+	if s.flowDone != nil {
+		panic("tcp: OnFlowDone hook already registered (single owner)")
+	}
+	s.flowDone = fn
+}
+
+// notifyFlowDone fires the completion hook from the finishing endpoint's
+// own event. Runs after the monitor record was finalized, and before the
+// connection record is recycled — a hook that starts a new flow on this
+// node allocates fresh arena slots (chunks never move), so the caller's
+// connection pointer stays valid.
+//
+//unison:owner consumer
+func (s *Stack) notifyFlowDone(ctx *sim.Ctx, id packet.FlowID, sender bool) {
+	if s.flowDone != nil {
+		s.flowDone(ctx, id, sender)
+	}
+}
+
+// ScheduleFlow schedules f's start event at f.Start (>= the current event
+// time) on f.Src, carrying the same checkpoint descriptor Attach-scheduled
+// starts carry, so a released flow that is still pending at a snapshot
+// boundary survives restore exactly like a materialized one. It must be
+// called from an event executing at f.Src: scheduling onto one's own node
+// is the one runtime scheduling pattern every kernel (including
+// null-message and distributed) permits at zero lookahead.
+func (s *Stack) ScheduleFlow(ctx *sim.Ctx, f FlowSpec) {
+	if ctx.Node() != f.Src {
+		panic(fmt.Sprintf("tcp: ScheduleFlow for src %d from node %d", f.Src, ctx.Node()))
+	}
+	e := &flowStartEvt{s: s, f: f}
+	e.fn = e.run
+	ctx.ScheduleAtDesc(f.Start, f.Src, e.fn, e)
 }
 
 // StartFlow opens the connection for f and begins the handshake. It must

@@ -5,13 +5,21 @@
 // null-message PDES, and the Unison kernel with automatic fine-grained
 // partition and load-adaptive scheduling.
 //
-// The user-transparency property is the heart of the API: a Scenario is
-// built once, with zero parallelism configuration, and the resulting
-// Model runs unmodified under any kernel:
+// The user-transparency property is the heart of the API: a simulation
+// is described once, with zero parallelism configuration, and the
+// resulting Model runs unmodified under any kernel. The declarative form
+// is a Scenario — one JSON/TOML file naming topology, workload, protocol
+// and kernel — which every CLI accepts via -scenario:
+//
+//	sc, err := unison.LoadScenario("ring.scenario.json")
+//	b, err := sc.Build()
+//	stats, err := b.RunKernel(b.Sim.Model())
+//
+// The programmatic form assembles the same pieces directly:
 //
 //	ft := unison.BuildFatTree(unison.FatTreeK(4, 10*unison.Gbps, 3*unison.Microsecond))
 //	flows := unison.GenerateTraffic(unison.TrafficConfig{ ... })
-//	sc := unison.NewScenario(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.ScenarioConfig{
+//	sc := unison.NewSim(ft.Graph, unison.NewECMP(ft.Graph, unison.Hops, seed), unison.SimConfig{
 //	    Flows: flows, StopAt: 2 * unison.Millisecond,
 //	    NetCfg: unison.DefaultNetConfig(seed), TCPCfg: unison.DefaultTCP(),
 //	})
@@ -24,6 +32,7 @@ package unison
 import (
 	"unison/internal/app"
 	"unison/internal/ckpt"
+	"unison/internal/coll"
 	"unison/internal/core"
 	"unison/internal/des"
 	"unison/internal/flowmon"
@@ -210,17 +219,18 @@ func NewNix(g *Graph, metric routing.Metric) *routing.Nix { return routing.NewNi
 // NewRIP builds RIP state for g with the given advertisement period.
 func NewRIP(g *Graph, period Time) *RIP { return routing.NewRIP(g, period) }
 
-// --- Scenarios, transport, traffic ---
+// --- Simulations, transport, traffic ---
 
 type (
-	// Scenario binds topology + routing + data plane + transport + flows.
-	Scenario = app.Scenario
-	// ScenarioConfig selects scenario-level options.
-	ScenarioConfig = app.Config
+	// Sim binds topology + routing + data plane + transport + flows —
+	// one assembled simulation.
+	Sim = app.Sim
+	// SimConfig selects simulation-level options.
+	SimConfig = app.Config
 	// NetConfig tunes the data plane (queues, per-byte work model).
 	NetConfig = netdev.Config
 	// Device is one link endpoint (queue + transmitter); reachable via
-	// Scenario.Net.Devices for post-run statistics.
+	// Sim.Net.Devices for post-run statistics.
 	Device = netdev.Device
 	// QueueConfig parameterizes a device queue.
 	QueueConfig = netdev.QueueConfig
@@ -237,7 +247,7 @@ type (
 	// to it for the same config.
 	TrafficStream = traffic.Stream
 	// FlowSource is anything that yields flow specs in nondecreasing
-	// start order; ScenarioConfig.FlowSrc accepts one.
+	// start order; SimConfig.FlowSrc accepts one.
 	FlowSource = tcp.FlowSource
 	// OnOffSpec describes a UDP on/off (or CBR) source application.
 	OnOffSpec = tcp.OnOffSpec
@@ -247,10 +257,85 @@ type (
 	CDF = stats.CDF
 )
 
-// NewScenario assembles a scenario (see internal/app).
-func NewScenario(g *Graph, router Router, cfg ScenarioConfig) *Scenario {
+// NewSim assembles a simulation (see internal/app).
+func NewSim(g *Graph, router Router, cfg SimConfig) *Sim {
 	return app.New(g, router, cfg)
 }
+
+// --- Declarative scenarios ---
+//
+// A Scenario is the file-loadable description of one simulation —
+// topology + traffic/collective + protocol + kernel + artifact knobs.
+// Every CLI consumes one through its -scenario flag; per-CLI flags are
+// overrides layered on top. See internal/app/scenario.go for the schema
+// and its versioning/compat rules (DESIGN.md §12).
+
+type (
+	// Scenario is the versioned declarative simulation description.
+	Scenario = app.Scenario
+	// ScenarioOverrides layers flag values over a loaded scenario.
+	ScenarioOverrides = app.Overrides
+	// BuiltScenario is a resolved scenario: the assembled Sim plus
+	// topology context (hosts, manual-partition recipe).
+	BuiltScenario = app.Built
+	// ScenarioDuration is a sim.Time that marshals as "250us"-style
+	// duration strings in scenario files.
+	ScenarioDuration = app.Duration
+
+	// The scenario's section structs, for programmatic construction.
+	TopologySpec   = app.TopologySpec
+	RoutingSpec    = app.RoutingSpec
+	ProtocolSpec   = app.ProtocolSpec
+	TrafficSpec    = app.TrafficSpec
+	CollectiveSpec = app.CollectiveSpec
+	KernelSpec     = app.KernelSpec
+	ArtifactSpec   = app.ArtifactSpec
+)
+
+// Scenario loading and defaults.
+var (
+	// LoadScenario reads a scenario file (JSON, or TOML by extension);
+	// unknown keys fail with their full path.
+	LoadScenario = app.LoadScenario
+	// ParseScenario parses scenario bytes in "json" or "toml" format.
+	ParseScenario = app.ParseScenario
+	// DefaultScenario is the baseline the CLIs start from without a
+	// -scenario file (k=4 fat-tree, 30% gRPC load, Unison kernel).
+	DefaultScenario = app.DefaultScenario
+)
+
+// ScenarioSchemaVersion is the scenario schema version this build
+// reads and writes.
+const ScenarioSchemaVersion = app.SchemaVersion
+
+// --- Collective workloads (internal/coll) ---
+
+type (
+	// CollConfig describes one collective operation over participant
+	// hosts; SimConfig.Coll accepts one.
+	CollConfig = coll.Config
+	// CollPattern is a compiled collective: the chunk-sized flows plus
+	// their dependency DAG in CSR form.
+	CollPattern = coll.Pattern
+	// CollEngine releases the pattern's flows as their predecessors
+	// complete; Sim wires one automatically when SimConfig.Coll is set.
+	CollEngine = coll.Engine
+	// CollReport is the collective completion summary written to
+	// coll_report.json (completion time + per-step straggler breakdown).
+	CollReport = coll.Report
+)
+
+// Collective pattern constructors.
+var (
+	RingAllReduce = coll.RingAllReduce
+	TreeAllReduce = coll.TreeAllReduce
+	AllToAll      = coll.AllToAll
+	ParamServer   = coll.ParamServer
+	// BuildCollReport recomputes a CollReport from (pattern, base flow
+	// ID, monitor) — a pure function, so the distributed coordinator
+	// derives the identical section from the merged monitor.
+	BuildCollReport = coll.BuildReport
+)
 
 // DefaultNetConfig returns DropTail queues with the checksum work model.
 func DefaultNetConfig(seed uint64) NetConfig { return netdev.DefaultConfig(seed) }
@@ -273,12 +358,16 @@ var (
 
 // Workload helpers.
 var (
+	// GenerateTraffic materializes the statistical workload for a config.
+	// Library code may call it freely; the CLIs must route workloads
+	// through the Scenario path instead (enforced by unisoncheck's
+	// deprecated analyzer), so every tool honors one -scenario contract.
 	GenerateTraffic = traffic.Generate
 	IncastBurst     = traffic.IncastBurst
 	WebSearchCDF    = traffic.WebSearchCDF
 	GRPCCDF         = traffic.GRPCCDF
 	// NewTrafficStream returns the streaming generator for cfg; pair it
-	// with ScenarioConfig.FlowSrc and FlowCount: CountTraffic(cfg).
+	// with SimConfig.FlowSrc and FlowCount: CountTraffic(cfg).
 	NewTrafficStream = traffic.NewStream
 	// CountTraffic returns how many flows cfg yields (drains a fresh
 	// stream; the materialized slice is never built).
@@ -286,17 +375,17 @@ var (
 )
 
 // DefaultStreamWindow is the default pull-ahead horizon for streaming
-// workloads (ScenarioConfig.StreamWindow == 0).
+// workloads (SimConfig.StreamWindow == 0).
 const DefaultStreamWindow = tcp.DefaultStreamWindow
 
 // --- Checkpoint/restore ---
 //
 // Long runs can write crash-consistent snapshots at deterministic round
 // barriers and resume from them with bit-identical results (DESIGN.md
-// §11). Scenario.CkptTarget assembles the target; the virtual-time
+// §11). Sim.CkptTarget assembles the target; the virtual-time
 // testbeds reject checkpointed models.
 
-// CkptTarget binds a scenario's stateful layers and event decoders for
+// CkptTarget binds a simulation's stateful layers and event decoders for
 // whole-simulation checkpoint/restore.
 type CkptTarget = ckpt.Target
 
@@ -368,7 +457,7 @@ var WritePerfetto = obs.WritePerfetto
 
 // --- Simulated-network observability (internal/netobs) ---
 //
-// Scenario.EnableNetObs attaches the packet tracer and the queue/link
+// Sim.EnableNetObs attaches the packet tracer and the queue/link
 // sampler before the run; both ride the deterministic event stream, so
 // the exports below are byte-identical across every kernel — including
 // multi-rank distributed runs — for the same seeded scenario.
@@ -396,7 +485,7 @@ type (
 // Network observability exporters.
 var (
 	// NewNetSampler returns a sampler; attach it with
-	// Scenario.Net.AttachSampler (or use Scenario.EnableNetObs).
+	// Sim.Net.AttachSampler (or use Sim.EnableNetObs).
 	NewNetSampler = netobs.NewSampler
 	// WriteSeriesCSV renders sampler rows as series.csv.
 	WriteSeriesCSV = netobs.WriteCSV
