@@ -25,6 +25,7 @@ import (
 	"unison/internal/des"
 	"unison/internal/netobs"
 	"unison/internal/obs"
+	"unison/internal/obs/live"
 	"unison/internal/obs/obshttp"
 	"unison/internal/pdes"
 	"unison/internal/sim"
@@ -108,6 +109,12 @@ func scenario(seed uint64) *unison.Sim {
 	return b.Sim
 }
 
+// benchProbe is attached to every measured kernel run. It stays nil for
+// plain benchmarking; -live-bus sets it to an enabled-but-unattached
+// telemetry bus (the overhead the ≤1% gate pins down) and -live to a full
+// streaming session.
+var benchProbe obs.Probe
+
 func kernels() map[string]func() sim.Kernel {
 	b, err := benchScenario.Build()
 	if err != nil {
@@ -115,16 +122,16 @@ func kernels() map[string]func() sim.Kernel {
 		os.Exit(1)
 	}
 	ks := map[string]func() sim.Kernel{
-		"Sequential": func() sim.Kernel { return des.New() },
-		"Unison1":    func() sim.Kernel { return core.New(core.Config{Threads: 1}) },
-		"Unison4":    func() sim.Kernel { return core.New(core.Config{Threads: 4}) },
+		"Sequential": func() sim.Kernel { return &des.Kernel{Observe: benchProbe} },
+		"Unison1":    func() sim.Kernel { return core.New(core.Config{Threads: 1, Observe: benchProbe}) },
+		"Unison4":    func() sim.Kernel { return core.New(core.Config{Threads: 4, Observe: benchProbe}) },
 	}
 	if b.ManualFor != nil {
 		manual4, manual2 := b.ManualFor(4), b.ManualFor(2)
-		ks["Barrier"] = func() sim.Kernel { return &pdes.BarrierKernel{LPOf: manual4} }
-		ks["NullMessage"] = func() sim.Kernel { return &pdes.NullMessageKernel{LPOf: manual4} }
+		ks["Barrier"] = func() sim.Kernel { return &pdes.BarrierKernel{LPOf: manual4, Observe: benchProbe} }
+		ks["NullMessage"] = func() sim.Kernel { return &pdes.NullMessageKernel{LPOf: manual4, Observe: benchProbe} }
 		ks["Hybrid"] = func() sim.Kernel {
-			return core.NewHybrid(core.HybridConfig{HostOf: manual2, ThreadsPerHost: 2})
+			return core.NewHybrid(core.HybridConfig{HostOf: manual2, ThreadsPerHost: 2, Observe: benchProbe})
 		}
 	}
 	return ks
@@ -187,6 +194,8 @@ func main() {
 		gatePath  = flag.String("gate", "", "baseline report (e.g. BENCH_hotpath.json); exit nonzero if Unison4 events/s or allocs/op regresses more than -gate-pct against it")
 		gatePct   = flag.Float64("gate-pct", 10, "allowed Unison4 events/s (and allocs/op growth) regression percentage for -gate")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		liveBus   = flag.Bool("live-bus", false, "attach an enabled-but-unattached telemetry bus to every measured run (overhead-gate mode)")
+		liveAddr  = flag.String("live", "", "serve live telemetry (JSON + SSE for unimon) on this address during the suite")
 
 		scale        = flag.Bool("scale", false, "run the fat-tree scale benchmark (memory/node, memory/flow, k x cores sweep) instead of the hot-path suite")
 		scaleOut     = flag.String("scale-o", "BENCH_scale.json", "scale report output path")
@@ -235,6 +244,25 @@ func main() {
 		fmt.Printf("debug http on %s (/debug/vars, /debug/pprof)\n", addr)
 	}
 
+	var lsess *live.Session
+	switch {
+	case *liveAddr != "":
+		var err error
+		lsess, err = live.StartSession("unibench", benchScenario.Stop.T(), *liveAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unibench: live: %v\n", err)
+			os.Exit(1)
+		}
+		benchProbe = lsess.Probe()
+		fmt.Printf("live http://%s/live\n", lsess.Server.Addr())
+	case *liveBus:
+		// The gate's overhead mode: the bus is in front of every measured
+		// run, but nothing subscribes — the cost under test is one atomic
+		// load per probe call.
+		benchProbe = obs.NewBus(nil)
+		fmt.Println("live-bus: telemetry bus attached to measured runs (no watcher)")
+	}
+
 	rep := report{
 		Note: "Kernel hot-path micro-benchmark: fixed fat-tree k=4 workload of bench_test.go, " +
 			"fresh numbers under 'current', pre-overhaul baseline under 'seed'.",
@@ -262,6 +290,7 @@ func main() {
 	mks := kernels()
 	rep.RunStats = make(map[string]*sim.RunStats, len(kernelOrder))
 	rep.Fidelity = make(map[string]fidelity, len(kernelOrder))
+	var lastSt *sim.RunStats
 	for _, name := range kernelOrder {
 		if mks[name] == nil {
 			continue // no manual-partition recipe for this scenario's topology
@@ -275,9 +304,17 @@ func main() {
 		rep.Current[name] = s
 		rep.RunStats[name] = st
 		rep.Fidelity[name] = fid
+		lastSt = st
 		fmt.Printf("%-12s %9d events/s  %9d ns/op  %8d B/op  %6d allocs/op  p50 %.3fms p99 %.3fms drops %d\n",
 			name, s.EventsPerSec, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp,
 			fid.P50FCTms, fid.P99FCTms, fid.Drops)
+	}
+	if lsess != nil {
+		// The suite's final kernel provides the "final" snapshot (each
+		// BeginRun resets the live view, so the last one is current); the
+		// imbalance pass stamps it before the report serializes.
+		lsess.Finish(lastSt)
+		defer lsess.Close()
 	}
 
 	if rep.Seed != nil {

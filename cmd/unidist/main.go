@@ -25,6 +25,7 @@ import (
 	"unison/internal/dist"
 	"unison/internal/netobs"
 	"unison/internal/obs"
+	"unison/internal/obs/live"
 	"unison/internal/obs/obshttp"
 	"unison/internal/sim"
 	utrace "unison/internal/trace"
@@ -32,21 +33,23 @@ import (
 
 func main() {
 	var (
-		role   = flag.String("role", "", "coord | host")
-		id     = flag.Int("id", 0, "host id (host role)")
-		hosts  = flag.Int("hosts", 2, "number of simulation hosts")
-		listen = flag.String("listen", ":9123", "coordinator listen address")
-		addr   = flag.String("addr", "127.0.0.1:9123", "coordinator address (host role)")
-		scFile = flag.String("scenario", "", "declarative scenario file (JSON, or TOML by extension); must be identical across all processes; other flags override it")
-		k      = flag.Int("k", 4, "fat-tree arity")
-		stopD  = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
-		load   = flag.Float64("load", 0.4, "offered load")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		tmo    = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
-		dials  = flag.Int("dial-attempts", 8, "host dial retries for the coordinator startup race")
-		trace  = flag.String("trace", "", "write a Perfetto trace of this endpoint's rounds to this file")
-		artif  = flag.String("artifacts", "", "run-artifact bundle directory: pass to every process; hosts enable sampling/tracing, the coordinator writes the bundle")
-		debugA = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		role    = flag.String("role", "", "coord | host")
+		id      = flag.Int("id", 0, "host id (host role)")
+		hosts   = flag.Int("hosts", 2, "number of simulation hosts")
+		listen  = flag.String("listen", ":9123", "coordinator listen address")
+		addr    = flag.String("addr", "127.0.0.1:9123", "coordinator address (host role)")
+		scFile  = flag.String("scenario", "", "declarative scenario file (JSON, or TOML by extension); must be identical across all processes; other flags override it")
+		k       = flag.Int("k", 4, "fat-tree arity")
+		stopD   = flag.Duration("stop", 2_000_000, "simulated duration (ns when unitless)")
+		load    = flag.Float64("load", 0.4, "offered load")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		tmo     = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
+		dials   = flag.Int("dial-attempts", 8, "host dial retries for the coordinator startup race")
+		trace   = flag.String("trace", "", "write a Perfetto trace of this endpoint's rounds to this file")
+		artif   = flag.String("artifacts", "", "run-artifact bundle directory: pass to every process; hosts enable sampling/tracing, the coordinator writes the bundle")
+		debugA  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		liveA   = flag.String("live", "", "coord: serve the merged live telemetry view (JSON + SSE for unimon) on this address; host: any non-empty value piggybacks the telemetry sideband on the round protocol")
+		lingerD = flag.Duration("live-linger", live.DefaultLinger, "coord: after the run, wait up to this long for an attached watcher to read the final snapshot")
 
 		ckptDir = flag.String("checkpoint", "", "host role: write per-host snapshots ckpt-r<round>-h<id>.uckpt into this directory")
 		ckptN   = flag.Uint64("checkpoint-every", 100, "host role: snapshot cadence in window rounds")
@@ -95,10 +98,10 @@ func main() {
 
 	switch *role {
 	case "coord":
-		runCoord(*listen, *hosts, sc, *tmo, reg, *artif)
+		runCoord(*listen, *hosts, sc, *tmo, reg, *artif, *liveA, *lingerD)
 	case "host":
 		runHost(int32(*id), *addr, *hosts, sc, *tmo, *dials, reg, *artif != "",
-			*ckptDir, *ckptN, *restore)
+			*ckptDir, *ckptN, *restore, *liveA != "")
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -140,7 +143,7 @@ func build(sc *unison.Scenario) *unison.BuiltScenario {
 	return b
 }
 
-func runCoord(listen string, hosts int, sc *unison.Scenario, tmo time.Duration, reg *obs.Registry, artifacts string) {
+func runCoord(listen string, hosts int, sc *unison.Scenario, tmo time.Duration, reg *obs.Registry, artifacts, liveAddr string, linger time.Duration) {
 	b := build(sc)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -148,18 +151,54 @@ func runCoord(listen string, hosts int, sc *unison.Scenario, tmo time.Duration, 
 	}
 	fmt.Printf("coordinator listening on %s for %d hosts (%d flows, stop %v)\n",
 		ln.Addr(), hosts, b.Sim.Mon.Flows(), sim.Time(sc.Stop))
+	stats := &sim.RunStats{}
 	cfg := dist.CoordConfig{
 		Hosts: hosts, StopAt: sim.Time(sc.Stop), Flows: b.Sim.Mon.Flows(),
-		Timeout: tmo, Observe: reg,
+		Timeout: tmo, Observe: reg, Stats: stats,
 	}
 	if artifacts != "" {
 		cfg.Net = &dist.NetData{}
+	}
+	// The live view merges what the hosts piggyback on their min messages:
+	// per-rank round records (fed to the imbalance tracker and the state),
+	// netobs row deltas (the queue heatmap), and rank liveness counters.
+	tracker := obs.NewImbalanceTracker()
+	var lstate *live.State
+	var lsrv *live.Server
+	if liveAddr != "" {
+		meta := obs.RunMeta{Kernel: fmt.Sprintf("dist(%d)", hosts), Workers: hosts, LPs: b.G.N()}
+		tracker.BeginRun(meta)
+		lstate = live.NewState("unidist", sim.Time(sc.Stop))
+		lstate.Ingest(obs.BusEvent{Kind: obs.EvBegin, Meta: meta})
+		lstate.SetQueueInterval(netobs.DefaultInterval)
+		lstate.SetImbalance(tracker)
+		lsrv, err = live.NewServer(lstate, liveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("live telemetry on http://%s/live\n", lsrv.Addr())
+		cfg.OnSideband = func(h int, side *dist.Sideband) {
+			for i := range side.Recs {
+				tracker.OnRound(&side.Recs[i])
+			}
+			lstate.IngestRecords(side.Recs)
+			lstate.IngestRows(side.Rows)
+			lstate.MarkRank(h, side.Rounds, side.Events)
+		}
 	}
 	mon, rounds, err := dist.RunCoordinator(ln, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	// Imbalance diagnostics land in the merged stats before they are
+	// serialized (run_stats.json) or served (the final live snapshot), so
+	// both views agree field for field.
+	tracker.Apply(stats, 0)
 	fmt.Printf("simulation complete: %d rounds\n", rounds)
+	fmt.Printf("merged stats     %s\n", stats)
+	if stats.Imbalance != nil {
+		fmt.Printf("%s\n", stats.Imbalance)
+	}
 	fmt.Printf("flows completed  %d/%d\n", mon.Completed(), mon.Flows())
 	fmt.Printf("mean FCT         %.3f ms\n", mon.MeanFCTms())
 	fmt.Printf("mean RTT         %.3f ms\n", mon.MeanRTTms())
@@ -189,6 +228,7 @@ func runCoord(listen string, hosts int, sc *unison.Scenario, tmo time.Duration, 
 				Seed:     sc.Seed, Workers: hosts, StopNS: int64(sc.Stop),
 				Flows: mon.Flows(),
 			},
+			Stats:        stats,
 			Mon:          mon,
 			RefBandwidth: int64(bw * 1e9),
 			Rows:         cfg.Net.Rows,
@@ -206,9 +246,16 @@ func runCoord(listen string, hosts int, sc *unison.Scenario, tmo time.Duration, 
 		}
 		fmt.Printf("artifact bundle  %s (%v)\n", artifacts, files)
 	}
+	if lsrv != nil {
+		// Done is only published once the bundle is on disk, so a watcher
+		// reacting to the final frame can immediately open run_stats.json.
+		lstate.Finalize(stats)
+		lsrv.Linger(linger)
+		_ = lsrv.Close()
+	}
 }
 
-func runHost(id int32, addr string, hosts int, sc *unison.Scenario, tmo time.Duration, dials int, reg *obs.Registry, observe bool, ckptDir string, ckptEvery uint64, restore string) {
+func runHost(id int32, addr string, hosts int, sc *unison.Scenario, tmo time.Duration, dials int, reg *obs.Registry, observe bool, ckptDir string, ckptEvery uint64, restore string, liveSide bool) {
 	b := build(sc)
 	if observe {
 		// The coordinator assembles the bundle; this host only collects its
@@ -219,7 +266,7 @@ func runHost(id int32, addr string, hosts int, sc *unison.Scenario, tmo time.Dur
 	m := b.Sim.Model()
 	cfg := dist.HostConfig{
 		ID: id, Addr: addr, HostOf: b.ManualFor(hosts), StopAt: sim.Time(sc.Stop),
-		Timeout: tmo, DialAttempts: dials, Observe: reg,
+		Timeout: tmo, DialAttempts: dials, Observe: reg, Live: liveSide,
 	}
 	if ckptDir != "" || restore != "" {
 		// Sim.CkptTarget covers every wired layer (net, tcp, the collective

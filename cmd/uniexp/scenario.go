@@ -7,19 +7,34 @@ import (
 
 	"unison"
 	"unison/internal/experiments"
+	"unison/internal/obs/live"
+	"unison/internal/sim"
 )
 
 // runScenario is the -scenario mode: it runs one declarative scenario
 // across the whole kernel set and checks that every kernel produces the
 // same result fingerprint — a parallel-efficiency experiment for an
-// arbitrary user workload rather than a canned one.
-func runScenario(path string, seed uint64, seedSet bool) error {
+// arbitrary user workload rather than a canned one. With liveAddr set,
+// every kernel run streams telemetry to attached watchers; each run's
+// BeginRun resets the live view, so a watcher sees the kernels go by one
+// after another.
+func runScenario(path string, seed uint64, seedSet bool, liveAddr string, linger time.Duration) error {
 	base, err := unison.LoadScenario(path)
 	if err != nil {
 		return err
 	}
 	if seedSet {
 		base.Seed = seed
+	}
+
+	var lsess *live.Session
+	if liveAddr != "" {
+		lsess, err = live.StartSession("uniexp", base.Stop.T(), liveAddr, nil)
+		if err != nil {
+			return fmt.Errorf("live: %w", err)
+		}
+		lsess.SetLinger(linger)
+		fmt.Printf("live http://%s/live\n", lsess.Server.Addr())
 	}
 
 	type kspec struct {
@@ -53,6 +68,7 @@ func runScenario(path string, seed uint64, seedSet bool) error {
 	var seqWall float64
 	var refFP uint64
 	refSet, agree := false, true
+	var lastSt *sim.RunStats
 	for _, k := range ks {
 		sc := *base
 		sc.Kernel = unison.KernelSpec{Kind: k.kind, Threads: k.threads}
@@ -60,12 +76,17 @@ func runScenario(path string, seed uint64, seedSet bool) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", k.name, err)
 		}
+		if lsess != nil {
+			b.Observe = lsess.Probe()
+			b.Progress = 50_000
+		}
 		start := time.Now()
 		st, err := b.RunKernel(b.Sim.Model())
 		if err != nil {
 			return fmt.Errorf("%s: %w", k.name, err)
 		}
 		wall := time.Since(start).Seconds()
+		lastSt = st
 		fp := b.Sim.Mon.Fingerprint()
 		if !refSet {
 			refFP, refSet = fp, true
@@ -88,6 +109,10 @@ func runScenario(path string, seed uint64, seedSet bool) error {
 		}
 		tab.AddRow(k.name, fmt.Sprintf("%.3f", wall), speedup,
 			fmt.Sprint(st.Events), fmt.Sprintf("%016x", fp), collCell)
+	}
+	if lsess != nil {
+		lsess.Finish(lastSt)
+		defer lsess.Close()
 	}
 	if agree {
 		tab.Note("all kernels agree on result fingerprint %016x", refFP)

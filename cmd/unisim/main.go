@@ -20,9 +20,14 @@ import (
 	"os"
 
 	"unison"
+	"unison/internal/obs/live"
 	"unison/internal/sim"
 	"unison/internal/trace"
 )
+
+// liveProgressEvery is the sequential kernel's progress-record cadence
+// under -live; round-based kernels report every round regardless.
+const liveProgressEvery = 50_000
 
 func main() {
 	var (
@@ -49,6 +54,8 @@ func main() {
 		ckptN   = flag.Uint64("checkpoint-every", 100, "checkpoint cadence: synchronization rounds (events for the sequential kernel)")
 		ckptT   = flag.Duration("checkpoint-every-time", 0, "checkpoint cadence in simulated time (the null-message kernel's epoch length; ns when unitless)")
 		restore = flag.String("restore", "", "resume from this snapshot file instead of starting fresh")
+		liveA   = flag.String("live", "", "serve live telemetry (JSON + SSE for unimon) on this address (\":0\" picks a port)")
+		lingerD = flag.Duration("live-linger", live.DefaultLinger, "after the run, wait up to this long for an attached watcher to read the final snapshot")
 	)
 	flag.Parse()
 
@@ -122,6 +129,19 @@ func main() {
 		_, sampler = b.Sim.EnableNetObs(sc.Artifacts.Interval.T(), 0)
 	}
 
+	var lsess *live.Session
+	if *liveA != "" {
+		lsess, err = live.StartSession("unisim", sc.Stop.T(), *liveA, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unisim: live: %v\n", err)
+			os.Exit(1)
+		}
+		lsess.SetLinger(*lingerD)
+		b.Observe = lsess.Probe()
+		b.Progress = liveProgressEvery
+		fmt.Printf("live        http://%s/live\n", lsess.Server.Addr())
+	}
+
 	m := b.Sim.Model()
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -142,6 +162,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unisim: %v\n", err)
 		os.Exit(1)
 	}
+	if lsess != nil {
+		if sampler != nil {
+			// The run is over, so reading the sampler is race-free; the
+			// full row set becomes the final queue heatmap.
+			sampler.Flush()
+			lsess.State.SetQueueInterval(sampler.Interval())
+			lsess.State.IngestRows(sampler.LiveDelta())
+		}
+		// Imbalance diagnostics + drop counters land in st before the
+		// bundle serializes it, and the final live snapshot carries the
+		// same stats object — watchers and run_stats.json agree.
+		lsess.Finish(st)
+		defer lsess.Close()
+	}
 
 	fmt.Printf("kernel      %s\n", st.Kernel)
 	fmt.Printf("nodes       %d (%d hosts), %d LPs\n", b.G.N(), len(b.Hosts), st.LPs)
@@ -155,6 +189,9 @@ func main() {
 	fmt.Println()
 	fmt.Printf("P/S/M       %.1f%% / %.1f%% / %.1f%%\n",
 		ratio(st.TotalP(), st), ratio(st.TotalS(), st), ratio(st.TotalM(), st))
+	if st.Imbalance != nil {
+		fmt.Printf("%s\n", st.Imbalance)
+	}
 	if b.Sim.Mon.Completed() > 0 {
 		fmt.Printf("mean FCT    %.3f ms\n", b.Sim.Mon.MeanFCTms())
 		fmt.Printf("mean RTT    %.3f ms\n", b.Sim.Mon.MeanRTTms())

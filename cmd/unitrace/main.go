@@ -1,14 +1,17 @@
 // Command unitrace inspects packet traces written by unisim -trace:
 // it prints per-kind and per-flow summaries, the full ascii dump, or
-// converts the trace to pcapng for Wireshark.
+// converts the trace to pcapng for Wireshark. The diff subcommand
+// compares two run-artifact bundles metric by metric.
 //
 //	unisim -topo fattree -k 4 -trace /tmp/run.utr
 //	unitrace /tmp/run.utr
 //	unitrace -dump /tmp/run.utr | head
 //	unitrace -pcap /tmp/run.pcapng /tmp/run.utr
+//	unitrace diff -threshold 5 out/baseline out/candidate
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +23,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	dump := flag.Bool("dump", false, "print every record (ascii tracing)")
 	top := flag.Int("top", 5, "number of flows in the per-flow summary")
 	pcap := flag.String("pcap", "", "convert the trace to pcapng at this path (open in Wireshark)")
@@ -115,6 +122,45 @@ func main() {
 		}
 		fmt.Printf("  flow %-6d %8d B delivered in %d packets, %d drops\n",
 			r.id, r.a.bytes, r.a.delivers, r.a.drops)
+	}
+}
+
+// runDiff is the `unitrace diff A_DIR B_DIR` subcommand: it compares two
+// run-artifact bundles (run_stats.json, flow_report.json, series.csv) and
+// exits nonzero when a gated metric moved more than -threshold percent —
+// the regression check CI and bisection scripts build on.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 5, "max allowed |relative delta| in percent on gated metrics")
+	asJSON := fs.Bool("json", false, "emit the comparison as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: unitrace diff [-threshold PCT] [-json] A_DIR B_DIR")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	d, err := netobs.DiffBundles(fs.Arg(0), fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fatal(err)
+		}
+	} else {
+		d.Render(os.Stdout)
+	}
+	if breaches := d.Breaches(*threshold); len(breaches) > 0 {
+		for _, m := range breaches {
+			fmt.Fprintf(os.Stderr, "unitrace: diff: %s moved %+.2f%% (threshold %.2f%%)\n",
+				m.Name, m.RelPct, *threshold)
+		}
+		os.Exit(1)
 	}
 }
 

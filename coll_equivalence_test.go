@@ -184,7 +184,7 @@ func runCollDistributed(t *testing.T, pattern string, hosts int) collArtifacts {
 			}
 			_, err = dist.RunHost(dist.HostConfig{
 				ID: h, Addr: ln.Addr().String(), HostOf: hostOf,
-				StopAt: sim.Time(b.Scenario.Stop),
+				StopAt:  sim.Time(b.Scenario.Stop),
 				Timeout: 30 * time.Second, DialAttempts: 3,
 			}, b.Sim.Model(), b.Sim.Net, b.Sim.Mon)
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"unison/internal/des"
 	"unison/internal/netdev"
 	"unison/internal/netobs"
+	"unison/internal/obs"
 	"unison/internal/pdes"
 	"unison/internal/routing"
 	"unison/internal/sim"
@@ -39,6 +40,15 @@ type Built struct {
 	Flows int
 	// Streaming reports whether the workload is generated lazily.
 	Streaming bool
+	// Observe, when non-nil, is wired into whichever kernel RunKernel
+	// constructs. Set it between Build and the run (the CLIs hand it the
+	// registry, or the live-telemetry bus in front of it).
+	Observe obs.Probe
+	// Progress, for the sequential kernel only, emits a progress
+	// RoundRecord every Progress executed events so live watchers see
+	// movement; other kernels report per round regardless. Zero keeps
+	// the kernel's single-summary behavior.
+	Progress uint64
 
 	rip *routing.RIP
 }
@@ -333,34 +343,34 @@ func (b *Built) RunKernel(m *sim.Model) (*sim.RunStats, error) {
 	}
 	switch kind {
 	case "sequential", "seq":
-		return des.New().Run(m)
+		return (&des.Kernel{Observe: b.Observe, ProgressEvery: b.Progress}).Run(m)
 	case "unison":
-		return core.New(core.Config{Threads: threads}).Run(m)
+		return core.New(core.Config{Threads: threads, Observe: b.Observe}).Run(m)
 	case "hybrid":
 		if b.Manual == nil {
 			return nil, fmt.Errorf("the hybrid kernel needs a host partition; topology %q has none", b.Scenario.Topology.Kind)
 		}
-		return core.NewHybrid(core.HybridConfig{HostOf: b.Manual, ThreadsPerHost: threads}).Run(m)
+		return core.NewHybrid(core.HybridConfig{HostOf: b.Manual, ThreadsPerHost: threads, Observe: b.Observe}).Run(m)
 	case "barrier":
 		part, err := needManual()
 		if err != nil {
 			return nil, err
 		}
-		return (&pdes.BarrierKernel{Part: part}).Run(m)
+		return (&pdes.BarrierKernel{Part: part, Observe: b.Observe}).Run(m)
 	case "nullmsg":
 		part, err := needManual()
 		if err != nil {
 			return nil, err
 		}
-		return (&pdes.NullMessageKernel{Part: part}).Run(m)
+		return (&pdes.NullMessageKernel{Part: part, Observe: b.Observe}).Run(m)
 	case "vseq":
-		return vtime.Run(m, vtime.Config{Algo: vtime.Sequential})
+		return vtime.Run(m, vtime.Config{Algo: vtime.Sequential, Observe: b.Observe})
 	case "vbarrier":
-		return vtime.Run(m, vtime.Config{Algo: vtime.Barrier, LPOf: b.Manual})
+		return vtime.Run(m, vtime.Config{Algo: vtime.Barrier, LPOf: b.Manual, Observe: b.Observe})
 	case "vnullmsg":
-		return vtime.Run(m, vtime.Config{Algo: vtime.NullMessage, LPOf: b.Manual})
+		return vtime.Run(m, vtime.Config{Algo: vtime.NullMessage, LPOf: b.Manual, Observe: b.Observe})
 	case "vunison":
-		return vtime.Run(m, vtime.Config{Algo: vtime.Unison, Cores: threads})
+		return vtime.Run(m, vtime.Config{Algo: vtime.Unison, Cores: threads, Observe: b.Observe})
 	default:
 		return nil, fmt.Errorf("unknown kernel %q", kind)
 	}

@@ -280,6 +280,9 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 	probe := r.k.cfg.Observe
 	var clock lpClock
 	var recv []sim.Event // phase-3 gather scratch, reused across rounds
+	// rec escapes through the probe interface call; hoisted so the
+	// allocation is per run, not per round (probes copy the pointee).
+	var rec obs.RoundRecord
 	var sw metrics.Stopwatch
 	sw.Start()
 
@@ -393,7 +396,7 @@ func (r *hrt) workerLoop(w int, bar *syncx.Barrier) {
 		s2 := sw.Lap()
 		ws.s += s2
 		if probe != nil {
-			rec := obs.RoundRecord{
+			rec = obs.RoundRecord{
 				Round: roundIdx, Worker: int32(w), LBTS: roundLBTS,
 				Events: ws.events - evStart,
 				ProcNS: p1, SyncNS: s1 + s2, MsgNS: mNS, WaitGlobalNS: s1,

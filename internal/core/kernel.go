@@ -315,6 +315,10 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 	probe := r.k.cfg.Observe
 	var clock lpClock
 	var recv []sim.Event // phase-3 gather scratch, reused across rounds
+	// rec escapes through the probe interface call; keeping it outside the
+	// loop makes that one allocation per run, not one per round. Probes
+	// must copy (the pointee is only valid during OnRound).
+	var rec obs.RoundRecord
 	var sw metrics.Stopwatch
 	sw.Start()
 
@@ -414,7 +418,7 @@ func (r *rt) workerLoop(w int, bar *syncx.Barrier) {
 		s2 := sw.Lap()
 		ws.s += s2
 		if probe != nil {
-			rec := obs.RoundRecord{
+			rec = obs.RoundRecord{
 				Round: roundIdx, Worker: int32(w), LBTS: roundLBTS,
 				Events: ws.events - evStart,
 				ProcNS: p1, SyncNS: s1 + s2, MsgNS: mNS, WaitGlobalNS: s1,

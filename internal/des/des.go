@@ -27,6 +27,14 @@ type Kernel struct {
 	// summary RoundRecord for the whole run (the sequential kernel has no
 	// round structure).
 	Observe obs.Probe
+	// ProgressEvery, with Observe non-nil, additionally emits a progress
+	// RoundRecord every ProgressEvery executed events — the hook live
+	// watchers need, since a sequential run otherwise reports nothing
+	// until it finishes. Each record covers the events since the previous
+	// one (the final summary record then covers only the tail), so
+	// aggregate totals are unchanged. Zero keeps the single-summary
+	// behavior and its single nil-check cost.
+	ProgressEvery uint64
 }
 
 // New returns a sequential kernel.
@@ -86,6 +94,11 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	if hook != nil && hook.Save != nil && hook.Every > 0 {
 		nextCkpt = events + hook.Every
 	}
+	var progRound, progEvents, nextProg uint64
+	progStart := start
+	if k.Observe != nil && k.ProgressEvery > 0 {
+		nextProg = events + k.ProgressEvery
+	}
 	for !fel.Empty() {
 		if nextCkpt > 0 && events >= nextCkpt && fel.NextTime() > now {
 			round++
@@ -102,6 +115,21 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 		ctx.Begin(&ev, seqs.Of(ev.Node))
 		ev.Fn(ctx)
 		events++
+		if nextProg > 0 && events >= nextProg {
+			wall := time.Now() //unison:wallclock-ok progress-telemetry timing, observation only
+			rec := obs.RoundRecord{
+				Round:    progRound,
+				LBTS:     now,
+				Events:   events - progEvents,
+				ProcNS:   wall.Sub(progStart).Nanoseconds(),
+				FELDepth: uint64(fel.Len()),
+			}
+			k.Observe.OnRound(&rec)
+			progRound++
+			progEvents = events
+			progStart = wall
+			nextProg = events + k.ProgressEvery
+		}
 		if ctx.Stopped() {
 			break
 		}
@@ -120,10 +148,16 @@ func (k *Kernel) Run(m *sim.Model) (*sim.RunStats, error) {
 	}
 	if k.Observe != nil {
 		rec := obs.RoundRecord{
+			Round:    progRound,
 			LBTS:     now,
-			Events:   events,
+			Events:   events - progEvents,
 			ProcNS:   st.WallNS,
 			FELDepth: uint64(fel.Len()),
+		}
+		if progRound > 0 {
+			// Progress records already covered [0, progEvents); the final
+			// record reports the tail so totals still sum to the run.
+			rec.ProcNS = time.Since(progStart).Nanoseconds() //unison:wallclock-ok progress-telemetry timing, observation only
 		}
 		k.Observe.OnRound(&rec)
 	}

@@ -43,6 +43,17 @@ type CoordConfig struct {
 	// Net, when non-nil, receives the merged network observability data
 	// (sampler rows and packet-trace records) the hosts ship at gather.
 	Net *NetData
+	// OnSideband, when non-nil, receives every telemetry Sideband the
+	// hosts piggyback on their min messages (hosts only attach one when
+	// run with HostConfig.Live). Called on the coordinator's protocol
+	// goroutine between the min all-reduce and the window broadcast, so
+	// implementations must be quick — fold into a live.State and return.
+	OnSideband func(host int, side *Sideband)
+	// Stats, when non-nil, is filled with the merged run stats of the
+	// whole distributed run (one WorkerStats per host, from the stats the
+	// hosts ship at gather) — what unidist writes as the bundle's
+	// run_stats.json.
+	Stats *sim.RunStats
 }
 
 // NetData is the coordinator-side merge of the hosts' network
@@ -130,6 +141,13 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 			return fail(rounds, err)
 		}
 		gatherNS := time.Since(gatherStart).Nanoseconds()
+		if cfg.OnSideband != nil {
+			for h, e := range mins {
+				if e.Side != nil {
+					cfg.OnSideband(h, e.Side)
+				}
+			}
+		}
 		globalMin := sim.MaxTime
 		for _, e := range mins {
 			if e.Min < globalMin {
@@ -217,6 +235,27 @@ func RunCoordinator(ln net.Listener, cfg CoordConfig) (*flowmon.Monitor, uint64,
 			}
 			return a.Node < b.Node
 		})
+	}
+	if cfg.Stats != nil {
+		merged := sim.RunStats{
+			Kernel: fmt.Sprintf("dist(%d)", cfg.Hosts),
+			Rounds: rounds, LPs: cfg.Hosts,
+			WallNS:  time.Since(coordStart).Nanoseconds(),
+			Workers: make([]sim.WorkerStats, cfg.Hosts),
+		}
+		for h, e := range gathers {
+			if e.Stats == nil {
+				continue
+			}
+			merged.Events += e.Stats.Events
+			if e.Stats.EndTime > merged.EndTime {
+				merged.EndTime = e.Stats.EndTime
+			}
+			if len(e.Stats.Workers) > 0 {
+				merged.Workers[h] = e.Stats.Workers[0]
+			}
+		}
+		*cfg.Stats = merged
 	}
 	if probe != nil {
 		probe.EndRun(&sim.RunStats{

@@ -50,6 +50,11 @@ type HostConfig struct {
 	// broadcast, and Retries reports extra dial attempts on the first
 	// record.
 	Observe obs.Probe
+	// Live piggybacks a telemetry Sideband (round records, netobs row
+	// deltas, progress counters) on every kMin message, feeding the
+	// coordinator's merged live view. Purely observational: the
+	// simulation and its artifacts are bit-identical either way.
+	Live bool
 
 	// Ckpt, when non-nil, is this host's checkpoint target (its layers
 	// and event decoders). Required for CheckpointEvery or RestoreFrom.
@@ -203,11 +208,31 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 		}
 	}
 
+	var side *Sideband
+	if cfg.Live {
+		side = &Sideband{}
+	}
+
 	var sw metrics.Stopwatch
 	sw.Start()
 	for {
-		if err := c.send(&envelope{Kind: kMin, Host: cfg.ID, Min: fel.NextTime()}); err != nil {
+		minEnv := &envelope{Kind: kMin, Host: cfg.ID, Min: fel.NextTime()}
+		if cfg.Live {
+			side.Rounds = st.Rounds
+			side.Events = st.Events
+			// The round loop is quiescent here, so reading the sampler's
+			// closed buckets is race-free; LiveDelta never touches open
+			// buckets, keeping the final gather rows byte-identical.
+			if s := network.Sampler(); s != nil {
+				side.Rows = s.LiveDelta()
+			}
+			minEnv.Side = side
+		}
+		if err := c.send(minEnv); err != nil {
 			return nil, fmt.Errorf("dist: sending min: %w", err)
+		}
+		if cfg.Live {
+			side = &Sideband{} // the sent one is encoded; start the next batch
 		}
 		e, err := c.recvAny()
 		if err != nil {
@@ -216,8 +241,11 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 		sNS := sw.Lap() // the all-reduce wait: min sent, window received
 		switch e.Kind {
 		case kDone:
+			st.WallNS = time.Since(start).Nanoseconds()
+			st.Workers[0].P = st.WallNS
+			st.Workers[0].Events = st.Events
 			recs, rcvs := mon.Export()
-			gather := &envelope{Kind: kGather, Host: cfg.ID, Senders: recs, Recvs: rcvs}
+			gather := &envelope{Kind: kGather, Host: cfg.ID, Senders: recs, Recvs: rcvs, Stats: st}
 			// Ship this host's share of the network observability data; the
 			// sampler and tracer only hold records of locally-owned devices.
 			if s := network.Sampler(); s != nil {
@@ -230,9 +258,6 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 			if err := c.send(gather); err != nil {
 				return nil, fmt.Errorf("dist: gather: %w", err)
 			}
-			st.WallNS = time.Since(start).Nanoseconds()
-			st.Workers[0].P = st.WallNS
-			st.Workers[0].Events = st.Events
 			obs.End(probe, st)
 			return st, nil
 		case kWindow:
@@ -296,7 +321,7 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 				}
 				ckptNS, ckptBytes = time.Since(cs).Nanoseconds(), uint64(n)
 			}
-			if probe != nil {
+			if probe != nil || cfg.Live {
 				mNS := sw.Lap()
 				rec := obs.RoundRecord{
 					Round: st.Rounds - 1, LBTS: lbts,
@@ -307,7 +332,16 @@ func RunHost(cfg HostConfig, m *sim.Model, network *netdev.Network, mon *flowmon
 					AllReduceNS: sNS, Retries: pendingRetries,
 					CkptNS: ckptNS, CkptBytes: ckptBytes,
 				}
-				probe.OnRound(&rec)
+				if probe != nil {
+					probe.OnRound(&rec)
+				}
+				if cfg.Live {
+					// Relabel with the host id so the coordinator's merged
+					// view has one worker lane per rank; shipped on the
+					// next kMin (this rec is complete only now).
+					rec.Worker = cfg.ID
+					side.Recs = append(side.Recs, rec)
+				}
 				pendingRetries = 0
 			}
 		case kAbort:

@@ -29,6 +29,7 @@ import (
 
 	"unison/internal/flowmon"
 	"unison/internal/netobs"
+	"unison/internal/obs"
 	"unison/internal/packet"
 	"unison/internal/sim"
 	"unison/internal/trace"
@@ -78,6 +79,22 @@ type RemoteEvent struct {
 	Pkt  packet.Packet
 }
 
+// Sideband is the per-round telemetry a host piggybacks on its kMin
+// message when HostConfig.Live is set: the RoundRecords emitted since the
+// previous min (Worker rewritten to the host id, so the coordinator's
+// merged view has one telemetry stream per rank), the netobs rows closed
+// since then, and the host's cumulative progress counters for rank
+// liveness. It is collected at the round boundary — the host's loop is
+// single-threaded and quiescent there — and it rides a message the
+// protocol sends anyway, so the live path adds no extra round trips and
+// never changes the simulation.
+type Sideband struct {
+	Recs   []obs.RoundRecord
+	Rows   []netobs.Row
+	Rounds uint64
+	Events uint64
+}
+
 // envelope is the single wire message type (gob-encoded).
 type envelope struct {
 	Kind    msgKind
@@ -92,6 +109,11 @@ type envelope struct {
 	// host, so the coordinator's merge reproduces the single-process output.
 	Rows  []netobs.Row
 	Trace []trace.Record
+	// Side rides kMin when the host runs with Live telemetry enabled.
+	Side *Sideband
+	// Stats rides kGather: the host's final run stats, merged by the
+	// coordinator into CoordConfig.Stats.
+	Stats *sim.RunStats
 }
 
 // conn wraps a TCP connection with gob codecs, optional per-message

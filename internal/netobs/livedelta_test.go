@@ -1,0 +1,79 @@
+package netobs
+
+import (
+	"reflect"
+	"testing"
+
+	"unison/internal/sim"
+)
+
+// TestLiveDeltaShipsClosedBucketsOnce pins the LiveDelta contract: only
+// closed buckets ship, each exactly once, and reading deltas mid-run never
+// perturbs the final Rows()/Flush() output.
+func TestLiveDeltaShipsClosedBucketsOnce(t *testing.T) {
+	mkSampler := func() (*Sampler, *DevProbe) {
+		s := NewSampler(SamplerConfig{Interval: 1000})
+		p := s.Register(1, 0, 1e9)
+		return s, p
+	}
+
+	// Reference run: no live reads.
+	refS, refP := mkSampler()
+	refP.OnEnqueue(100, 1, false)
+	refP.OnDequeue(1500, 0, 64)
+	refP.OnEnqueue(2500, 1, false)
+	refS.Flush()
+	want := refS.Rows()
+
+	// Probed run: LiveDelta between events.
+	s, p := mkSampler()
+	p.OnEnqueue(100, 1, false)
+	if d := s.LiveDelta(); len(d) != 0 {
+		t.Fatalf("bucket still open, delta = %+v", d)
+	}
+	p.OnDequeue(1500, 0, 64) // rolls bucket [0,1000) closed
+	d1 := s.LiveDelta()
+	if len(d1) != 1 || d1[0].Tick != 0 || d1[0].Enqueues != 1 {
+		t.Fatalf("first delta = %+v", d1)
+	}
+	if d := s.LiveDelta(); len(d) != 0 {
+		t.Fatalf("closed bucket shipped twice: %+v", d)
+	}
+	p.OnEnqueue(2500, 1, false) // rolls bucket [1000,2000) closed
+	d2 := s.LiveDelta()
+	if len(d2) != 1 || d2[0].Tick != 1000 {
+		t.Fatalf("second delta = %+v", d2)
+	}
+	s.Flush()
+	got := s.Rows()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-run LiveDelta perturbed final rows:\n got %+v\nwant %+v", got, want)
+	}
+	// Flush closes the last bucket; it ships through LiveDelta too.
+	tail := s.LiveDelta()
+	if len(tail) != 1 || tail[0].Tick != 2000 {
+		t.Fatalf("tail delta after flush = %+v", tail)
+	}
+	// Everything shipped exactly once overall.
+	total := len(d1) + len(d2) + len(tail)
+	if total != len(want) {
+		t.Fatalf("shipped %d rows, final has %d", total, len(want))
+	}
+}
+
+func TestLiveDeltaSorted(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 1000})
+	pa := s.Register(2, 1, 1e9)
+	pb := s.Register(1, 0, 1e9)
+	pa.OnEnqueue(100, 1, false)
+	pb.OnEnqueue(200, 1, false)
+	s.Flush()
+	d := s.LiveDelta()
+	if len(d) != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d[0].Node != sim.NodeID(1) || d[1].Node != sim.NodeID(2) {
+		t.Fatalf("delta not in row order: %+v", d)
+	}
+}

@@ -79,10 +79,11 @@ type DevProbe struct {
 	bw       int64
 	interval sim.Time
 
-	tick   sim.Time // current bucket start
-	active bool     // current bucket saw at least one operation
-	cur    Row
-	rows   []Row
+	tick    sim.Time // current bucket start
+	active  bool     // current bucket saw at least one operation
+	cur     Row
+	rows    []Row
+	shipped int // rows already handed out by Sampler.LiveDelta
 }
 
 // roll closes the current bucket if t has moved past it and opens the
@@ -192,6 +193,25 @@ func (s *Sampler) Rows() []Row {
 	var out []Row
 	for _, p := range s.devs {
 		out = append(out, p.rows...)
+	}
+	SortRows(out)
+	return out
+}
+
+// LiveDelta returns the rows closed since the previous LiveDelta call, in
+// canonical order. It never touches open buckets, so the final Flush+Rows
+// set is byte-identical whether or not LiveDelta was ever called — the
+// property the live-telemetry bit-identity tests pin. Probes are owned by
+// node events, so LiveDelta may only run at quiescent points: between
+// rounds on a distributed host (the round loop is single-threaded) or
+// after the run completes.
+func (s *Sampler) LiveDelta() []Row {
+	var out []Row
+	for _, p := range s.devs {
+		if n := len(p.rows); n > p.shipped {
+			out = append(out, p.rows[p.shipped:n]...)
+			p.shipped = n
+		}
 	}
 	SortRows(out)
 	return out

@@ -1,0 +1,105 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Fetch retrieves one snapshot from a live server at addr (host:port or a
+// full http:// URL).
+func Fetch(ctx context.Context, addr string) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(addr)+"/live", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("live: %s returned %s", addr, resp.Status)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("live: decoding snapshot from %s: %w", addr, err)
+	}
+	if snap.Schema != SchemaV1 {
+		return nil, fmt.Errorf("live: %s speaks schema %q, want %q", addr, snap.Schema, SchemaV1)
+	}
+	return &snap, nil
+}
+
+// Watch subscribes to the SSE stream at addr and calls fn for every
+// snapshot frame. It returns nil when the stream ends normally (the
+// server sent the final snapshot and closed, or fn returned false) and
+// an error on connection or decode failure. ctx cancels the watch.
+func Watch(ctx context.Context, addr string, fn func(*Snapshot) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(addr)+"/live/sse", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("live: %s returned %s", addr, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue // blank separators, comments
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(line[len("data: "):], &snap); err != nil {
+			return fmt.Errorf("live: decoding SSE frame from %s: %w", addr, err)
+		}
+		if snap.Schema != SchemaV1 {
+			return fmt.Errorf("live: %s speaks schema %q, want %q", addr, snap.Schema, SchemaV1)
+		}
+		if !fn(&snap) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// WaitUp polls addr until the live endpoint answers or timeout elapses —
+// the attach handshake for a watcher started alongside a run.
+func WaitUp(addr string, timeout time.Duration) (*Snapshot, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		snap, err := Fetch(ctx, addr)
+		cancel()
+		if err == nil {
+			return snap, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("live: %s not up after %s: %w", addr, timeout, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func baseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}

@@ -1,0 +1,237 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"unison/internal/netobs"
+	"unison/internal/obs"
+	"unison/internal/sim"
+)
+
+func TestStateFoldsRoundRecords(t *testing.T) {
+	s := NewState("test", 1000)
+	s.Ingest(obs.BusEvent{Kind: obs.EvBegin, Meta: obs.RunMeta{Kernel: "k", Workers: 2, LPs: 4}})
+	s.IngestRecords([]obs.RoundRecord{
+		{Round: 0, Worker: 0, Events: 10, ProcNS: 30, SyncNS: 60, MsgNS: 10, FELDepth: 5, LBTS: 100},
+		{Round: 0, Worker: 1, Events: 20, ProcNS: 80, SyncNS: 15, MsgNS: 5, FELDepth: 7, LBTS: 100},
+		{Round: 1, Worker: 0, Events: 5, ProcNS: 10, FELDepth: 2, LBTS: 500, Migrations: 3},
+	})
+
+	snap := s.Snapshot()
+	if snap.Schema != SchemaV1 || snap.Kernel != "k" || snap.Workers != 2 || snap.LPs != 4 {
+		t.Fatalf("header: %+v", snap)
+	}
+	if snap.Events != 35 || snap.Rounds != 2 || snap.LBTSNS != 500 {
+		t.Fatalf("totals: events=%d rounds=%d lbts=%d", snap.Events, snap.Rounds, snap.LBTSNS)
+	}
+	if snap.Progress != 0.5 {
+		t.Fatalf("progress = %g, want 0.5", snap.Progress)
+	}
+	if len(snap.WorkerViews) != 2 {
+		t.Fatalf("worker views = %d", len(snap.WorkerViews))
+	}
+	w0 := snap.WorkerViews[0]
+	if w0.Events != 15 || w0.ProcNS != 40 || w0.Migrations != 3 || w0.FELDepth != 2 {
+		t.Fatalf("w0 = %+v", w0)
+	}
+	// P/S/M shares sum to 1 when any time was recorded.
+	if sum := w0.PShare + w0.SShare + w0.MShare; sum < 0.999 || sum > 1.001 {
+		t.Fatalf("w0 share sum = %g", sum)
+	}
+	if snap.FELDepth != 2+7 {
+		t.Fatalf("fel depth = %d", snap.FELDepth)
+	}
+	if snap.Done || snap.Final != nil {
+		t.Fatal("not finalized yet")
+	}
+}
+
+func TestStateBeginResetsView(t *testing.T) {
+	s := NewState("test", 0)
+	s.Ingest(obs.BusEvent{Kind: obs.EvBegin, Meta: obs.RunMeta{Kernel: "a", Workers: 1}})
+	s.IngestRecords([]obs.RoundRecord{{Round: 0, Worker: 0, Events: 99}})
+	s.Ingest(obs.BusEvent{Kind: obs.EvBegin, Meta: obs.RunMeta{Kernel: "b", Workers: 3}})
+	snap := s.Snapshot()
+	if snap.Kernel != "b" || snap.Events != 0 || snap.Rounds != 0 || len(snap.WorkerViews) != 3 {
+		t.Fatalf("after reset: %+v", snap)
+	}
+}
+
+func TestStateFinalize(t *testing.T) {
+	s := NewState("test", 0)
+	st := &sim.RunStats{Kernel: "k", Events: 7}
+	s.Finalize(st)
+	s.Finalize(&sim.RunStats{Kernel: "other"}) // first call wins
+	snap := s.Snapshot()
+	if !snap.Done || snap.Final != st || snap.ETASeconds != 0 {
+		t.Fatalf("finalized snapshot: done=%v final=%p eta=%g", snap.Done, snap.Final, snap.ETASeconds)
+	}
+}
+
+func TestStateQueueHeatmap(t *testing.T) {
+	s := NewState("test", 0)
+	s.SetQueueInterval(1000)
+	s.IngestRows([]netobs.Row{
+		{Tick: 1000, Node: 1, Link: 0, Depth: 3, MaxDepth: 9, Drops: 2},
+		{Tick: 2000, Node: 1, Link: 0, Depth: 5, MaxDepth: 6, Drops: 1},
+		{Tick: 1000, Node: 2, Link: 1, Depth: 8, MaxDepth: 8},
+	})
+	snap := s.Snapshot()
+	if len(snap.Queues) != 2 {
+		t.Fatalf("queue cells = %d", len(snap.Queues))
+	}
+	// Busiest-first: node 2 (depth 8) before node 1 (latest depth 5).
+	if snap.Queues[0].Node != 2 || snap.Queues[1].Node != 1 {
+		t.Fatalf("order: %+v", snap.Queues)
+	}
+	c := snap.Queues[1]
+	if c.Depth != 5 || c.MaxDepth != 9 || c.Drops != 3 {
+		t.Fatalf("cell folding: %+v", c)
+	}
+}
+
+func TestStateRankLiveness(t *testing.T) {
+	s := NewState("test", 0)
+	s.MarkRank(1, 10, 500)
+	s.MarkRank(0, 12, 600)
+	snap := s.Snapshot()
+	if len(snap.Ranks) != 2 || snap.Ranks[0].Rank != 0 || snap.Ranks[1].Rank != 1 {
+		t.Fatalf("ranks: %+v", snap.Ranks)
+	}
+	if !snap.Ranks[0].Alive || snap.Ranks[0].Rounds != 12 || snap.Ranks[0].Events != 600 {
+		t.Fatalf("rank 0: %+v", snap.Ranks[0])
+	}
+}
+
+func TestServerJSONAndSSE(t *testing.T) {
+	s := NewState("test", 1000)
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	snap, err := Fetch(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tool != "test" || snap.Done {
+		t.Fatalf("fetched: %+v", snap)
+	}
+
+	// Finalize, then watch: the stream must deliver a Done frame with the
+	// final stats and close on its own.
+	final := &sim.RunStats{Kernel: "k", Events: 123}
+	s.Finalize(final)
+	var got *Snapshot
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := Watch(ctx, srv.Addr(), func(sn *Snapshot) bool {
+		got = sn
+		return !sn.Done
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !got.Done || got.Final == nil || got.Final.Events != 123 {
+		t.Fatalf("final frame: %+v", got)
+	}
+}
+
+func TestServerLinger(t *testing.T) {
+	s := NewState("test", 0)
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// No client ever connected: Linger returns immediately.
+	start := time.Now()
+	srv.Linger(5 * time.Second)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("unwatched linger took %v", d)
+	}
+
+	// A client connects and reads the final snapshot: Linger releases
+	// without waiting out the timeout.
+	s.Finalize(&sim.RunStats{})
+	if _, err := Fetch(context.Background(), srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	srv.Linger(30 * time.Second)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("watched linger took %v after final snapshot was served", d)
+	}
+}
+
+func TestSessionFinishCloseOrdering(t *testing.T) {
+	sess, err := StartSession("test", 1000, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := sess.Probe()
+	probe.BeginRun(obs.RunMeta{Kernel: "k", Workers: 1, LPs: 1})
+	probe.OnRound(&obs.RoundRecord{Round: 0, Worker: 0, Events: 10, ProcNS: 5})
+	st := &sim.RunStats{Kernel: "k", Events: 10, Workers: []sim.WorkerStats{{Events: 10}}}
+	probe.EndRun(st)
+
+	sess.Finish(st)
+	// Finish stamps diagnostics but does NOT publish Done: a CLI still
+	// writing its artifact bundle must not trigger watchers yet.
+	if st.Imbalance == nil {
+		t.Fatal("Finish did not stamp imbalance diagnostics")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap, err := Fetch(context.Background(), sess.Server.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Done {
+			t.Fatal("view done before Close")
+		}
+		if snap.Events == 10 {
+			break // the consumer goroutine caught up
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("consumer never folded events: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sess.SetLinger(0)
+	sess.Close()
+}
+
+func TestSessionNilSafe(t *testing.T) {
+	var sess *Session
+	if sess.Probe() != nil {
+		t.Fatal("nil session probe should be nil")
+	}
+	sess.Finish(&sim.RunStats{})
+	sess.SetLinger(time.Second)
+	sess.Close()
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := NewState("test", 500)
+	s.Ingest(obs.BusEvent{Kind: obs.EvBegin, Meta: obs.RunMeta{Kernel: "k", Workers: 1, LPs: 2}})
+	s.IngestRecords([]obs.RoundRecord{{Round: 0, Worker: 0, Events: 4, ProcNS: 9, LBTS: 250}})
+	s.Finalize(&sim.RunStats{Kernel: "k", Events: 4})
+	snap := s.Snapshot()
+	raw, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaV1 || back.Events != 4 || !back.Done || back.Final == nil {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

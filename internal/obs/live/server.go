@@ -1,0 +1,161 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unison/internal/obs/obshttp"
+)
+
+// SSEInterval is how often the SSE stream pushes a snapshot.
+const SSEInterval = 500 * time.Millisecond
+
+// Server serves a State over HTTP:
+//
+//	GET /live      one JSON Snapshot
+//	GET /live/sse  Server-Sent Events: a "data: {snapshot}" frame every
+//	               SSEInterval; after the run finishes the final snapshot
+//	               is sent once more and the stream closes.
+//
+// It wraps an obshttp.Server (own mux — no pprof/expvar side effects on
+// the -live port) and adds the linger bookkeeping the CLIs use to give an
+// attached unimon a chance to read the final snapshot before exit.
+type Server struct {
+	state *State
+	hs    *obshttp.Server
+	stop  chan struct{}
+
+	ever        atomic.Bool // any client ever connected
+	finalServed chan struct{}
+	finalOnce   sync.Once
+}
+
+// NewServer starts a live server for state on addr (":0" picks a port).
+func NewServer(state *State, addr string) (*Server, error) {
+	s := &Server{
+		state:       state,
+		stop:        make(chan struct{}),
+		finalServed: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/live", s.handleJSON)
+	mux.HandleFunc("/live/sse", s.handleSSE)
+	hs, err := obshttp.Start(addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	s.hs = hs
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.hs.Addr() }
+
+// Close tears the server down: SSE streams stop, the listener closes.
+func (s *Server) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	return s.hs.Close()
+}
+
+// Linger blocks until an attached watcher has been served a final (Done)
+// snapshot, or timeout elapses. If no client ever connected it returns
+// immediately — a run nobody watched never waits.
+func (s *Server) Linger(timeout time.Duration) {
+	if !s.ever.Load() {
+		return
+	}
+	select {
+	case <-s.finalServed:
+	case <-time.After(timeout):
+	}
+}
+
+func (s *Server) snapshotJSON() ([]byte, bool) {
+	snap := s.state.Snapshot()
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		return nil, false
+	}
+	return b, snap.Done
+}
+
+func (s *Server) markServed(done bool) {
+	if done {
+		s.finalOnce.Do(func() { close(s.finalServed) })
+	}
+}
+
+func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request) {
+	s.ever.Store(true)
+	b, done := s.snapshotJSON()
+	if b == nil {
+		http.Error(w, "snapshot marshal failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, err := w.Write(b)
+	if err == nil {
+		s.markServed(done)
+	}
+}
+
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
+	s.ever.Store(true)
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	t := time.NewTicker(SSEInterval)
+	defer t.Stop()
+	for {
+		b, done := s.snapshotJSON()
+		if b == nil {
+			return
+		}
+		if _, err := w.Write([]byte("data: ")); err != nil {
+			return
+		}
+		if _, err := w.Write(b); err != nil {
+			return
+		}
+		if _, err := w.Write([]byte("\n\n")); err != nil {
+			return
+		}
+		fl.Flush()
+		s.markServed(done)
+		if done {
+			return
+		}
+		select {
+		case <-t.C:
+		case <-s.stop:
+			// Server closing: push one last frame so watchers see the
+			// freshest state, then end the stream.
+			if b, done := s.snapshotJSON(); b != nil {
+				if _, err := w.Write([]byte("data: ")); err == nil {
+					if _, err := w.Write(b); err == nil {
+						if _, err := w.Write([]byte("\n\n")); err == nil {
+							fl.Flush()
+							s.markServed(done)
+						}
+					}
+				}
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

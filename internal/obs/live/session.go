@@ -1,0 +1,108 @@
+package live
+
+import (
+	"time"
+
+	"unison/internal/obs"
+	"unison/internal/sim"
+)
+
+// DefaultLinger is how long a finished run waits for an attached watcher
+// to read the final snapshot (only when a watcher ever connected).
+const DefaultLinger = 5 * time.Second
+
+// Session is the one-call wiring the CLIs use for -live: an
+// ImbalanceTracker and a Bus chained in front of the caller's probe, a
+// State fed from a bus subscription, and a Server exposing it.
+//
+//	sess, err := live.StartSession("unisim", stopAt, addr, registry)
+//	...run kernels with sess.Probe() as the observe probe...
+//	sess.Finish(st)   // per finished run: imbalance pass + final snapshot
+//	sess.Close()      // linger for watchers, then tear down
+type Session struct {
+	State  *State
+	Server *Server
+	Bus    *obs.Bus
+	Imb    *obs.ImbalanceTracker
+
+	sub    *obs.Sub
+	linger time.Duration
+	final  *sim.RunStats
+}
+
+// StartSession wires a live telemetry session. tool names the CLI, stopAt
+// is the simulated end time when known (0 otherwise), addr is the listen
+// address ("" or ":0" pick a free port), and inner is the probe the bus
+// chains to (nil for none).
+func StartSession(tool string, stopAt sim.Time, addr string, inner obs.Probe) (*Session, error) {
+	imb := obs.NewImbalanceTracker()
+	bus := obs.NewBus(obs.Tee(inner, imb))
+	state := NewState(tool, stopAt)
+	state.SetDrops(bus.Drops)
+	state.SetImbalance(imb)
+	if addr == "" {
+		addr = ":0"
+	}
+	srv, err := NewServer(state, addr)
+	if err != nil {
+		return nil, err
+	}
+	sub := bus.Subscribe(0)
+	go state.Consume(sub)
+	return &Session{
+		State:  state,
+		Server: srv,
+		Bus:    bus,
+		Imb:    imb,
+		sub:    sub,
+		linger: DefaultLinger,
+	}, nil
+}
+
+// Probe returns the probe to hand the kernels (the bus).
+func (s *Session) Probe() obs.Probe {
+	if s == nil {
+		return nil
+	}
+	return s.Bus
+}
+
+// Finish runs the imbalance diagnostics pass over st (stamping
+// RunStats.Imbalance, TelemetryDrops, and per-worker StragglerRounds) and
+// records st as the live view's final snapshot. Call once per finished
+// run, before st is serialized into run_stats.json — the snapshot and the
+// artifact then match field for field.
+//
+// The view is NOT marked done yet: Close does that, so a watcher's final
+// (Done) frame is only served after the CLI finished writing its artifact
+// bundle — a watcher reacting to Done can immediately open run_stats.json.
+// Nil-safe.
+func (s *Session) Finish(st *sim.RunStats) {
+	if s == nil {
+		return
+	}
+	s.Imb.Apply(st, s.Bus.Drops())
+	s.final = st
+}
+
+// SetLinger overrides how long Close waits for an attached watcher.
+func (s *Session) SetLinger(d time.Duration) {
+	if s != nil {
+		s.linger = d
+	}
+}
+
+// Close publishes the final snapshot recorded by Finish, waits (only if a
+// watcher ever connected) for it to be served, then tears the server and
+// subscription down. Nil-safe.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	if s.final != nil {
+		s.State.Finalize(s.final)
+	}
+	s.Server.Linger(s.linger)
+	_ = s.Server.Close()
+	s.sub.Close()
+}

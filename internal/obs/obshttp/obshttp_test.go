@@ -1,0 +1,105 @@
+package obshttp
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartServeClose(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	s, err := Start("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if !strings.HasPrefix(addr, "127.0.0.1:") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound addr = %q", addr)
+	}
+
+	resp, err := http.Get("http://" + addr + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The port is released: a new listener can bind it immediately.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	s, err := Start("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestPortInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Start(ln.Addr().String(), nil); err == nil {
+		t.Fatal("binding an in-use port should fail synchronously")
+	}
+}
+
+func TestCloseWaitsForHandlers(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	s, err := Start("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/slow")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	go func() {
+		// Let the in-flight handler finish well inside ShutdownGrace.
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("Close returned in %v, before the in-flight handler finished", d)
+	}
+}

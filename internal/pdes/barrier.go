@@ -207,6 +207,9 @@ func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
 	ws := &r.workers[rank]
 	fel := r.fels[rank]
 	probe := r.k.Observe
+	// rec escapes through the probe interface call; hoisted so the
+	// allocation is per run, not per round (probes copy the pointee).
+	var rec obs.RoundRecord
 	var sw metrics.Stopwatch
 	sw.Start()
 
@@ -262,7 +265,7 @@ func (r *brt) rankLoop(rank int32, bar *syncx.Barrier) {
 		s2 := sw.Lap()
 		ws.s += s2
 		if probe != nil {
-			rec := obs.RoundRecord{
+			rec = obs.RoundRecord{
 				Round: roundIdx, Worker: rank, LBTS: roundLBTS,
 				Events: ws.events - evStart,
 				ProcNS: p, SyncNS: s1 + s2, MsgNS: mNS, WaitGlobalNS: s1,

@@ -353,6 +353,9 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 	ctx := sim.NewCtx(sink, int(r.id))
 	probe := k.Observe
 	var iter uint64
+	// rec escapes through the probe interface call; hoisted so the
+	// allocation is per run, not per round (probes copy the pointee).
+	var rec obs.RoundRecord
 	var sw metrics.Stopwatch
 	sw.Start()
 	var buf []nmMsg
@@ -442,7 +445,7 @@ func (k *NullMessageKernel) rankLoop(r *nmRank, ranks []*nmRank, lpOf []int32, s
 			r.s += sNS
 		}
 		if probe != nil {
-			rec := obs.RoundRecord{
+			rec = obs.RoundRecord{
 				Round: iter, Worker: r.id, LBTS: safe,
 				Events: r.events - evStart,
 				ProcNS: pNS, SyncNS: sNS, MsgNS: m1 + m2,

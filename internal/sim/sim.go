@@ -311,6 +311,11 @@ type WorkerStats struct {
 	S      int64  `json:"s_ns"`
 	M      int64  `json:"m_ns"`
 	Events uint64 `json:"events"`
+	// StragglerRounds counts synchronization rounds in which this worker
+	// had the largest processing time — the round's critical path. Filled
+	// by the imbalance diagnostics pass (internal/obs) when a telemetry
+	// probe observed the run; zero otherwise.
+	StragglerRounds uint64 `json:"straggler_rounds,omitempty"`
 }
 
 // T returns the worker's total accounted time.
@@ -350,6 +355,54 @@ type RunStats struct {
 
 	// RoundTrace, if enabled on the kernel, holds per-round samples.
 	RoundTrace []RoundSample `json:"round_trace,omitempty"`
+
+	// Imbalance is the per-round load-imbalance summary computed by the
+	// imbalance diagnostics pass (internal/obs) when a telemetry probe
+	// observed the run; nil otherwise. This is the input signal for
+	// cross-rank LP migration (ROADMAP item 3).
+	Imbalance *Imbalance `json:"imbalance,omitempty"`
+	// TelemetryDrops counts live-telemetry bus events dropped because a
+	// subscriber (e.g. an attached unimon) fell behind. Dropped events
+	// only ever thin the live view; they never affect the simulation.
+	TelemetryDrops uint64 `json:"telemetry_drops,omitempty"`
+}
+
+// Imbalance summarizes per-round load imbalance across the workers (or
+// ranks) of a run: for every synchronization round with full worker
+// coverage, the ratio max(P)/mean(P) of per-worker processing time is
+// accumulated. A perfectly balanced run has every ratio at 1.0; the
+// paper's load-adaptive scheduler exists to push the mean toward it.
+// The JSON tags are a stable contract for run_stats.json consumers.
+type Imbalance struct {
+	// Rounds is the number of rounds the summary covers (rounds where
+	// every worker reported and total processing time was nonzero).
+	Rounds uint64 `json:"rounds"`
+	// MeanMaxOverMean is the average over covered rounds of
+	// max(worker P) / mean(worker P).
+	MeanMaxOverMean float64 `json:"mean_max_over_mean"`
+	// WorstMaxOverMean is the largest per-round ratio observed, with the
+	// round it occurred in and the worker on the critical path.
+	WorstMaxOverMean float64 `json:"worst_max_over_mean"`
+	WorstRound       uint64  `json:"worst_round"`
+	WorstWorker      int32   `json:"worst_worker"`
+	// StragglerWorker is the worker most often on the round critical
+	// path, and StragglerShare the fraction of covered rounds it was.
+	StragglerWorker int32   `json:"straggler_worker"`
+	StragglerShare  float64 `json:"straggler_share"`
+	// Migrations totals the scheduler's LP migrations over covered rounds.
+	Migrations uint64 `json:"migrations"`
+}
+
+// String renders a one-line human summary:
+//
+//	imbalance: 1.18x mean / 2.40x worst (round 17, worker 3), straggler w3 41%, 128 migrations
+func (im *Imbalance) String() string {
+	if im == nil || im.Rounds == 0 {
+		return "imbalance: no covered rounds"
+	}
+	return fmt.Sprintf("imbalance: %.2fx mean / %.2fx worst (round %d, worker %d), straggler w%d %.0f%%, %d migrations",
+		im.MeanMaxOverMean, im.WorstMaxOverMean, im.WorstRound, im.WorstWorker,
+		im.StragglerWorker, 100*im.StragglerShare, im.Migrations)
 }
 
 // TotalP returns the sum of worker processing times.
@@ -389,5 +442,12 @@ func (r *RunStats) String() string {
 		fmt.Fprintf(&b, ", virtual %.3fs", float64(r.VirtualT)/1e9)
 	}
 	fmt.Fprintf(&b, ", wall %.3fs, S %.1f%%", float64(r.WallNS)/1e9, 100*r.SRatio())
+	if r.Imbalance != nil && r.Imbalance.Rounds > 0 {
+		fmt.Fprintf(&b, ", imbalance %.2fx mean / %.2fx worst",
+			r.Imbalance.MeanMaxOverMean, r.Imbalance.WorstMaxOverMean)
+	}
+	if r.TelemetryDrops > 0 {
+		fmt.Fprintf(&b, ", %d telemetry drops", r.TelemetryDrops)
+	}
 	return b.String()
 }

@@ -39,6 +39,7 @@ import (
 	"unison/internal/netdev"
 	"unison/internal/netobs"
 	"unison/internal/obs"
+	"unison/internal/obs/live"
 	"unison/internal/packet"
 	"unison/internal/pdes"
 	"unison/internal/routing"
@@ -454,6 +455,56 @@ func NewRegistry(capPerWorker int) *Registry { return obs.NewRegistry(capPerWork
 // one thread track per worker with a span per round phase, plus LBTS and
 // event-rate counter tracks.
 var WritePerfetto = obs.WritePerfetto
+
+// --- Live telemetry (internal/obs + internal/obs/live) ---
+//
+// A TelemetryBus in front of a kernel's probe fans records out to
+// watchers without touching the hot path: publishing is non-blocking
+// (slow subscribers lose events, counted per subscriber), and an
+// unattached bus costs one atomic load per probe call. cmd CLIs wire a
+// bus + HTTP server via live.StartSession and stream snapshots to
+// cmd/unimon; ImbalanceTracker computes the per-round load-imbalance
+// diagnostics that land in RunStats.Imbalance.
+
+type (
+	// TelemetryBus is a Probe that forwards to an inner probe and
+	// broadcasts every call to subscribers on bounded channels.
+	TelemetryBus = obs.Bus
+	// TelemetrySub is one bus subscription (channel + drop counter).
+	TelemetrySub = obs.Sub
+	// TelemetryEvent is one bus message: a begin/round/end notification.
+	TelemetryEvent = obs.BusEvent
+	// ImbalanceTracker derives per-round max/mean processing-time ratios,
+	// straggler attribution and migration counts from round records.
+	ImbalanceTracker = obs.ImbalanceTracker
+	// Imbalance is the run-level load-imbalance summary stamped into
+	// RunStats.Imbalance (and run_stats.json).
+	Imbalance = sim.Imbalance
+	// LiveSnapshot is the point-in-time view cmd/unimon renders, served
+	// as JSON and SSE by a live session.
+	LiveSnapshot = live.Snapshot
+	// LiveSession is the one-call -live wiring for CLIs: bus + imbalance
+	// tracker + state + HTTP server.
+	LiveSession = live.Session
+	// BundleDiff is the metric-by-metric comparison of two artifact
+	// bundles (`unitrace diff`).
+	BundleDiff = netobs.BundleDiff
+)
+
+var (
+	// NewTelemetryBus returns a bus forwarding to inner (nil for none).
+	NewTelemetryBus = obs.NewBus
+	// NewImbalanceTracker returns an empty tracker; attach it as a probe
+	// (or behind a bus) and call Apply after the run.
+	NewImbalanceTracker = obs.NewImbalanceTracker
+	// TeeProbes fans probe calls out to several probes in order.
+	TeeProbes = obs.Tee
+	// StartLiveSession starts live telemetry for one CLI run: returns a
+	// session whose Probe() streams to watchers on addr.
+	StartLiveSession = live.StartSession
+	// DiffBundles compares two artifact directories metric by metric.
+	DiffBundles = netobs.DiffBundles
+)
 
 // --- Simulated-network observability (internal/netobs) ---
 //
