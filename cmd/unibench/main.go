@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -69,17 +70,40 @@ type report struct {
 	Go         string            `json:"go"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Generated  string            `json:"generated"`
-	Current    map[string]sample `json:"current"`
-	Seed       map[string]sample `json:"seed,omitempty"`
+	Current    map[string]sample `json:"current"`        //unison:json-ok keys are the fixed kernelOrder names; encoding/json sorts string keys
+	Seed       map[string]sample `json:"seed,omitempty"` //unison:json-ok keys are the fixed kernelOrder names; encoding/json sorts string keys
 	SeedNote   string            `json:"seed_note,omitempty"`
-	Delta      map[string]delta  `json:"delta,omitempty"`
+	Delta      map[string]delta  `json:"delta,omitempty"` //unison:json-ok keys are the fixed kernelOrder names; encoding/json sorts string keys
 	// RunStats embeds each kernel's final-iteration run summary (stable
 	// JSON tags from internal/sim) so a report carries the P/S/M split,
 	// not just throughput.
-	RunStats map[string]*sim.RunStats `json:"run_stats,omitempty"`
+	RunStats map[string]*sim.RunStats `json:"run_stats,omitempty"` //unison:json-ok keys are the fixed kernelOrder names; encoding/json sorts string keys
 	// Fidelity embeds each kernel's simulated results (percentile FCTs,
 	// drops, fingerprint) from the final iteration.
-	Fidelity map[string]fidelity `json:"fidelity,omitempty"`
+	Fidelity map[string]fidelity `json:"fidelity,omitempty"` //unison:json-ok keys are the fixed kernelOrder names; encoding/json sorts string keys
+}
+
+// scrub replaces non-finite floats with 0 so the report encode can never
+// fail at run end (e.g. an allocs ratio against a zero-alloc seed).
+func (r *report) scrub() {
+	for k, d := range r.Delta { //unison:ordered per-key rewrite, each key written independently
+		d.EventsSpeedup = finite(d.EventsSpeedup)
+		d.AllocsRatio = finite(d.AllocsRatio)
+		r.Delta[k] = d
+	}
+	for k, f := range r.Fidelity { //unison:ordered per-key rewrite, each key written independently
+		f.P50FCTms = finite(f.P50FCTms)
+		f.P99FCTms = finite(f.P99FCTms)
+		r.Fidelity[k] = f
+	}
+}
+
+// finite maps NaN and ±Inf to 0.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
 }
 
 // kernelOrder fixes the iteration and report order.
@@ -334,6 +358,7 @@ func main() {
 		}
 	}
 
+	rep.scrub()
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unibench: %v\n", err)

@@ -110,6 +110,20 @@ type scaleReport struct {
 	Sweep      []sweepRow    `json:"sweep"`
 }
 
+// scrub replaces non-finite floats with 0 so the report encode cannot
+// fail at run end (a zero-duration sequential run would make Speedup Inf).
+func (r *scaleReport) scrub() {
+	for i := range r.Runs {
+		r.Runs[i].WallMs = finite(r.Runs[i].WallMs)
+	}
+	for i := range r.Sweep {
+		s := &r.Sweep[i]
+		s.SeqVirtualMs = finite(s.SeqVirtualMs)
+		s.UniVirtualMs = finite(s.UniVirtualMs)
+		s.Speedup = finite(s.Speedup)
+	}
+}
+
 const (
 	scaleStop = 40 * sim.Millisecond
 	scaleLoad = 0.3
@@ -311,6 +325,7 @@ func runScale(out string, maxK, threads int, gate bool) error {
 			s.K, s.Cores, s.SeqVirtualMs, s.UniVirtualMs, s.Speedup)
 	}
 
+	rep.scrub()
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

@@ -61,6 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		snap.Scrub()
 		out, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -75,6 +76,7 @@ func main() {
 	err := live.Watch(ctx, *addr, func(snap *live.Snapshot) bool {
 		last = snap
 		if *ndjson {
+			snap.Scrub()
 			if err := enc.Encode(snap); err != nil {
 				return false
 			}
@@ -121,8 +123,8 @@ func verify(path string, snap *live.Snapshot) {
 		fatal(fmt.Errorf("expect-stats: parsing %s: %w", path, err))
 	}
 	if !reflect.DeepEqual(&want, snap.Final) {
-		a, _ := json.Marshal(&want)
-		b, _ := json.Marshal(snap.Final)
+		a, _ := json.Marshal(&want)      //unison:json-ok diagnostic stderr dump on mismatch, not a run artifact
+		b, _ := json.Marshal(snap.Final) //unison:json-ok diagnostic stderr dump on mismatch, not a run artifact
 		fmt.Fprintf(os.Stderr, "unimon: final snapshot disagrees with %s\n  file:     %s\n  snapshot: %s\n", path, a, b)
 		os.Exit(1)
 	}

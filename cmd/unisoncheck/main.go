@@ -1,11 +1,15 @@
-// Command unisoncheck runs the unison analyzer suite (wallclock,
-// maporder, owner, seedflow, deprecated — see DESIGN.md §9) over Go
+// Command unisoncheck runs the unison analyzer suite — the syntactic
+// determinism/ownership analyzers (wallclock, maporder, owner, seedflow,
+// deprecated, arena — see DESIGN.md §9) and the flow-sensitive ones
+// (ckptfields, poolescape, statejson — see DESIGN.md §14) — over Go
 // packages. It works two ways:
 //
-// Standalone, on package patterns (exit 1 if anything is found):
+// Standalone, on package patterns (exit 1 if anything is found;
+// -json or -sarif switch stdout to machine-readable findings):
 //
 //	go run ./cmd/unisoncheck ./...
 //	unisoncheck -tests=false ./internal/core/
+//	unisoncheck -sarif ./... > findings.sarif
 //
 // Or as a go vet tool, which lets the go command drive per-package
 // analysis with its build cache (exit 2 on findings, the vet convention):
@@ -23,7 +27,6 @@ import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
-	"go/token"
 	"io"
 	"os"
 	"path/filepath"
@@ -55,11 +58,16 @@ func main() {
 
 	tests := flag.Bool("tests", true, "also analyze test files (per-package test variants)")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	asSARIF := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: unisoncheck [-tests=false] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: unisoncheck [-tests=false] [-json|-sarif] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *asJSON && *asSARIF {
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
 
 	if *list {
 		for _, a := range analyzers.All() {
@@ -82,7 +90,7 @@ func main() {
 		fatal(err)
 	}
 
-	found := 0
+	var findings []finding
 	for _, pkg := range pkgs {
 		pass := &analysis.Pass{
 			Fset:       fset,
@@ -92,12 +100,25 @@ func main() {
 			Directives: analysis.NewDirectives(fset, pkg.Files),
 		}
 		for _, d := range runSuite(pass) {
-			found++
-			printDiag(fset, wd, d)
+			f := resolve(fset, wd, d)
+			findings = append(findings, f)
+			if !*asJSON && !*asSARIF {
+				printDiag(f)
+			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "unisoncheck: %d finding(s)\n", found)
+	switch {
+	case *asJSON:
+		if err := writeJSON(findings); err != nil {
+			fatal(err)
+		}
+	case *asSARIF:
+		if err := writeSARIF(findings); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "unisoncheck: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -124,15 +145,10 @@ type diag struct {
 	d        analysis.Diagnostic
 }
 
-func printDiag(fset *token.FileSet, wd string, d diag) {
-	pos := fset.Position(d.d.Pos)
-	name := pos.Filename
-	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-		name = rel
-	}
-	fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.analyzer, d.d.Message)
-	for _, fix := range d.d.SuggestedFixes {
-		fmt.Printf("\tsuggested fix: %s\n", fix.Message)
+func printDiag(f finding) {
+	fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+	for _, fix := range f.Fixes {
+		fmt.Printf("\tsuggested fix: %s\n", fix)
 	}
 }
 

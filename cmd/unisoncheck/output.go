@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"unison/internal/analysis/analyzers"
+)
+
+// finding is one diagnostic resolved to a file position — the unit both
+// machine formats serialize.
+type finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Fixes    []string `json:"suggested_fixes,omitempty"`
+}
+
+func resolve(fset *token.FileSet, wd string, d diag) finding {
+	pos := fset.Position(d.d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	f := finding{
+		File:     name,
+		Line:     pos.Line,
+		Column:   pos.Column,
+		Analyzer: d.analyzer,
+		Message:  d.d.Message,
+	}
+	for _, fix := range d.d.SuggestedFixes {
+		f.Fixes = append(f.Fixes, fix.Message)
+	}
+	return f
+}
+
+// writeJSON renders findings as one indented JSON array on stdout — the
+// shape CI annotations and editor integrations consume directly.
+func writeJSON(findings []finding) error {
+	if findings == nil {
+		findings = []finding{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	//unison:json-ok diagnostics carry no float fields; positions are ints
+	return enc.Encode(findings)
+}
+
+// SARIF 2.1.0 (minimal subset): one run, one rule per analyzer, one
+// result per finding. Enough for GitHub code scanning and sarif-viewer.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(findings []finding) error {
+	driver := sarifDriver{Name: "unisoncheck"}
+	for _, a := range analyzers.All() {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: doc},
+		})
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	//unison:json-ok SARIF payload is strings and int positions
+	return enc.Encode(log)
+}

@@ -50,6 +50,25 @@ type Pass struct {
 
 	// Report delivers one diagnostic. Never nil.
 	Report func(Diagnostic)
+
+	// cfgs memoizes FuncCFG results by body. Lazily initialized; drivers
+	// that copy the Pass per analyzer each get an independent cache.
+	cfgs map[*ast.BlockStmt]*CFG
+}
+
+// FuncCFG returns the control-flow graph of body, building it on first
+// use and memoizing. body is the Body of a FuncDecl or FuncLit; nil
+// yields a trivial entry→exit graph.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	if c, ok := p.cfgs[body]; ok {
+		return c
+	}
+	c := NewCFG(body)
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	p.cfgs[body] = c
+	return c
 }
 
 // Reportf reports a formatted diagnostic at pos with no suggested fixes.

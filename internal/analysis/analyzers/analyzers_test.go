@@ -47,3 +47,15 @@ func TestDeprecated(t *testing.T) {
 		"unison/internal/traffic", // the generator's own package is exempt
 	)
 }
+
+func TestCkptfields(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Ckptfields, "ckptfields")
+}
+
+func TestPoolescape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Poolescape, "poolescape")
+}
+
+func TestStatejson(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analyzers.Statejson, "statejson")
+}

@@ -1,0 +1,462 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unison/internal/analysis"
+)
+
+// Ckptfields proves checkpoint coverage: for every type implementing the
+// ckpt.Checkpointer shape (CkptSave/CkptLoad method pair), each field of
+// the receiver struct — and of every package-local struct the save path
+// touches — must be read somewhere in the CkptSave call tree AND written
+// somewhere in the CkptLoad call tree, or carry an explicit
+// //unison:ckpt-skip REASON annotation on its declaration. A field added
+// to a stateful layer can then never silently break kill/restore
+// bit-identity: the analyzer fails the build until the field is either
+// serialized on both sides or declared derived/config with a reason.
+var Ckptfields = &analysis.Analyzer{
+	Name: "ckptfields",
+	Doc: `report struct fields missing from a CkptSave/CkptLoad pair
+
+For every package type with CkptSave/CkptLoad methods, every field of the
+receiver struct and of each package-local struct mentioned by the save
+path must be read in CkptSave and written in CkptLoad, transitively
+through same-package helpers (two call levels). Fields of sync.Mutex-like
+types are exempt automatically; intentionally unserialized fields
+(config, derived caches, wiring) are annotated:
+
+	cfg Config //unison:ckpt-skip static config, never mutated mid-run
+
+A ckpt-skip directive without a reason is itself a diagnostic.`,
+	Run: runCkptfields,
+}
+
+func runCkptfields(pass *analysis.Pass) error {
+	// Index every function declaration (methods included) so call trees
+	// expand without re-walking files, and every struct field by owner.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	testFile := make(map[*ast.File]bool)
+	for _, file := range pass.Files {
+		testFile[file] = isTestFile(pass, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	idx := newFieldIndex(pass)
+	if idx == nil {
+		return nil
+	}
+
+	// Find the CkptSave/CkptLoad pairs declared outside test files, in
+	// file order so diagnostics are deterministic.
+	type pair struct {
+		recv       *types.Named
+		save, load *ast.FuncDecl
+	}
+	saves := make(map[*types.Named]*ast.FuncDecl)
+	loads := make(map[*types.Named]*ast.FuncDecl)
+	var order []*types.Named
+	for _, file := range pass.Files {
+		if testFile[file] {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := namedRecv(fn)
+			if recv == nil {
+				continue
+			}
+			switch fn.Name() {
+			case "CkptSave":
+				saves[recv] = fd
+				order = append(order, recv)
+			case "CkptLoad":
+				loads[recv] = fd
+			}
+		}
+	}
+	var pairs []pair
+	for _, recv := range order {
+		if load, ok := loads[recv]; ok {
+			pairs = append(pairs, pair{recv: recv, save: saves[recv], load: load})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	// Union coverage across all pairs in the package: helper structs may
+	// be shared between checkpointers.
+	saved := make(map[*types.Var]bool)
+	loaded := make(map[*types.Var]bool)
+	checked := make(map[*types.Named]string) // struct -> checkpointer name
+	for _, p := range pairs {
+		checked[p.recv] = p.recv.Obj().Name()
+		saveScope := expandScope(pass, p.save, decls, 2)
+		loadScope := expandScope(pass, p.load, decls, 2)
+		for _, fd := range saveScope {
+			collectMentions(pass, idx, fd.Body, func(f *types.Var, owner *types.Named, _ bool) {
+				saved[f] = true
+				if _, ok := checked[owner]; !ok {
+					checked[owner] = p.recv.Obj().Name()
+				}
+			})
+		}
+		for _, fd := range loadScope {
+			collectMentions(pass, idx, fd.Body, func(f *types.Var, _ *types.Named, write bool) {
+				if write {
+					loaded[f] = true
+				}
+			})
+		}
+	}
+
+	// Report every uncovered, unannotated field of each checked struct.
+	for owner, ckptName := range checked {
+		st, ok := owner.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if autoExemptField(f) {
+				continue
+			}
+			if file := fileOf(pass, f.Pos()); file == nil || testFile[file] {
+				continue
+			}
+			ok, missing := escaped(pass, f.Pos(), "ckpt-skip")
+			if ok && missing {
+				pass.Reportf(f.Pos(), "//unison:ckpt-skip on %s.%s needs a reason explaining why this field is not checkpointed", owner.Obj().Name(), f.Name())
+				continue
+			}
+			if ok {
+				continue
+			}
+			if !saved[f] {
+				pass.Reportf(f.Pos(), "field %s.%s is not read by (%s).CkptSave: checkpointed state must round-trip — serialize it or annotate //unison:ckpt-skip REASON", owner.Obj().Name(), f.Name(), ckptName)
+			}
+			if !loaded[f] {
+				pass.Reportf(f.Pos(), "field %s.%s is not written by (%s).CkptLoad: checkpointed state must round-trip — restore it or annotate //unison:ckpt-skip REASON", owner.Obj().Name(), f.Name(), ckptName)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldIndex maps each struct field object of the package to the named
+// type declaring it.
+type fieldIndex struct {
+	owner map[*types.Var]*types.Named
+}
+
+func newFieldIndex(pass *analysis.Pass) *fieldIndex {
+	if pass.Pkg == nil {
+		return nil
+	}
+	idx := &fieldIndex{owner: make(map[*types.Var]*types.Named)}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			idx.owner[st.Field(i)] = named
+		}
+	}
+	return idx
+}
+
+// autoExemptField reports whether f never needs checkpointing by type:
+// synchronization primitives carry no restorable state.
+func autoExemptField(f *types.Var) bool {
+	t := f.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Pool":
+		return true
+	}
+	return false
+}
+
+func namedRecv(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// expandScope returns root plus the same-package functions its body
+// calls, transitively up to depth call levels, deduplicated.
+func expandScope(pass *analysis.Pass, root *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, depth int) []*ast.FuncDecl {
+	out := []*ast.FuncDecl{root}
+	seen := map[*ast.FuncDecl]bool{root: true}
+	frontier := []*ast.FuncDecl{root}
+	for level := 0; level < depth; level++ {
+		var next []*ast.FuncDecl
+		for _, fd := range frontier {
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil {
+					return true
+				}
+				callee, ok := decls[fn]
+				if !ok || seen[callee] {
+					return true
+				}
+				seen[callee] = true
+				out = append(out, callee)
+				next = append(next, callee)
+				return true
+			})
+		}
+		frontier = next
+	}
+	return out
+}
+
+// collectMentions walks body and calls report for every struct-field
+// mention resolving to a package-declared struct, with write=true when
+// the mention appears in a writing context (assignment target, &-taken,
+// method-call receiver, bare-path call argument, ++/--, range target, or
+// covered by a whole-struct write). Intermediate embedded fields along a
+// promoted selection are mentioned too.
+func collectMentions(pass *analysis.Pass, idx *fieldIndex, body ast.Node, report func(f *types.Var, owner *types.Named, write bool)) {
+	if body == nil {
+		return
+	}
+	info := pass.TypesInfo
+
+	mentionSel := func(sel *ast.SelectorExpr, write bool) {
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return
+		}
+		// Walk the index path so promoted accesses mention the embedded
+		// hops as well as the final field.
+		t := s.Recv()
+		for _, i := range s.Index() {
+			t = derefType(t)
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				return
+			}
+			f := st.Field(i)
+			if owner, ok := idx.owner[f]; ok {
+				report(f, owner, write)
+			}
+			t = f.Type()
+		}
+	}
+
+	// markWrites flags every field selector inside e as written (and
+	// mentioned); used for assignment targets and similar contexts.
+	var markWrites func(e ast.Expr)
+	markWrites = func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				mentionSel(sel, true)
+			}
+			return true
+		})
+	}
+
+	// markStructWrite covers every field of a whole-struct write target
+	// type, recursing into embedded/nested value structs. The target must
+	// be a struct VALUE (`*c = conn{…}`, `xs[i] = decode(d)`): binding a
+	// pointer (`d := &n.devs[i]`) writes no fields.
+	var markStructWrite func(t types.Type, depth int)
+	markStructWrite = func(t types.Type, depth int) {
+		if depth > 3 || t == nil {
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if owner, ok := idx.owner[f]; ok {
+				report(f, owner, true)
+			}
+			if _, isStruct := derefType(f.Type()).Underlying().(*types.Struct); isStruct {
+				if _, isPtr := f.Type().(*types.Pointer); !isPtr {
+					markStructWrite(f.Type(), depth+1)
+				}
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			mentionSel(n, false)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrites(lhs)
+				markStructWrite(info.TypeOf(lhs), 0)
+			}
+		case *ast.IncDecStmt:
+			markWrites(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWrites(n.X)
+			}
+		case *ast.RangeStmt:
+			markWrites(n.X)
+		case *ast.CallExpr:
+			if fun, ok := n.Fun.(*ast.SelectorExpr); ok && info.Selections[fun] != nil {
+				markWrites(fun.X)
+			}
+			if !isLenCapCall(n) {
+				for _, arg := range n.Args {
+					if isBarePath(arg) {
+						markWrites(arg)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			markCompositeLit(pass, idx, n, report)
+		}
+		return true
+	})
+}
+
+// markCompositeLit treats a struct composite literal as mention+write of
+// its keyed fields, or of every field when positional.
+func markCompositeLit(pass *analysis.Pass, idx *fieldIndex, lit *ast.CompositeLit, report func(f *types.Var, owner *types.Named, write bool)) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if f, ok := pass.TypesInfo.Uses[key].(*types.Var); ok {
+			if owner, ok := idx.owner[f]; ok {
+				report(f, owner, true)
+			}
+		}
+	}
+	if !keyed && len(lit.Elts) > 0 {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if owner, ok := idx.owner[f]; ok {
+				report(f, owner, true)
+			}
+		}
+	}
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isLenCapCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && (id.Name == "len" || id.Name == "cap")
+}
+
+// isBarePath reports whether e is a plain variable/field path (possibly
+// indexed, dereferenced, or sliced) rather than a computed expression.
+func isBarePath(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"unison/internal/analysis"
+)
+
+// Poolescape tracks pooled objects along control-flow paths and flags
+// any use reachable after the object returns to its pool. Pooled objects
+// in this codebase — sync.Pool event contexts (the netdev pktEvt / tcp
+// timerEvt cycle) and index-recycled arena slots (eventq arena, tcp conn
+// arena) — are exclusive between acquire and release; a read, write, or
+// captured reference after release races with the next acquirer and is
+// exactly the class of bug the PR 1 hot path made possible.
+//
+// Acquire sites are (*sync.Pool).Get calls and calls to same-package
+// functions whose doc comment carries //unison:pool-get. Release sites
+// are (*sync.Pool).Put and //unison:pool-put functions; an annotated
+// release also retires every object acquired from the same arena path
+// (index-based release). Deferred releases run at function exit and are
+// ignored. Unlike the determinism analyzers, poolescape checks _test.go
+// files too: tests exercise pool cycles directly.
+var Poolescape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: `report uses of pooled objects after their release
+
+Objects obtained from sync.Pool.Get or a //unison:pool-get function must
+not be read, written, or captured by a closure on any path after
+sync.Pool.Put / a //unison:pool-put call releases them. Copy what you
+need out of the object before releasing, or annotate a safe use:
+
+	pktEvtPool.Put(e)
+	dispatch(c, p) // copies taken before Put
+	stats.recycled++
+	_ = e.seq //unison:pool-ok diagnostic counter, slot not yet reusable
+
+A pool-ok directive without a reason is itself a diagnostic.`,
+	Run: runPoolescape,
+}
+
+func runPoolescape(pass *analysis.Pass) error {
+	// Index doc-annotated acquire/release functions of this package.
+	poolGet := make(map[*types.Func]bool)
+	poolPut := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if dir, ok := analysis.ParseDirective(c); ok {
+					switch dir.Name {
+					case "pool-get":
+						poolGet[fn] = true
+					case "pool-put":
+						poolPut[fn] = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolBody(pass, fd.Body, poolGet, poolPut)
+		}
+	}
+	return nil
+}
+
+// poolGroup is one acquire site's alias set: every variable bound to the
+// pooled object, plus the arena path it came from.
+type poolGroup struct {
+	id   int
+	root string // acquire receiver path, e.g. "h.arena"; "" for plain Get
+	name string // representative variable name for diagnostics
+}
+
+// poolScope is the per-function analysis state.
+type poolScope struct {
+	pass    *analysis.Pass
+	poolGet map[*types.Func]bool
+	poolPut map[*types.Func]bool
+
+	groups  []*poolGroup
+	varOf   map[*types.Var]*poolGroup
+	byRoot  map[string][]*poolGroup
+	nextLit []*ast.FuncLit // nested literals to analyze independently
+}
+
+// checkPoolBody analyzes one function body, then recurses into the
+// function literals it contains (each literal is its own scope: a pooled
+// object acquired inside runs its lifetime per invocation).
+func checkPoolBody(pass *analysis.Pass, body *ast.BlockStmt, poolGet, poolPut map[*types.Func]bool) {
+	sc := &poolScope{
+		pass:    pass,
+		poolGet: poolGet,
+		poolPut: poolPut,
+		varOf:   make(map[*types.Var]*poolGroup),
+		byRoot:  make(map[string][]*poolGroup),
+	}
+	sc.collectGroups(body)
+	if len(sc.groups) > 0 {
+		sc.solve(body)
+	}
+	for _, lit := range sc.nextLit {
+		checkPoolBody(pass, lit.Body, poolGet, poolPut)
+	}
+}
+
+// collectGroups walks the body (pruning nested literals) binding
+// variables to acquire sites, flow-insensitively: `e := pool.Get().(*T)`
+// starts a group, `f := e` joins f to it.
+func (sc *poolScope) collectGroups(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			sc.nextLit = append(sc.nextLit, lit)
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 {
+			return true
+		}
+		// Single-RHS forms: acquire call or alias copy.
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		rhs := unwrapExpr(as.Rhs[0])
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			root, isAcq := sc.acquireRoot(call)
+			if !isAcq {
+				return true
+			}
+			g := &poolGroup{id: len(sc.groups), root: root}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if g.name == "" {
+					g.name = id.Name
+				}
+				if v := sc.identVar(id); v != nil {
+					sc.varOf[v] = g
+				}
+			}
+			if g.name != "" {
+				sc.groups = append(sc.groups, g)
+				if root != "" {
+					sc.byRoot[root] = append(sc.byRoot[root], g)
+				}
+			}
+			return true
+		}
+		if id, ok := rhs.(*ast.Ident); ok && len(as.Lhs) == 1 {
+			if src := sc.identVar(id); src != nil {
+				if g, tracked := sc.varOf[src]; tracked {
+					if dst, ok := as.Lhs[0].(*ast.Ident); ok && dst.Name != "_" {
+						if v := sc.identVar(dst); v != nil {
+							sc.varOf[v] = g
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// acquireRoot classifies call as an acquire site, returning the arena
+// path ("" for sync.Pool.Get) and whether it is one.
+func (sc *poolScope) acquireRoot(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(sc.pass, call)
+	if fn == nil {
+		return "", false
+	}
+	if isSyncPoolMethod(fn, "Get") {
+		return "", true
+	}
+	if sc.poolGet[fn] {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sc.pass.TypesInfo.Selections[sel] != nil {
+			return exprString(sel.X), true
+		}
+		return "", true
+	}
+	return "", false
+}
+
+// releasedGroups classifies call as a release site, returning the groups
+// it retires.
+func (sc *poolScope) releasedGroups(call *ast.CallExpr) []*poolGroup {
+	fn := calleeFunc(sc.pass, call)
+	if fn == nil {
+		return nil
+	}
+	var out []*poolGroup
+	addArg := func() {
+		for _, arg := range call.Args {
+			if id, ok := unwrapExpr(arg).(*ast.Ident); ok {
+				if v := sc.identVar(id); v != nil {
+					if g, tracked := sc.varOf[v]; tracked {
+						out = append(out, g)
+					}
+				}
+			}
+		}
+	}
+	switch {
+	case isSyncPoolMethod(fn, "Put"):
+		addArg()
+	case sc.poolPut[fn]:
+		addArg()
+		// Index-based release: retire everything acquired from the same
+		// arena path.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sc.pass.TypesInfo.Selections[sel] != nil {
+			out = append(out, sc.byRoot[exprString(sel.X)]...)
+		}
+	}
+	return out
+}
+
+// solve runs the may-released dataflow and reports uses after release.
+func (sc *poolScope) solve(body *ast.BlockStmt) {
+	cfg := sc.pass.FuncCFG(body)
+	in := analysis.Solve(analysis.FlowProblem{
+		CFG: cfg,
+		Transfer: func(n ast.Node, facts analysis.FactSet) {
+			sc.transfer(n, facts)
+		},
+	})
+	for _, b := range cfg.Blocks {
+		facts := in[b].Clone()
+		for _, n := range b.Nodes {
+			sc.checkUses(n, facts)
+			sc.transfer(n, facts)
+		}
+	}
+}
+
+func relPrefix(g *poolGroup) string { return "rel:" + strconv.Itoa(g.id) + ":" }
+
+func (sc *poolScope) transfer(n ast.Node, facts analysis.FactSet) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // deferred releases run at exit
+	}
+	for _, owned := range analysis.NodeOwnedChildren(n) {
+		ast.Inspect(owned, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				for _, g := range sc.releasedGroups(m) {
+					line := sc.pass.Fset.Position(m.Pos()).Line
+					facts[relPrefix(g)+strconv.Itoa(line)] = true
+				}
+			case *ast.AssignStmt:
+				// Rebinding a tracked variable to a fresh value revives
+				// its group (the common reuse-in-loop pattern).
+				for _, lhs := range m.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v := sc.identVar(id); v != nil {
+							if g, tracked := sc.varOf[v]; tracked {
+								facts.KillPrefix(relPrefix(g))
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkUses reports tracked-variable mentions while their group holds a
+// released fact.
+func (sc *poolScope) checkUses(n ast.Node, facts analysis.FactSet) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	report := func(pos token.Pos, g *poolGroup, name, how string) {
+		fact, _ := facts.AnyPrefix(relPrefix(g))
+		line := strings.TrimPrefix(fact, relPrefix(g))
+		ok, missing := escaped(sc.pass, pos, "pool-ok")
+		if ok && missing {
+			sc.pass.Reportf(pos, "//unison:pool-ok needs a reason explaining why touching %s after release is safe", name)
+			return
+		}
+		if ok {
+			return
+		}
+		sc.pass.Reportf(pos, "%s %s after it may be released to its pool (released at line %s): the slot can be reacquired concurrently — copy state out before release or annotate //unison:pool-ok REASON", how, name, line)
+	}
+	for _, owned := range analysis.NodeOwnedChildren(n) {
+		var walk func(m ast.Node)
+		walk = func(m ast.Node) {
+			ast.Inspect(m, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.FuncLit:
+					// A closure capturing a possibly-released object is an
+					// escape even if it never runs here. Report in a
+					// stable order.
+					var caps []*poolGroup
+					seen := map[*poolGroup]bool{}
+					for v, g := range sc.varOf { //unison:ordered sortGroups below imposes acquire order
+						if seen[g] {
+							continue
+						}
+						if _, rel := facts.AnyPrefix(relPrefix(g)); !rel {
+							continue
+						}
+						if capturesVar(sc.pass, x, v) {
+							seen[g] = true
+							caps = append(caps, g)
+						}
+					}
+					sortGroups(caps)
+					for _, g := range caps {
+						report(x.Pos(), g, g.name, "closure captures")
+					}
+					return false
+				case *ast.AssignStmt:
+					// Bare-ident rebinds are kills, not uses; everything
+					// else on both sides is a use.
+					for _, lhs := range x.Lhs {
+						if _, ok := lhs.(*ast.Ident); !ok {
+							walk(lhs)
+						}
+					}
+					for _, rhs := range x.Rhs {
+						walk(rhs)
+					}
+					return false
+				case *ast.Ident:
+					if v := sc.identVar(x); v != nil {
+						if g, tracked := sc.varOf[v]; tracked {
+							if _, rel := facts.AnyPrefix(relPrefix(g)); rel {
+								report(x.Pos(), g, x.Name, "use of")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		walk(owned)
+	}
+}
+
+func sortGroups(gs []*poolGroup) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].id < gs[j-1].id; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+func (sc *poolScope) identVar(id *ast.Ident) *types.Var {
+	if v, ok := sc.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := sc.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func capturesVar(pass *analysis.Pass, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if u, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && u == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isSyncPoolMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+func unwrapExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"unison/internal/analysis"
+)
+
+// Statejson enforces stable-JSON discipline on structs marshaled into
+// run artifacts (RunStats, WorkerStats, flowmon reports, coll reports,
+// live snapshots, scenario echoes). Artifact bundles are compared
+// byte-for-byte across kernels, ranks, and kill/restore runs, so their
+// JSON must be deterministic and diff-friendly:
+//
+//   - every exported field carries an explicit json tag — a rename can
+//     then never silently change the wire format;
+//   - no exported map field without a canonical MarshalJSON — Go's
+//     default map marshal order is lexical today but that is an
+//     implementation detail, and semantic ordering (insertion, numeric)
+//     is lost either way;
+//   - a struct with float fields must be NaN/Inf-scrubbed on every path
+//     before marshaling — encoding/json errors out on non-finite values,
+//     turning one empty percentile into a lost artifact at run end.
+var Statejson = &analysis.Analyzer{
+	Name: "statejson",
+	Doc: `enforce stable-JSON discipline on marshaled artifact structs
+
+At every json.Marshal / MarshalIndent / Encoder.Encode call site, the
+struct types reachable from the argument must have explicit json tags on
+exported fields, no exported map fields without a canonical MarshalJSON,
+and — when float fields are present — a dominating *scrub* call on the
+marshaled value so NaN/Inf can never reach the encoder:
+
+	r.scrub()
+	data, err := json.MarshalIndent(r, "", "  ")
+
+Sites whose values are finite by construction are annotated:
+
+	b, _ := json.Marshal(ev) //unison:json-ok Ts/Dur derive from int ns
+
+A json-ok directive without a reason is itself a diagnostic.`,
+	Run: runStatejson,
+}
+
+func runStatejson(pass *analysis.Pass) error {
+	dedupe := make(map[string]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkJSONBody(pass, fd.Body, dedupe)
+		}
+	}
+	return nil
+}
+
+// checkJSONBody scans one function body for marshal sites, recursing
+// into function literals with their own bodies (an http handler closure
+// marshals with its literal's control flow, not its parent's).
+func checkJSONBody(pass *analysis.Pass, body *ast.BlockStmt, dedupe map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkJSONBody(pass, lit.Body, dedupe)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMarshalCall(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		checkMarshalSite(pass, body, call, dedupe)
+		return true
+	})
+}
+
+// isMarshalCall recognizes encoding/json Marshal, MarshalIndent and
+// (*Encoder).Encode.
+func isMarshalCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return false
+	}
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent", "Encode":
+		return true
+	}
+	return false
+}
+
+func checkMarshalSite(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, dedupe map[string]bool) {
+	arg := call.Args[0]
+	structs := artifactStructs(pass, pass.TypesInfo.TypeOf(arg))
+	if len(structs) == 0 {
+		return
+	}
+
+	siteOK, siteMissing := escaped(pass, call.Pos(), "json-ok")
+	if siteOK && siteMissing {
+		if !dedupe["reason:"+pass.Fset.Position(call.Pos()).String()] {
+			dedupe["reason:"+pass.Fset.Position(call.Pos()).String()] = true
+			pass.Reportf(call.Pos(), "//unison:json-ok needs a reason explaining why this marshal is exempt from stable-JSON checks")
+		}
+		return
+	}
+
+	hasFloats := false
+	for _, named := range structs {
+		if structHasFloats(named) {
+			hasFloats = true
+		}
+		checkStructFields(pass, call, named, siteOK, dedupe)
+	}
+	if siteOK || !hasFloats {
+		return
+	}
+	if scrubDominates(pass, body, call, arg) {
+		return
+	}
+	key := "scrub:" + pass.Fset.Position(call.Pos()).String()
+	if dedupe[key] {
+		return
+	}
+	dedupe[key] = true
+	pass.Reportf(call.Pos(), "%s marshals float fields without a dominating scrub call: NaN/Inf would abort the encode and lose the artifact — call a *scrub* method on %s on every path first, or annotate //unison:json-ok REASON",
+		exprString(call.Fun), exprString(arg))
+}
+
+// checkStructFields applies the tag and map rules to one struct type.
+// Structs declared in this package report at the field; foreign unison
+// structs report at the marshal site (their fields are checked again,
+// with field positions, when their own package is analyzed).
+func checkStructFields(pass *analysis.Pass, call *ast.CallExpr, named *types.Named, siteOK bool, dedupe map[string]bool) {
+	st := named.Underlying().(*types.Struct)
+	local := named.Obj().Pkg() == pass.Pkg
+	if !local && siteOK {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		tag := parseJSONTag(st.Tag(i))
+		fieldName := named.Obj().Name() + "." + f.Name()
+		report := func(rule, msg string) {
+			key := rule + ":" + fieldName
+			if dedupe[key] {
+				return
+			}
+			pos := call.Pos()
+			if local {
+				pos = f.Pos()
+				if ok, missing := escaped(pass, pos, "json-ok"); ok {
+					dedupe[key] = true
+					if missing {
+						pass.Reportf(pos, "//unison:json-ok on %s needs a reason", fieldName)
+					}
+					return
+				}
+			}
+			dedupe[key] = true
+			pass.Reportf(pos, "%s", msg)
+		}
+		if tag == "" {
+			report("tag", "field "+fieldName+" is marshaled into a run artifact without an explicit json tag: artifact JSON must be stable under field renames — tag it (or json:\"-\") or annotate //unison:json-ok REASON")
+			continue
+		}
+		if tag == "-" {
+			continue
+		}
+		if _, isMap := f.Type().Underlying().(*types.Map); isMap && !hasMarshalJSON(f.Type()) {
+			report("map", "map field "+fieldName+" marshals in encoding/json's internal key order: give the field type a canonical MarshalJSON or annotate //unison:json-ok REASON")
+		}
+	}
+}
+
+// artifactStructs collects the named struct types reachable from t that
+// belong to this module (package-local or unison/*), skipping any type
+// that provides its own MarshalJSON.
+func artifactStructs(pass *analysis.Pass, t types.Type) []*types.Named {
+	var out []*types.Named
+	seen := make(map[*types.Named]bool)
+	var walk func(t types.Type, depth int)
+	walk = func(t types.Type, depth int) {
+		if t == nil || depth > 4 {
+			return
+		}
+		switch t := t.(type) {
+		case *types.Pointer:
+			walk(t.Elem(), depth)
+		case *types.Slice:
+			walk(t.Elem(), depth+1)
+		case *types.Array:
+			walk(t.Elem(), depth+1)
+		case *types.Map:
+			walk(t.Elem(), depth+1)
+		case *types.Named:
+			obj := t.Obj()
+			if obj.Pkg() == nil || seen[t] {
+				return
+			}
+			path := obj.Pkg().Path()
+			if obj.Pkg() != pass.Pkg && path != "unison" && !strings.HasPrefix(path, "unison/") {
+				return
+			}
+			if hasMarshalJSON(t) {
+				return
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				return
+			}
+			seen[t] = true
+			out = append(out, t)
+			for i := 0; i < st.NumFields(); i++ {
+				walk(st.Field(i).Type(), depth+1)
+			}
+		}
+	}
+	walk(t, 0)
+	return out
+}
+
+func hasMarshalJSON(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		if p, ok2 := t.(*types.Pointer); ok2 {
+			named, ok = p.Elem().(*types.Named)
+		}
+		if !ok {
+			return false
+		}
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), "MarshalJSON")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+func structHasFloats(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	isFloat := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if isFloat(t) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			if isFloat(u.Elem()) {
+				return true
+			}
+		case *types.Array:
+			if isFloat(u.Elem()) {
+				return true
+			}
+		case *types.Map:
+			if isFloat(u.Elem()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseJSONTag extracts the json tag name portion of a struct tag.
+func parseJSONTag(tag string) string {
+	// Minimal reflect.StructTag.Get("json") without importing reflect's
+	// semantics wholesale: tags in this codebase are conventional.
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		i = strings.IndexByte(tag, ':')
+		if i < 0 {
+			break
+		}
+		name := tag[:i]
+		rest := tag[i+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		j := strings.IndexByte(rest[1:], '"')
+		if j < 0 {
+			break
+		}
+		val := rest[1 : 1+j]
+		tag = rest[j+2:]
+		if name == "json" {
+			name, _, _ := strings.Cut(val, ",")
+			return name
+		}
+	}
+	return ""
+}
+
+// scrubDominates reports whether a *scrub* call on the marshaled value
+// reaches the marshal site on every control-flow path.
+func scrubDominates(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, arg ast.Expr) bool {
+	// json.Marshal(r.scrubbed()) — the argument itself is the scrub.
+	if c, ok := unwrapExpr(arg).(*ast.CallExpr); ok && isScrubCall(c) {
+		return true
+	}
+	path := scrubPath(arg)
+	if path == "" {
+		return false
+	}
+	cfg := pass.FuncCFG(body)
+	transfer := func(n ast.Node, facts analysis.FactSet) {
+		for _, owned := range analysis.NodeOwnedChildren(n) {
+			ast.Inspect(owned, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					if p := scrubbedValue(m); p != "" {
+						facts["scrubbed:"+p] = true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range m.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							facts.KillPrefix("scrubbed:" + id.Name + ".")
+							delete(facts, "scrubbed:"+id.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	in := analysis.Solve(analysis.FlowProblem{CFG: cfg, Must: true, Transfer: transfer})
+	// Find the block holding the marshal call and replay up to it.
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if !containsNode(n, call) {
+				continue
+			}
+			facts := in[b].Clone()
+			for _, m := range b.Nodes {
+				if containsNode(m, call) {
+					return facts["scrubbed:"+path]
+				}
+				transfer(m, facts)
+			}
+		}
+	}
+	return false
+}
+
+// scrubbedValue returns the value path a scrub-shaped call protects, or
+// "" when call is not a scrub.
+func scrubbedValue(call *ast.CallExpr) string {
+	if !isScrubCall(call) {
+		return ""
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if p := scrubPath(sel.X); p != "" {
+			return p
+		}
+	}
+	if len(call.Args) > 0 {
+		return scrubPath(call.Args[0])
+	}
+	return ""
+}
+
+func isScrubCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "scrub")
+}
+
+// scrubPath renders the marshaled value as a dotted path, unwrapping
+// address-of and dereference layers.
+func scrubPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := scrubPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return scrubPath(e.X)
+	case *ast.StarExpr:
+		return scrubPath(e.X)
+	case *ast.UnaryExpr:
+		return scrubPath(e.X)
+	case *ast.IndexExpr:
+		return scrubPath(e.X)
+	}
+	return ""
+}
+
+func containsNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}

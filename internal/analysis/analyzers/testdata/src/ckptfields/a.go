@@ -1,0 +1,185 @@
+// Fixture: checkpoint completeness. Every field of a CkptSave/CkptLoad
+// receiver — and of helper structs the save path touches — must be read
+// by the save side and written by the load side, transitively through
+// two levels of same-package helpers, or carry //unison:ckpt-skip REASON.
+package ckptfields
+
+import "sync"
+
+type enc struct{ b []byte }
+
+func (e *enc) U64(v uint64) {}
+func (e *enc) Bool(v bool)  {}
+
+type dec struct{ b []byte }
+
+func (d *dec) U64() uint64 { return 0 }
+func (d *dec) Bool() bool  { return false }
+
+// ---- positive cases ----
+
+type Missing struct {
+	a uint64
+	b uint64 // want `field Missing\.b is not read by \(Missing\)\.CkptSave` `field Missing\.b is not written by \(Missing\)\.CkptLoad`
+	c uint64 // want `field Missing\.c is not written by \(Missing\)\.CkptLoad`
+	d uint64 // want `field Missing\.d is not read by \(Missing\)\.CkptSave`
+	//unison:ckpt-skip
+	e uint64 // want `//unison:ckpt-skip on Missing\.e needs a reason`
+	f uint64 //unison:ckpt-skip derived cache, rebuilt by the first post-restore access
+}
+
+func (m *Missing) CkptSave(e *enc) error {
+	e.U64(m.a)
+	e.U64(m.c)
+	return nil
+}
+
+func (m *Missing) CkptLoad(d *dec) error {
+	m.a = d.U64()
+	m.d = d.U64()
+	return nil
+}
+
+// A helper struct becomes checked the moment the save path mentions one
+// of its fields; its remaining fields must round-trip too.
+type Sub struct {
+	x uint64
+	y uint64 // want `field Sub\.y is not read by \(HasSub\)\.CkptSave` `field Sub\.y is not written by \(HasSub\)\.CkptLoad`
+}
+
+type HasSub struct{ s Sub }
+
+func (h *HasSub) CkptSave(e *enc) error {
+	e.U64(h.s.x)
+	return nil
+}
+
+func (h *HasSub) CkptLoad(d *dec) error {
+	h.s.x = d.U64()
+	return nil
+}
+
+// Scope expansion stops two call levels below CkptSave: a field only
+// touched three levels deep is (conservatively) reported unsaved.
+type Deep struct {
+	w uint64
+	z uint64 // want `field Deep\.z is not read by \(Deep\)\.CkptSave`
+}
+
+func (dp *Deep) CkptSave(e *enc) error {
+	e.U64(dp.w)
+	dp.lvl1(e)
+	return nil
+}
+
+func (dp *Deep) lvl1(e *enc) { dp.lvl2(e) }
+func (dp *Deep) lvl2(e *enc) { dp.lvl3(e) }
+func (dp *Deep) lvl3(e *enc) { e.U64(dp.z) }
+
+func (dp *Deep) CkptLoad(d *dec) error {
+	dp.w = d.U64()
+	dp.z = d.U64()
+	return nil
+}
+
+// A second checkpointer pair in the same package reports independently.
+type Other struct {
+	k uint64
+	x uint64 // want `field Other\.x is not read by \(Other\)\.CkptSave` `field Other\.x is not written by \(Other\)\.CkptLoad`
+}
+
+func (o *Other) CkptSave(e *enc) error {
+	e.U64(o.k)
+	return nil
+}
+
+func (o *Other) CkptLoad(d *dec) error {
+	o.k = d.U64()
+	return nil
+}
+
+// ---- negative cases ----
+
+// Idioms: range reads, len, append-through-call-arg writes, ++ writes,
+// and the sync.* auto-exemptions.
+type Idioms struct {
+	n    uint64
+	rows []uint64
+	cnt  uint64
+	mu   sync.Mutex // auto-exempt: synchronization state is never restored
+	once sync.Once  // auto-exempt
+}
+
+func (i *Idioms) CkptSave(e *enc) error {
+	e.U64(i.n)
+	e.U64(uint64(len(i.rows)))
+	for _, r := range i.rows {
+		e.U64(r)
+	}
+	e.U64(i.cnt)
+	return nil
+}
+
+func (i *Idioms) CkptLoad(d *dec) error {
+	i.n = d.U64()
+	i.rows = i.rows[:0]
+	i.rows = append(i.rows, d.U64())
+	i.cnt++
+	return nil
+}
+
+// Whole-struct value writes and keyed composite literals cover every
+// (named) field of the written struct.
+type Blob struct{ p, q uint64 }
+
+type HasBlob struct{ blob Blob }
+
+func (h *HasBlob) CkptSave(e *enc) error {
+	e.U64(h.blob.p)
+	e.U64(h.blob.q)
+	return nil
+}
+
+func (h *HasBlob) CkptLoad(d *dec) error {
+	h.blob = Blob{p: d.U64(), q: d.U64()}
+	return nil
+}
+
+// Coverage through one same-package helper method on each side.
+type counter struct{ v uint64 }
+
+func (c *counter) save(e *enc) { e.U64(c.v) }
+func (c *counter) load(d *dec) { c.v = d.U64() }
+
+type HasCounter struct{ c counter }
+
+func (h *HasCounter) CkptSave(e *enc) error {
+	h.c.save(e)
+	return nil
+}
+
+func (h *HasCounter) CkptLoad(d *dec) error {
+	h.c.load(d)
+	return nil
+}
+
+// Coverage exactly at the two-level expansion limit.
+type Two struct{ t uint64 }
+
+func (x *Two) CkptSave(e *enc) error {
+	x.one(e)
+	return nil
+}
+
+func (x *Two) one(e *enc) { x.two(e) }
+func (x *Two) two(e *enc) { e.U64(x.t) }
+
+func (x *Two) CkptLoad(d *dec) error {
+	x.t = d.U64()
+	return nil
+}
+
+// A type with only one side of the pair is not a checkpointer: ignored.
+type OnlySave struct{ junk uint64 }
+
+func (o *OnlySave) CkptSave(e *enc) error { return nil }

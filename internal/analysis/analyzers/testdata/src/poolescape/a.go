@@ -1,0 +1,162 @@
+// Fixture: pooled-object escapes. Objects from sync.Pool.Get or a
+// //unison:pool-get function must not be touched on any path after a
+// release (sync.Pool.Put / //unison:pool-put); an annotated release also
+// retires everything acquired from the same arena path.
+package poolescape
+
+import "sync"
+
+type evt struct {
+	v    int
+	next *evt
+}
+
+var pool = sync.Pool{New: func() any { return new(evt) }}
+
+func sink(int)      {}
+func run(fn func()) { fn() }
+func cond() bool    { return false }
+
+// ---- positive cases ----
+
+func readAfterPut() {
+	e := pool.Get().(*evt)
+	pool.Put(e)
+	sink(e.v) // want `use of e after it may be released to its pool`
+}
+
+func writeAfterPut() {
+	e := pool.Get().(*evt)
+	pool.Put(e)
+	e.v = 1 // want `use of e after it may be released to its pool`
+}
+
+func aliasAfterPut() {
+	e := pool.Get().(*evt)
+	f := e
+	pool.Put(e)
+	sink(f.v) // want `use of f after it may be released to its pool`
+}
+
+// One branch releasing is enough: the fact is a MAY along the join.
+func branchyRelease() {
+	e := pool.Get().(*evt)
+	if cond() {
+		pool.Put(e)
+	}
+	sink(e.v) // want `use of e after it may be released to its pool`
+}
+
+func captureAfterPut() {
+	e := pool.Get().(*evt)
+	pool.Put(e)
+	run(func() { sink(e.v) }) // want `closure captures e after it may be released to its pool`
+}
+
+type arena struct {
+	slots []evt
+	free  []int32
+}
+
+// alloc hands out a slot and its index.
+//
+//unison:pool-get
+func (a *arena) alloc() (*evt, int32) { return &a.slots[0], 0 }
+
+// release recycles by index: every object from this arena may now be
+// handed to a new owner.
+//
+//unison:pool-put
+func (a *arena) release(idx int32) { a.free = append(a.free, idx) }
+
+// put releases the record itself.
+//
+//unison:pool-put
+func (a *arena) put(c *evt) {}
+
+func arenaIndexRelease(a *arena) {
+	c, idx := a.alloc()
+	a.release(idx)
+	sink(c.v) // want `use of c after it may be released to its pool`
+}
+
+func arenaObjectRelease(a *arena) {
+	c, _ := a.alloc()
+	a.put(c)
+	sink(c.v) // want `use of c after it may be released to its pool`
+}
+
+func annotatedNoReason() {
+	e := pool.Get().(*evt)
+	pool.Put(e)
+	//unison:pool-ok
+	sink(e.v) // want `//unison:pool-ok needs a reason`
+}
+
+// ---- negative cases ----
+
+// Copy what you need out before the release.
+func copyOut() int {
+	e := pool.Get().(*evt)
+	v := e.v
+	pool.Put(e)
+	return v
+}
+
+// A deferred release runs at function exit, after every use.
+func deferred() int {
+	e := pool.Get().(*evt)
+	defer pool.Put(e)
+	e.v++
+	return e.v
+}
+
+// The releasing path returns: no path carries the fact to the use.
+func releaseAndReturn() {
+	e := pool.Get().(*evt)
+	if cond() {
+		pool.Put(e)
+		return
+	}
+	sink(e.v)
+}
+
+// Rebinding to a fresh acquire revives the variable (reuse-in-loop).
+func reuseLoop(n int) {
+	e := pool.Get().(*evt)
+	for i := 0; i < n; i++ {
+		e.v = i
+		pool.Put(e)
+		e = pool.Get().(*evt)
+	}
+	pool.Put(e)
+}
+
+// An annotated use with a reason is accepted.
+func annotatedUse() {
+	e := pool.Get().(*evt)
+	pool.Put(e)
+	sink(e.v) //unison:pool-ok diagnostic counter read, slot not handed out again in this test
+}
+
+// Objects that never came from a pool are not tracked.
+func untracked() {
+	e := &evt{}
+	sink(e.v)
+}
+
+// A literal runs a complete acquire/use/release cycle per invocation.
+func insideLiteral() func() {
+	return func() {
+		e := pool.Get().(*evt)
+		e.v++
+		pool.Put(e)
+	}
+}
+
+// The release itself is the last touch: nothing after it.
+func releaseLast() {
+	e := pool.Get().(*evt)
+	e.v = 7
+	pool.Put(e)
+}

@@ -1,0 +1,175 @@
+// Fixture: stable-JSON discipline on marshaled artifact structs —
+// explicit json tags on exported fields, no raw map fields, and a
+// dominating *scrub* call wherever float fields reach the encoder.
+package statejson
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// ---- positive cases ----
+
+type reportA struct {
+	Events uint64 `json:"events"`
+	Drops  uint64 // want `field reportA\.Drops is marshaled into a run artifact without an explicit json tag`
+}
+
+func writeA(r *reportA) {
+	b, _ := json.Marshal(r)
+	_ = b
+}
+
+// Tag checking recurses through reachable local structs.
+type inner struct {
+	Name string // want `field inner\.Name is marshaled into a run artifact without an explicit json tag`
+}
+
+type outer struct {
+	In []inner `json:"in"`
+}
+
+func writeOuter(o *outer) {
+	b, _ := json.Marshal(o)
+	_ = b
+}
+
+type mapped struct {
+	ByKernel map[string]int `json:"by_kernel"` // want `map field mapped\.ByKernel marshals in encoding/json's internal key order`
+}
+
+func writeMapped(m *mapped) {
+	b, _ := json.Marshal(m)
+	_ = b
+}
+
+type metrics struct {
+	Rate float64 `json:"rate"`
+}
+
+func (m *metrics) scrub()             {}
+func (m *metrics) scrubbed() *metrics { return m }
+func fresh() *metrics                 { return &metrics{} }
+func anyCond() bool                   { return false }
+
+// Scrub on only one branch does not dominate the marshal.
+func branchScrub(m *metrics) {
+	if anyCond() {
+		m.scrub()
+	}
+	b, _ := json.Marshal(m) // want `json\.Marshal marshals float fields without a dominating scrub call`
+	_ = b
+}
+
+func indentNoScrub(m *metrics) {
+	b, _ := json.MarshalIndent(m, "", "  ") // want `json\.MarshalIndent marshals float fields without a dominating scrub call`
+	_ = b
+}
+
+func encodeNoScrub(m *metrics) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	_ = enc.Encode(m) // want `enc\.Encode marshals float fields without a dominating scrub call`
+}
+
+// Rebinding the marshaled variable kills the scrub fact.
+func killScrub(m *metrics) {
+	m.scrub()
+	m = fresh()
+	b, _ := json.Marshal(m) // want `json\.Marshal marshals float fields without a dominating scrub call`
+	_ = b
+}
+
+func siteNoReason(m *metrics) {
+	//unison:json-ok
+	b, _ := json.Marshal(m) // want `//unison:json-ok needs a reason`
+	_ = b
+}
+
+// ---- negative cases ----
+
+// Fully tagged, json:"-" exclusions and unexported fields are all fine.
+type reportOK struct {
+	Events  uint64 `json:"events"`
+	Scratch int    `json:"-"`
+	private int
+}
+
+func writeOK(r *reportOK) {
+	b, _ := json.Marshal(r)
+	_ = b
+	_ = r.private
+	_ = r.Scratch
+}
+
+// A map type with its own canonical MarshalJSON is accepted.
+type canon map[string]int
+
+func (c canon) MarshalJSON() ([]byte, error) { return []byte("{}"), nil }
+
+type mappedOK struct {
+	ByKernel canon `json:"by_kernel"`
+}
+
+func writeMappedOK(m *mappedOK) {
+	b, _ := json.Marshal(m)
+	_ = b
+}
+
+// A dominating scrub call on the marshaled value is accepted.
+func scrubThenMarshal(m *metrics) {
+	m.scrub()
+	b, _ := json.Marshal(m)
+	_ = b
+}
+
+// Scrub on every branch dominates the join.
+func bothBranchesScrub(m *metrics) {
+	if anyCond() {
+		m.scrub()
+	} else {
+		m.scrub()
+	}
+	b, _ := json.Marshal(m)
+	_ = b
+}
+
+// Marshaling the result of a scrub-shaped call is itself the scrub.
+func viaScrubbed(m *metrics) {
+	b, _ := json.Marshal(m.scrubbed())
+	_ = b
+}
+
+// A site annotation with a reason waives the float rule.
+func siteAnnotated(m *metrics) {
+	b, _ := json.Marshal(m) //unison:json-ok shares are ratios of finite counters
+	_ = b
+}
+
+// A field annotation with a reason waives that field's rule.
+type noted struct {
+	Raw map[string]int `json:"raw"` //unison:json-ok fixed two-key object; encoding/json sorts string keys
+}
+
+func writeNoted(n *noted) {
+	b, _ := json.Marshal(n)
+	_ = b
+}
+
+// A type providing its own MarshalJSON controls its wire format.
+type selfMarshal struct {
+	Whatever float64
+}
+
+func (s *selfMarshal) MarshalJSON() ([]byte, error) { return []byte("{}"), nil }
+
+func writeSelf(s *selfMarshal) {
+	b, _ := json.Marshal(s)
+	_ = b
+}
+
+// Non-struct arguments are out of scope.
+func writeScalar() {
+	b, _ := json.Marshal([]int{1, 2, 3})
+	_ = b
+}

@@ -13,7 +13,7 @@ import (
 
 // All returns the full suite in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Wallclock, Maporder, Owner, Seedflow, Deprecated, Arena}
+	return []*analysis.Analyzer{Wallclock, Maporder, Owner, Seedflow, Deprecated, Arena, Ckptfields, Poolescape, Statejson}
 }
 
 // Wallclock forbids wall-clock reads and global math/rand draws inside

@@ -1,0 +1,543 @@
+package analysis
+
+// This file is the flow-sensitive layer of the analysis framework: a
+// per-function control-flow graph over the go/ast statement structure
+// (DESIGN.md §14). Like the rest of the framework it is stdlib-only and
+// mirrors the x/tools/go/cfg vocabulary so a future vendoring ports
+// mechanically.
+//
+// A CFG is a list of basic blocks holding statements and control
+// expressions in execution order, connected by successor edges. The
+// builder understands if/for/range/switch/select, goto and labels,
+// labeled break/continue, fallthrough, defer and terminating calls
+// (panic, runtime exits). Function literals are NOT inlined: a FuncLit
+// appearing inside a block node runs at some other time, so analyzers
+// request a separate CFG for its body.
+//
+// Compound statements never appear in a block wholesale; only their
+// evaluable parts do:
+//
+//   - if/for conditions and switch tags appear as bare expressions;
+//   - a RangeStmt appears itself in the loop-head block, standing for
+//     "evaluate X, bind Key/Value" — its Body belongs to other blocks;
+//   - a CaseClause / CommClause appears at the head of its clause block,
+//     standing for the case-list match / the communication operation.
+//
+// NodeOwnedChildren maps a block node to the sub-nodes it actually
+// evaluates, so analyzers can inspect block contents without walking
+// into a range body or a nested function literal.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; Exit is the single virtual exit block every return (and
+// the final fallthrough) leads to.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+
+	// Defers collects the defer statements of the body in syntactic
+	// order. Deferred calls execute between the last body block and
+	// Exit; flow-sensitive analyzers that care (poolescape) treat them
+	// as running at function exit, not at their block position.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.head", ... for dumps
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// NewCFG builds the control-flow graph of body. body may be nil (a
+// declared function without a body yields an entry wired to exit).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	entry := b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.cfg.Exit)
+	b.prune()
+	return b.cfg
+}
+
+// NodeOwnedChildren returns the sub-nodes a block node evaluates itself.
+// For most nodes that is the node; for the compound-statement headers the
+// builder places in blocks it is the header parts only (never a loop or
+// clause body, which lives in other blocks).
+func NodeOwnedChildren(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		out := make([]ast.Node, 0, 3)
+		if n.Key != nil {
+			out = append(out, n.Key)
+		}
+		if n.Value != nil {
+			out = append(out, n.Value)
+		}
+		out = append(out, n.X)
+		return out
+	case *ast.CaseClause:
+		out := make([]ast.Node, 0, len(n.List))
+		for _, e := range n.List {
+			out = append(out, e)
+		}
+		return out
+	case *ast.CommClause:
+		if n.Comm != nil {
+			return []ast.Node{n.Comm}
+		}
+		return nil
+	default:
+		return []ast.Node{n}
+	}
+}
+
+// --- builder ---
+
+type builder struct {
+	cfg *builderCFG
+	cur *Block
+
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []frame
+
+	// labels maps label names to their blocks (created on first
+	// reference, so forward gotos resolve).
+	labels map[string]*Block
+
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// `continue L` / `break L` resolve to the right frame.
+	pendingLabel string
+
+	// fallTarget is the next case clause while building a switch clause.
+	fallTarget *Block
+}
+
+// builderCFG is an alias so builder methods read naturally.
+type builderCFG = CFG
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// dead parks subsequent statements in a predecessor-less block: the code
+// after a return/branch is unreachable but still analyzed.
+func (b *builder) dead() {
+	b.cur = b.newBlock("unreachable")
+}
+
+// frame is one enclosing construct break/continue can target.
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+func (b *builder) pushFrame(brk, cont *Block) {
+	b.frames = append(b.frames, frame{label: b.pendingLabel, brk: brk, cont: cont})
+	b.pendingLabel = ""
+}
+
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+func (b *builder) findFrame(label string, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.dead()
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+			b.dead()
+		case token.CONTINUE:
+			if f := b.findFrame(label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+			b.dead()
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(label))
+			b.dead()
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.edge(b.cur, b.fallTarget)
+			}
+			b.dead()
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, done)
+		} else {
+			b.edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.pushFrame(done, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.popFrame()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s) // stands for "evaluate X, bind Key/Value"
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, done)
+		b.pushFrame(done, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.popFrame()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		done := b.newBlock("select.done")
+		b.pushFrame(done, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(head, blk)
+			b.cur = blk
+			b.add(cc) // stands for the communication operation
+			b.stmtList(cc.Body)
+			b.edge(b.cur, done)
+		}
+		b.popFrame()
+		b.cur = done
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.dead()
+		}
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+// switchBody builds the clause blocks of a (type) switch. allowFall wires
+// fallthrough targets (expression switches only).
+func (b *builder) switchBody(body *ast.BlockStmt, allowFall bool) {
+	head := b.cur
+	done := b.newBlock("switch.done")
+	b.pushFrame(done, nil)
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	blocks := make([]*Block, 0, len(body.List))
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, cc)
+		blocks = append(blocks, b.newBlock("switch.case"))
+	}
+	for i, cc := range clauses {
+		b.edge(head, blocks[i])
+		b.cur = blocks[i]
+		b.add(cc) // stands for the case-list match
+		savedFall := b.fallTarget
+		if allowFall && i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallTarget = savedFall
+		b.edge(b.cur, done)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.popFrame()
+	b.cur = done
+}
+
+// isTerminatingCall reports whether e is a call that never returns. Only
+// the builtin panic is recognized syntactically; anything type-resolved
+// (os.Exit, runtime.Goexit) would need the pass's type info, which the
+// builder deliberately does not take — analyzers stay sound without it
+// (extra edges make may-analyses conservative, not wrong).
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// prune removes empty predecessor-less blocks (dead joins the builder
+// created speculatively) and renumbers.
+func (b *builder) prune() {
+	keep := b.cfg.Blocks[:0]
+	for _, blk := range b.cfg.Blocks {
+		if blk.Kind != "entry" && blk != b.cfg.Exit && len(blk.Preds) == 0 && len(blk.Nodes) == 0 {
+			for _, s := range blk.Succs {
+				s.Preds = removeBlock(s.Preds, blk)
+			}
+			continue
+		}
+		keep = append(keep, blk)
+	}
+	// A removal can orphan another empty block; iterate to a fixed point.
+	for {
+		n := len(keep)
+		out := keep[:0]
+		for _, blk := range keep {
+			if blk.Kind != "entry" && blk != b.cfg.Exit && len(blk.Preds) == 0 && len(blk.Nodes) == 0 {
+				for _, s := range blk.Succs {
+					s.Preds = removeBlock(s.Preds, blk)
+				}
+				continue
+			}
+			out = append(out, blk)
+		}
+		keep = out
+		if len(keep) == n {
+			break
+		}
+	}
+	for i, blk := range keep {
+		blk.Index = i
+	}
+	b.cfg.Blocks = keep
+}
+
+func removeBlock(s []*Block, b *Block) []*Block {
+	out := s[:0]
+	for _, x := range s {
+		if x != b {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// --- dump (golden tests, debugging) ---
+
+// Dump renders the CFG as stable text: one block per line group with its
+// kind, nodes and successor indices. fset may be nil.
+func (c *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", blk.Index, blk.Kind)
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", nodeString(fset, n))
+		}
+	}
+	return sb.String()
+}
+
+// nodeString renders one block node on one line.
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		var parts []string
+		if n.Key != nil {
+			parts = append(parts, renderNode(fset, n.Key))
+		}
+		if n.Value != nil {
+			parts = append(parts, renderNode(fset, n.Value))
+		}
+		head := "range " + renderNode(fset, n.X)
+		if len(parts) > 0 {
+			head = strings.Join(parts, ", ") + " " + n.Tok.String() + " " + head
+		}
+		return head
+	case *ast.CaseClause:
+		if n.List == nil {
+			return "default:"
+		}
+		var parts []string
+		for _, e := range n.List {
+			parts = append(parts, renderNode(fset, e))
+		}
+		return "case " + strings.Join(parts, ", ") + ":"
+	case *ast.CommClause:
+		if n.Comm == nil {
+			return "default:"
+		}
+		return "case " + renderNode(fset, n.Comm) + ":"
+	default:
+		return renderNode(fset, n)
+	}
+}
+
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", "")
+	return s
+}

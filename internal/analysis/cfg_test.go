@@ -1,0 +1,186 @@
+package analysis_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unison/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite CFG golden files")
+
+// TestCFGGolden builds the CFG of every function in testdata/cfg and
+// compares the dump against the .golden file named after the function.
+func TestCFGGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "cfg")
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join(dir, "fixtures.go"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		seen++
+		t.Run(fd.Name.Name, func(t *testing.T) {
+			got := analysis.NewCFG(fd.Body).Dump(fset)
+			golden := filepath.Join(dir, fd.Name.Name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dump mismatch for %s\n--- got ---\n%s--- want ---\n%s", fd.Name.Name, got, want)
+			}
+		})
+	}
+	if seen < 10 {
+		t.Fatalf("expected at least 10 fixture functions, found %d", seen)
+	}
+}
+
+// TestCFGStructure spot-checks graph shape properties the goldens cannot
+// express: edge symmetry, entry/exit invariants, defer collection.
+func TestCFGStructure(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	defer close(nil)
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	c := analysis.NewCFG(fd.Body)
+	if len(c.Blocks) == 0 || c.Blocks[0].Kind != "entry" {
+		t.Fatalf("entry block missing: %+v", c.Blocks)
+	}
+	if len(c.Exit.Succs) != 0 {
+		t.Errorf("exit block has successors: %v", c.Exit.Succs)
+	}
+	if len(c.Defers) != 1 {
+		t.Errorf("want 1 recorded defer, got %d", len(c.Defers))
+	}
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if !containsBlock(s.Preds, b) {
+				t.Errorf("edge b%d->b%d missing from preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !containsBlock(p.Succs, b) {
+				t.Errorf("pred edge b%d<-b%d missing from succs", b.Index, p.Index)
+			}
+		}
+	}
+}
+
+func containsBlock(s []*analysis.Block, b *analysis.Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGRepoSmoke builds a CFG for every function and function literal
+// in the repository — including test files and analyzer fixtures — and
+// requires the builder to neither panic nor produce asymmetric edges.
+func TestCFGRepoSmoke(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	fset := token.NewFileSet()
+	funcs := 0
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			// Deliberately-broken fixtures are not the CFG's problem.
+			return nil
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			funcs++
+			c := analysis.NewCFG(body)
+			for _, b := range c.Blocks {
+				for _, s := range b.Succs {
+					if !containsBlock(s.Preds, b) {
+						t.Errorf("%s: asymmetric edge b%d->b%d", path, b.Index, s.Index)
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if funcs < 500 {
+		t.Errorf("smoke walked only %d functions; repo walk looks broken", funcs)
+	}
+	t.Logf("built CFGs for %d functions", funcs)
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,266 @@
+package analysis
+
+// Forward dataflow over a CFG (DESIGN.md §14). The engine is a classic
+// iterative worklist solver over string fact sets — small, but enough
+// for the lifetime- and coverage-shaped properties the flow-sensitive
+// analyzers prove:
+//
+//   - may-analysis (union meet): a fact holds at a point if it holds on
+//     ANY path reaching it. Used by poolescape ("this object may have
+//     been released") and ReachingDefs.
+//   - must-analysis (intersection meet): a fact holds only if it holds
+//     on EVERY path. Used by statejson ("a scrub call dominates this
+//     marshal").
+//
+// Facts are opaque strings chosen by the client; the transfer function
+// mutates the set per block node in execution order. Clients that need
+// facts at a point INSIDE a block replay the transfer from the block's
+// IN set, which Solve returns.
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// FactSet is a set of dataflow facts.
+type FactSet map[string]bool
+
+// Clone returns an independent copy of s.
+func (s FactSet) Clone() FactSet {
+	out := make(FactSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// KillPrefix removes every fact starting with prefix.
+func (s FactSet) KillPrefix(prefix string) {
+	for k := range s {
+		if strings.HasPrefix(k, prefix) {
+			delete(s, k)
+		}
+	}
+}
+
+// AnyPrefix reports whether some fact starts with prefix, returning the
+// first match in unspecified order.
+func (s FactSet) AnyPrefix(prefix string) (string, bool) {
+	for k := range s {
+		if strings.HasPrefix(k, prefix) {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// FlowProblem describes one forward dataflow instance.
+type FlowProblem struct {
+	CFG *CFG
+
+	// Must selects intersection meet (all-paths facts). The default is
+	// union meet (any-path facts).
+	Must bool
+
+	// Init is the fact set at function entry (may be nil).
+	Init FactSet
+
+	// Transfer applies one block node's effect to facts, mutating it.
+	Transfer func(n ast.Node, facts FactSet)
+}
+
+// Solve runs the worklist algorithm to a fixed point and returns the
+// fact set holding at the ENTRY of each block.
+func Solve(p FlowProblem) map[*Block]FactSet {
+	in := make(map[*Block]FactSet, len(p.CFG.Blocks))
+	out := make(map[*Block]FactSet, len(p.CFG.Blocks))
+	// For must-analysis, unvisited blocks are TOP (the all-facts set);
+	// representing TOP explicitly is impossible, so out[b] == nil means
+	// TOP and the meet skips nil operands. For may-analysis nil means
+	// BOTTOM (empty), which the union meet also skips — same code path.
+	var entry *Block
+	if len(p.CFG.Blocks) > 0 {
+		entry = p.CFG.Blocks[0]
+	}
+	work := make([]*Block, 0, len(p.CFG.Blocks))
+	inWork := make(map[*Block]bool, len(p.CFG.Blocks))
+	push := func(b *Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	push(entry)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		var cur FactSet
+		if b == entry {
+			cur = p.Init.Clone()
+		} else {
+			first := true
+			for _, pred := range b.Preds {
+				po := out[pred]
+				if po == nil {
+					if p.Must {
+						continue // TOP: identity for intersection
+					}
+					po = FactSet{} // BOTTOM: identity for union
+				}
+				if first {
+					cur = po.Clone()
+					first = false
+					continue
+				}
+				if p.Must {
+					for k := range cur {
+						if !po[k] {
+							delete(cur, k)
+						}
+					}
+				} else {
+					for k := range po {
+						cur[k] = true
+					}
+				}
+			}
+			if cur == nil {
+				cur = FactSet{}
+			}
+		}
+		if eq := factsEqual(in[b], cur); eq && out[b] != nil {
+			continue
+		}
+		in[b] = cur
+		next := cur.Clone()
+		if p.Transfer != nil {
+			for _, n := range b.Nodes {
+				p.Transfer(n, next)
+			}
+		}
+		if !factsEqual(out[b], next) || out[b] == nil {
+			out[b] = next
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	// Blocks never reached (unreachable code) get empty IN sets so
+	// clients can still replay transfers over them.
+	for _, b := range p.CFG.Blocks {
+		if in[b] == nil {
+			in[b] = FactSet{}
+		}
+	}
+	return in
+}
+
+func factsEqual(a, b FactSet) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- reaching definitions ---
+
+// DefFact is the fact key for a definition of path at line.
+func DefFact(path string, line int) string {
+	return "def:" + path + "@" + strconv.Itoa(line)
+}
+
+// defKillPrefix is the prefix killing all definitions of path.
+func defKillPrefix(path string) string { return "def:" + path + "@" }
+
+// ReachingDefs solves may-reaching-definitions over local variables and
+// field-selector paths: an assignment to a path generates a definition
+// fact and kills earlier definitions of the same path. The result maps
+// each block to the definitions reaching its entry.
+func ReachingDefs(cfg *CFG, fset *token.FileSet) map[*Block]FactSet {
+	return Solve(FlowProblem{
+		CFG: cfg,
+		Transfer: func(n ast.Node, facts FactSet) {
+			reachingTransfer(n, fset, facts)
+		},
+	})
+}
+
+func reachingTransfer(n ast.Node, fset *token.FileSet, facts FactSet) {
+	gen := func(e ast.Expr) {
+		path, ok := selectorPath(e)
+		if !ok {
+			return
+		}
+		facts.KillPrefix(defKillPrefix(path))
+		line := 0
+		if fset != nil {
+			line = fset.Position(e.Pos()).Line
+		}
+		facts[DefFact(path, line)] = true
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			gen(lhs)
+		}
+	case *ast.IncDecStmt:
+		gen(n.X)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						gen(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// The CFG places the RangeStmt in the loop head, standing for
+		// "bind Key/Value".
+		if n.Key != nil {
+			gen(n.Key)
+		}
+		if n.Value != nil {
+			gen(n.Value)
+		}
+	}
+}
+
+// selectorPath renders e as a dotted variable/field path ("x", "x.f",
+// "x.f.g"); index and star layers collapse onto their base so writes
+// through them conservatively redefine the base path.
+func selectorPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return "", false
+		}
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := selectorPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		return selectorPath(e.X)
+	case *ast.StarExpr:
+		return selectorPath(e.X)
+	case *ast.ParenExpr:
+		return selectorPath(e.X)
+	}
+	return "", false
+}

@@ -1,0 +1,176 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"unison/internal/analysis"
+)
+
+func parseFunc(t *testing.T, src string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, file.Decls[0].(*ast.FuncDecl)
+}
+
+// TestReachingDefs checks the classic diamond: a definition on one arm
+// may reach the join, and a redefinition kills the earlier one.
+func TestReachingDefs(t *testing.T) {
+	fset, fd := parseFunc(t, `
+func f(c bool) int {
+	x := 1      // line 4
+	y := 0      // line 5
+	if c {
+		x = 2   // line 7
+	} else {
+		y = 3   // line 9
+	}
+	return x + y // join
+}`)
+	cfg := analysis.NewCFG(fd.Body)
+	in := analysis.ReachingDefs(cfg, fset)
+
+	var join *analysis.Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				join = b
+			}
+		}
+	}
+	if join == nil {
+		t.Fatal("no block holds the return")
+	}
+	facts := in[join]
+	mustHave := []string{
+		analysis.DefFact("x", 7), // then-arm redefinition reaches the join
+		analysis.DefFact("y", 5), // original y survives the then-arm
+		analysis.DefFact("y", 9), // else-arm redefinition also may-reach
+	}
+	for _, f := range mustHave {
+		if !facts[f] {
+			t.Errorf("fact %q missing at join; have %v", f, keys(facts))
+		}
+	}
+	// The else arm does NOT redefine x, so the original x@4 must still
+	// may-reach the join.
+	if !facts[analysis.DefFact("x", 4)] {
+		t.Errorf("x@4 should reach the join through the else arm; have %v", keys(facts))
+	}
+}
+
+// TestReachingDefsLoopAndFields checks kill/gen of field-selector paths
+// across a loop back edge.
+func TestReachingDefsLoopAndFields(t *testing.T) {
+	fset, fd := parseFunc(t, `
+func f(s *S, n int) {
+	s.v = 1          // line 4
+	for i := 0; i < n; i++ {
+		s.v = 2      // line 6
+	}
+	use(s.v)
+}`)
+	cfg := analysis.NewCFG(fd.Body)
+	in := analysis.ReachingDefs(cfg, fset)
+	var use *analysis.Block
+	for _, b := range cfg.Blocks {
+		if b.Kind == "for.done" {
+			use = b
+		}
+	}
+	if use == nil {
+		t.Fatal("for.done block not found")
+	}
+	if !in[use][analysis.DefFact("s.v", 4)] || !in[use][analysis.DefFact("s.v", 6)] {
+		t.Errorf("both s.v defs should may-reach after the loop; have %v", keys(in[use]))
+	}
+}
+
+// TestSolveMust verifies intersection meet: a fact generated on only one
+// arm of a branch does not survive the join, while one generated on both
+// arms does.
+func TestSolveMust(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(c bool) {
+	if c {
+		both()
+		onlyThen()
+	} else {
+		both()
+	}
+	after()
+}`)
+	cfg := analysis.NewCFG(fd.Body)
+	in := analysis.Solve(analysis.FlowProblem{
+		CFG:  cfg,
+		Must: true,
+		Transfer: func(n ast.Node, facts analysis.FactSet) {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				facts["called:"+id.Name] = true
+			}
+		},
+	})
+	var after *analysis.Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+						after = b
+					}
+				}
+			}
+		}
+	}
+	if after == nil {
+		t.Fatal("after() block not found")
+	}
+	if !in[after]["called:both"] {
+		t.Errorf("both() called on every path; must-facts at join: %v", keys(in[after]))
+	}
+	if in[after]["called:onlyThen"] {
+		t.Errorf("onlyThen() only on one path; must not survive the join: %v", keys(in[after]))
+	}
+}
+
+// TestFactSetHelpers covers the prefix utilities analyzers lean on.
+func TestFactSetHelpers(t *testing.T) {
+	s := analysis.FactSet{"rel:g1:10": true, "rel:g2:20": true, "other": true}
+	if _, ok := s.AnyPrefix("rel:g1:"); !ok {
+		t.Error("AnyPrefix failed to find rel:g1:")
+	}
+	s.KillPrefix("rel:g1:")
+	if _, ok := s.AnyPrefix("rel:g1:"); ok {
+		t.Error("KillPrefix left rel:g1: facts behind")
+	}
+	if !s["rel:g2:20"] || !s["other"] {
+		t.Error("KillPrefix removed unrelated facts")
+	}
+	c := s.Clone()
+	c["new"] = true
+	if s["new"] {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func keys(s analysis.FactSet) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package cfgfix holds one function per control construct; the CFG
+// builder's golden test dumps each and compares against the .golden
+// file of the same name in this directory.
+package cfgfix
+
+func If(a, b int) int {
+	if a > b {
+		a = b
+	}
+	if x := a * 2; x > 10 {
+		return x
+	} else {
+		b = x
+	}
+	return a + b
+}
+
+func For(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	for s > 100 {
+		s /= 2
+	}
+	for {
+		break
+	}
+	return s
+}
+
+func Range(xs []int, m map[string]int) int {
+	s := 0
+	for i, v := range xs {
+		s += i * v
+	}
+	for k := range m {
+		if k == "stop" {
+			break
+		}
+		s++
+	}
+	return s
+}
+
+func Switch(x int) string {
+	switch {
+	case x < 0:
+		return "neg"
+	case x == 0:
+		return "zero"
+	}
+	switch y := x % 3; y {
+	case 0:
+		return "fizz"
+	case 1:
+		fallthrough
+	case 2:
+		return "rest"
+	default:
+		return "impossible"
+	}
+}
+
+func TypeSwitch(v any) int {
+	switch t := v.(type) {
+	case int:
+		return t
+	case string:
+		return len(t)
+	default:
+		return 0
+	}
+}
+
+func Select(a, b chan int, out chan<- int) {
+	for {
+		select {
+		case x := <-a:
+			out <- x
+		case y := <-b:
+			if y < 0 {
+				return
+			}
+			out <- y
+		default:
+			return
+		}
+	}
+}
+
+func Defer(f func()) int {
+	defer f()
+	x := 1
+	defer func() { x = 0 }()
+	if x > 0 {
+		return x
+	}
+	return -1
+}
+
+func Goto(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	if n < 0 {
+		goto done
+	}
+	i *= 2
+done:
+	return i
+}
+
+func LabeledBreak(grid [][]int) int {
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] < 0 {
+				break outer
+			}
+			if grid[i][j] == 0 {
+				continue outer
+			}
+			grid[i][j]--
+		}
+	}
+	return len(grid)
+}
+
+func Panics(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}

@@ -302,7 +302,7 @@ func ParseScenario(data []byte, format string) (*Scenario, error) {
 // marshal(parse(marshal(sc))) == marshal(sc) — which is what lets tests
 // and tooling diff scenarios byte-wise.
 func (sc *Scenario) Marshal() ([]byte, error) {
-	b, err := json.MarshalIndent(sc, "", "  ")
+	b, err := json.MarshalIndent(sc, "", "  ") //unison:json-ok scenario floats come from parsed JSON or defaults, both finite
 	if err != nil {
 		return nil, err
 	}

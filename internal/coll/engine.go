@@ -21,9 +21,9 @@ const released int32 = -1
 // its own nodes decrement entries there, exactly like all other
 // ghost-node state.
 type Engine struct {
-	pat   *Pattern
-	stack *tcp.Stack
-	base  packet.FlowID
+	pat   *Pattern      //unison:ckpt-skip pattern is immutable run config, rebuilt from the scenario
+	stack *tcp.Stack    //unison:ckpt-skip wiring, rebound by NewEngine before restore
+	base  packet.FlowID //unison:ckpt-skip flow numbering config, fixed at NewEngine
 	waits []int32
 }
 

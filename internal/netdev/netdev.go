@@ -46,24 +46,24 @@ func DefaultConfig(seed uint64) Config {
 
 // Network is the data plane over one topology graph.
 type Network struct {
-	G      *topology.Graph
-	Router routing.Router
-	Cfg    Config
+	G      *topology.Graph //unison:ckpt-skip topology is immutable run config, rebuilt from the scenario
+	Router routing.Router  //unison:ckpt-skip routing tables are recomputed from G at construction
+	Cfg    Config          //unison:ckpt-skip run config, identical across restore by contract
 
 	// Tracer, when set before the run, records packet events (enqueue,
 	// dequeue, drop, mark, deliver) — the pcap/ascii tracing analog.
 	// Collection is lock-free (per-node buffers).
-	Tracer *trace.Collector
+	Tracer *trace.Collector //unison:ckpt-skip wiring; the collector checkpoints itself as its own layer
 
 	// sampler, when attached before the run, collects per-device queue and
 	// link time series (see AttachSampler).
-	sampler *netobs.Sampler
+	sampler *netobs.Sampler //unison:ckpt-skip wiring; the sampler checkpoints itself as its own layer
 
 	// Remote, when set, is consulted before scheduling a link arrival: if
 	// it returns true the delivery was taken over by an external transport
 	// (the distributed kernel ships the packet to the owning simulation
 	// host over the wire, internal/dist).
-	Remote func(ctx *sim.Ctx, at sim.NodeID, p packet.Packet, arrival sim.Time) bool
+	Remote func(ctx *sim.Ctx, at sim.NodeID, p packet.Packet, arrival sim.Time) bool //unison:ckpt-skip wiring, re-established by the dist kernel at attach
 
 	// devs is the flat device array in struct-of-arrays style: the device
 	// of link l at endpoint A (side 0) or B (side 1) is devs[2*l+side].
@@ -74,7 +74,7 @@ type Network struct {
 	devs []Device
 
 	// handlers[n] receives packets addressed to host n.
-	handlers []Handler
+	handlers []Handler //unison:ckpt-skip wiring, re-registered by the transport before restore
 
 	// Dropped counts per-node drops (owned by the dropping node).
 	nodeDrops []uint64
@@ -90,7 +90,7 @@ type Network struct {
 	// interface method forces the whole packet to the heap on every hop.
 	// Events of one node never run concurrently, so each slot is owned by
 	// its node.
-	route []packet.Packet
+	route []packet.Packet //unison:ckpt-skip per-event scratch, dead at quiescent points
 }
 
 // New builds devices for every link of g.
@@ -166,10 +166,10 @@ func (n *Network) Sampler() *netobs.Sampler { return n.sampler }
 // MemStats is the data plane's self-reported memory footprint, used by
 // unibench's scale accounting.
 type MemStats struct {
-	Devices     int   // link endpoints
-	DeviceBytes int64 // flat device array
-	QueueBytes  int64 // queue records + ring buffers
-	NodeBytes   int64 // per-node flat state (handlers, drops, scratch)
+	Devices     int   `json:"devices"`      // link endpoints
+	DeviceBytes int64 `json:"device_bytes"` // flat device array
+	QueueBytes  int64 `json:"queue_bytes"`  // queue records + ring buffers
+	NodeBytes   int64 `json:"node_bytes"`   // per-node flat state (handlers, drops, scratch)
 }
 
 // Mem reports the network's state footprint.
@@ -323,11 +323,11 @@ func schedReceive(ctx *sim.Ctx, delay sim.Time, n *Network, at sim.NodeID, p pac
 // promotion keeps d.TxPackets-style access working for consumers.
 type Device struct {
 	// Hot: touched on every Send/startTx/txDone.
-	net   *Network
+	net   *Network //unison:ckpt-skip wiring, re-established by Build
 	queue Queue
-	probe *netobs.DevProbe // nil unless a sampler is attached
-	node  sim.NodeID
-	link  topology.LinkID
+	probe *netobs.DevProbe //unison:ckpt-skip wiring (nil unless a sampler is attached), re-bound by AttachSampler
+	node  sim.NodeID       //unison:ckpt-skip identity, fixed by the topology at Build
+	link  topology.LinkID  //unison:ckpt-skip identity, fixed by the topology at Build
 	busy  bool
 
 	// Cold: observability counters, read per-event but only written on

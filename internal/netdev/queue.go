@@ -235,7 +235,7 @@ func (f *fifo) pop() (queueItem, bool) {
 
 type dropTail struct {
 	fifo
-	max int
+	max int //unison:ckpt-skip queue-depth config, fixed at build time
 }
 
 func (q *dropTail) Enqueue(ctx *sim.Ctx, p packet.Packet) verdict {
@@ -253,7 +253,7 @@ func (q *dropTail) Len() int                           { return q.len() }
 // curve, plus DCTCP-style hard marking.
 type redQueue struct {
 	fifo
-	cfg QueueConfig
+	cfg QueueConfig //unison:ckpt-skip AQM config, fixed at build time
 	// r is embedded by value so arena-allocated RED queues carry their rng
 	// stream inline instead of behind a pointer.
 	r     rng.Rand
@@ -315,7 +315,7 @@ func (q *redQueue) Len() int                           { return q.len() }
 // always drains first.
 type pfifoFast struct {
 	bands [2]fifo
-	max   int
+	max   int //unison:ckpt-skip queue-depth config, fixed at build time
 }
 
 func (q *pfifoFast) band(p *packet.Packet) int {
@@ -347,7 +347,7 @@ func (q *pfifoFast) Len() int { return q.bands[0].len() + q.bands[1].len() }
 // root of the drop count, until the queue drains below target.
 type codelQueue struct {
 	fifo
-	cfg QueueConfig
+	cfg QueueConfig //unison:ckpt-skip AQM config, fixed at build time
 
 	firstAbove sim.Time // when sojourn first exceeded target (0 = not yet)
 	dropNext   sim.Time // next scheduled drop while in dropping state

@@ -1,0 +1,44 @@
+package netobs
+
+import (
+	"testing"
+
+	"unison/internal/ckpt"
+)
+
+// TestCkptPreservesLiveDeltaCursor is the regression test for a real bug
+// found by the ckptfields analyzer: DevProbe.shipped (the LiveDelta
+// cursor) was not checkpointed, so a restored run re-shipped every row
+// already delivered before the kill — duplicating telemetry downstream
+// and breaking the ships-exactly-once contract.
+func TestCkptPreservesLiveDeltaCursor(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: 1000})
+	p := s.Register(1, 0, 1e9)
+	p.OnEnqueue(100, 1, false)
+	p.OnDequeue(1500, 0, 64) // rolls bucket [0,1000) closed
+	if d := s.LiveDelta(); len(d) != 1 {
+		t.Fatalf("pre-checkpoint delta = %+v", d)
+	}
+
+	var e ckpt.Enc
+	if err := s.CkptSave(&e); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewSampler(SamplerConfig{Interval: 1000})
+	rp := restored.Register(1, 0, 1e9)
+	if err := restored.CkptLoad(ckpt.NewDec(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := restored.LiveDelta(); len(d) != 0 {
+		t.Fatalf("restored sampler re-shipped %d rows already delivered before the checkpoint: %+v", len(d), d)
+	}
+	// Buckets closed after the restore still ship exactly once.
+	rp.OnEnqueue(2500, 1, false) // rolls bucket [1000,2000) closed
+	if d := restored.LiveDelta(); len(d) != 1 || d[0].Tick != 1000 {
+		t.Fatalf("post-restore delta = %+v", d)
+	}
+	if d := restored.LiveDelta(); len(d) != 0 {
+		t.Fatalf("post-restore bucket shipped twice: %+v", d)
+	}
+}

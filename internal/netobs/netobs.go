@@ -74,10 +74,10 @@ func (r *Row) Utilization(interval sim.Time) float64 {
 // so probes need no synchronization under any kernel (the same
 // single-owner discipline as trace.Collector and flowmon.Monitor).
 type DevProbe struct {
-	node     sim.NodeID
-	link     int32
-	bw       int64
-	interval sim.Time
+	node     sim.NodeID //unison:ckpt-skip identity, re-established by Register at attach time
+	link     int32      //unison:ckpt-skip identity, re-established by Register at attach time
+	bw       int64      //unison:ckpt-skip topology config, re-established by Register
+	interval sim.Time   //unison:ckpt-skip sampler config, re-established by Register
 
 	tick    sim.Time // current bucket start
 	active  bool     // current bucket saw at least one operation
@@ -146,7 +146,7 @@ func (p *DevProbe) flush() {
 // Sampler owns the per-device probes of one network. Register is called
 // during attachment (before the run); Rows and Flush after it.
 type Sampler struct {
-	interval sim.Time
+	interval sim.Time //unison:ckpt-skip config, fixed at NewSampler
 	devs     []*DevProbe
 	flushed  bool
 }

@@ -12,6 +12,7 @@
 package live
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -105,6 +106,50 @@ type Snapshot struct {
 
 	Done  bool          `json:"done"`
 	Final *sim.RunStats `json:"final,omitempty"`
+}
+
+// Scrub replaces any non-finite float in the snapshot with 0, in place,
+// and returns the snapshot. encoding/json refuses NaN/Inf, and one bad
+// ratio (a zero-time round, a clock step) must cost one number, not the
+// whole snapshot: every marshal site calls Scrub first.
+func (s *Snapshot) Scrub() *Snapshot {
+	s.Progress = scrubF(s.Progress)
+	s.ElapsedSeconds = scrubF(s.ElapsedSeconds)
+	s.ETASeconds = scrubF(s.ETASeconds)
+	s.EventsPerSec = scrubF(s.EventsPerSec)
+	s.CkptAgeSeconds = scrubF(s.CkptAgeSeconds)
+	for i := range s.WorkerViews {
+		v := &s.WorkerViews[i]
+		v.PShare, v.SShare, v.MShare = scrubF(v.PShare), scrubF(v.SShare), scrubF(v.MShare)
+	}
+	for i := range s.Ranks {
+		s.Ranks[i].LastSeenSeconds = scrubF(s.Ranks[i].LastSeenSeconds)
+	}
+	for i := range s.Queues {
+		s.Queues[i].Util = scrubF(s.Queues[i].Util)
+	}
+	scrubImbalance(s.Imbalance)
+	if s.Final != nil {
+		scrubImbalance(s.Final.Imbalance)
+	}
+	return s
+}
+
+func scrubImbalance(im *sim.Imbalance) {
+	if im == nil {
+		return
+	}
+	im.MeanMaxOverMean = scrubF(im.MeanMaxOverMean)
+	im.WorstMaxOverMean = scrubF(im.WorstMaxOverMean)
+	im.StragglerShare = scrubF(im.StragglerShare)
+}
+
+// scrubF maps NaN and ±Inf to 0.
+func scrubF(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
 }
 
 // maxQueueCells bounds the heatmap payload: the busiest cells win.

@@ -79,6 +79,7 @@ func (s *Server) Linger(timeout time.Duration) {
 
 func (s *Server) snapshotJSON() ([]byte, bool) {
 	snap := s.state.Snapshot()
+	snap.Scrub()
 	b, err := json.Marshal(&snap)
 	if err != nil {
 		return nil, false

@@ -12,11 +12,11 @@ const maxCwnd = 64 << 20
 // conn is one endpoint of a TCP connection. A conn is owned by the node it
 // lives on and is only touched from that node's events.
 type conn struct {
-	s *Stack
+	s *Stack //unison:ckpt-skip wiring, rebound by decodeConn from the owning store
 	// idx is the record's stable arena slot, set at alloc and preserved by
 	// recycle; timer descriptors reference connections by (host, idx, gen)
 	// so they survive checkpointing.
-	idx    int32
+	idx    int32    //unison:ckpt-skip implied by arena position, rebound by decodeConn
 	f      FlowSpec // Src is always this endpoint's node
 	sender bool
 

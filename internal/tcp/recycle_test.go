@@ -74,8 +74,8 @@ func TestStaleTimersNoOpOnRecycledSlot(t *testing.T) {
 	// deterministic — and must inherit generations strictly newer than
 	// any closure A left pending.
 	c2, idx2 := a.alloc()
-	if idx2 != idx1 {
-		t.Fatalf("recycled slot %d, want LIFO reuse of slot %d", idx2, idx1)
+	if idx2 != idx1 { //unison:pool-ok the test asserts LIFO reuse of the released slot
+		t.Fatalf("recycled slot %d, want LIFO reuse of slot %d", idx2, idx1) //unison:pool-ok the test asserts LIFO reuse of the released slot
 	}
 	c2.init(s, FlowSpec{ID: 2, Src: src, Dst: dst, Bytes: 1_000_000}, true)
 	if c2.timerSq <= staleRetrans {

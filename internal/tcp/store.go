@@ -46,6 +46,7 @@ type connArena struct {
 // alloc returns a reset record and its stable index.
 //
 //unison:arena alloc
+//unison:pool-get
 func (a *connArena) alloc() (*conn, int32) {
 	var idx int32
 	if n := len(a.free); n > 0 {
@@ -78,6 +79,7 @@ func (a *connArena) bump() {
 // of the arena; the record content is valid until release.
 //
 //unison:arena get
+//unison:pool-get
 func (a *connArena) at(idx int32) *conn {
 	return &a.chunks[idx>>arenaChunkBits][idx&(arenaChunkSize-1)]
 }
@@ -86,6 +88,7 @@ func (a *connArena) at(idx int32) *conn {
 // pending timer closures are disarmed by the generation counters.
 //
 //unison:arena release
+//unison:pool-put
 func (a *connArena) release(idx int32) {
 	a.free = append(a.free, idx)
 	a.live--
@@ -218,13 +221,13 @@ type hostConns struct {
 // MemStats is the transport's self-reported memory footprint, used by
 // unibench's scale accounting.
 type MemStats struct {
-	Hosts       int   // host nodes with connection stores
-	LiveConns   int   // currently allocated records
-	PeakConns   int   // high-water mark of live records
-	FreeSlots   int   // recycled records awaiting reuse
-	ArenaChunks int   // allocated chunks across all hosts
-	ArenaBytes  int64 // bytes held by arena chunks + free lists
-	TableBytes  int64 // bytes held by flow lookup tables
+	Hosts       int   `json:"hosts"`        // host nodes with connection stores
+	LiveConns   int   `json:"live_conns"`   // currently allocated records
+	PeakConns   int   `json:"peak_conns"`   // high-water mark of live records
+	FreeSlots   int   `json:"free_slots"`   // recycled records awaiting reuse
+	ArenaChunks int   `json:"arena_chunks"` // allocated chunks across all hosts
+	ArenaBytes  int64 `json:"arena_bytes"`  // bytes held by arena chunks + free lists
+	TableBytes  int64 `json:"table_bytes"`  // bytes held by flow lookup tables
 }
 
 // Mem reports the stack's connection-store footprint.

@@ -100,9 +100,9 @@ type FlowSpec struct {
 // Stack is the per-simulation transport instance: it owns the connection
 // stores of every host and registers itself as each host's packet handler.
 type Stack struct {
-	net *netdev.Network
-	cfg Config
-	mon *flowmon.Monitor
+	net *netdev.Network  //unison:ckpt-skip wiring, rebuilt by NewStack before restore
+	cfg Config           //unison:ckpt-skip run config, identical across restore by contract
+	mon *flowmon.Monitor //unison:ckpt-skip wiring; the monitor checkpoints itself as its own layer
 
 	// hosts[node] is the node's connection store (arena + flow table, see
 	// store.go); owned by the node, mutated only from its events. Records
@@ -112,7 +112,7 @@ type Stack struct {
 
 	// udpSinks holds per-host datagram consumers (see udp.go); populated
 	// at setup time only, read-only during the run.
-	udpSinks map[sim.NodeID]UDPSink
+	udpSinks map[sim.NodeID]UDPSink //unison:ckpt-skip wiring, re-registered at setup before restore
 
 	// pump is the streaming-workload cursor when AttachStream wired one;
 	// its (pending, ok) pair is part of the checkpointable state.
@@ -121,7 +121,7 @@ type Stack struct {
 	// flowDone is the completion hook registered by OnFlowDone; nil when
 	// nothing listens. Written once at setup time, read-only during the
 	// run, invoked from the completing endpoint's own events.
-	flowDone FlowDoneFunc
+	flowDone FlowDoneFunc //unison:ckpt-skip wiring, re-registered by OnFlowDone before restore
 }
 
 // FlowDoneFunc observes flow-endpoint completion. It is called once per
@@ -203,12 +203,12 @@ func (s *Stack) AttachStream(setup *sim.Setup, src FlowSource, window sim.Time) 
 // persist it; the pump event itself serializes as an empty-payload
 // descriptor, with the cursor restored through the Stack's section.
 type streamPump struct {
-	s       *Stack
-	src     FlowSource
-	window  sim.Time
+	s       *Stack     //unison:ckpt-skip wiring, rebuilt by AttachStream before restore
+	src     FlowSource //unison:ckpt-skip the source replays deterministically to the restored cursor
+	window  sim.Time   //unison:ckpt-skip config, fixed at AttachStream
 	pending FlowSpec
 	ok      bool
-	fn      sim.Proc
+	fn      sim.Proc //unison:ckpt-skip method value, rebound by AttachStream
 }
 
 func (p *streamPump) run(ctx *sim.Ctx) {

@@ -68,7 +68,7 @@ const recordBytes = 25
 // locks under any kernel; Merged sorts the union afterwards.
 type Collector struct {
 	perNode [][]Record
-	cap     int
+	cap     int //unison:ckpt-skip config, fixed at NewCollector
 	lost    []uint64
 }
 

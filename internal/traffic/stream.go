@@ -19,11 +19,11 @@ import (
 // A Stream is single-owner state: it must only be advanced from one
 // goroutine (in-kernel, from global events — see tcp.Stack.AttachStream).
 type Stream struct {
-	cfg       Config
+	cfg       Config //unison:ckpt-skip run config, identical across restore by contract
 	r         *rng.Rand
-	perm      []int
-	victim    sim.NodeID
-	meanGapNS float64
+	perm      []int      //unison:ckpt-skip permutation derived from cfg at NewStream
+	victim    sim.NodeID //unison:ckpt-skip derived from cfg at NewStream
+	meanGapNS float64    //unison:ckpt-skip derived from cfg at NewStream
 
 	t    sim.Time
 	id   packet.FlowID
